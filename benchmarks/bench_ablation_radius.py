@@ -1,0 +1,74 @@
+"""Ablation A2 — neighborhood radius sweep.
+
+The paper leaves the neighbourhood size unspecified ("full synchrony across
+small neighborhoods").  This ablation sweeps the radius on a fixed
+workload.  Two forces pull against each other: update cost grows linearly
+with the radius (more replicas pushed), while query cost falls as hits
+land in the neighbourhood — but *coherent* neighbourhood reads must consult
+every neighbour, so very large radii make queries expensive again.  The
+result is a U-shaped total with an interior optimum, which is exactly why
+the paper frames the radius as an application-tunable rather than fixing
+it: "mesh-structured applications may benefit" from one setting where
+others would not.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dvm.state import NeighborhoodState
+from repro.netsim import lan
+
+N_NODES = 16
+RADII = [1, 2, 4, 8]
+
+
+def run_radius(radius: int, updates: int, queries: int):
+    net = lan(N_NODES)
+    members = [f"node{i}" for i in range(N_NODES)]
+    protocol = NeighborhoodState(net, members, radius=radius)
+    net.reset_stats()
+    for i in range(updates):
+        protocol.update(members[i % N_NODES], f"k{i}", {"v": i})
+    for i in range(queries):
+        protocol.get(members[(i * 5) % N_NODES], f"k{i % max(updates, 1)}")
+    return net
+
+
+@pytest.mark.parametrize("radius", RADII)
+def test_radius_benchmark(benchmark, radius):
+    benchmark.pedantic(run_radius, args=(radius, 16, 16), rounds=5, iterations=1)
+
+
+def test_report_ablation_radius():
+    updates, queries = 16, 48
+    rows = []
+    update_msgs = {}
+    query_msgs = {}
+    for radius in RADII:
+        net = lan(N_NODES)
+        members = [f"node{i}" for i in range(N_NODES)]
+        protocol = NeighborhoodState(net, members, radius=radius)
+        net.reset_stats()
+        for i in range(updates):
+            protocol.update(members[i % N_NODES], f"k{i}", {"v": i})
+        update_msgs[radius] = net.total_messages
+        net.reset_stats()
+        for i in range(queries):
+            protocol.get(members[(i * 5) % N_NODES], f"k{i % updates}")
+        query_msgs[radius] = net.total_messages
+        rows.append([radius, update_msgs[radius], query_msgs[radius],
+                     update_msgs[radius] + query_msgs[radius]])
+    print_table(
+        f"A2: neighborhood radius sweep ({N_NODES} nodes, "
+        f"{updates} updates / {queries} queries)",
+        ["radius", "update msgs", "query msgs", "total"],
+        rows,
+    )
+    # update cost is monotone in the radius (one push per neighbour)
+    assert update_msgs[8] > update_msgs[4] > update_msgs[2] > update_msgs[1]
+    # total cost is U-shaped: an interior radius beats both extremes
+    totals = {r: update_msgs[r] + query_msgs[r] for r in RADII}
+    best = min(totals, key=totals.get)
+    assert best not in (RADII[0], RADII[-1]), totals
+    assert totals[best] < totals[RADII[0]]
+    assert totals[best] < totals[RADII[-1]]

@@ -1,0 +1,84 @@
+"""C2 — the localization issue (Section 5 / Figure 5).
+
+Claim: "in case of components running in the same local system, exchange of
+data through an HTTP server and TCP/IP stack is an obvious overhead."
+
+Reproduced series: round-trip latency of the same small invocation on one
+machine, through every access path the Harness II design defines:
+
+* local-instance (JavaObject scheme — unmediated object access)
+* local          (Java binding — fresh instance, still unmediated)
+* xdr            (binary encoding + loopback TCP)
+* soap           (XML + base64 + HTTP)
+
+Expected shape: local paths orders of magnitude below the networked paths;
+soap slowest.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import LightweightContainer
+from repro.plugins.services import MatMul
+
+PAYLOAD_N = 256  # 16x16 matrices: latency-dominated, not bandwidth-dominated
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    container = LightweightContainer("c2-bench", host="c2host")
+    handle = container.deploy(MatMul, bindings=("local-instance", "local", "xdr", "soap"))
+    stubs = {}
+    co_located = DynamicStubFactory(
+        ClientContext(container_uri=container.uri, host="c2host")
+    )
+    remote = DynamicStubFactory(ClientContext(host="clienthost"))
+    stubs["local-instance"] = co_located.create(handle.document, prefer=("local-instance",))
+    stubs["local"] = co_located.create(handle.document, prefer=("local",))
+    stubs["xdr"] = remote.create(handle.document, prefer=("xdr",))
+    stubs["soap"] = remote.create(handle.document, prefer=("soap",))
+    yield stubs
+    for stub in stubs.values():
+        stub.close()
+    container.close()
+
+
+@pytest.mark.parametrize("protocol", ["local-instance", "local", "xdr", "soap"])
+def test_round_trip_benchmark(benchmark, deployment, protocol, rng):
+    stub = deployment[protocol]
+    a = rng.random(PAYLOAD_N)
+    b = rng.random(PAYLOAD_N)
+    benchmark(stub.getResult, a, b)
+
+
+def test_report_c2_localization(deployment, rng):
+    a = rng.random(PAYLOAD_N)
+    b = rng.random(PAYLOAD_N)
+    medians = {}
+    rows = []
+    for protocol in ("local-instance", "local", "xdr", "soap"):
+        stub = deployment[protocol]
+        stub.getResult(a, b)  # warm up
+        samples = []
+        for _ in range(30):
+            start = time.perf_counter()
+            stub.getResult(a, b)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        medians[protocol] = samples[len(samples) // 2]
+        rows.append([protocol, f"{medians[protocol] * 1e6:.1f}us"])
+    baseline = medians["local-instance"]
+    for row, protocol in zip(rows, medians):
+        row.append(f"{medians[protocol] / baseline:.0f}x")
+    print_table("C2: co-located round-trip latency by access path",
+                ["binding", "median", "vs local-instance"], rows)
+
+    # the Section 5 ordering, with real gaps
+    assert medians["local-instance"] <= medians["local"] * 3  # both unmediated
+    assert medians["xdr"] > 5 * medians["local-instance"]
+    assert medians["soap"] > medians["xdr"]
+    assert medians["soap"] > 20 * medians["local-instance"]

@@ -1,0 +1,67 @@
+"""C3 — the deployment issue (Section 5).
+
+Claim: e-commerce "deployment technologies do not provide adequate support
+for automated service instantiation … they usually require human
+interaction", motivating Harness II's "specialized lightweight component
+container for volatile DVMs and short lived applications."
+
+Reproduced series: wall time to deploy a batch of volatile components into
+
+* the lightweight container (instantiate + register, endpoints lazy), vs
+* the application-server container (WSDL validation rounds, static stub
+  codegen+compile, UDDI publication, dedicated HTTP endpoint per service —
+  each step real work, as a 2002 app server performed it).
+
+Expected shape: lightweight deployment ≥10× cheaper per component.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.container import ApplicationServerContainer, LightweightContainer
+from repro.plugins.services import CounterService
+
+BATCH = 10
+
+
+def _deploy_batch(container, count: int) -> None:
+    for i in range(count):
+        container.deploy(CounterService, name=f"volatile{i}", bindings=("local-instance",)
+                         if container.container_kind == "lightweight" else ("soap",))
+
+
+def test_lightweight_deploy_benchmark(benchmark):
+    def run():
+        with LightweightContainer(host="c3lw") as container:
+            _deploy_batch(container, BATCH)
+
+    benchmark.pedantic(run, rounds=8, iterations=1)
+
+
+def test_appserver_deploy_benchmark(benchmark):
+    def run():
+        with ApplicationServerContainer(host="c3as") as container:
+            _deploy_batch(container, BATCH)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_report_c3_deployment_cost():
+    def timed(factory) -> float:
+        start = time.perf_counter()
+        with factory() as container:
+            _deploy_batch(container, BATCH)
+        return time.perf_counter() - start
+
+    light = min(timed(lambda: LightweightContainer(host="c3lw")) for _ in range(3))
+    heavy = min(timed(lambda: ApplicationServerContainer(host="c3as")) for _ in range(3))
+    rows = [
+        ["lightweight", BATCH, f"{light * 1e3:.2f}ms", f"{light / BATCH * 1e3:.3f}ms"],
+        ["application-server", BATCH, f"{heavy * 1e3:.2f}ms", f"{heavy / BATCH * 1e3:.3f}ms"],
+    ]
+    print_table("C3: deploying volatile components",
+                ["container", "components", "total", "per component"], rows)
+    print(f"lightweight advantage: {heavy / light:.1f}x")
+    assert heavy > 10 * light, (heavy, light)

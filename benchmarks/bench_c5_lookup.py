@@ -1,0 +1,134 @@
+"""C5 — the lookup/discovery spectrum (Section 5).
+
+Claim: "At one extreme, there are centralized lookup services.  They are
+easy to implement and use, but they introduce a single point of failure and
+a potential scalability bottleneck.  At the other extreme, a completely
+decentralized approach leads to a registration phase that is fully
+localized and does not involve any network traffic, whereas the discovery
+phase performs an active lookup that can be expensive."
+
+Reproduced series: per-operation message costs of the three schemes as the
+DVM grows, plus the failure experiment (kill the registry host).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.netsim import lan
+from repro.netsim.fabric import HostDownError
+from repro.plugins.services import MatMul, WSTime
+from repro.registry.distributed import (
+    CentralizedLookup,
+    DecentralizedLookup,
+    NeighborhoodLookup,
+)
+from repro.tools.wsdlgen import generate_wsdl
+
+QUERY = "//portType[@name='MatMulPortType']"
+
+
+_SCHEME_NAMES = ("centralized", "decentralized", "neighborhood")
+
+
+def make_scheme(name: str, net):
+    """Each scheme binds the per-host lookup endpoint: one scheme per fabric."""
+    if name == "centralized":
+        return CentralizedLookup(net, "node0")
+    if name == "decentralized":
+        return DecentralizedLookup(net)
+    return NeighborhoodLookup(net, replication=2)
+
+
+def _workload(lookup, n_nodes: int, services: int = 8, discoveries: int = 16) -> None:
+    for i in range(services):
+        doc = generate_wsdl(MatMul, service_name=f"MatMul{i}", bindings=("soap",))
+        lookup.register(f"node{(i * 3) % n_nodes}", doc)
+    for i in range(discoveries):
+        lookup.discover(f"node{(i * 5) % n_nodes}", "//portType")
+
+
+@pytest.mark.parametrize("scheme", _SCHEME_NAMES)
+def test_lookup_workload_benchmark(benchmark, scheme):
+    def run():
+        net = lan(8)
+        _workload(make_scheme(scheme, net), 8)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_report_c5_cost_spectrum():
+    rows = []
+    costs: dict[tuple[str, int, str], int] = {}
+    for n_nodes in (4, 16):
+        for name in _SCHEME_NAMES:
+            net = lan(n_nodes)
+            lookup = make_scheme(name, net)
+            net.reset_stats()
+            lookup.register("node1", generate_wsdl(MatMul, service_name=f"M-{name}", bindings=("soap",)))
+            register_messages = net.total_messages
+            net.reset_stats()
+            lookup.discover(f"node{n_nodes - 1}", f"//portType[@name='M-{name}PortType']")
+            discover_messages = net.total_messages
+            costs[(name, n_nodes, "register")] = register_messages
+            costs[(name, n_nodes, "discover")] = discover_messages
+            rows.append([n_nodes, name, register_messages, discover_messages])
+    print_table("C5: messages per registration / discovery",
+                ["nodes", "scheme", "register", "discover"], rows)
+
+    for n_nodes in (4, 16):
+        # decentralized: registration fully localized (zero traffic)
+        assert costs[("decentralized", n_nodes, "register")] == 0
+        # centralized: O(1) discovery regardless of size
+        assert costs[("centralized", n_nodes, "discover")] == 2
+    # decentralized discovery grows with the DVM
+    assert costs[("decentralized", 16, "discover")] > costs[("decentralized", 4, "discover")]
+    # neighborhood: bounded registration, discovery ≤ flood
+    assert costs[("neighborhood", 16, "register")] <= 2 * 2
+    assert costs[("neighborhood", 16, "discover")] <= costs[("decentralized", 16, "discover")]
+
+
+def test_report_c5_single_point_of_failure():
+    outcomes = {}
+    for name in _SCHEME_NAMES:
+        net = lan(6)
+        lookup = make_scheme(name, net)
+        lookup.register("node2", generate_wsdl(MatMul, service_name=f"S-{name}", bindings=("soap",)))
+        # kill the host the centralized registry happens to live on
+        net.host("node0").crash()
+        try:
+            found = lookup.discover("node3", f"//portType[@name='S-{name}PortType']")
+            outcomes[name] = f"ok ({len(found)} found)"
+        except HostDownError:
+            outcomes[name] = "FAILED (registry host down)"
+    print_table("C5b: discovery after the registry host crashes",
+                ["scheme", "outcome"],
+                [[k, v] for k, v in sorted(outcomes.items())])
+    assert outcomes["centralized"].startswith("FAILED")
+    assert outcomes["decentralized"].startswith("ok (1")
+    assert outcomes["neighborhood"].startswith("ok (1")
+
+
+def test_report_c5_centralized_bottleneck():
+    """All centralized traffic converges on one host — the scalability
+    bottleneck quantified as that host's share of total messages."""
+    n_nodes = 12
+    net = lan(n_nodes)
+    lookup = CentralizedLookup(net, "node0")
+    _workload(lookup, n_nodes)
+    through_hub = sum(
+        stats.messages for (src, dst), stats in net.stats.items()
+        if "node0" in (src, dst)
+    )
+    share = through_hub / net.total_messages
+    print(f"\nC5c: centralized hub handles {share:.0%} of all lookup traffic")
+    assert share == 1.0
+
+    net2 = lan(n_nodes)
+    decentralized = DecentralizedLookup(net2)
+    _workload(decentralized, n_nodes)
+    hub_share = max(
+        sum(s.messages for (a, b), s in net2.stats.items() if h in (a, b))
+        for h in (f"node{i}" for i in range(n_nodes))
+    ) / net2.total_messages
+    print(f"C5c: decentralized max per-host share: {hub_share:.0%}")
+    assert hub_share < 0.6

@@ -1,0 +1,113 @@
+"""F2 — the PVM plugin's messaging and spawning costs (Figure 2).
+
+No numeric claim in the paper, but the figure's architecture implies the
+measurable property that makes it viable: plugin-composed messaging must
+add only thin overhead over the raw kernel channel, and same-kernel
+messaging must be far cheaper than cross-kernel messaging (the locality
+argument again, one layer down).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hpvmd import PvmDaemonPlugin
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    net = lan(2)
+    harness = HarnessDvm("f2bench", net)
+    harness.add_nodes("node0", "node1")
+    for plugin in BASELINE_PLUGINS:
+        harness.load_plugin_everywhere(plugin)
+    for host in harness.kernels:
+        harness.load_plugin(host, PvmDaemonPlugin(group_server="node0"))
+    yield harness, net
+    harness.close()
+
+
+def echo_forever(pvm, count):
+    for _ in range(count):
+        envelope = pvm.recv(tag=1, timeout=30)
+        pvm.send(envelope.data, 2, "pong")
+
+
+def test_local_send_recv_benchmark(benchmark, cluster):
+    harness, _ = cluster
+    pvmd = harness.kernel("node0").get_service("pvm")
+    console = pvmd.mytid()
+    hmsg = pvmd.hmsg
+
+    def ping():
+        hmsg.send("node0", f"pvm:{console}", "ping", tag=5)
+        hmsg.recv(f"pvm:{console}", tag=5, timeout=5)
+
+    benchmark(ping)
+
+
+def test_cross_kernel_send_benchmark(benchmark, cluster):
+    harness, _ = cluster
+    pvmd0 = harness.kernel("node0").get_service("pvm")
+    hmsg1 = harness.kernel("node1").get_service("message-transport")
+    hmsg1.open_mailbox("bench-box")
+    hmsg0 = pvmd0.hmsg
+
+    def ping():
+        hmsg0.send("node1", "bench-box", "ping", tag=5)
+        hmsg1.recv("bench-box", tag=5, timeout=5)
+
+    benchmark(ping)
+
+
+def test_spawn_benchmark(benchmark, cluster):
+    harness, _ = cluster
+    pvmd = harness.kernel("node0").get_service("pvm")
+
+    def spawn_and_wait():
+        tids = pvmd.spawn(lambda pvm: None, count=4)
+        pvmd.wait_all(tids, timeout=10)
+
+    benchmark.pedantic(spawn_and_wait, rounds=10, iterations=1)
+
+
+def test_report_f2_messaging_profile(cluster):
+    import time
+
+    harness, net = cluster
+    pvmd = harness.kernel("node0").get_service("pvm")
+    console = pvmd.mytid()
+    rows = []
+
+    # round trip to a spawned local task
+    count = 200
+    tids = pvmd.spawn(echo_forever, count=1, args=(count,))
+    start = time.perf_counter()
+    for _ in range(count):
+        pvmd.send(tids[0], 1, console)
+        pvmd._recv_for(console, 2, 10.0)
+    local_rt = (time.perf_counter() - start) / count
+    pvmd.wait_all(tids)
+    rows.append(["same-kernel task", f"{local_rt * 1e6:.1f}us"])
+
+    # round trip to a remote task (cross-kernel, XDR-encoded, fabric-charged)
+    remote = pvmd.spawn("benchmarks.bench_f2_pvm:echo_forever", count=1,
+                        where="node1", args=(count,))
+    net.reset_stats()
+    start = time.perf_counter()
+    for _ in range(count):
+        pvmd.send(remote[0], 1, console)
+        pvmd._recv_for(console, 2, 10.0)
+    remote_rt = (time.perf_counter() - start) / count
+    pvmd.wait_all(remote)
+    rows.append(["cross-kernel task", f"{remote_rt * 1e6:.1f}us"])
+    rows.append(["cross-kernel fabric msgs", net.total_messages])
+    print_table("F2: PVM message round trips", ["path", "value"], rows)
+
+    # locality shape: same-kernel cheaper; cross-kernel paid 2 fabric legs
+    # per round trip (send is one-way + the reply)
+    assert local_rt < remote_rt
+    assert net.total_messages >= 2 * count

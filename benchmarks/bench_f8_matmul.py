@@ -1,0 +1,87 @@
+"""F8 — the MatMul service across bindings and sizes (Figure 8 / Section 5).
+
+Claim: "The standard SOAP binding introduces an encoding overhead as well
+as several intermediate steps in the execution that are generally
+unacceptable for high performance distributed computations … High
+performance applications might take advantage of the local, unencoded
+access provided by the Java binding."
+
+Reproduced series: end-to-end ``getResult`` time by binding × matrix size.
+Expected shape: local < xdr < soap at every size; the *relative* overhead
+of the network bindings shrinks as O(n³) compute grows past O(n²) data —
+the crossover where offloading becomes worthwhile even over SOAP.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import LightweightContainer
+from repro.plugins.services import MatMul
+
+SIZES = [16, 64, 256]
+
+
+@pytest.fixture(scope="module")
+def stubs():
+    container = LightweightContainer("f8-bench", host="f8host")
+    handle = container.deploy(MatMul, bindings=("local-instance", "xdr", "soap"))
+    co_located = DynamicStubFactory(
+        ClientContext(container_uri=container.uri, host="f8host")
+    )
+    remote = DynamicStubFactory(ClientContext(host="f8client"))
+    out = {
+        "local-instance": co_located.create(handle.document),
+        "xdr": remote.create(handle.document, prefer=("xdr",)),
+        "soap": remote.create(handle.document, prefer=("soap",)),
+    }
+    yield out
+    for stub in out.values():
+        stub.close()
+    container.close()
+
+
+@pytest.mark.parametrize("protocol", ["local-instance", "xdr", "soap"])
+@pytest.mark.parametrize("n", SIZES, ids=[f"n{n}" for n in SIZES])
+def test_matmul_benchmark(benchmark, stubs, protocol, n, rng):
+    a = rng.random(n * n)
+    b = rng.random(n * n)
+    benchmark(stubs[protocol].getResult, a, b)
+
+
+def test_report_f8_binding_crossover(stubs, rng):
+    rows = []
+    medians: dict[tuple[str, int], float] = {}
+    for n in SIZES + [512]:
+        a = rng.random(n * n)
+        b = rng.random(n * n)
+        for protocol, stub in stubs.items():
+            stub.getResult(a, b)  # warm
+            samples = []
+            for _ in range(5):
+                start = time.perf_counter()
+                stub.getResult(a, b)
+                samples.append(time.perf_counter() - start)
+            samples.sort()
+            medians[(protocol, n)] = samples[len(samples) // 2]
+        overhead = medians[("soap", n)] / medians[("local-instance", n)]
+        rows.append([
+            n,
+            f"{medians[('local-instance', n)] * 1e3:.3f}ms",
+            f"{medians[('xdr', n)] * 1e3:.3f}ms",
+            f"{medians[('soap', n)] * 1e3:.3f}ms",
+            f"{overhead:.1f}x",
+        ])
+    print_table("F8: MatMul getResult by binding and size",
+                ["n", "local-instance", "xdr", "soap", "soap overhead"], rows)
+
+    for n in SIZES + [512]:
+        assert medians[("local-instance", n)] <= medians[("xdr", n)]
+        assert medians[("xdr", n)] < medians[("soap", n)]
+    # relative SOAP penalty shrinks as computation dominates communication
+    small_penalty = medians[("soap", 16)] / medians[("local-instance", 16)]
+    large_penalty = medians[("soap", 512)] / medians[("local-instance", 512)]
+    assert large_penalty < small_penalty

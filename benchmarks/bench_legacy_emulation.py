@@ -1,0 +1,132 @@
+"""Ablation A4 — what the legacy-environment emulations cost.
+
+§3 claims legacy codes "may run" inside plugin-emulated environments; the
+engineering question is the toll each emulation layer takes over the raw
+backplane.  This bench measures a same-kernel message round trip at four
+altitudes:
+
+* raw hmsg mailbox (the backplane floor),
+* PVM task send/recv (tid routing + task table),
+* MPI rank send/recv (rank table + communicator bookkeeping),
+* tuple-space write/take (template matching).
+
+Expected shape: each emulation adds a bounded constant over hmsg — the
+layers are thin wrappers, not protocol stacks.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hmpi import MpiPlugin
+from repro.plugins.hpvmd import PvmDaemonPlugin
+from repro.plugins.hspaces import TupleSpacePlugin
+
+
+@pytest.fixture(scope="module")
+def stack():
+    net = lan(1)
+    harness = HarnessDvm("a4", net)
+    harness.add_nodes("node0")
+    for plugin in BASELINE_PLUGINS:
+        harness.load_plugin_everywhere(plugin)
+    kernel = harness.kernel("node0")
+    kernel.load_plugin(PvmDaemonPlugin())
+    kernel.load_plugin(MpiPlugin())
+    kernel.load_plugin(TupleSpacePlugin())
+    yield harness
+    harness.close()
+
+
+def _hmsg_roundtrip(kernel):
+    hmsg = kernel.get_service("message-transport")
+    hmsg.open_mailbox("a4-box")
+
+    def op():
+        hmsg.send("node0", "a4-box", {"v": 1}, tag=1)
+        hmsg.recv("a4-box", tag=1, timeout=5)
+
+    return op
+
+
+def _pvm_roundtrip(kernel):
+    pvmd = kernel.get_service("pvm")
+    tid = pvmd.mytid()
+
+    def op():
+        pvmd.send(tid, 1, {"v": 1})
+        pvmd._recv_for(tid, 1, 5.0)
+
+    return op
+
+
+def _mpi_roundtrip(kernel):
+    mpi = kernel.get_service("mpi")
+    holder = {}
+
+    def single_rank(ctx):
+        holder["ctx"] = ctx
+        ctx.send(0, "warm", tag=1)
+        ctx.recv(tag=1)
+
+    mpi.run(single_rank, world_size=1)
+    ctx = holder["ctx"]
+
+    def op():
+        ctx.send(0, {"v": 1}, tag=2)
+        ctx.recv(tag=2)
+
+    return op
+
+
+def _space_roundtrip(kernel):
+    space = kernel.get_service("tuple-space")
+
+    def op():
+        space.write({"kind": "a4", "v": 1})
+        space.take({"kind": "a4"}, timeout=5)
+
+    return op
+
+
+LAYERS = [
+    ("hmsg (floor)", _hmsg_roundtrip),
+    ("pvm", _pvm_roundtrip),
+    ("mpi", _mpi_roundtrip),
+    ("tuple-space", _space_roundtrip),
+]
+
+
+@pytest.mark.parametrize("name,make", LAYERS, ids=[l[0].split()[0] for l in LAYERS])
+def test_layer_benchmark(benchmark, stack, name, make):
+    op = make(stack.kernel("node0"))
+    op()  # warm
+    benchmark(op)
+
+
+def test_report_a4_emulation_toll(stack):
+    kernel = stack.kernel("node0")
+    medians = {}
+    rows = []
+    for name, make in LAYERS:
+        op = make(kernel)
+        op()
+        samples = []
+        for _ in range(300):
+            start = time.perf_counter()
+            op()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        medians[name] = samples[len(samples) // 2]
+    floor = medians["hmsg (floor)"]
+    for name, median in medians.items():
+        rows.append([name, f"{median * 1e6:.1f}us", f"{median / floor:.1f}x"])
+    print_table("A4: same-kernel round trip by emulation layer",
+                ["layer", "median", "vs hmsg"], rows)
+    # every emulation stays within a small constant of the backplane floor
+    for name, median in medians.items():
+        assert median < 25 * floor, (name, median, floor)

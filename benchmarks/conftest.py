@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every ``bench_*`` module reproduces one experiment from DESIGN.md's index
+(C1–C6, F2, F8).  Each module contains:
+
+* ``test_*_benchmark`` functions using the ``benchmark`` fixture — the
+  timing rows pytest-benchmark prints, and
+* one ``test_report_*`` function that prints the experiment's series (the
+  "table/figure" the paper implies) and asserts its qualitative *shape* —
+  who wins and roughly by how much.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bindings.context import LOCAL_DIRECTORY
+from repro.transport.inproc import reset_inproc_namespace
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_globals():
+    reset_inproc_namespace()
+    LOCAL_DIRECTORY.clear()
+    yield
+    reset_inproc_namespace()
+    LOCAL_DIRECTORY.clear()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2002)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for experiment reports."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

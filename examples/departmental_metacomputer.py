@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Capstone: a departmental metacomputer, end to end (§6's narrative).
+
+One script exercising the whole Harness II story:
+
+1. enroll resources and build a DVM over two LAN clusters + WAN;
+2. stage a service privately, test it, then publish ("it allows an
+   organization to test a service implementation internally and to
+   publish it only after a sufficient level of reliability … has been
+   achieved");
+3. register the WSDL in a UDDI registry; a foreign SOAP client discovers
+   and calls it;
+4. secure the deployment with role-based access control;
+5. migrate the application component next to its data;
+6. query everything through the container's own management service.
+
+Run:  python examples/departmental_metacomputer.py
+"""
+
+import numpy as np
+
+from repro import HarnessDvm, two_clusters
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import AccessPolicy, Principal, expose_management
+from repro.container.management import MANAGEMENT_SERVICE_NAME
+from repro.plugins import BASELINE_PLUGINS, LinearAlgebraService
+from repro.registry import UddiRegistry
+from repro.runner import ResourceCatalog, ResourceDescriptor
+
+
+class Simulator:
+    """The department's application logic.
+
+    ``run`` takes a LAPACK stub (used through local bindings by co-located
+    callers); ``simulate`` is the self-contained entry point remote callers
+    use (arguments must be serialisable — a stub is not).
+    """
+
+    def run(self, lapack, steps: int = 3) -> float:
+        rng = np.random.default_rng(1)
+        total = 0.0
+        for _ in range(steps):
+            a = rng.random((16, 16)) + 16 * np.eye(16)
+            total += float(np.abs(lapack.solve(a, rng.random(16))).sum())
+        return total
+
+    def simulate(self, steps: int = 3) -> float:
+        rng = np.random.default_rng(1)
+        total = 0.0
+        for _ in range(steps):
+            a = rng.random((16, 16)) + 16 * np.eye(16)
+            total += float(np.abs(np.linalg.solve(a, rng.random(16))).sum())
+        return total
+
+
+def main() -> None:
+    # -- 1. resources + DVM ---------------------------------------------------------
+    catalog = ResourceCatalog()
+    for name, cluster in (("a0", "office"), ("a1", "office"), ("b0", "hpc"), ("b1", "hpc")):
+        catalog.register(ResourceDescriptor(name, cpus=4, tags=frozenset({cluster})))
+    picked = catalog.aggregate(["tag:hpc"], total_cpus=8)
+    print(f"matchmaker aggregated: {[(r.name, c) for r, c in picked]}")
+
+    network = two_clusters(2)
+    with HarnessDvm("department", network) as harness:
+        harness.add_nodes("a0", "a1", "b0", "b1")
+        for plugin in BASELINE_PLUGINS:
+            harness.load_plugin_everywhere(plugin)
+
+        # -- 2. stage privately, then publish --------------------------------------
+        container = harness.kernel("b0").container
+        handle = container.deploy(
+            LinearAlgebraService, name="LAPACK",
+            bindings=("local-instance", "sim", "soap"), exposure="private",
+        )
+        internal = container.lookup("LAPACK", include_private=True)
+        assert internal.determinant(np.eye(3)) == 1.0  # internal validation
+        container.set_exposure(handle.instance_id, "public")
+        harness.dvm.publish("b0", "LAPACK")
+        print("LAPACK validated privately, now published DVM-wide")
+
+        # -- 3. UDDI + a foreign SOAP client -----------------------------------------
+        uddi = UddiRegistry()
+        business = uddi.save_business("MathCS department")
+        uddi.publish_wsdl(business.key, handle.document)
+        found = uddi.map_generic_query("//operation[@name='solve']")
+        document = uddi.get_wsdl(found[0].key)
+        outsider = DynamicStubFactory(ClientContext(host="visitor"))
+        soap_stub = outsider.create(document, prefer=("soap",))
+        a = np.eye(4) * 2
+        print(f"foreign SOAP client solved a system: "
+              f"{soap_stub.solve(a, np.ones(4))!r}")
+        soap_stub.close()
+
+        # -- 4. secure a second container --------------------------------------------
+        from repro.container import LightweightContainer
+
+        policy = AccessPolicy().allow("Simulator", "*", {"researcher"})
+        secured = LightweightContainer("secured", host="a0-secure", policy=policy)
+        try:
+            sim_handle = secured.deploy(Simulator, bindings=("local-instance", "xdr"))
+            token = secured.issue_token(Principal("alice", frozenset({"researcher"})))
+            client = DynamicStubFactory(ClientContext(host="alice-laptop"))
+            authorized = client.create(sim_handle.document, prefer=("xdr",), credential=token)
+            print(f"authorized simulation result: {authorized.simulate(3):.3f}")
+            authorized.close()
+            anonymous = client.create(sim_handle.document, prefer=("xdr",))
+            try:
+                anonymous.simulate(1)
+                print("ERROR: anonymous call should have been denied")
+            except Exception as exc:
+                print(f"anonymous caller denied, as configured: {type(exc).__name__}")
+            anonymous.close()
+        finally:
+            secured.close()
+
+        # -- 5. migrate the app next to its data --------------------------------------
+        harness.deploy("a0", Simulator, name="Sim")
+        network.reset_stats()
+        sim = harness.stub("a0", "Sim")
+        sim.run(harness.stub("a0", "LAPACK"))
+        wan_cost = network.simulated_time
+        harness.move("Sim", "b0")
+        network.reset_stats()
+        sim = harness.stub("b0", "Sim")
+        sim.run(harness.stub("b0", "LAPACK"))
+        local_cost = network.simulated_time
+        print(f"migration: WAN placement cost {wan_cost * 1e3:.1f}ms simulated, "
+              f"co-located {local_cost * 1e3:.3f}ms")
+
+        # -- 6. the container as a service ---------------------------------------------
+        mgmt_handle = expose_management(container, bindings=("local-instance", "soap"))
+        operator = DynamicStubFactory(ClientContext(host="operator"))
+        mgmt = operator.create(mgmt_handle.document, prefer=("soap",))
+        print(f"management service reports components: "
+              f"{sorted(c['name'] for c in mgmt.listComponents())}")
+        mgmt.close()
+
+
+if __name__ == "__main__":
+    main()

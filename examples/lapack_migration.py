@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The Section 6 scenario: migrate an application towards its data.
+
+"A user's application is composed of two main components: the application
+logic and the computational library (e.g. LAPACK).  The user knows that a
+given node provides a highly optimized version of the LAPACK service.  He
+can simply run the application logic on his home node and obtain the
+computational services from the remote node.  However … he can search for a
+node that has a better connectivity … and upload his application component
+to a container residing on that node.  Further, he can load his application
+component to the same container that hosts the LAPACK service itself, and
+take advantage of local bindings in order to minimize latency."
+
+We build two LAN clusters joined by a WAN link: the user's home node is
+``a0``; the optimized LAPACK service lives on ``b0``.  The application (an
+iterative linear solver driver) runs at three placements and we report the
+fabric's simulated communication cost for each.
+
+Run:  python examples/lapack_migration.py
+"""
+
+import numpy as np
+
+from repro import HarnessDvm, two_clusters
+from repro.plugins import LinearAlgebraService
+
+
+class SolverApp:
+    """The user's application logic: repeatedly solves systems via the
+    remote LAPACK service and accumulates a residual norm."""
+
+    def __init__(self):
+        self.residuals: list[float] = []
+
+    def run(self, lapack_stub, n: int = 32, iterations: int = 5) -> float:
+        rng = np.random.default_rng(7)
+        total = 0.0
+        for _ in range(iterations):
+            a = rng.random((n, n)) + n * np.eye(n)
+            b = rng.random(n)
+            x = lapack_stub.solve(a, b)
+            residual = float(np.linalg.norm(a @ x - b))
+            self.residuals.append(residual)
+            total += residual
+        return total
+
+
+def main() -> None:
+    network = two_clusters(2)  # hosts a0,a1 (home cluster) and b0,b1
+    with HarnessDvm("lapack-demo", network) as harness:
+        harness.add_nodes("a0", "a1", "b0", "b1")
+        harness.deploy("b0", LinearAlgebraService, name="LAPACK")
+        harness.deploy("a0", SolverApp, name="SolverApp")
+
+        placements = [
+            ("home node a0 (WAN to the LAPACK service)", "a0"),
+            ("better-connected node b1 (same LAN as LAPACK)", "b1"),
+            ("LAPACK's own container on b0 (local binding)", "b0"),
+        ]
+        print(f"{'placement':<52} {'binding':>15} {'sim comm':>10}")
+        for label, node in placements:
+            if harness.dvm.component_index(node)["SolverApp"] != node:
+                harness.move("SolverApp", node)
+            app_stub = harness.stub(node, "SolverApp")
+            lapack_stub = harness.stub(node, "LAPACK")
+            network.reset_stats()
+            app_stub.run(lapack_stub)
+            # remote LAPACK calls ride the sim binding, so every call's
+            # real encoded bytes are charged to the WAN or LAN link model
+            print(f"{label:<52} {lapack_stub.protocol:>15} "
+                  f"{network.simulated_time * 1e3:>8.2f}ms")
+            lapack_stub.close()
+            app_stub.close()
+
+        print("\nlocal bindings on b0 eliminate marshalling entirely —")
+        print("the paper's motivation for the JavaObject/local-instance scheme.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Figure 2 in action: a PVM application on the Harness plugin backplane.
+
+Loads the four infrastructure plugins plus ``hpvmd`` on every node, then
+runs two classic PVM programs:
+
+* a token ring across spawned tasks, and
+* a master/worker parallel sum whose workers are spawned on *remote*
+  kernels by import path (the legacy-code path the paper's PVM plugin
+  exists to support).
+
+Run:  python examples/pvm_ring.py
+"""
+
+import numpy as np
+
+from repro import HarnessDvm, lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hpvmd import PvmDaemonPlugin
+
+
+def ring_worker(pvm, size):
+    """Receive successor (tag 0), pass the token (tag 1) around the ring."""
+    successor = pvm.recv(tag=0, timeout=15).data
+    token = pvm.recv(tag=1, timeout=15).data
+    token["hops"] += 1
+    token["trace"].append(pvm.tid)
+    if token["hops"] < size:
+        pvm.send(successor, 1, token)
+    else:
+        pvm.send(token["home"], 2, token)
+
+
+def sum_worker(pvm, lo, hi):
+    """Sum a slice of the array the master broadcasts."""
+    data = np.asarray(pvm.recv(tag=1, timeout=15).data)
+    pvm.send(pvm.parent, 2, float(data[lo:hi].sum()))
+
+
+def main() -> None:
+    network = lan(3)
+    with HarnessDvm("pvm-demo", network) as harness:
+        harness.add_nodes("node0", "node1", "node2")
+        for plugin in BASELINE_PLUGINS:
+            harness.load_plugin_everywhere(plugin)
+        for host in harness.kernels:
+            harness.load_plugin(host, PvmDaemonPlugin(group_server="node0"))
+
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+
+        # -- token ring ------------------------------------------------------
+        size = 5
+        tids = pvmd.spawn(ring_worker, count=size, args=(size,), parent=console)
+        for i, tid in enumerate(tids):
+            pvmd.send(tid, 0, tids[(i + 1) % size])
+        pvmd.send(tids[0], 1, {"hops": 0, "trace": [], "home": console})
+        token = pvmd._recv_for(console, 2, 15.0).data
+        print(f"token ring: {token['hops']} hops, visited {token['trace']}")
+        pvmd.wait_all(tids)
+
+        # -- master/worker sum across hosts ------------------------------------
+        data = np.arange(30_000, dtype=np.float64)
+        chunks = [(0, 10_000), (10_000, 20_000), (20_000, 30_000)]
+        worker_tids = []
+        for host, (lo, hi) in zip(("node0", "node1", "node2"), chunks):
+            if host == "node0":
+                tid = pvmd.spawn(sum_worker, count=1, args=(lo, hi), parent=console)[0]
+            else:
+                tid = pvmd.spawn("examples.pvm_ring:sum_worker", count=1,
+                                 where=host, args=(lo, hi), parent=console)[0]
+            worker_tids.append(tid)
+        for tid in worker_tids:
+            pvmd.send(tid, 1, data)
+        total = sum(pvmd._recv_for(console, 2, 15.0).data for _ in worker_tids)
+        print(f"master/worker sum over 3 hosts: {total:.0f} "
+              f"(expected {data.sum():.0f})")
+        pvmd.wait_all(worker_tids)
+        print(f"fabric: {network.total_messages} messages, "
+              f"{network.total_bytes} bytes across kernels")
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    main()

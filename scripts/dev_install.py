@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Offline-friendly editable install.
+
+``pip install -e .`` needs the ``wheel`` package (PEP 660 editable wheels
+on setuptools < 70); on air-gapped machines without it, this script gives
+the same effect by dropping a ``.pth`` file pointing at ``src/`` into the
+active interpreter's site-packages.
+
+Usage::
+
+    python scripts/dev_install.py          # install
+    python scripts/dev_install.py --remove # uninstall
+"""
+
+from __future__ import annotations
+
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-dev.pth"
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parents[1] / "src"
+    if not (src / "repro" / "__init__.py").is_file():
+        print(f"error: {src} does not contain the repro package", file=sys.stderr)
+        return 1
+    site_dir = Path(site.getsitepackages()[0])
+    pth = site_dir / PTH_NAME
+    if "--remove" in sys.argv:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print("nothing to remove")
+        return 0
+    pth.write_text(str(src) + "\n")
+    print(f"installed: {pth} -> {src}")
+    print("verify with: python -c 'import repro; print(repro.__version__)'")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

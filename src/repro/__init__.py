@@ -1,0 +1,69 @@
+"""HARNESS II — standards-based heterogeneous metacomputing.
+
+A Python reproduction of the system designed in *"Standards Based
+Heterogeneous Metacomputing: The Design of HARNESS II"* (Migliardi,
+Kurzyniec & Sunderam, IPPS 2002): a plugin-based distributed virtual
+machine framework whose components are described by WSDL, discovered
+through XML-queryable registries, and reached through a spectrum of
+bindings — SOAP/HTTP for interoperability, XDR sockets for numeric bulk
+data, and local / local-instance bindings for co-located components.
+
+Quickstart::
+
+    from repro import HarnessDvm, lan
+    from repro.plugins import MatMul
+
+    net = lan(3)
+    with HarnessDvm("demo", net) as h:
+        h.add_nodes("node0", "node1", "node2")
+        h.deploy("node1", MatMul)
+        stub = h.stub("node0", "MatMul")   # XDR binding, auto-selected
+        result = stub.multiply(a, b)
+"""
+
+from repro.core import HarnessDvm, HarnessKernel, Plugin, move_component
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import (
+    ApplicationServerContainer,
+    ComponentContainer,
+    LightweightContainer,
+)
+from repro.dvm import (
+    DecentralizedState,
+    DistributedVirtualMachine,
+    FullSynchronyState,
+    NeighborhoodState,
+)
+from repro.netsim import lan, mesh_neighborhoods, two_clusters, wan
+from repro.registry import ServiceRegistry, UddiRegistry, WsilDocument
+from repro.tools import generate_stub_source, generate_wsdl
+from repro.util.errors import HarnessError
+
+__version__ = "2.0.0"
+
+__all__ = [
+    "HarnessDvm",
+    "HarnessKernel",
+    "Plugin",
+    "move_component",
+    "ClientContext",
+    "DynamicStubFactory",
+    "ApplicationServerContainer",
+    "ComponentContainer",
+    "LightweightContainer",
+    "DecentralizedState",
+    "DistributedVirtualMachine",
+    "FullSynchronyState",
+    "NeighborhoodState",
+    "lan",
+    "mesh_neighborhoods",
+    "two_clusters",
+    "wan",
+    "ServiceRegistry",
+    "UddiRegistry",
+    "WsilDocument",
+    "generate_stub_source",
+    "generate_wsdl",
+    "HarnessError",
+    "__version__",
+]

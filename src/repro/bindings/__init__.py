@@ -1,0 +1,21 @@
+"""Bindings: server-side exposure, client stubs, and selection policy."""
+
+from repro.bindings.context import LOCAL_DIRECTORY, ClientContext
+from repro.bindings.dispatcher import ObjectDispatcher, exposed_operations
+from repro.bindings.factory import DEFAULT_PREFERENCE, DynamicStubFactory
+from repro.bindings.server import BindingServer
+from repro.bindings.stubs import LocalStub, ServiceStub, TransportStub, load_type
+
+__all__ = [
+    "LOCAL_DIRECTORY",
+    "ClientContext",
+    "ObjectDispatcher",
+    "exposed_operations",
+    "DEFAULT_PREFERENCE",
+    "DynamicStubFactory",
+    "BindingServer",
+    "LocalStub",
+    "ServiceStub",
+    "TransportStub",
+    "load_type",
+]

@@ -1,0 +1,61 @@
+"""Client context: where is the caller, and what can it reach directly?
+
+Binding selection in Harness II is a *locality* decision (Section 5): a
+client co-located with the service instance should use the local-instance
+binding; one on the same virtual network can use XDR sockets; anyone can
+fall back to SOAP/HTTP.  :class:`ClientContext` captures the caller's
+position so :mod:`repro.bindings.factory` can make that decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClientContext", "LOCAL_DIRECTORY"]
+
+#: Process-global directory mapping container URI -> container object.
+#: Containers self-register here on construction (see repro.container); the
+#: local and local-instance bindings resolve through it.  The mapped object
+#: must provide ``get_instance(instance_id)`` and ``instantiate(type_name)``.
+LOCAL_DIRECTORY: dict[str, object] = {}
+
+
+@dataclass(frozen=True)
+class ClientContext:
+    """The caller's location used for binding selection.
+
+    ``container_uri`` — URI of the container the caller runs in (empty when
+    the caller is a bare client outside any container).
+    ``host`` — the caller's host name (virtual or real); XDR/loopback
+    reachability is judged against the port address host.
+    ``allow_remote`` — set False to *require* a local binding (used by tests
+    asserting that co-location actually bypasses the network).
+    ``network`` — the virtual fabric the caller is attached to, when any;
+    required to use ``sim`` bindings (calls are charged to its link model).
+    """
+
+    container_uri: str = ""
+    host: str = ""
+    allow_remote: bool = True
+    network: object = None  # VirtualNetwork | None (loose-typed to avoid an import cycle)
+
+    def is_co_located(self, container_uri: str) -> bool:
+        """True when the caller shares a container with the service."""
+        return bool(self.container_uri) and self.container_uri == container_uri
+
+    def resolve_container(self, container_uri: str) -> object | None:
+        """The live container object for *container_uri*, if locally reachable.
+
+        Reachability requires the container to live in this process *and*,
+        when the context pins a host (virtual hosts in ``netsim`` share one
+        process), the container's host part must match — otherwise two
+        simulated machines would "locally" reach each other's memory.
+        """
+        container = LOCAL_DIRECTORY.get(container_uri)
+        if container is None:
+            return None
+        if self.host:
+            host_part = container_uri.removeprefix("container://").partition("/")[0]
+            if host_part != self.host:
+                return None
+        return container

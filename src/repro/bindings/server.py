@@ -1,0 +1,99 @@
+"""Server-side binding endpoints.
+
+:class:`BindingServer` exposes one :class:`ObjectDispatcher` over any mix of
+bindings and manufactures the matching WSDL ``<port>`` descriptions, so a
+service published with SOAP + XDR + local ports (as in Figure 8) is one
+``expose_*`` call per access mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.bindings.dispatcher import ObjectDispatcher
+from repro.encoding.registry import CodecRegistry, default_registry
+from repro.soap.codec import SoapMessageCodec
+from repro.transport.base import TransportMessage
+from repro.transport.http import HttpListener
+from repro.transport.inproc import InProcListener
+from repro.transport.tcp import TcpListener
+from repro.util.errors import BindingError
+from repro.util.ids import new_id
+from repro.wsdl.extensions import SoapAddressExt, XdrAddressExt
+from repro.wsdl.model import WsdlPort
+
+__all__ = ["BindingServer"]
+
+
+class BindingServer:
+    """Multi-binding server front-end over a shared dispatcher."""
+
+    def __init__(self, dispatcher: ObjectDispatcher, codecs: CodecRegistry | None = None):
+        self.dispatcher = dispatcher
+        self._codecs = codecs or default_registry
+        self._listeners: list = []
+
+    # -- request pipeline ------------------------------------------------------
+
+    def _handle(self, message: TransportMessage) -> TransportMessage:
+        """Decode → dispatch → encode, fault-mapping errors into the codec."""
+        codec = self._codecs.get(_normalize(message.content_type))
+        try:
+            target, operation, args = codec.decode_call(message.payload)
+            result = codec.encode_reply(self.dispatcher.invoke(target, operation, args))
+        except Exception as exc:
+            result = codec.encode_reply(fault=f"{type(exc).__name__}: {exc}")
+        return TransportMessage(codec.content_type, result)
+
+    # -- exposure --------------------------------------------------------------
+
+    def expose_soap_http(self, host: str = "127.0.0.1", port: int = 0) -> HttpListener:
+        """Serve SOAP 1.1 over HTTP; returns the live listener."""
+        listener = HttpListener(self._handle, host, port)
+        self._listeners.append(listener)
+        return listener
+
+    def expose_xdr_tcp(self, host: str = "127.0.0.1", port: int = 0) -> TcpListener:
+        """Serve XDR-framed RPC over TCP; returns the live listener."""
+        listener = TcpListener(self._handle, host, port)
+        self._listeners.append(listener)
+        return listener
+
+    def expose_inproc(self, name: str | None = None) -> InProcListener:
+        """Serve over the in-process transport (still pays codec cost)."""
+        listener = InProcListener(name or new_id("ep"), self._handle)
+        self._listeners.append(listener)
+        return listener
+
+    def close(self) -> None:
+        """Shut every listener down."""
+        for listener in self._listeners:
+            listener.close()
+        self._listeners.clear()
+
+    # -- WSDL port manufacture ----------------------------------------------------
+
+    @staticmethod
+    def soap_port(listener: HttpListener, binding_name: str, port_name: str) -> WsdlPort:
+        """A ``<port>`` with a ``soap:address`` for *listener*."""
+        return WsdlPort(port_name, binding_name, (SoapAddressExt(listener.url),))
+
+    @staticmethod
+    def xdr_port(listener: TcpListener, binding_name: str, port_name: str, target: str = "") -> WsdlPort:
+        """A ``<port>`` with a ``harness:xdrAddress`` for *listener*."""
+        host, _, port_text = listener.url.removeprefix("tcp://").rpartition(":")
+        return WsdlPort(
+            port_name, binding_name, (XdrAddressExt(host, int(port_text), target),)
+        )
+
+
+def _normalize(content_type: str) -> str:
+    """Map a full Content-Type header to a registered codec key.
+
+    ``text/xml; charset=utf-8`` → ``text/xml``;
+    ``text/xml; arrays=items`` keeps its array-mode parameter.
+    """
+    parts = [p.strip() for p in content_type.split(";")]
+    base = parts[0]
+    params = [p for p in parts[1:] if p.startswith("arrays=")]
+    if params:
+        return f"{base}; {params[0]}"
+    return base

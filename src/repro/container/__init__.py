@@ -1,0 +1,44 @@
+"""Component containers: local namespace, lifecycle, lookup, exposure."""
+
+from repro.container.component import ComponentHandle, ComponentState
+from repro.container.container import (
+    ApplicationServerContainer,
+    ComponentContainer,
+    LightweightContainer,
+)
+from repro.container.management import (
+    MANAGEMENT_SERVICE_NAME,
+    ContainerManagementService,
+    DvmManagementService,
+    expose_management,
+)
+from repro.container.security import (
+    ANONYMOUS,
+    AccessPolicy,
+    AuthenticationError,
+    AuthorizationError,
+    Principal,
+    SecureDispatcher,
+    TokenAuthority,
+    with_credential,
+)
+
+__all__ = [
+    "ComponentHandle",
+    "ComponentState",
+    "ApplicationServerContainer",
+    "ComponentContainer",
+    "LightweightContainer",
+    "MANAGEMENT_SERVICE_NAME",
+    "ContainerManagementService",
+    "DvmManagementService",
+    "expose_management",
+    "ANONYMOUS",
+    "AccessPolicy",
+    "AuthenticationError",
+    "AuthorizationError",
+    "Principal",
+    "SecureDispatcher",
+    "TokenAuthority",
+    "with_credential",
+]

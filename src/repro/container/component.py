@@ -1,0 +1,67 @@
+"""Component handles and lifecycle.
+
+A *component* is a deployed service instance living in a container.  The
+handle tracks its lifecycle (Section 5's deployment issue is about how much
+work stands between "built" and "running"; the lifecycle makes each step
+explicit), its WSDL description, and its exposure level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import ComponentStateError
+from repro.wsdl.model import WsdlDocument
+
+__all__ = ["ComponentState", "ComponentHandle"]
+
+
+class ComponentState(enum.Enum):
+    """Lifecycle of a deployed component."""
+
+    DEPLOYED = "deployed"  # instantiated, registered locally
+    ACTIVE = "active"  # started (on_start hook ran), invocable
+    STOPPED = "stopped"  # temporarily quiesced
+    UNDEPLOYED = "undeployed"  # removed; handle is dead
+
+    def _can_go(self, new: "ComponentState") -> bool:
+        allowed = {
+            ComponentState.DEPLOYED: {ComponentState.ACTIVE, ComponentState.UNDEPLOYED},
+            ComponentState.ACTIVE: {ComponentState.STOPPED, ComponentState.UNDEPLOYED},
+            ComponentState.STOPPED: {ComponentState.ACTIVE, ComponentState.UNDEPLOYED},
+            ComponentState.UNDEPLOYED: set(),
+        }
+        return new in allowed[self]
+
+
+@dataclass
+class ComponentHandle:
+    """A deployed component: instance + description + lifecycle."""
+
+    instance_id: str
+    name: str
+    instance: Any
+    document: WsdlDocument
+    container_uri: str
+    state: ComponentState = ComponentState.DEPLOYED
+    registry_key: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def transition(self, new_state: ComponentState) -> None:
+        """Advance the lifecycle; illegal moves raise."""
+        if not self.state._can_go(new_state):
+            raise ComponentStateError(
+                f"component {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ComponentState.DEPLOYED, ComponentState.ACTIVE, ComponentState.STOPPED)
+
+    @property
+    def invocable(self) -> bool:
+        return self.state is ComponentState.ACTIVE

@@ -1,0 +1,159 @@
+"""Management facades: the container and DVM as Web Services.
+
+Figure 6's text: "Containers constitute a special category of services.
+They represent an aggregation point, provide local component management,
+define a local name space and supply appropriate lookup capabilities.
+However, they are full-fledged services themselves.  The service provider
+can either expose them to the public or keep them for private use, e.g.
+inside a departmental metacomputer."
+
+:class:`ContainerManagementService` is that service: a component whose
+operations are the container's management interface (describe, list,
+query, deploy-by-type, lifecycle control).  Deploying it into its own
+container — :func:`expose_management` — makes the container reachable
+through any binding like any other component, WSDL description included.
+:class:`DvmManagementService` does the same for the distributed container
+layer (status, membership, component index).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ContainerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.container import ComponentContainer
+    from repro.dvm.machine import DistributedVirtualMachine
+
+__all__ = [
+    "ContainerManagementService",
+    "DvmManagementService",
+    "expose_management",
+    "MANAGEMENT_SERVICE_NAME",
+]
+
+MANAGEMENT_SERVICE_NAME = "ContainerManagement"
+
+
+class ContainerManagementService:
+    """The container's management interface as an invocable component.
+
+    All operations take/return plain serialisable values so every binding
+    (SOAP/XDR/MIME/local) can carry them.
+    """
+
+    def __init__(self, container: "ComponentContainer | None" = None):
+        # the default constructor exists so the local binding can
+        # instantiate the type; a real deployment injects the container
+        self._container = container
+
+    def _require(self) -> "ComponentContainer":
+        if self._container is None:
+            raise ContainerError("management service is not attached to a container")
+        return self._container
+
+    def on_start(self, container: "ComponentContainer") -> None:
+        """Lifecycle hook: bind to the hosting container on deployment."""
+        self._container = container
+
+    # -- query operations ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The container's status summary (uri, kind, components)."""
+        return self._require().describe()
+
+    def listComponents(self) -> list:
+        """Names and states of every deployed component."""
+        return [
+            {"name": handle.name, "instance_id": handle.instance_id,
+             "state": handle.state.value}
+            for handle in self._require().components()
+        ]
+
+    def queryRegistry(self, expression: str) -> list:
+        """Names of public services whose WSDL matches the XML query."""
+        return [entry.name for entry in self._require().registry.find(expression)]
+
+    def getWsdl(self, service_name: str) -> str:
+        """The WSDL text of a deployed public service."""
+        from repro.wsdl.io import document_to_string
+
+        entry = self._require().registry.lookup_name(service_name)
+        return document_to_string(entry.document, indent=False)
+
+    # -- management operations ----------------------------------------------------------
+
+    def deployType(self, type_name: str, service_name: str = "", bindings: list | None = None) -> str:
+        """Deploy a component by import path; returns its instance id."""
+        from repro.bindings.stubs import load_type
+
+        cls = load_type(type_name)
+        handle = self._require().deploy(
+            cls,
+            name=service_name or None,
+            bindings=tuple(bindings) if bindings else ("local-instance",),
+        )
+        return handle.instance_id
+
+    def stopComponent(self, instance_id: str) -> bool:
+        self._require().stop_component(instance_id)
+        return True
+
+    def startComponent(self, instance_id: str) -> bool:
+        self._require().start_component(instance_id)
+        return True
+
+    def undeployComponent(self, instance_id: str) -> bool:
+        self._require().undeploy(instance_id)
+        return True
+
+    def setExposure(self, instance_id: str, exposure: str) -> bool:
+        self._require().set_exposure(instance_id, exposure)
+        return True
+
+
+def expose_management(
+    container: "ComponentContainer",
+    bindings: tuple[str, ...] = ("local-instance", "soap"),
+    exposure: str = "public",
+):
+    """Deploy the container's management service into the container itself.
+
+    Returns the component handle; the container is now a "full-fledged
+    service" with a WSDL description and the requested access points.
+    """
+    facade = ContainerManagementService(container)
+    return container.deploy(
+        facade, name=MANAGEMENT_SERVICE_NAME, bindings=bindings, exposure=exposure
+    )
+
+
+class DvmManagementService:
+    """The distributed container layer as a service (status/lookup/index)."""
+
+    def __init__(self, dvm: "DistributedVirtualMachine | None" = None, node: str = ""):
+        self._dvm = dvm
+        self._node = node
+
+    def _require(self) -> "DistributedVirtualMachine":
+        if self._dvm is None:
+            raise ContainerError("DVM management service is not attached")
+        return self._dvm
+
+    def status(self) -> dict:
+        """The DVM status as observed from this facade's node."""
+        return self._require().status(self._node)
+
+    def members(self) -> list:
+        return self._require().members_seen_by(self._node)
+
+    def componentIndex(self) -> dict:
+        return self._require().component_index(self._node)
+
+    def locate(self, service_name: str) -> dict:
+        """Owning node + WSDL text for a component in the unified namespace."""
+        from repro.wsdl.io import document_to_string
+
+        owner, document = self._require().lookup(self._node, service_name)
+        return {"node": owner, "wsdl": document_to_string(document, indent=False)}

@@ -1,0 +1,222 @@
+"""Access control and authorization.
+
+Section 1 lists among the issues metacomputing middleware must address:
+"most importantly, secure access control and unified authorization
+mechanisms must be provided."  The paper defers the mechanism; this module
+supplies a unified one that fits the binding architecture:
+
+* a :class:`Principal` (name + roles) is represented on the wire by an
+  HMAC-signed **token** minted by the container's :class:`TokenAuthority`
+  (the 2002-era analogue: GSI proxies / signed capability strings);
+* an :class:`AccessPolicy` maps ``(service-pattern, operation-pattern)``
+  rules to required roles, deny-by-default once any rule exists for a
+  service;
+* a :class:`SecureDispatcher` wraps the ordinary
+  :class:`~repro.bindings.ObjectDispatcher`: call targets arrive as
+  ``token@instance_id``; the token is verified and the policy consulted
+  before dispatch.  Local *and* remote bindings traverse it identically —
+  that is the "unified" part.
+
+Clients attach credentials by wrapping their stub target via
+:func:`with_credential`; :class:`~repro.bindings.DynamicStubFactory`
+accepts the same string through its ``create(..)`` caller simply using a
+credentialed target extension on the port (``ServiceTargetExt``) or by
+calling :meth:`SecureDispatcher.qualify`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import hmac
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bindings.dispatcher import ObjectDispatcher
+from repro.util.errors import HarnessError
+
+__all__ = [
+    "AuthenticationError",
+    "AuthorizationError",
+    "Principal",
+    "ANONYMOUS",
+    "TokenAuthority",
+    "AccessPolicy",
+    "SecureDispatcher",
+    "with_credential",
+]
+
+
+class AuthenticationError(HarnessError):
+    """The credential is missing, malformed, or fails signature checks."""
+
+
+class AuthorizationError(HarnessError):
+    """An authenticated principal lacks the role a rule requires."""
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated identity with a set of roles."""
+
+    name: str
+    roles: frozenset[str] = frozenset()
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+#: the unauthenticated caller
+ANONYMOUS = Principal("anonymous", frozenset())
+
+
+class TokenAuthority:
+    """Mints and verifies HMAC-SHA256 signed credential tokens.
+
+    Token format: ``name|role1,role2|hexsignature``.  Containers within one
+    administrative domain share the authority's secret, giving the
+    "unified authorization" of Section 1 across every node of a DVM.
+    """
+
+    def __init__(self, secret: bytes | None = None):
+        self._secret = secret if secret is not None else secrets.token_bytes(32)
+
+    @property
+    def secret(self) -> bytes:
+        """Share this with peer authorities in the same trust domain."""
+        return self._secret
+
+    def _sign(self, payload: str) -> str:
+        return hmac.new(self._secret, payload.encode("utf-8"), hashlib.sha256).hexdigest()
+
+    def issue(self, principal: Principal) -> str:
+        """A wire token proving *principal* to any authority with the secret."""
+        if "|" in principal.name or any("|" in r or "," in r for r in principal.roles):
+            raise AuthenticationError("names and roles must not contain '|' or ','")
+        payload = f"{principal.name}|{','.join(sorted(principal.roles))}"
+        return f"{payload}|{self._sign(payload)}"
+
+    def verify(self, token: str) -> Principal:
+        """The principal a valid token encodes; raises otherwise."""
+        parts = token.split("|")
+        if len(parts) != 3:
+            raise AuthenticationError("malformed credential token")
+        name, roles_text, signature = parts
+        payload = f"{name}|{roles_text}"
+        if not hmac.compare_digest(self._sign(payload), signature):
+            raise AuthenticationError(f"bad signature on credential for {name!r}")
+        roles = frozenset(r for r in roles_text.split(",") if r)
+        return Principal(name, roles)
+
+
+@dataclass
+class _Rule:
+    service_pattern: str
+    operation_pattern: str
+    roles: frozenset[str]
+
+
+class AccessPolicy:
+    """Pattern-based authorization rules.
+
+    ``allow("MatMul*", "*", {"compute"})`` lets any principal holding the
+    ``compute`` role call any operation of services matching ``MatMul*``.
+    Once *any* rule names a service, everything not allowed for it is
+    denied; services with no rules at all follow ``default_open``.
+    """
+
+    def __init__(self, default_open: bool = True):
+        self.default_open = default_open
+        self._rules: list[_Rule] = []
+        self._lock = threading.Lock()
+
+    def allow(self, service_pattern: str, operation_pattern: str = "*",
+              roles: set[str] | frozenset[str] = frozenset()) -> "AccessPolicy":
+        """Add a rule; empty *roles* means any authenticated-or-not caller."""
+        with self._lock:
+            self._rules.append(
+                _Rule(service_pattern, operation_pattern, frozenset(roles))
+            )
+        return self
+
+    def check(self, principal: Principal, service: str, operation: str) -> None:
+        """Raise :class:`AuthorizationError` unless the call is allowed."""
+        with self._lock:
+            rules = list(self._rules)
+        governed = False
+        for rule in rules:
+            if not fnmatch.fnmatchcase(service, rule.service_pattern):
+                continue
+            governed = True
+            if not fnmatch.fnmatchcase(operation, rule.operation_pattern):
+                continue
+            if not rule.roles or any(principal.has_role(r) for r in rule.roles):
+                return
+        if not governed and self.default_open:
+            return
+        raise AuthorizationError(
+            f"principal {principal.name!r} (roles {sorted(principal.roles)}) "
+            f"may not call {service}.{operation}"
+        )
+
+
+_CRED_SEP = "@"
+
+
+def with_credential(token: str, target: str) -> str:
+    """Qualify a dispatch target with a credential token."""
+    if _CRED_SEP in token:
+        raise AuthenticationError("token must not contain '@'")
+    return f"{token}{_CRED_SEP}{target}"
+
+
+class SecureDispatcher:
+    """An :class:`ObjectDispatcher` front that authenticates and authorizes.
+
+    Wire targets are either bare (``instance_id`` → anonymous) or
+    credentialed (``token@instance_id``).  Service names for policy checks
+    are derived from the instance id's ``Name#id`` convention.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectDispatcher,
+        authority: TokenAuthority,
+        policy: AccessPolicy,
+    ):
+        self.inner = inner
+        self.authority = authority
+        self.policy = policy
+
+    @staticmethod
+    def _service_of(target: str) -> str:
+        return target.partition("#")[0]
+
+    def _authenticate(self, target: str) -> tuple[Principal, str]:
+        token, sep, bare = target.rpartition(_CRED_SEP)
+        if not sep:
+            return ANONYMOUS, target
+        return self.authority.verify(token), bare
+
+    # -- ObjectDispatcher protocol ------------------------------------------------
+
+    def invoke(self, target: str, operation: str, args: list | tuple) -> Any:
+        principal, bare = self._authenticate(target)
+        self.policy.check(principal, self._service_of(bare), operation)
+        return self.inner.invoke(bare, operation, args)
+
+    def lookup(self, target: str) -> object:
+        principal, bare = self._authenticate(target)
+        self.policy.check(principal, self._service_of(bare), "__lookup__")
+        return self.inner.lookup(bare)
+
+    def register(self, target: str, obj: object, operations: list[str] | None = None) -> None:
+        self.inner.register(target, obj, operations)
+
+    def unregister(self, target: str) -> None:
+        self.inner.unregister(target)
+
+    def targets(self) -> list[str]:
+        return self.inner.targets()

@@ -1,0 +1,29 @@
+"""The Harness II core: kernel, plugin model, DVM assembly, migration."""
+
+from repro.core.builder import COHERENCY_SCHEMES, HarnessDvm
+from repro.core.kernel import HarnessKernel
+from repro.core.loader import (
+    PluginRepository,
+    load_class_from_source,
+    load_source_module,
+)
+from repro.core.migration import (
+    deserialize_component,
+    move_component,
+    serialize_component,
+)
+from repro.core.plugin import Plugin, PluginState
+
+__all__ = [
+    "COHERENCY_SCHEMES",
+    "HarnessDvm",
+    "HarnessKernel",
+    "PluginRepository",
+    "load_class_from_source",
+    "load_source_module",
+    "deserialize_component",
+    "move_component",
+    "serialize_component",
+    "Plugin",
+    "PluginState",
+]

@@ -1,0 +1,142 @@
+"""HarnessDvm: the assembled Harness II system (DVM + kernels + plugins).
+
+Figure 1's construction sequence — "DVM's are created by users and
+'constructed' by first adding nodes … and subsequently deploying plugins on
+each node.  Some plugins may be node specific while others are replicated"
+— maps to :meth:`HarnessDvm.add_node`, :meth:`load_plugin` (node-specific)
+and :meth:`load_plugin_everywhere` (replicated baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.container.component import ComponentHandle
+from repro.core.kernel import HarnessKernel
+from repro.core.plugin import Plugin
+from repro.dvm.machine import DistributedVirtualMachine
+from repro.dvm.state import (
+    DecentralizedState,
+    DvmStateProtocol,
+    FullSynchronyState,
+    NeighborhoodState,
+)
+from repro.netsim.fabric import VirtualNetwork
+from repro.util.errors import DvmError
+from repro.util.events import EventBus
+
+__all__ = ["HarnessDvm", "COHERENCY_SCHEMES"]
+
+#: scheme name → protocol factory taking the network
+COHERENCY_SCHEMES: dict[str, Callable[[VirtualNetwork], DvmStateProtocol]] = {
+    "full-synchrony": lambda network: FullSynchronyState(network),
+    "decentralized": lambda network: DecentralizedState(network),
+    "neighborhood": lambda network: NeighborhoodState(network),
+}
+
+
+class HarnessDvm:
+    """A complete Harness II deployment: one kernel per node over a DVM.
+
+    ``coherency`` selects the DVM-enabling component by name; applications
+    never see the difference (experiment C7).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: VirtualNetwork,
+        coherency: str = "full-synchrony",
+        neighborhood_radius: int = 2,
+        events: EventBus | None = None,
+    ):
+        if coherency not in COHERENCY_SCHEMES:
+            raise DvmError(
+                f"unknown coherency scheme {coherency!r} "
+                f"(available: {sorted(COHERENCY_SCHEMES)})"
+            )
+        if coherency == "neighborhood":
+            factory: Callable[[VirtualNetwork], DvmStateProtocol] = (
+                lambda net: NeighborhoodState(net, radius=neighborhood_radius)
+            )
+        else:
+            factory = COHERENCY_SCHEMES[coherency]
+        self.name = name
+        self.network = network
+        self.events = events or EventBus()
+        self.dvm = DistributedVirtualMachine(name, network, factory, events=self.events)
+        self.kernels: dict[str, HarnessKernel] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, host_name: str) -> HarnessKernel:
+        """Enroll a host: boot a kernel there and join the DVM."""
+        if host_name in self.kernels:
+            raise DvmError(f"node {host_name!r} already has a kernel")
+        kernel = HarnessKernel(host_name, network=self.network, events=self.events)
+        self.kernels[host_name] = kernel
+        self.dvm.add_node(host_name, container=kernel.container)
+        return kernel
+
+    def add_nodes(self, *host_names: str) -> list[HarnessKernel]:
+        return [self.add_node(h) for h in host_names]
+
+    def kernel(self, host_name: str) -> HarnessKernel:
+        try:
+            return self.kernels[host_name]
+        except KeyError:
+            raise DvmError(f"no kernel on {host_name!r}") from None
+
+    # -- plugins --------------------------------------------------------------------
+
+    def load_plugin(self, host_name: str, plugin: Plugin | type | str) -> Plugin:
+        """Load a node-specific plugin."""
+        return self.kernel(host_name).load_plugin(plugin)
+
+    def load_plugin_everywhere(self, plugin: type | str) -> dict[str, Plugin]:
+        """Load a replicated plugin on every enrolled node (the 'consistent
+        baseline for common parallel processing applications')."""
+        return {host: kernel.load_plugin(plugin) for host, kernel in self.kernels.items()}
+
+    # -- component operations (delegate to the DVM) --------------------------------------
+
+    def deploy(self, host_name: str, component, **kwargs) -> ComponentHandle:
+        return self.dvm.deploy(host_name, component, **kwargs)
+
+    def undeploy(self, host_name: str, service_name: str) -> None:
+        self.dvm.undeploy(host_name, service_name)
+
+    def lookup(self, from_node: str, service_name: str):
+        return self.dvm.lookup(from_node, service_name)
+
+    def stub(self, from_node: str, service_name: str, prefer=None):
+        return self.dvm.stub(from_node, service_name, prefer=prefer)
+
+    def status(self, from_node: str) -> dict:
+        status = self.dvm.status(from_node)
+        status["plugins"] = {
+            host: kernel.plugins() for host, kernel in self.kernels.items()
+        }
+        return status
+
+    def move(self, service_name: str, to_node: str) -> ComponentHandle:
+        from repro.core.migration import move_component
+
+        return move_component(self.dvm, service_name, to_node)
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        for kernel in self.kernels.values():
+            kernel.shutdown()
+        self.kernels.clear()
+        # kernel.shutdown() already closed each container; the DVM only
+        # drops its node table here.
+        self.dvm._nodes.clear()
+
+    def __enter__(self) -> "HarnessDvm":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,114 @@
+"""The Harness plugin model.
+
+"Harness … is based on the notion of a software backplane into which
+component modules are plugged in.  These components coordinate with each
+other to realize the various functions required for loosely coupled
+distributed computing." (Section 3.)
+
+A plugin declares the *services it requires* and the *services it
+provides*; the kernel wires them together, which is the "service-based
+leveraging of functionality among plugins" that Figure 2's PVM plugin
+exploits (hpvmd leans on message transport, process spawning, event
+management and table lookup provided by other plugins).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.util.errors import PluginError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.kernel import HarnessKernel
+
+__all__ = ["PluginState", "Plugin"]
+
+
+class PluginState(enum.Enum):
+    """Plugin lifecycle."""
+
+    LOADED = "loaded"
+    STARTED = "started"
+    STOPPED = "stopped"
+    UNLOADED = "unloaded"
+
+
+class Plugin:
+    """Base class for Harness plugins.
+
+    Subclasses set :attr:`plugin_name`, :attr:`requires` (service names that
+    must already be available in the kernel) and :attr:`provides` (service
+    names this plugin contributes).  ``service(name)`` returns the provider
+    object for each provided service — by default the plugin itself.
+    """
+
+    #: unique name within a kernel (defaults to the class name lowercased)
+    plugin_name: str = ""
+    #: services that must be present in the kernel before this plugin starts
+    requires: tuple[str, ...] = ()
+    #: services this plugin provides to the kernel
+    provides: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.kernel: "HarnessKernel | None" = None
+        self.state = PluginState.UNLOADED
+
+    @classmethod
+    def name(cls) -> str:
+        return cls.plugin_name or cls.__name__.lower()
+
+    # -- lifecycle hooks (override as needed) -----------------------------------
+
+    def on_load(self, kernel: "HarnessKernel") -> None:
+        """Called once when plugged into *kernel* (before start)."""
+
+    def on_start(self) -> None:
+        """Called when all required services are wired and the plugin starts."""
+
+    def on_stop(self) -> None:
+        """Called when the plugin stops (kernel shutdown or explicit unload)."""
+
+    def on_unload(self) -> None:
+        """Called after stop, when the plugin leaves the kernel."""
+
+    # -- service access -------------------------------------------------------------
+
+    def service(self, name: str) -> object:
+        """Provider object for one of this plugin's ``provides`` entries."""
+        if name not in self.provides:
+            raise PluginError(f"plugin {self.name()!r} does not provide {name!r}")
+        return self
+
+    def use(self, service_name: str) -> object:
+        """Resolve a required service through the kernel."""
+        if self.kernel is None:
+            raise PluginError(f"plugin {self.name()!r} is not attached to a kernel")
+        return self.kernel.get_service(service_name)
+
+    # -- internal transitions (driven by the kernel) ----------------------------------
+
+    def _attach(self, kernel: "HarnessKernel") -> None:
+        if self.state is not PluginState.UNLOADED:
+            raise PluginError(f"plugin {self.name()!r} already attached")
+        self.kernel = kernel
+        self.state = PluginState.LOADED
+        self.on_load(kernel)
+
+    def _start(self) -> None:
+        if self.state not in (PluginState.LOADED, PluginState.STOPPED):
+            raise PluginError(f"cannot start plugin {self.name()!r} from {self.state}")
+        self.on_start()
+        self.state = PluginState.STARTED
+
+    def _stop(self) -> None:
+        if self.state is PluginState.STARTED:
+            self.on_stop()
+            self.state = PluginState.STOPPED
+
+    def _detach(self) -> None:
+        self._stop()
+        if self.state is not PluginState.UNLOADED:
+            self.on_unload()
+            self.state = PluginState.UNLOADED
+            self.kernel = None

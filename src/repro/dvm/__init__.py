@@ -1,0 +1,20 @@
+"""Distributed Virtual Machine: the distributed component container layer."""
+
+from repro.dvm.machine import DistributedVirtualMachine, DvmNode
+from repro.dvm.state import (
+    DecentralizedState,
+    DvmStateProtocol,
+    FullSynchronyState,
+    NeighborhoodState,
+    StateEntry,
+)
+
+__all__ = [
+    "DistributedVirtualMachine",
+    "DvmNode",
+    "DecentralizedState",
+    "DvmStateProtocol",
+    "FullSynchronyState",
+    "NeighborhoodState",
+    "StateEntry",
+]

@@ -1,0 +1,245 @@
+"""The Distributed Virtual Machine — Figure 6's distributed component container.
+
+"It supplies a unified name space, status query, lookup service and
+management point for a set of component containers.  In effect, that level
+of abstraction introduces the notion of a distributed global state."
+
+The DVM state (membership + the component directory) lives in a pluggable
+:class:`~repro.dvm.state.DvmStateProtocol`; the DVM itself only defines the
+API, exactly as Section 6 prescribes ("the Harness II framework defines
+only the DVM API and does not mandate any particular solution to maintain
+global state coherency").  Applications written against this class run
+unchanged on any coherency scheme — experiment C7.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bindings.context import ClientContext
+from repro.bindings.factory import DynamicStubFactory
+from repro.bindings.stubs import ServiceStub
+from repro.container.component import ComponentHandle
+from repro.container.container import ComponentContainer, LightweightContainer
+from repro.dvm.state import DvmStateProtocol
+from repro.netsim.fabric import VirtualNetwork
+from repro.util.errors import DvmError, MembershipError, ServiceNotFoundError
+from repro.util.events import EventBus
+from repro.util.ids import HarnessName
+from repro.wsdl.io import document_from_string, document_to_string
+from repro.wsdl.model import WsdlDocument
+
+__all__ = ["DvmNode", "DistributedVirtualMachine"]
+
+_MEMBER_PREFIX = "member/"
+_COMPONENT_PREFIX = "component/"
+
+
+@dataclass
+class DvmNode:
+    """One enrolled node: a virtual host plus its component container."""
+
+    name: str
+    container: ComponentContainer
+
+    def close(self) -> None:
+        self.container.close()
+
+
+class DistributedVirtualMachine:
+    """A named DVM assembling containers over a coherency protocol.
+
+    Construction mirrors Figure 1: create the DVM, ``add_node`` for each
+    machine, then ``deploy`` plugins/components on nodes.  The DVM name
+    roots a :class:`~repro.util.HarnessName` namespace; component names are
+    ``/<dvm>/<node>/<service>``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: VirtualNetwork,
+        protocol_factory: Callable[[VirtualNetwork], DvmStateProtocol],
+        events: EventBus | None = None,
+    ):
+        self.name = name
+        self.network = network
+        self.events = events or EventBus()
+        self.protocol = protocol_factory(network)
+        if self.protocol.members:
+            raise DvmError("protocol_factory must return a protocol with no members")
+        self.root = HarnessName.root() / name
+        self._lock = threading.RLock()
+        self._nodes: dict[str, DvmNode] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def add_node(self, host_name: str, container: ComponentContainer | None = None) -> DvmNode:
+        """Enroll a host (it must exist in the network fabric)."""
+        self.network.host(host_name)  # existence check
+        with self._lock:
+            if host_name in self._nodes:
+                raise MembershipError(f"node {host_name!r} already in DVM {self.name!r}")
+            if container is None:
+                container = LightweightContainer(
+                    name=f"{self.name}-{host_name}", host=host_name,
+                    network=self.network,
+                )
+            node = DvmNode(host_name, container)
+            self._nodes[host_name] = node
+        self.protocol.add_member(host_name)
+        self.protocol.update(host_name, f"{_MEMBER_PREFIX}{host_name}", "joined")
+        self.events.publish("dvm.member.joined", host_name, source=self.name)
+        return node
+
+    def remove_node(self, host_name: str) -> None:
+        """Withdraw a node; its components leave the DVM namespace."""
+        with self._lock:
+            node = self._nodes.pop(host_name, None)
+        if node is None:
+            raise MembershipError(f"node {host_name!r} not in DVM {self.name!r}")
+        for handle in node.container.components():
+            self._forget_component(host_name, handle.name)
+        self.protocol.update(host_name, f"{_MEMBER_PREFIX}{host_name}", "left")
+        self.protocol.remove_member(host_name)
+        node.close()
+        self.events.publish("dvm.member.left", host_name, source=self.name)
+
+    def node(self, host_name: str) -> DvmNode:
+        with self._lock:
+            node = self._nodes.get(host_name)
+        if node is None:
+            raise MembershipError(f"node {host_name!r} not in DVM {self.name!r}")
+        return node
+
+    def nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._nodes)
+
+    def members_seen_by(self, node: str) -> list[str]:
+        """Membership as observed from *node* through the state protocol."""
+        snapshot = self.protocol.snapshot(node, prefix=_MEMBER_PREFIX)
+        return sorted(
+            key[len(_MEMBER_PREFIX):]
+            for key, value in snapshot.items()
+            if value == "joined"
+        )
+
+    # -- deployment / unified namespace ----------------------------------------------
+
+    def deploy(
+        self,
+        host_name: str,
+        component: type | object,
+        name: str | None = None,
+        bindings: tuple[str, ...] = ("local-instance", "sim"),
+        **kwargs,
+    ) -> ComponentHandle:
+        """Deploy a component on a node and publish it DVM-wide.
+
+        The WSDL text travels through the state protocol, so its cost is
+        charged according to the coherency scheme in force.
+        """
+        node = self.node(host_name)
+        handle = node.container.deploy(component, name=name, bindings=bindings, **kwargs)
+        wsdl_text = document_to_string(handle.document, indent=False)
+        self.protocol.update(
+            host_name,
+            f"{_COMPONENT_PREFIX}{handle.name}",
+            {"node": host_name, "wsdl": wsdl_text},
+        )
+        self.events.publish("dvm.component.deployed", handle, source=self.name)
+        return handle
+
+    def publish(self, host_name: str, service_name: str) -> None:
+        """Announce a component already deployed in a node's container.
+
+        Supports the staged-publication flow of Section 6: deploy privately
+        into the container, validate, then publish into the DVM namespace.
+        """
+        node = self.node(host_name)
+        handle = node.container.component_named(service_name)
+        wsdl_text = document_to_string(handle.document, indent=False)
+        self.protocol.update(
+            host_name,
+            f"{_COMPONENT_PREFIX}{handle.name}",
+            {"node": host_name, "wsdl": wsdl_text},
+        )
+        self.events.publish("dvm.component.deployed", handle, source=self.name)
+
+    def undeploy(self, host_name: str, service_name: str) -> None:
+        node = self.node(host_name)
+        handle = node.container.component_named(service_name)
+        node.container.undeploy(handle.instance_id)
+        self._forget_component(host_name, service_name)
+
+    def _forget_component(self, host_name: str, service_name: str) -> None:
+        self.protocol.update(host_name, f"{_COMPONENT_PREFIX}{service_name}", None)
+
+    def lookup(self, from_node: str, service_name: str) -> tuple[str, WsdlDocument]:
+        """Locate a component anywhere in the DVM: (owning node, WSDL)."""
+        record = self.protocol.get(from_node, f"{_COMPONENT_PREFIX}{service_name}")
+        if not record:
+            raise ServiceNotFoundError(
+                f"no component {service_name!r} visible from {from_node} in DVM {self.name!r}"
+            )
+        return record["node"], document_from_string(record["wsdl"])
+
+    def stub(
+        self, from_node: str, service_name: str, prefer: tuple[str, ...] | None = None
+    ) -> ServiceStub:
+        """A ready-to-call stub for a component, local bindings preferred.
+
+        A caller on the owning node gets the local-instance path; remote
+        callers fall back per the factory's preference order.
+        """
+        owner, document = self.lookup(from_node, service_name)
+        container_uri = self.node(
+            owner if owner == from_node else from_node
+        ).container.uri
+        context = ClientContext(
+            container_uri=container_uri, host=from_node, network=self.network
+        )
+        factory = DynamicStubFactory(context)
+        return factory.create(document, prefer=prefer)
+
+    def component_index(self, from_node: str) -> dict[str, str]:
+        """Unified namespace view: service name → owning node."""
+        snapshot = self.protocol.snapshot(from_node, prefix=_COMPONENT_PREFIX)
+        return {
+            key[len(_COMPONENT_PREFIX):]: value["node"]
+            for key, value in snapshot.items()
+            if value
+        }
+
+    def qualified_name(self, host_name: str, service_name: str) -> HarnessName:
+        """The component's name in the global Harness namespace."""
+        return self.root / host_name / service_name
+
+    # -- status query -------------------------------------------------------------------
+
+    def status(self, from_node: str) -> dict:
+        """The DVM status as observed from *from_node*."""
+        return {
+            "dvm": self.name,
+            "scheme": self.protocol.scheme,
+            "members": self.members_seen_by(from_node),
+            "components": self.component_index(from_node),
+        }
+
+    def close(self) -> None:
+        """Tear the whole DVM down."""
+        with self._lock:
+            nodes = list(self._nodes.values())
+            self._nodes.clear()
+        for node in nodes:
+            node.close()
+
+    def __enter__(self) -> "DistributedVirtualMachine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

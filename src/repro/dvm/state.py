@@ -1,0 +1,378 @@
+"""DVM distributed-state coherency protocols.
+
+Section 6: "the Harness II framework defines only the DVM API and does not
+mandate any particular solution to maintain global state coherency.
+Concrete implementations are provided by the DVM-enabling components that
+may vary in implementation from the full synchrony method to complete
+decentralization."
+
+Three DVM-enabling components are provided:
+
+* :class:`FullSynchronyState` — "the entire state information is replicated
+  across all participating nodes.  All system events are synchronously
+  distributed to maintain coherency. … may be appropriate for relatively
+  small DVMs running applications with many critical components."
+* :class:`DecentralizedState` — "state change events are not propagated to
+  other nodes.  Instead, every request for state information triggers a
+  distributed query spanning across the DVM. … appropriate for loosely
+  coupled, massively distributed applications such as Seti@home."
+* :class:`NeighborhoodState` — the mixed solution: "full synchrony across
+  small neighborhoods but … distributed queries for farther hosts."
+
+All three expose the same functional interface (:class:`DvmStateProtocol`),
+which is the portability property experiment C7 asserts.  Entries carry
+``(lamport, origin)`` versions merged last-writer-wins, so decentralized
+reads converge deterministically.  Messages are XDR-encoded real bytes over
+the :class:`~repro.netsim.VirtualNetwork` — the C4 benchmark compares
+protocols by the fabric's message/byte/simulated-time accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.encoding.xdr import pack_value, unpack_value
+from repro.netsim.fabric import HostDownError, VirtualNetwork
+from repro.transport.base import TransportMessage
+from repro.util.concurrent import AtomicCounter
+from repro.util.errors import CoherencyError, DvmError
+
+__all__ = [
+    "StateEntry",
+    "DvmStateProtocol",
+    "FullSynchronyState",
+    "DecentralizedState",
+    "NeighborhoodState",
+]
+
+_CT = "application/x-harness-state"
+_ENDPOINT = "dvm-state"
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """A versioned state value: last-writer-wins on (lamport, origin)."""
+
+    key: str
+    value: Any
+    lamport: int
+    origin: str
+
+    def newer_than(self, other: "StateEntry | None") -> bool:
+        if other is None:
+            return True
+        return (self.lamport, self.origin) > (other.lamport, other.origin)
+
+    def to_wire(self) -> dict:
+        return {"key": self.key, "value": self.value, "lamport": self.lamport, "origin": self.origin}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "StateEntry":
+        return cls(data["key"], data["value"], data["lamport"], data["origin"])
+
+
+class _StateNode:
+    """Per-member local store plus the network endpoint serving peers."""
+
+    def __init__(self, protocol: "DvmStateProtocol", host_name: str):
+        self.host_name = host_name
+        self.store: dict[str, StateEntry] = {}
+        self.lock = threading.RLock()
+        self._protocol = protocol
+        protocol.network.host(host_name).bind(_ENDPOINT, self._serve)
+
+    def apply(self, entry: StateEntry) -> bool:
+        """Merge an entry; True when it superseded the stored one."""
+        with self.lock:
+            current = self.store.get(entry.key)
+            if entry.newer_than(current):
+                self.store[entry.key] = entry
+                return True
+            return False
+
+    def get(self, key: str) -> StateEntry | None:
+        with self.lock:
+            return self.store.get(key)
+
+    def snapshot(self) -> dict[str, StateEntry]:
+        with self.lock:
+            return dict(self.store)
+
+    def _serve(self, message: TransportMessage) -> TransportMessage:
+        request = unpack_value(message.payload)
+        kind = request["kind"]
+        if kind == "update":
+            self.apply(StateEntry.from_wire(request["entry"]))
+            reply: Any = {"ok": True}
+        elif kind == "get":
+            entry = self.get(request["key"])
+            reply = {"entry": entry.to_wire() if entry else None}
+        elif kind == "snapshot":
+            prefix = request.get("prefix", "")
+            with self.lock:
+                entries = [
+                    e.to_wire() for k, e in self.store.items() if k.startswith(prefix)
+                ]
+            reply = {"entries": entries}
+        else:
+            raise CoherencyError(f"unknown state request kind {kind!r}")
+        return TransportMessage(_CT, pack_value(reply))
+
+
+class DvmStateProtocol:
+    """Shared plumbing + the uniform interface of all coherency schemes."""
+
+    #: human-readable protocol tag used by benchmarks and status queries
+    scheme = "abstract"
+
+    def __init__(self, network: VirtualNetwork, members: list[str] | None = None):
+        members = list(members or [])
+        self.network = network
+        self.members = list(members)
+        self.nodes: dict[str, _StateNode] = {
+            name: _StateNode(self, name) for name in self.members
+        }
+        self._clock = AtomicCounter()
+
+    # -- the uniform interface ---------------------------------------------------
+
+    def update(self, origin: str, key: str, value: Any) -> StateEntry:
+        """Apply a state change originating at *origin*."""
+        raise NotImplementedError
+
+    def get(self, node: str, key: str) -> Any:
+        """The value of *key* as observed from *node* (None if absent)."""
+        raise NotImplementedError
+
+    def snapshot(self, node: str, prefix: str = "") -> dict[str, Any]:
+        """All known key→value pairs (optionally under *prefix*) from *node*."""
+        raise NotImplementedError
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_member(self, name: str) -> None:
+        """Enroll a new node into the protocol (DVM grow operation)."""
+        if name in self.nodes:
+            raise DvmError(f"node {name!r} is already a member")
+        existing = list(self.members)
+        self.members.append(name)
+        self.nodes[name] = _StateNode(self, name)
+        self._on_member_added(name, existing)
+
+    def _on_member_added(self, name: str, existing: list[str]) -> None:
+        """Scheme-specific join work (e.g. state transfer to the newcomer)."""
+
+    def _pull_state(self, newcomer: str, sources: list[str]) -> None:
+        """Transfer the current replica to *newcomer* from the first live source."""
+        node = self.nodes[newcomer]
+        for source in sources:
+            try:
+                for entry in self._remote_snapshot(newcomer, source, ""):
+                    node.apply(entry)
+                return
+            except HostDownError:
+                continue
+
+    def remove_member(self, name: str) -> None:
+        """Drop a node (its endpoint stays bound but is no longer consulted)."""
+        if name not in self.nodes:
+            raise DvmError(f"node {name!r} is not a member")
+        self.members.remove(name)
+        del self.nodes[name]
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _node(self, name: str) -> _StateNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise DvmError(f"node {name!r} is not a DVM member") from None
+
+    def _stamp(self, origin: str, key: str, value: Any) -> StateEntry:
+        return StateEntry(key, value, self._clock.increment(), origin)
+
+    def _send(self, src: str, dst: str, request: dict) -> dict:
+        response = self.network.request(
+            src, dst, _ENDPOINT, TransportMessage(_CT, pack_value(request))
+        )
+        return unpack_value(response.payload)
+
+    def _remote_get(self, src: str, dst: str, key: str) -> StateEntry | None:
+        reply = self._send(src, dst, {"kind": "get", "key": key})
+        wire = reply.get("entry")
+        return StateEntry.from_wire(wire) if wire else None
+
+    def _remote_snapshot(self, src: str, dst: str, prefix: str) -> list[StateEntry]:
+        reply = self._send(src, dst, {"kind": "snapshot", "prefix": prefix})
+        return [StateEntry.from_wire(w) for w in reply.get("entries", [])]
+
+    def _push(self, src: str, dst: str, entry: StateEntry) -> None:
+        self._send(src, dst, {"kind": "update", "entry": entry.to_wire()})
+
+
+class FullSynchronyState(DvmStateProtocol):
+    """Synchronous replication to every member; local reads."""
+
+    scheme = "full-synchrony"
+
+    def _on_member_added(self, name: str, existing: list[str]) -> None:
+        # a newcomer must start from the full replica
+        self._pull_state(name, existing)
+
+    def update(self, origin: str, key: str, value: Any) -> StateEntry:
+        entry = self._stamp(origin, key, value)
+        self._node(origin).apply(entry)
+        failures = []
+        for member in self.members:
+            if member == origin:
+                continue
+            try:
+                self._push(origin, member, entry)
+            except HostDownError as exc:
+                failures.append(f"{member}: {exc}")
+        if failures:
+            raise CoherencyError(
+                f"synchronous update of {key!r} failed on: {'; '.join(failures)}"
+            )
+        return entry
+
+    def get(self, node: str, key: str) -> Any:
+        entry = self._node(node).get(key)
+        return entry.value if entry else None
+
+    def snapshot(self, node: str, prefix: str = "") -> dict[str, Any]:
+        return {
+            k: e.value
+            for k, e in self._node(node).snapshot().items()
+            if k.startswith(prefix)
+        }
+
+
+class DecentralizedState(DvmStateProtocol):
+    """Local writes; reads flood the DVM and merge by version."""
+
+    scheme = "decentralized"
+
+    def update(self, origin: str, key: str, value: Any) -> StateEntry:
+        entry = self._stamp(origin, key, value)
+        self._node(origin).apply(entry)
+        return entry
+
+    def get(self, node: str, key: str) -> Any:
+        best = self._node(node).get(key)
+        for member in self.members:
+            if member == node:
+                continue
+            try:
+                remote = self._remote_get(node, member, key)
+            except HostDownError:
+                continue
+            if remote is not None and remote.newer_than(best):
+                best = remote
+        return best.value if best else None
+
+    def snapshot(self, node: str, prefix: str = "") -> dict[str, Any]:
+        merged: dict[str, StateEntry] = {
+            k: e for k, e in self._node(node).snapshot().items() if k.startswith(prefix)
+        }
+        for member in self.members:
+            if member == node:
+                continue
+            try:
+                for entry in self._remote_snapshot(node, member, prefix):
+                    if entry.newer_than(merged.get(entry.key)):
+                        merged[entry.key] = entry
+            except HostDownError:
+                continue
+        return {k: e.value for k, e in merged.items()}
+
+
+class NeighborhoodState(DvmStateProtocol):
+    """Full synchrony across ring neighbourhoods, flooding beyond them."""
+
+    scheme = "neighborhood"
+
+    def __init__(
+        self, network: VirtualNetwork, members: list[str] | None = None, radius: int = 2
+    ):
+        super().__init__(network, members)
+        if radius < 1:
+            raise DvmError("neighborhood radius must be >= 1")
+        self.radius = radius
+        self._ring = sorted(self.members)
+
+    def _on_member_added(self, name: str, existing: list[str]) -> None:
+        self._ring = sorted(self.members)
+        if existing:
+            # seed the newcomer from its neighbourhood (preferred) or anyone
+            sources = [p for p in self.neighbors(name) if p in existing] or existing
+            self._pull_state(name, sources)
+
+    def remove_member(self, name: str) -> None:
+        super().remove_member(name)
+        self._ring = sorted(self.members)
+
+    def neighbors(self, node: str) -> list[str]:
+        """The nodes within ``radius`` ring hops (both directions)."""
+        index = self._ring.index(node)
+        out: list[str] = []
+        for step in range(1, self.radius + 1):
+            for direction in (+1, -1):
+                peer = self._ring[(index + direction * step) % len(self._ring)]
+                if peer != node and peer not in out:
+                    out.append(peer)
+        return out
+
+    def update(self, origin: str, key: str, value: Any) -> StateEntry:
+        entry = self._stamp(origin, key, value)
+        self._node(origin).apply(entry)
+        for neighbor in self.neighbors(origin):
+            try:
+                self._push(origin, neighbor, entry)
+            except HostDownError:
+                continue
+        return entry
+
+    def get(self, node: str, key: str) -> Any:
+        # Within the neighbourhood reads are coherent: merge self + all
+        # neighbours by version (a writer's replicas land on *its*
+        # neighbours, so overlapping neighbourhoods see the newest entry).
+        # Only when the whole neighbourhood misses do we flood the ring.
+        best = self._node(node).get(key)
+        neighborhood = self.neighbors(node)
+        for peer in neighborhood:
+            try:
+                remote = self._remote_get(node, peer, key)
+            except HostDownError:
+                continue
+            if remote is not None and remote.newer_than(best):
+                best = remote
+        if best is not None:
+            return best.value
+        for peer in self._ring:
+            if peer == node or peer in neighborhood:
+                continue
+            try:
+                remote = self._remote_get(node, peer, key)
+            except HostDownError:
+                continue
+            if remote is not None and remote.newer_than(best):
+                best = remote
+        return best.value if best else None
+
+    def snapshot(self, node: str, prefix: str = "") -> dict[str, Any]:
+        merged: dict[str, StateEntry] = {
+            k: e for k, e in self._node(node).snapshot().items() if k.startswith(prefix)
+        }
+        for peer in self._ring:
+            if peer == node:
+                continue
+            try:
+                for entry in self._remote_snapshot(node, peer, prefix):
+                    if entry.newer_than(merged.get(entry.key)):
+                        merged[entry.key] = entry
+            except HostDownError:
+                continue
+        return {k: e.value for k, e in merged.items()}

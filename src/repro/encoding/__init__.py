@@ -1,0 +1,49 @@
+"""Wire encodings: XDR (RFC 1014 subset), XSD base64, codec registry."""
+
+from repro.encoding.base64codec import (
+    XSD_TYPE_FOR_DTYPE,
+    decode_array_base64,
+    decode_array_base64_pure,
+    decode_hex,
+    encode_array_base64,
+    encode_array_base64_pure,
+    encode_hex,
+)
+from repro.encoding.registry import (
+    CodecRegistry,
+    MessageCodec,
+    XdrMessageCodec,
+    default_registry,
+)
+from repro.encoding.xdr import (
+    XdrDecoder,
+    XdrEncoder,
+    pack_call,
+    pack_reply,
+    pack_value,
+    unpack_call,
+    unpack_reply,
+    unpack_value,
+)
+
+__all__ = [
+    "XSD_TYPE_FOR_DTYPE",
+    "decode_array_base64",
+    "decode_array_base64_pure",
+    "decode_hex",
+    "encode_array_base64",
+    "encode_array_base64_pure",
+    "encode_hex",
+    "CodecRegistry",
+    "MessageCodec",
+    "XdrMessageCodec",
+    "default_registry",
+    "XdrDecoder",
+    "XdrEncoder",
+    "pack_call",
+    "pack_reply",
+    "pack_value",
+    "unpack_call",
+    "unpack_reply",
+    "unpack_value",
+]

@@ -1,0 +1,31 @@
+"""Simulated multi-host network fabric with deterministic cost accounting."""
+
+from repro.netsim.fabric import (
+    HostDownError,
+    LinkModel,
+    LinkStats,
+    VirtualHost,
+    VirtualNetwork,
+)
+from repro.netsim.topology import (
+    LAN_LINK,
+    WAN_LINK,
+    lan,
+    mesh_neighborhoods,
+    two_clusters,
+    wan,
+)
+
+__all__ = [
+    "HostDownError",
+    "LinkModel",
+    "LinkStats",
+    "VirtualHost",
+    "VirtualNetwork",
+    "LAN_LINK",
+    "WAN_LINK",
+    "lan",
+    "mesh_neighborhoods",
+    "two_clusters",
+    "wan",
+]

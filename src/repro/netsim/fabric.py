@@ -1,0 +1,215 @@
+"""Deterministic simulated network fabric.
+
+The paper's testbed is a heterogeneous collection of hosts spread over
+multiple administrative domains; we don't have one.  ``netsim`` substitutes
+a *cost-modelled* fabric: any number of virtual hosts in one process,
+message delivery is a synchronous function call, but every message is
+charged ``latency + size/bandwidth`` seconds of simulated time and counted
+in per-link statistics.  Experiments C4 and C5 (state coherency, lookup
+schemes) compare protocols by *simulated* cost — message counts and
+simulated seconds — which is exactly what distinguishes full synchrony from
+decentralized queries, independent of wall-clock noise.
+
+Failure injection: hosts can be crashed and links partitioned, which the
+C5 benchmark uses to demonstrate the centralized registry's single point of
+failure.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.transport.base import RequestHandler, TransportMessage
+from repro.util.errors import TransportError
+
+__all__ = ["LinkModel", "LinkStats", "VirtualHost", "VirtualNetwork", "HostDownError"]
+
+
+class HostDownError(TransportError):
+    """The destination host is crashed or unreachable (partitioned)."""
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency/bandwidth cost model for one direction of a link.
+
+    ``cost(n)`` = ``latency_s + n / bandwidth_Bps`` (+ jitter drawn from a
+    seeded RNG when ``jitter_s`` > 0, so runs stay reproducible).
+    """
+
+    latency_s: float = 1e-4
+    bandwidth_Bps: float = 100e6  # ~100 MB/s LAN default
+    jitter_s: float = 0.0
+
+    def cost(self, nbytes: int, rng: random.Random | None = None) -> float:
+        base = self.latency_s + nbytes / self.bandwidth_Bps
+        if self.jitter_s and rng is not None:
+            base += rng.uniform(0.0, self.jitter_s)
+        return base
+
+
+#: Within-host loopback: negligible but non-zero.
+LOOPBACK = LinkModel(latency_s=1e-6, bandwidth_Bps=5e9)
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic on one (src, dst) host pair."""
+
+    messages: int = 0
+    bytes: int = 0
+    simulated_s: float = 0.0
+
+
+class VirtualHost:
+    """One simulated machine: named endpoints plus an up/down flag."""
+
+    def __init__(self, network: "VirtualNetwork", name: str):
+        self._network = network
+        self.name = name
+        self._endpoints: dict[str, RequestHandler] = {}
+        self.up = True
+
+    def bind(self, endpoint: str, handler: RequestHandler) -> str:
+        """Expose *handler* as ``sim://<host>/<endpoint>``; returns the URL."""
+        if endpoint in self._endpoints:
+            raise TransportError(f"endpoint {endpoint!r} already bound on {self.name}")
+        self._endpoints[endpoint] = handler
+        return f"sim://{self.name}/{endpoint}"
+
+    def unbind(self, endpoint: str) -> None:
+        self._endpoints.pop(endpoint, None)
+
+    def crash(self) -> None:
+        """Take the host down: all messages to it fail until :meth:`restart`."""
+        self.up = False
+
+    def restart(self) -> None:
+        self.up = True
+
+    def _dispatch(self, endpoint: str, message: TransportMessage) -> TransportMessage:
+        handler = self._endpoints.get(endpoint)
+        if handler is None:
+            raise TransportError(f"host {self.name} has no endpoint {endpoint!r}")
+        return handler(message)
+
+
+class VirtualNetwork:
+    """The fabric: hosts, links, partitions, and global traffic accounting."""
+
+    def __init__(self, default_link: LinkModel | None = None, seed: int = 0):
+        self._hosts: dict[str, VirtualHost] = {}
+        self._links: dict[tuple[str, str], LinkModel] = {}
+        self._default_link = default_link or LinkModel()
+        self._partitions: list[set[str]] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.RLock()
+        self.stats: dict[tuple[str, str], LinkStats] = {}
+        self.simulated_time = 0.0
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_host(self, name: str) -> VirtualHost:
+        with self._lock:
+            if name in self._hosts:
+                raise TransportError(f"duplicate host name {name!r}")
+            host = VirtualHost(self, name)
+            self._hosts[name] = host
+            return host
+
+    def host(self, name: str) -> VirtualHost:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise TransportError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> list[VirtualHost]:
+        return list(self._hosts.values())
+
+    def set_link(self, src: str, dst: str, model: LinkModel, symmetric: bool = True) -> None:
+        """Override the cost model between two hosts."""
+        with self._lock:
+            self._links[(src, dst)] = model
+            if symmetric:
+                self._links[(dst, src)] = model
+
+    def link_model(self, src: str, dst: str) -> LinkModel:
+        if src == dst:
+            return LOOPBACK
+        return self._links.get((src, dst), self._default_link)
+
+    # -- partitions --------------------------------------------------------------
+
+    def partition(self, *groups: set[str] | list[str]) -> None:
+        """Split the network: hosts can only reach others in their group."""
+        with self._lock:
+            self._partitions = [set(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        with self._lock:
+            self._partitions = []
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        if not self._partitions:
+            return True
+        for group in self._partitions:
+            if src in group:
+                return dst in group
+        # src not in any group: unrestricted
+        return True
+
+    # -- messaging ---------------------------------------------------------------
+
+    def request(
+        self, src: str, dst: str, endpoint: str, message: TransportMessage
+    ) -> TransportMessage:
+        """Synchronous request/response with cost accounting both ways."""
+        self._charge(src, dst, len(message.payload))
+        target = self._deliverable(src, dst)
+        response = target._dispatch(endpoint, message)
+        self._charge(dst, src, len(response.payload))
+        return response
+
+    def post(self, src: str, dst: str, endpoint: str, message: TransportMessage) -> None:
+        """One-way message (events); charged once."""
+        self._charge(src, dst, len(message.payload))
+        target = self._deliverable(src, dst)
+        target._dispatch(endpoint, message)
+
+    def _deliverable(self, src: str, dst: str) -> VirtualHost:
+        target = self.host(dst)
+        with self._lock:
+            if not target.up:
+                raise HostDownError(f"host {dst} is down")
+            if not self._reachable(src, dst):
+                raise HostDownError(f"{src} and {dst} are partitioned")
+        return target
+
+    def charge(self, src: str, dst: str, nbytes: int) -> None:
+        """Account a raw transfer without endpoint dispatch (bulk moves)."""
+        self._charge(src, dst, nbytes)
+
+    def _charge(self, src: str, dst: str, nbytes: int) -> None:
+        model = self.link_model(src, dst)
+        with self._lock:
+            cost = model.cost(nbytes, self._rng)
+            stats = self.stats.setdefault((src, dst), LinkStats())
+            stats.messages += 1
+            stats.bytes += nbytes
+            stats.simulated_s += cost
+            self.simulated_time += cost
+            self.total_messages += 1
+            self.total_bytes += nbytes
+
+    def reset_stats(self) -> None:
+        """Zero the accounting (between benchmark phases)."""
+        with self._lock:
+            self.stats.clear()
+            self.simulated_time = 0.0
+            self.total_messages = 0
+            self.total_bytes = 0

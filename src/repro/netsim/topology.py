@@ -1,0 +1,70 @@
+"""Topology builders for common experiment shapes.
+
+The paper sketches three deployment regimes: tightly coupled departmental
+metacomputers (LAN), wide-area grids spanning administrative domains (WAN),
+and mesh-structured applications with fast neighbourhoods.  These helpers
+build seeded :class:`VirtualNetwork` instances for each so the C4/C5/C6
+benchmarks sweep realistic regimes with one call.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.fabric import LinkModel, VirtualNetwork
+
+__all__ = ["lan", "wan", "two_clusters", "mesh_neighborhoods", "LAN_LINK", "WAN_LINK"]
+
+#: Departmental LAN: 0.1 ms latency, ~100 MB/s.
+LAN_LINK = LinkModel(latency_s=1e-4, bandwidth_Bps=100e6)
+#: Cross-domain WAN: 40 ms latency, ~2 MB/s (2002-era internet path).
+WAN_LINK = LinkModel(latency_s=4e-2, bandwidth_Bps=2e6)
+
+
+def lan(n_hosts: int, seed: int = 0) -> VirtualNetwork:
+    """A flat LAN of ``n_hosts`` hosts named ``node0..node{n-1}``."""
+    network = VirtualNetwork(default_link=LAN_LINK, seed=seed)
+    for i in range(n_hosts):
+        network.add_host(f"node{i}")
+    return network
+
+
+def wan(n_hosts: int, seed: int = 0) -> VirtualNetwork:
+    """A wide-area collection of hosts, all pairs on WAN links."""
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
+    for i in range(n_hosts):
+        network.add_host(f"node{i}")
+    return network
+
+
+def two_clusters(n_per_cluster: int, seed: int = 0) -> VirtualNetwork:
+    """Two LAN clusters (``a*``, ``b*``) joined by a WAN link.
+
+    The C6 migration scenario uses this: the LAPACK service lives in
+    cluster *b*; the user's home node is in cluster *a*.
+    """
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
+    a_names = [f"a{i}" for i in range(n_per_cluster)]
+    b_names = [f"b{i}" for i in range(n_per_cluster)]
+    for name in a_names + b_names:
+        network.add_host(name)
+    for group in (a_names, b_names):
+        for i, src in enumerate(group):
+            for dst in group[i + 1 :]:
+                network.set_link(src, dst, LAN_LINK)
+    return network
+
+
+def mesh_neighborhoods(n_hosts: int, neighborhood: int, seed: int = 0) -> VirtualNetwork:
+    """A ring-mesh where hosts within ``neighborhood`` hops share LAN links.
+
+    Models the paper's "mesh-structured applications [that] may benefit from
+    a scheme that provides full synchrony across small neighborhoods".
+    """
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
+    names = [f"node{i}" for i in range(n_hosts)]
+    for name in names:
+        network.add_host(name)
+    for i in range(n_hosts):
+        for step in range(1, neighborhood + 1):
+            j = (i + step) % n_hosts
+            network.set_link(names[i], names[j], LAN_LINK)
+    return network

@@ -1,0 +1,54 @@
+"""Standard Harness plugins and example service components."""
+
+from repro.plugins.hevent import EventManagementPlugin
+from repro.plugins.hmsg import Envelope, MessageTransportPlugin
+from repro.plugins.hproc import ProcessManagementPlugin
+from repro.plugins.hmpi import MpiContext, MpiPlugin
+from repro.plugins.hpvmd import PvmDaemonPlugin, PvmTaskContext
+from repro.plugins.hspaces import TupleSpacePlugin, matches_template
+from repro.plugins.htable import TableLookupPlugin
+from repro.plugins.service_plugins import (
+    LinalgServicePlugin,
+    MatMulServicePlugin,
+    PingPlugin,
+    TimeServicePlugin,
+)
+from repro.plugins.services import (
+    CounterService,
+    LinearAlgebraService,
+    MatMul,
+    WSTime,
+)
+
+#: the replicated baseline of Figure 1: "a set of replicated plugins for
+#: primitive functions such as message passing and process management are
+#: loaded on all nodes"
+BASELINE_PLUGINS = (
+    MessageTransportPlugin,
+    ProcessManagementPlugin,
+    TableLookupPlugin,
+    EventManagementPlugin,
+)
+
+__all__ = [
+    "EventManagementPlugin",
+    "Envelope",
+    "MessageTransportPlugin",
+    "ProcessManagementPlugin",
+    "MpiContext",
+    "MpiPlugin",
+    "PvmDaemonPlugin",
+    "PvmTaskContext",
+    "TupleSpacePlugin",
+    "matches_template",
+    "TableLookupPlugin",
+    "LinalgServicePlugin",
+    "MatMulServicePlugin",
+    "PingPlugin",
+    "TimeServicePlugin",
+    "CounterService",
+    "LinearAlgebraService",
+    "MatMul",
+    "WSTime",
+    "BASELINE_PLUGINS",
+]

@@ -1,0 +1,64 @@
+"""``hevent`` — the general event-management plugin (Figure 2).
+
+Bridges the kernel's local :class:`~repro.util.EventBus` across kernels:
+``publish`` with a peer list pushes the event to each remote hevent, which
+re-publishes it on its local bus.  ``hpvmd`` uses it for group barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.plugin import Plugin
+from repro.util.errors import PluginError
+from repro.util.events import Event, EventBus, Subscription
+
+__all__ = ["EventManagementPlugin"]
+
+
+class EventManagementPlugin(Plugin):
+    """Cross-kernel event distribution on top of per-kernel buses."""
+
+    plugin_name = "hevent"
+    provides = ("event-management",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._bus = EventBus()
+
+    @property
+    def bus(self) -> EventBus:
+        return self._bus
+
+    def subscribe(self, topic: str, handler: Callable[[Event], None]) -> Subscription:
+        """Subscribe to events on this kernel (local and relayed remote)."""
+        return self._bus.subscribe(topic, handler)
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any = None,
+        peers: Iterable[str] = (),
+        local: bool = True,
+    ) -> int:
+        """Publish an event locally and to each peer kernel; returns local
+        delivery count."""
+        count = 0
+        if local:
+            count = self._bus.publish(topic, payload, source=self._source())
+        for peer in peers:
+            if peer == self._source():
+                continue
+            if self.kernel is None:
+                raise PluginError("hevent is not attached")
+            self.kernel.send(peer, "event-management", {
+                "topic": topic, "payload": payload,
+            })
+        return count
+
+    def handle_message(self, src_host: str, payload: dict) -> bool:
+        self._bus.publish(payload["topic"], payload.get("payload"), source=src_host)
+        return True
+
+    def _source(self) -> str:
+        return self.kernel.host_name if self.kernel is not None else ""

@@ -1,0 +1,135 @@
+"""``hmsg`` — the message-transport plugin (Figure 2's "message transport").
+
+Provides tagged mailboxes addressable across kernels: any plugin (notably
+``hpvmd``) can post a message to ``(host, mailbox)`` and the receiving
+kernel's hmsg queues it for a local ``recv``.  Payloads ride the kernel's
+XDR-encoded inter-kernel channel, so bytes are charged to the fabric.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any
+
+from repro.core.plugin import Plugin
+from repro.util.errors import HarnessTimeoutError, PluginError
+
+__all__ = ["MessageTransportPlugin", "Envelope"]
+
+
+class Envelope:
+    """One queued message: source host, integer tag, payload."""
+
+    __slots__ = ("src_host", "tag", "data")
+
+    def __init__(self, src_host: str, tag: int, data: Any):
+        self.src_host = src_host
+        self.tag = tag
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Envelope(src={self.src_host!r}, tag={self.tag})"
+
+
+class MessageTransportPlugin(Plugin):
+    """Mailbox-based message passing between kernels."""
+
+    plugin_name = "hmsg"
+    provides = ("message-transport",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cond = threading.Condition()
+        self._queues: dict[str, collections.deque[Envelope]] = {}
+
+    # -- local API -----------------------------------------------------------------
+
+    def open_mailbox(self, name: str) -> None:
+        """Create a mailbox (idempotent)."""
+        with self._cond:
+            self._queues.setdefault(name, collections.deque())
+
+    def close_mailbox(self, name: str) -> None:
+        with self._cond:
+            self._queues.pop(name, None)
+
+    def send(self, dst_host: str, mailbox: str, data: Any, tag: int = 0) -> None:
+        """Deliver *data* to a mailbox on *dst_host* (possibly this host)."""
+        if self.kernel is None:
+            raise PluginError("hmsg is not attached")
+        if dst_host == self.kernel.host_name:
+            self._enqueue(self.kernel.host_name, mailbox, tag, data)
+            return
+        self.kernel.send(dst_host, "message-transport", {
+            "mailbox": mailbox, "tag": tag, "data": data,
+        })
+
+    def recv(self, mailbox: str, tag: int | None = None, timeout: float = 10.0) -> Envelope:
+        """Blocking receive; ``tag=None`` matches any tag."""
+        deadline_exceeded = [False]
+
+        def ready() -> Envelope | None:
+            queue = self._queues.get(mailbox)
+            if not queue:
+                return None
+            if tag is None:
+                return queue.popleft()
+            for i, envelope in enumerate(queue):
+                if envelope.tag == tag:
+                    del queue[i]
+                    return envelope
+            return None
+
+        with self._cond:
+            if mailbox not in self._queues:
+                raise PluginError(f"mailbox {mailbox!r} is not open")
+            result = ready()
+            end = None
+            import time as _time
+
+            end = _time.monotonic() + timeout
+            while result is None:
+                remaining = end - _time.monotonic()
+                if remaining <= 0:
+                    raise HarnessTimeoutError(
+                        f"recv on {mailbox!r} (tag={tag}) timed out after {timeout}s"
+                    )
+                self._cond.wait(remaining)
+                result = ready()
+            return result
+
+    def try_recv(self, mailbox: str, tag: int | None = None) -> Envelope | None:
+        """Non-blocking receive."""
+        with self._cond:
+            queue = self._queues.get(mailbox)
+            if queue is None:
+                raise PluginError(f"mailbox {mailbox!r} is not open")
+            if tag is None:
+                return queue.popleft() if queue else None
+            for i, envelope in enumerate(queue):
+                if envelope.tag == tag:
+                    del queue[i]
+                    return envelope
+            return None
+
+    def pending(self, mailbox: str) -> int:
+        with self._cond:
+            queue = self._queues.get(mailbox)
+            return len(queue) if queue else 0
+
+    # -- inter-kernel delivery ---------------------------------------------------------
+
+    def handle_message(self, src_host: str, payload: dict) -> bool:
+        """Kernel-channel entry point for remote sends."""
+        self._enqueue(src_host, payload["mailbox"], payload.get("tag", 0), payload.get("data"))
+        return True
+
+    def _enqueue(self, src_host: str, mailbox: str, tag: int, data: Any) -> None:
+        with self._cond:
+            queue = self._queues.get(mailbox)
+            if queue is None:
+                # auto-open on first delivery; receivers may subscribe late
+                queue = self._queues.setdefault(mailbox, collections.deque())
+            queue.append(Envelope(src_host, tag, data))
+            self._cond.notify_all()

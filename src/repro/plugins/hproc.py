@@ -1,0 +1,83 @@
+"""``hproc`` — the process-management plugin (Figure 2's "process spawning").
+
+Wraps a :class:`~repro.runner.ThreadRunnerBox` per kernel and accepts
+remote spawn requests (by import path) over the kernel channel, which is
+how ``hpvmd`` places PVM tasks on other hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.plugin import Plugin
+from repro.runner.box import ThreadRunnerBox
+from repro.runner.tasks import TaskSpec, TaskStatus
+from repro.util.errors import PluginError
+
+__all__ = ["ProcessManagementPlugin"]
+
+
+class ProcessManagementPlugin(Plugin):
+    """Local task spawning + remote spawn-by-import-path."""
+
+    plugin_name = "hproc"
+    provides = ("process-management",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._runner: ThreadRunnerBox | None = None
+
+    def on_load(self, kernel) -> None:
+        self._runner = ThreadRunnerBox(name=f"hproc@{kernel.host_name}")
+
+    @property
+    def runner(self) -> ThreadRunnerBox:
+        if self._runner is None:
+            raise PluginError("hproc is not loaded")
+        return self._runner
+
+    # -- local API -------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args: Any, name: str = "", **kwargs: Any) -> str:
+        """Run a callable on this kernel's runner; returns the task id."""
+        return self.runner.run(TaskSpec.from_callable(fn, *args, name=name, **kwargs))
+
+    def spawn_path(self, import_path: str, *args: Any, name: str = "") -> str:
+        """Run ``pkg.module:function`` on this kernel's runner."""
+        return self.runner.run(TaskSpec.from_import_path(import_path, *args, name=name))
+
+    def spawn_remote(self, dst_host: str, import_path: str, *args: Any) -> str:
+        """Spawn by import path on another kernel; returns the remote task id."""
+        if self.kernel is None:
+            raise PluginError("hproc is not attached")
+        return self.kernel.send(dst_host, "process-management", {
+            "op": "spawn", "path": import_path, "args": list(args),
+        })
+
+    def status(self, task_id: str) -> TaskStatus:
+        return self.runner.status(task_id)
+
+    def wait(self, task_id: str, timeout: float = 30.0) -> TaskStatus:
+        return self.runner.wait(task_id, timeout=timeout)
+
+    def status_remote(self, dst_host: str, task_id: str) -> dict:
+        if self.kernel is None:
+            raise PluginError("hproc is not attached")
+        return self.kernel.send(dst_host, "process-management", {
+            "op": "status", "task_id": task_id,
+        })
+
+    # -- inter-kernel -----------------------------------------------------------------
+
+    def handle_message(self, src_host: str, payload: dict) -> Any:
+        op = payload.get("op")
+        if op == "spawn":
+            return self.spawn_path(payload["path"], *payload.get("args", ()))
+        if op == "status":
+            status = self.status(payload["task_id"])
+            return {
+                "task_id": status.task_id,
+                "state": status.state.value,
+                "error": status.error,
+            }
+        raise PluginError(f"hproc: unknown operation {op!r}")

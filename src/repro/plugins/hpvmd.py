@@ -1,0 +1,309 @@
+"""``hpvmd`` — the PVM daemon emulation plugin (Figure 2).
+
+"The hpvmd plugin emulates the PVM daemon on each host, but leverages
+process spawning, message transport, general event management, and table
+lookup from other plugins — both within the same address space … as well as
+in remote Harness kernels."  That is exactly the wiring here: ``hpvmd``
+*requires* the services of :mod:`~repro.plugins.hmsg`,
+:mod:`~repro.plugins.hproc`, :mod:`~repro.plugins.htable` and
+:mod:`~repro.plugins.hevent`; it implements none of that machinery itself.
+
+The emulated API is the classic PVM core: ``spawn``, ``send``/``recv`` with
+tags, task ids, groups and barriers.  Task ids are strings ``tid:<host>:<n>``
+so routing is host-extractable without a directory, while the task table
+(parents, state) lives in ``htable`` as Figure 2 shows.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.plugin import Plugin
+from repro.plugins.hevent import EventManagementPlugin
+from repro.plugins.hmsg import Envelope, MessageTransportPlugin
+from repro.plugins.hproc import ProcessManagementPlugin
+from repro.plugins.htable import TableLookupPlugin
+from repro.util.concurrent import AtomicCounter
+from repro.util.errors import PluginError
+
+__all__ = ["PvmDaemonPlugin", "PvmTaskContext", "TAG_BARRIER_ARRIVE", "TAG_BARRIER_RELEASE"]
+
+_TASK_TABLE = "pvm-tasks"
+_GROUP_TABLE = "pvm-groups"
+
+TAG_BARRIER_ARRIVE = -101
+TAG_BARRIER_RELEASE = -102
+
+
+def _host_of(tid: str) -> str:
+    parts = tid.split(":")
+    if len(parts) != 3 or parts[0] != "tid":
+        raise PluginError(f"malformed tid {tid!r}")
+    return parts[1]
+
+
+class PvmTaskContext:
+    """The handle a PVM task uses to talk to its daemon (its `libpvm`).
+
+    Task functions receive this as their first argument::
+
+        def worker(pvm, n):
+            data = pvm.recv(tag=1).data
+            pvm.send(pvm.parent, 2, data * n)
+    """
+
+    def __init__(self, daemon: "PvmDaemonPlugin", tid: str, parent: str):
+        self._daemon = daemon
+        self.tid = tid
+        self.parent = parent
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(self, dst_tid: str, tag: int, data: Any) -> None:
+        """Send *data* to another task, tagged."""
+        self._daemon.send(dst_tid, tag, data)
+
+    def recv(self, tag: int | None = None, timeout: float = 10.0) -> Envelope:
+        """Receive the next message for this task (optionally by tag)."""
+        return self._daemon._recv_for(self.tid, tag, timeout)
+
+    def try_recv(self, tag: int | None = None) -> Envelope | None:
+        return self._daemon._try_recv_for(self.tid, tag)
+
+    def mcast(self, tids: list[str], tag: int, data: Any) -> int:
+        """Multicast to an explicit tid list."""
+        return self._daemon.mcast(tids, tag, data)
+
+    def bcast(self, group: str, tag: int, data: Any) -> int:
+        """Broadcast to a group, excluding this task itself."""
+        return self._daemon.bcast(group, tag, data, exclude=self.tid)
+
+    # -- task management ----------------------------------------------------------
+
+    def spawn(self, fn: Callable, count: int = 1, where: str | None = None, args: tuple = ()) -> list[str]:
+        """Spawn child tasks; they see this task as their parent."""
+        return self._daemon.spawn(fn, count=count, where=where, args=args, parent=self.tid)
+
+    # -- groups ----------------------------------------------------------------------
+
+    def joingroup(self, group: str) -> None:
+        self._daemon.joingroup(group, self.tid)
+
+    def barrier(self, group: str, count: int, timeout: float = 10.0) -> None:
+        self._daemon.barrier(group, count, self.tid, timeout=timeout)
+
+    def gettids(self, group: str) -> list[str]:
+        return self._daemon.group_members(group)
+
+
+class PvmDaemonPlugin(Plugin):
+    """The per-host PVM daemon built from other plugins' services."""
+
+    plugin_name = "hpvmd"
+    requires = ("message-transport", "process-management", "table-lookup", "event-management")
+    provides = ("pvm",)
+
+    #: host holding group membership tables (set after first joingroup)
+    group_server: str | None = None
+
+    def __init__(self, group_server: str | None = None) -> None:
+        super().__init__()
+        self._counter = AtomicCounter()
+        self.group_server = group_server
+        self._lock = threading.RLock()
+
+    # -- service accessors (resolved through the backplane, Figure 2) ----------------
+
+    @property
+    def hmsg(self) -> MessageTransportPlugin:
+        return self.use("message-transport")  # type: ignore[return-value]
+
+    @property
+    def hproc(self) -> ProcessManagementPlugin:
+        return self.use("process-management")  # type: ignore[return-value]
+
+    @property
+    def htable(self) -> TableLookupPlugin:
+        return self.use("table-lookup")  # type: ignore[return-value]
+
+    @property
+    def hevent(self) -> EventManagementPlugin:
+        return self.use("event-management")  # type: ignore[return-value]
+
+    # -- tid management ------------------------------------------------------------------
+
+    def _new_tid(self) -> str:
+        if self.kernel is None:
+            raise PluginError("hpvmd is not attached")
+        return f"tid:{self.kernel.host_name}:{self._counter.increment()}"
+
+    def mytid(self) -> str:
+        """A tid for the calling (non-spawned) context — the 'console' task."""
+        tid = self._new_tid()
+        self.hmsg.open_mailbox(f"pvm:{tid}")
+        self.htable.put(_TASK_TABLE, tid, {"host": _host_of(tid), "parent": "", "state": "console"})
+        self.hevent.bus.publish("pvm.task.enrolled", tid, source=_host_of(tid))
+        return tid
+
+    def context_for(self, tid: str, parent: str = "") -> PvmTaskContext:
+        """A task context for an already-enrolled tid."""
+        return PvmTaskContext(self, tid, parent)
+
+    # -- spawn -------------------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable | str,
+        count: int = 1,
+        where: str | None = None,
+        args: tuple = (),
+        parent: str = "",
+    ) -> list[str]:
+        """Start *count* tasks running *fn(ctx, *args)*.
+
+        ``where`` targets a specific host; remote spawns require *fn* to be
+        an import path (the code is 'retrieved' via the import system).
+        Returns the new tids.
+        """
+        if self.kernel is None:
+            raise PluginError("hpvmd is not attached")
+        my_host = self.kernel.host_name
+        if where is not None and where != my_host:
+            return self.kernel.send(where, "pvm", {
+                "op": "spawn", "path": fn if isinstance(fn, str) else None,
+                "count": count, "args": list(args), "parent": parent,
+            })
+        tids = []
+        for _ in range(count):
+            tid = self._new_tid()
+            self.hmsg.open_mailbox(f"pvm:{tid}")
+            self.htable.put(_TASK_TABLE, tid, {"host": my_host, "parent": parent, "state": "spawned"})
+            context = PvmTaskContext(self, tid, parent)
+            callee = fn
+            if isinstance(callee, str):
+                from repro.runner.box import _resolve_import_path
+
+                callee = _resolve_import_path(callee)
+
+            def body(context=context, callee=callee) -> Any:
+                try:
+                    return callee(context, *args)
+                finally:
+                    self.htable.put(_TASK_TABLE, context.tid, {
+                        "host": my_host, "parent": parent, "state": "exited",
+                    })
+                    self.hevent.bus.publish("pvm.task.exited", context.tid, source=my_host)
+
+            self.hproc.spawn(body, name=f"pvm-{tid}")
+            tids.append(tid)
+            self.hevent.bus.publish("pvm.task.spawned", tid, source=my_host)
+        return tids
+
+    def task_info(self, tid: str) -> dict | None:
+        """The task table record (queried remotely when needed)."""
+        host = _host_of(tid)
+        if self.kernel is not None and host == self.kernel.host_name:
+            return self.htable.get(_TASK_TABLE, tid)
+        return self.htable.get_remote(host, _TASK_TABLE, tid)
+
+    def wait_all(self, tids: list[str], timeout: float = 30.0) -> None:
+        """Block until every tid has exited."""
+        from repro.util.concurrent import wait_for
+
+        def done() -> bool:
+            return all(
+                (self.task_info(t) or {}).get("state") == "exited" for t in tids
+            )
+
+        wait_for(done, timeout=timeout, interval=0.002)
+
+    # -- messaging -------------------------------------------------------------------------
+
+    def send(self, dst_tid: str, tag: int, data: Any) -> None:
+        self.hmsg.send(_host_of(dst_tid), f"pvm:{dst_tid}", data, tag)
+
+    def mcast(self, tids: list[str], tag: int, data: Any) -> int:
+        """``pvm_mcast``: deliver *data* to every tid; returns the count."""
+        for tid in tids:
+            self.send(tid, tag, data)
+        return len(tids)
+
+    def bcast(self, group: str, tag: int, data: Any, exclude: str = "") -> int:
+        """``pvm_bcast``: multicast to a group's members (minus *exclude*,
+        conventionally the sender's own tid)."""
+        members = [t for t in self.group_members(group) if t != exclude]
+        return self.mcast(members, tag, data)
+
+    def _recv_for(self, tid: str, tag: int | None, timeout: float) -> Envelope:
+        return self.hmsg.recv(f"pvm:{tid}", tag, timeout)
+
+    def _try_recv_for(self, tid: str, tag: int | None) -> Envelope | None:
+        return self.hmsg.try_recv(f"pvm:{tid}", tag)
+
+    # -- groups -----------------------------------------------------------------------------
+
+    def _group_host(self) -> str:
+        if self.kernel is None:
+            raise PluginError("hpvmd is not attached")
+        return self.group_server or self.kernel.host_name
+
+    def joingroup(self, group: str, tid: str) -> None:
+        """Add *tid* to *group* (membership lives on the group server host)."""
+        server = self._group_host()
+        if self.kernel is not None and server == self.kernel.host_name:
+            members = self.htable.get(_GROUP_TABLE, group) or []
+            if tid not in members:
+                members = members + [tid]
+            self.htable.put(_GROUP_TABLE, group, members)
+        else:
+            members = self.htable.get_remote(server, _GROUP_TABLE, group) or []
+            if tid not in members:
+                members = members + [tid]
+            self.htable.put_remote(server, _GROUP_TABLE, group, members)
+
+    def group_members(self, group: str) -> list[str]:
+        server = self._group_host()
+        if self.kernel is not None and server == self.kernel.host_name:
+            return list(self.htable.get(_GROUP_TABLE, group) or [])
+        return list(self.htable.get_remote(server, _GROUP_TABLE, group) or [])
+
+    def barrier(self, group: str, count: int, tid: str, timeout: float = 10.0) -> None:
+        """Classic coordinator barrier over hmsg.
+
+        The member with the smallest tid coordinates: others send an ARRIVE
+        token to it; once ``count`` arrivals (including its own) are in, it
+        releases everyone.
+        """
+        from repro.util.concurrent import wait_for
+
+        wait_for(lambda: len(self.group_members(group)) >= count, timeout=timeout, interval=0.002)
+        members = sorted(self.group_members(group))[:count]
+        coordinator = members[0]
+        if tid == coordinator:
+            arrived = 1
+            while arrived < count:
+                self._recv_for(tid, TAG_BARRIER_ARRIVE, timeout)
+                arrived += 1
+            for member in members:
+                if member != tid:
+                    self.send(member, TAG_BARRIER_RELEASE, group)
+        else:
+            self.send(coordinator, TAG_BARRIER_ARRIVE, tid)
+            self._recv_for(tid, TAG_BARRIER_RELEASE, timeout)
+
+    # -- inter-kernel ---------------------------------------------------------------------------
+
+    def handle_message(self, src_host: str, payload: dict) -> Any:
+        op = payload.get("op")
+        if op == "spawn":
+            path = payload.get("path")
+            if not path:
+                raise PluginError("remote spawn requires an import path")
+            return self.spawn(
+                path,
+                count=payload.get("count", 1),
+                args=tuple(payload.get("args", ())),
+                parent=payload.get("parent", ""),
+            )
+        raise PluginError(f"hpvmd: unknown operation {op!r}")

@@ -1,0 +1,195 @@
+"""``hspaces`` — the JavaSpaces emulation plugin.
+
+The third legacy environment Section 3 names ("currently PVM, MPI, and
+JavaSpaces plugins are available").  Provides a tuple space with the
+JavaSpaces operations:
+
+* ``write(entry, lease_s)`` — deposit an entry, optionally expiring
+* ``read(template)`` / ``take(template)`` — non-destructive / destructive
+  matching, blocking with timeout (``read_if_exists`` / ``take_if_exists``
+  for the non-blocking variants)
+* ``notify(template, handler)`` — event registration through ``hevent``
+
+Entries are dicts; a *template* is a dict whose present keys must match
+exactly and whose ``None`` values act as wildcards, which is how
+JavaSpaces' null-field template matching worked.  The space lives on one
+kernel (its *space server*); other kernels operate on it through the
+kernel channel, mirroring an Outrigger-style remote space.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.core.plugin import Plugin
+from repro.util.errors import HarnessTimeoutError, PluginError
+from repro.util.ids import new_id
+
+__all__ = ["TupleSpacePlugin", "matches_template"]
+
+
+def matches_template(template: dict, entry: dict) -> bool:
+    """JavaSpaces-style matching: keys present in the template must exist
+    in the entry and be equal, except ``None`` which matches anything."""
+    for key, want in template.items():
+        if key not in entry:
+            return False
+        if want is None:
+            continue
+        if entry[key] != want:
+            return False
+    return True
+
+
+class _StoredEntry:
+    __slots__ = ("entry_id", "entry", "expires")
+
+    def __init__(self, entry: dict, lease_s: float | None):
+        self.entry_id = new_id("entry")
+        self.entry = entry
+        self.expires = None if lease_s is None else time.monotonic() + lease_s
+
+    @property
+    def live(self) -> bool:
+        return self.expires is None or time.monotonic() < self.expires
+
+
+class TupleSpacePlugin(Plugin):
+    """A tuple space hosted on one kernel, reachable from every kernel."""
+
+    plugin_name = "hspaces"
+    requires = ("event-management",)
+    provides = ("tuple-space",)
+
+    def __init__(self, space_host: str | None = None):
+        super().__init__()
+        #: kernel hosting the authoritative space (None = this kernel)
+        self.space_host = space_host
+        self._cond = threading.Condition()
+        self._entries: list[_StoredEntry] = []
+
+    # -- local (authoritative) operations -----------------------------------------
+
+    def _is_server(self) -> bool:
+        if self.kernel is None:
+            raise PluginError("hspaces is not attached")
+        return self.space_host is None or self.space_host == self.kernel.host_name
+
+    def _reap(self) -> None:
+        self._entries = [e for e in self._entries if e.live]
+
+    def write(self, entry: dict, lease_s: float | None = None) -> str:
+        """Deposit *entry*; returns its id.  ``lease_s`` bounds its life."""
+        if not isinstance(entry, dict):
+            raise PluginError("space entries must be dicts")
+        if not self._is_server():
+            return self._remote({"op": "write", "entry": entry, "lease": lease_s})
+        with self._cond:
+            stored = _StoredEntry(dict(entry), lease_s)
+            self._entries.append(stored)
+            self._cond.notify_all()
+        self.use("event-management").bus.publish(  # type: ignore[attr-defined]
+            "space.written", dict(entry), source=self.kernel.host_name if self.kernel else ""
+        )
+        return stored.entry_id
+
+    def _find(self, template: dict, remove: bool) -> dict | None:
+        self._reap()
+        for i, stored in enumerate(self._entries):
+            if matches_template(template, stored.entry):
+                if remove:
+                    del self._entries[i]
+                return dict(stored.entry)
+        return None
+
+    def read_if_exists(self, template: dict) -> dict | None:
+        """Non-blocking non-destructive match."""
+        if not self._is_server():
+            return self._remote({"op": "read", "template": template})
+        with self._cond:
+            return self._find(template, remove=False)
+
+    def take_if_exists(self, template: dict) -> dict | None:
+        """Non-blocking destructive match."""
+        if not self._is_server():
+            return self._remote({"op": "take", "template": template})
+        with self._cond:
+            return self._find(template, remove=True)
+
+    def read(self, template: dict, timeout: float = 10.0) -> dict:
+        """Blocking non-destructive match."""
+        return self._blocking(template, remove=False, timeout=timeout)
+
+    def take(self, template: dict, timeout: float = 10.0) -> dict:
+        """Blocking destructive match."""
+        return self._blocking(template, remove=True, timeout=timeout)
+
+    def _blocking(self, template: dict, remove: bool, timeout: float) -> dict:
+        if self._is_server():
+            end = time.monotonic() + timeout
+            with self._cond:
+                while True:
+                    found = self._find(template, remove)
+                    if found is not None:
+                        return found
+                    remaining = end - time.monotonic()
+                    if remaining <= 0:
+                        raise HarnessTimeoutError(
+                            f"no entry matching {template!r} within {timeout}s"
+                        )
+                    self._cond.wait(min(remaining, 0.05))
+        # remote space: poll the server (JavaSpaces clients did the same
+        # under the covers for bounded-lease blocking calls)
+        end = time.monotonic() + timeout
+        op = "take" if remove else "read"
+        while True:
+            found = self._remote({"op": op, "template": template})
+            if found is not None:
+                return found
+            if time.monotonic() >= end:
+                raise HarnessTimeoutError(
+                    f"no entry matching {template!r} within {timeout}s"
+                )
+            time.sleep(0.005)
+
+    def count(self, template: dict | None = None) -> int:
+        """Number of live entries (matching *template* if given)."""
+        if not self._is_server():
+            return self._remote({"op": "count", "template": template})
+        with self._cond:
+            self._reap()
+            if template is None:
+                return len(self._entries)
+            return sum(1 for e in self._entries if matches_template(template, e.entry))
+
+    def notify(self, template: dict, handler: Callable[[dict], None]):
+        """Local notification when a matching entry is written (server side)."""
+        bus = self.use("event-management").bus  # type: ignore[attr-defined]
+
+        def on_event(event) -> None:
+            if isinstance(event.payload, dict) and matches_template(template, event.payload):
+                handler(event.payload)
+
+        return bus.subscribe("space.written", on_event)
+
+    # -- remote plumbing ------------------------------------------------------------
+
+    def _remote(self, request: dict) -> Any:
+        assert self.kernel is not None and self.space_host is not None
+        return self.kernel.send(self.space_host, "tuple-space", request)
+
+    def handle_message(self, src_host: str, payload: dict) -> Any:
+        op = payload.get("op")
+        if not self._is_server():
+            raise PluginError("tuple-space request routed to a non-server kernel")
+        if op == "write":
+            return self.write(payload["entry"], payload.get("lease"))
+        if op == "read":
+            return self.read_if_exists(payload["template"])
+        if op == "take":
+            return self.take_if_exists(payload["template"])
+        if op == "count":
+            return self.count(payload.get("template"))
+        raise PluginError(f"hspaces: unknown operation {op!r}")

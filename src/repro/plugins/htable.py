@@ -1,0 +1,79 @@
+"""``htable`` — the table-lookup plugin (Figure 2's "table lookup").
+
+A per-kernel key/value table other kernels can query over the kernel
+channel.  ``hpvmd`` uses it as the task-id directory (tid → host).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.plugin import Plugin
+from repro.util.errors import PluginError
+
+__all__ = ["TableLookupPlugin"]
+
+
+class TableLookupPlugin(Plugin):
+    """Local tables with remote query support."""
+
+    plugin_name = "htable"
+    provides = ("table-lookup",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+        self._tables: dict[str, dict[str, Any]] = {}
+
+    # -- local API ---------------------------------------------------------------
+
+    def put(self, table: str, key: str, value: Any) -> None:
+        with self._lock:
+            self._tables.setdefault(table, {})[key] = value
+
+    def get(self, table: str, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._tables.get(table, {}).get(key, default)
+
+    def remove(self, table: str, key: str) -> None:
+        with self._lock:
+            self._tables.get(table, {}).pop(key, None)
+
+    def keys(self, table: str) -> list[str]:
+        with self._lock:
+            return sorted(self._tables.get(table, {}))
+
+    def items(self, table: str) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._tables.get(table, {}))
+
+    # -- remote API -----------------------------------------------------------------
+
+    def get_remote(self, dst_host: str, table: str, key: str) -> Any:
+        if self.kernel is None:
+            raise PluginError("htable is not attached")
+        return self.kernel.send(dst_host, "table-lookup", {
+            "op": "get", "table": table, "key": key,
+        })
+
+    def put_remote(self, dst_host: str, table: str, key: str, value: Any) -> None:
+        if self.kernel is None:
+            raise PluginError("htable is not attached")
+        self.kernel.send(dst_host, "table-lookup", {
+            "op": "put", "table": table, "key": key, "value": value,
+        })
+
+    def handle_message(self, src_host: str, payload: dict) -> Any:
+        op = payload.get("op")
+        if op == "get":
+            return self.get(payload["table"], payload["key"])
+        if op == "put":
+            self.put(payload["table"], payload["key"], payload.get("value"))
+            return True
+        if op == "keys":
+            return self.keys(payload["table"])
+        if op == "remove":
+            self.remove(payload["table"], payload["key"])
+            return True
+        raise PluginError(f"htable: unknown operation {op!r}")

@@ -1,0 +1,122 @@
+"""The paper's example service components: WSTime, MatMul, and a LAPACK
+stand-in.
+
+``WSTime`` reproduces Figure 7's trivial Time service; ``MatMul`` Figure
+8's matrix-multiplication service (including the paper's flat ``double[]``
+signature).  ``LinearAlgebraService`` plays the "highly optimized version of
+the LAPACK service" in the Section 6 migration scenario — numpy *is* backed
+by LAPACK, so the substitution is nearly literal.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+import numpy as np
+
+from repro.util.errors import HarnessError
+
+__all__ = ["WSTime", "MatMul", "LinearAlgebraService", "CounterService"]
+
+
+class WSTime:
+    """The Figure 7 Time service.
+
+    The paper's Java implementation is one method returning
+    ``new java.util.Date().toString()``; this is its Python twin, plus an
+    epoch variant that is friendlier to numeric bindings.
+    """
+
+    def getTime(self) -> str:
+        """Current time as a human-readable string."""
+        return datetime.datetime.now().ctime()
+
+    def getEpochSeconds(self) -> float:
+        """Current time as seconds since the Unix epoch."""
+        return datetime.datetime.now().timestamp()
+
+
+class MatMul:
+    """The Figure 8 matrix-multiplication service.
+
+    ``getResult`` follows the paper's signature — two flat ``double[]``
+    arrays (square matrices in row-major order) in, one flat ``double[]``
+    out.  ``multiply`` is the natural 2-D convenience entry point.
+    """
+
+    def getResult(self, mata: np.ndarray, matb: np.ndarray) -> np.ndarray:
+        """Multiply two square matrices given as flat row-major arrays."""
+        a = np.asarray(mata, dtype=np.float64).ravel()
+        b = np.asarray(matb, dtype=np.float64).ravel()
+        if a.size != b.size:
+            raise HarnessError(f"operand sizes differ: {a.size} vs {b.size}")
+        n = math.isqrt(a.size)
+        if n * n != a.size:
+            raise HarnessError(f"operand of {a.size} elements is not a square matrix")
+        return (a.reshape(n, n) @ b.reshape(n, n)).ravel()
+
+    def multiply(self, mata: np.ndarray, matb: np.ndarray) -> np.ndarray:
+        """General 2-D matrix product."""
+        a = np.asarray(mata, dtype=np.float64)
+        b = np.asarray(matb, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise HarnessError(f"incompatible shapes: {a.shape} @ {b.shape}")
+        return a @ b
+
+
+class LinearAlgebraService:
+    """The LAPACK-service stand-in for the Section 6 scenario.
+
+    numpy's linalg routines are LAPACK underneath (dgesv, dgetrf, dgesdd…),
+    so this component provides genuinely 'highly optimized' kernels
+    relative to anything a client could do over per-element SOAP data.
+    """
+
+    def solve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve the linear system ``a @ x = b`` (LAPACK dgesv)."""
+        return np.linalg.solve(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+    def lstsq(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Least-squares solution to an overdetermined system."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return solution
+
+    def determinant(self, a: np.ndarray) -> float:
+        """Matrix determinant (LAPACK dgetrf)."""
+        return float(np.linalg.det(np.asarray(a, dtype=np.float64)))
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Matrix inverse."""
+        return np.linalg.inv(np.asarray(a, dtype=np.float64))
+
+    def singular_values(self, a: np.ndarray) -> np.ndarray:
+        """Singular values (LAPACK dgesdd)."""
+        return np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
+
+    def norm(self, a: np.ndarray) -> float:
+        """Frobenius norm."""
+        return float(np.linalg.norm(np.asarray(a, dtype=np.float64)))
+
+
+class CounterService:
+    """A deliberately *stateful* service for local-instance binding tests.
+
+    The paper's JavaObject scheme exists precisely for components like this:
+    a fresh instance (plain local binding) would reset the count; only the
+    instance binding reaches the accumulated state.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add *amount*; returns the running total."""
+        self._count += int(amount)
+        return self._count
+
+    def value(self) -> int:
+        """The running total."""
+        return self._count

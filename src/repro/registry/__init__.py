@@ -1,0 +1,35 @@
+"""Lookup and discovery: local registry, UDDI model, WSIL, distributed schemes."""
+
+from repro.registry.distributed import (
+    CentralizedLookup,
+    DecentralizedLookup,
+    DistributedLookup,
+    NeighborhoodLookup,
+)
+from repro.registry.local import PRIVATE, PUBLIC, RegisteredService, ServiceRegistry
+from repro.registry.uddi import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    TModel,
+    UddiRegistry,
+)
+from repro.registry.wsil import WsilDocument, WsilEntry
+
+__all__ = [
+    "CentralizedLookup",
+    "DecentralizedLookup",
+    "DistributedLookup",
+    "NeighborhoodLookup",
+    "PRIVATE",
+    "PUBLIC",
+    "RegisteredService",
+    "ServiceRegistry",
+    "BindingTemplate",
+    "BusinessEntity",
+    "BusinessService",
+    "TModel",
+    "UddiRegistry",
+    "WsilDocument",
+    "WsilEntry",
+]

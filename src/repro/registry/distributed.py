@@ -1,0 +1,212 @@
+"""Distributed lookup schemes over the simulated fabric.
+
+Section 5: "For the discovery mechanism, there is a whole range of
+implementation approaches.  At one extreme, there are centralized lookup
+services.  They are easy to implement and use, but they introduce a single
+point of failure and a potential scalability bottleneck.  At the other
+extreme, a completely decentralized approach leads to a registration phase
+that is fully localized and does not involve any network traffic, whereas
+the discovery phase performs an active lookup that can be expensive and
+difficult to manage.  Most frameworks provide solutions that are
+intermediate to these extremes."
+
+Three schemes below realize the two extremes and one intermediate
+(neighborhood replication).  All exchange *real serialized bytes* over the
+:class:`~repro.netsim.VirtualNetwork` so the C5 benchmark's message/byte
+accounting is honest.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.fabric import HostDownError, VirtualNetwork
+from repro.registry.local import ServiceRegistry
+from repro.transport.base import TransportMessage
+from repro.util.errors import RegistryError, ServiceNotFoundError
+from repro.wsdl.io import document_from_string, document_to_string
+from repro.wsdl.model import WsdlDocument
+
+__all__ = [
+    "DistributedLookup",
+    "CentralizedLookup",
+    "DecentralizedLookup",
+    "NeighborhoodLookup",
+]
+
+_SEP = b"\x1e"  # record separator between WSDL documents in responses
+_QUERY_CT = "application/x-harness-query"
+_WSDL_CT = "text/xml; wsdl"
+
+
+class _LookupNode:
+    """Per-host state: a local registry plus the network endpoint."""
+
+    def __init__(self, scheme: "DistributedLookup", host_name: str):
+        self.registry = ServiceRegistry(name=f"{host_name}.registry")
+        self.host_name = host_name
+        scheme.network.host(host_name).bind(scheme.endpoint, self._serve)
+
+    def _serve(self, message: TransportMessage) -> TransportMessage:
+        if message.content_type == _QUERY_CT:
+            expression = message.payload.decode("utf-8")
+            matches = self.registry.find(expression)
+            payload = _SEP.join(
+                document_to_string(m.document, indent=False).encode("utf-8")
+                for m in matches
+            )
+            return TransportMessage(_WSDL_CT, payload)
+        if message.content_type == _WSDL_CT:
+            self.registry.register(document_from_string(message.payload))
+            return TransportMessage("text/plain", b"ok")
+        raise RegistryError(f"lookup node cannot handle {message.content_type!r}")
+
+
+class DistributedLookup:
+    """Base: one lookup node per host in the network."""
+
+    #: endpoint name bound on every host
+    endpoint = "lookup"
+
+    def __init__(self, network: VirtualNetwork):
+        self.network = network
+        self.nodes: dict[str, _LookupNode] = {
+            host.name: _LookupNode(self, host.name) for host in network.hosts()
+        }
+
+    def register(self, host_name: str, document: WsdlDocument) -> None:
+        """Publish *document* from *host_name* according to the scheme."""
+        raise NotImplementedError
+
+    def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
+        """Find services matching the XML query, as seen from *host_name*."""
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _send_wsdl(self, src: str, dst: str, document: WsdlDocument) -> None:
+        payload = document_to_string(document, indent=False).encode("utf-8")
+        self.network.request(src, dst, self.endpoint, TransportMessage(_WSDL_CT, payload))
+
+    def _query(self, src: str, dst: str, expression: str) -> list[WsdlDocument]:
+        response = self.network.request(
+            src, dst, self.endpoint,
+            TransportMessage(_QUERY_CT, expression.encode("utf-8")),
+        )
+        if not response.payload:
+            return []
+        return [document_from_string(chunk) for chunk in response.payload.split(_SEP)]
+
+
+class CentralizedLookup(DistributedLookup):
+    """One well-known registry host; everything flows through it.
+
+    Easy and cheap to query (one round trip) but the registry host is a
+    single point of failure and every operation serializes through it.
+    """
+
+    def __init__(self, network: VirtualNetwork, registry_host: str):
+        super().__init__(network)
+        if registry_host not in self.nodes:
+            raise RegistryError(f"unknown registry host {registry_host!r}")
+        self.registry_host = registry_host
+
+    def register(self, host_name: str, document: WsdlDocument) -> None:
+        self._send_wsdl(host_name, self.registry_host, document)
+
+    def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
+        return self._query(host_name, self.registry_host, expression)
+
+
+class DecentralizedLookup(DistributedLookup):
+    """Registration is purely local; discovery floods the whole DVM.
+
+    "a registration phase that is fully localized and does not involve any
+    network traffic, whereas the discovery phase performs an active lookup
+    that can be expensive" (Section 5).
+    """
+
+    def register(self, host_name: str, document: WsdlDocument) -> None:
+        self.nodes[host_name].registry.register(document)  # zero messages
+
+    def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
+        results: list[WsdlDocument] = []
+        seen: set[str] = set()
+        # local check first (free), then flood every reachable peer
+        for match in self.nodes[host_name].registry.find(expression):
+            results.append(match.document)
+            seen.add(match.name)
+        for peer in self.nodes:
+            if peer == host_name:
+                continue
+            try:
+                for document in self._query(host_name, peer, expression):
+                    if document.name not in seen:
+                        seen.add(document.name)
+                        results.append(document)
+            except HostDownError:
+                continue
+        return results
+
+
+class NeighborhoodLookup(DistributedLookup):
+    """Intermediate scheme: replicate registrations to *k* ring neighbours.
+
+    Registration costs k messages; discovery checks self + k neighbours and
+    only floods the remainder when the neighbourhood misses — the paper's
+    "full synchrony across small neighborhoods but … distributed queries
+    for farther hosts" idea applied to lookup.
+    """
+
+    def __init__(self, network: VirtualNetwork, replication: int = 2):
+        super().__init__(network)
+        if replication < 1:
+            raise RegistryError("replication factor must be >= 1")
+        self.replication = replication
+        self._ring = sorted(self.nodes)
+
+    def _neighbors(self, host_name: str) -> list[str]:
+        index = self._ring.index(host_name)
+        return [
+            self._ring[(index + step) % len(self._ring)]
+            for step in range(1, self.replication + 1)
+            if self._ring[(index + step) % len(self._ring)] != host_name
+        ]
+
+    def register(self, host_name: str, document: WsdlDocument) -> None:
+        self.nodes[host_name].registry.register(document)
+        for neighbor in self._neighbors(host_name):
+            try:
+                self._send_wsdl(host_name, neighbor, document)
+            except HostDownError:
+                continue
+
+    def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
+        results: list[WsdlDocument] = []
+        seen: set[str] = set()
+        for match in self.nodes[host_name].registry.find(expression):
+            seen.add(match.name)
+            results.append(match.document)
+        neighborhood = self._neighbors(host_name)
+        for peer in neighborhood:
+            try:
+                documents = self._query(host_name, peer, expression)
+            except HostDownError:
+                continue
+            for document in documents:
+                if document.name not in seen:
+                    seen.add(document.name)
+                    results.append(document)
+        if results:
+            return results
+        # neighbourhood miss: fall back to flooding the rest of the ring
+        for peer in self._ring:
+            if peer == host_name or peer in neighborhood:
+                continue
+            try:
+                documents = self._query(host_name, peer, expression)
+            except HostDownError:
+                continue
+            for document in documents:
+                if document.name not in seen:
+                    seen.add(document.name)
+                    results.append(document)
+        return results

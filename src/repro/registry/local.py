@@ -1,0 +1,163 @@
+"""In-process service registry: the DVM/container lookup service.
+
+Stores WSDL descriptions and answers :class:`~repro.xmlkit.XmlQuery`
+queries over them — the paper's "registry/lookup framework based on the
+capability of querying XML documents (actually WSDL descriptions) for
+specific nodes and values" (Section 5).
+
+Exposure control implements Section 6's flexible publication model: "it is
+the provider's run time decision whether the component is to be registered
+in one or more publicly available lookup services, or if it is to be kept
+private.  The decision can be reviewed at any time."
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.util.errors import DuplicateNameError, RegistryError, ServiceNotFoundError
+from repro.util.ids import new_uuid_key
+from repro.wsdl.io import document_to_element
+from repro.wsdl.model import WsdlDocument
+from repro.xmlkit import XmlElement, XmlQuery
+
+__all__ = ["RegisteredService", "ServiceRegistry", "PUBLIC", "PRIVATE"]
+
+PUBLIC = "public"
+PRIVATE = "private"
+
+
+@dataclass
+class RegisteredService:
+    """One registry entry: a WSDL document plus publication state."""
+
+    key: str
+    name: str
+    document: WsdlDocument
+    xml: XmlElement
+    exposure: str = PUBLIC
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def public(self) -> bool:
+        return self.exposure == PUBLIC
+
+
+class ServiceRegistry:
+    """Thread-safe registry of WSDL-described services with XML queries."""
+
+    def __init__(self, name: str = "registry"):
+        self.name = name
+        self._lock = threading.RLock()
+        self._entries: dict[str, RegisteredService] = {}
+        self._by_name: dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        document: WsdlDocument,
+        exposure: str = PUBLIC,
+        metadata: dict | None = None,
+        key: str | None = None,
+    ) -> RegisteredService:
+        """Publish *document*; returns the entry (with its registry key).
+
+        The service name (document name) must be unique in this registry.
+        """
+        if exposure not in (PUBLIC, PRIVATE):
+            raise RegistryError(f"bad exposure {exposure!r}")
+        document.validate()
+        entry = RegisteredService(
+            key=key or new_uuid_key("svc"),
+            name=document.name,
+            document=document,
+            xml=document_to_element(document),
+            exposure=exposure,
+            metadata=dict(metadata or {}),
+        )
+        with self._lock:
+            if document.name in self._by_name:
+                raise DuplicateNameError(
+                    f"service {document.name!r} already registered in {self.name}"
+                )
+            self._entries[entry.key] = entry
+            self._by_name[entry.name] = entry.key
+        return entry
+
+    def unregister(self, key: str) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                raise ServiceNotFoundError(f"no entry with key {key!r}")
+            self._by_name.pop(entry.name, None)
+
+    def set_exposure(self, key: str, exposure: str) -> None:
+        """Publish or hide an already-registered service at run time."""
+        if exposure not in (PUBLIC, PRIVATE):
+            raise RegistryError(f"bad exposure {exposure!r}")
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise ServiceNotFoundError(f"no entry with key {key!r}")
+            entry.exposure = exposure
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def get(self, key: str) -> RegisteredService:
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            raise ServiceNotFoundError(f"no entry with key {key!r}")
+        return entry
+
+    def lookup_name(self, name: str, include_private: bool = False) -> RegisteredService:
+        """Entry by service name."""
+        with self._lock:
+            key = self._by_name.get(name)
+            entry = self._entries.get(key) if key else None
+        if entry is None or (not include_private and not entry.public):
+            raise ServiceNotFoundError(f"no service named {name!r} in {self.name}")
+        return entry
+
+    def entries(self, include_private: bool = False) -> list[RegisteredService]:
+        with self._lock:
+            all_entries = list(self._entries.values())
+        return [e for e in all_entries if include_private or e.public]
+
+    def find(
+        self, expression: str | XmlQuery, include_private: bool = False
+    ) -> list[RegisteredService]:
+        """Entries whose WSDL matches the XML query expression."""
+        query = expression if isinstance(expression, XmlQuery) else XmlQuery(expression)
+        return [e for e in self.entries(include_private) if query.exists(e.xml)]
+
+    def find_values(
+        self, expression: str | XmlQuery, include_private: bool = False
+    ) -> dict[str, list[str]]:
+        """Per-service string results of a value query (name → values)."""
+        query = expression if isinstance(expression, XmlQuery) else XmlQuery(expression)
+        out: dict[str, list[str]] = {}
+        for entry in self.entries(include_private):
+            values = query.values(entry.xml)
+            if values:
+                out[entry.name] = values
+        return out
+
+    def find_by_port_type(
+        self, port_type: str, include_private: bool = False
+    ) -> list[RegisteredService]:
+        """Services implementing a portType — semantic lookup by interface."""
+        return self.find(f"//portType[@name='{port_type}']", include_private)
+
+    def find_by_operation(
+        self, operation: str, include_private: bool = False
+    ) -> list[RegisteredService]:
+        """Services exposing an operation of the given name."""
+        return self.find(f"//portType/operation[@name='{operation}']", include_private)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,84 @@
+"""WS-Inspection (WSIL) documents.
+
+The paper lists WSIL alongside UDDI as a lookup-system flavour ("the type
+of lookup service used (e.g. UDDI, WSIL, etc.)", Section 4).  Where UDDI is
+a central registry you *query*, WSIL is a decentralized *inspection
+document* a provider serves next to its services: a flat list of service
+names and WSDL locations.  The decentralized lookup scheme (C5) crawls
+these documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import XmlError
+from repro.xmlkit import NS_WSIL, QName, XmlElement, parse, to_string
+
+__all__ = ["WsilEntry", "WsilDocument"]
+
+_INSPECTION = QName(NS_WSIL, "inspection")
+_SERVICE = QName(NS_WSIL, "service")
+_NAME = QName(NS_WSIL, "name")
+_DESCRIPTION = QName(NS_WSIL, "description")
+
+
+@dataclass(frozen=True)
+class WsilEntry:
+    """One advertised service: a name plus the location of its WSDL."""
+
+    name: str
+    wsdl_location: str
+    abstract: str = ""
+
+
+class WsilDocument:
+    """An inspection document: build, serialize, parse."""
+
+    def __init__(self, entries: list[WsilEntry] | None = None):
+        self.entries: list[WsilEntry] = list(entries or [])
+
+    def add(self, name: str, wsdl_location: str, abstract: str = "") -> None:
+        self.entries.append(WsilEntry(name, wsdl_location, abstract))
+
+    def to_element(self) -> XmlElement:
+        root = XmlElement(_INSPECTION)
+        for entry in self.entries:
+            service_el = root.element(_SERVICE)
+            service_el.element(_NAME, text=entry.name)
+            service_el.element(
+                _DESCRIPTION,
+                {"referencedNamespace": "http://schemas.xmlsoap.org/wsdl/",
+                 "location": entry.wsdl_location},
+                text=entry.abstract,
+            )
+        return root
+
+    def to_string(self) -> str:
+        return to_string(self.to_element())
+
+    @classmethod
+    def from_string(cls, text: str | bytes) -> "WsilDocument":
+        root = parse(text)
+        if root.name.local != "inspection":
+            raise XmlError(f"not a WSIL document: <{root.name.local}>")
+        doc = cls()
+        for service_el in root.find_all("service"):
+            name_el = service_el.find("name")
+            desc_el = service_el.find("description")
+            doc.add(
+                name_el.text if name_el is not None else "",
+                desc_el.get("location", "") if desc_el is not None else "",
+                desc_el.text if desc_el is not None else "",
+            )
+        return doc
+
+    def locate(self, name: str) -> str:
+        """WSDL location for *name*; raises :class:`XmlError` when absent."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry.wsdl_location
+        raise XmlError(f"WSIL document lists no service {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)

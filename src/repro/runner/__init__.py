@@ -1,0 +1,32 @@
+"""Resource Abstraction Layer: runner boxes and task specs (Figure 6)."""
+
+from repro.runner.box import (
+    RunnerBox,
+    SimHostRunnerBox,
+    SubprocessRunnerBox,
+    ThreadRunnerBox,
+)
+from repro.runner.resources import (
+    NoMatchError,
+    Requirement,
+    ResourceCatalog,
+    ResourceDescriptor,
+    parse_requirement,
+)
+from repro.runner.tasks import TaskKind, TaskSpec, TaskState, TaskStatus
+
+__all__ = [
+    "RunnerBox",
+    "SimHostRunnerBox",
+    "SubprocessRunnerBox",
+    "ThreadRunnerBox",
+    "TaskKind",
+    "TaskSpec",
+    "TaskState",
+    "TaskStatus",
+    "NoMatchError",
+    "Requirement",
+    "ResourceCatalog",
+    "ResourceDescriptor",
+    "parse_requirement",
+]

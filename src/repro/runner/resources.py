@@ -1,0 +1,250 @@
+"""Resource description, registration, and matchmaking.
+
+Section 1's issue list: "resources that are being contributed by suppliers
+should be described with sufficient semantic information for users to
+determine their suitability, and should be published in accessible
+locations", plus "resources should be mapped into usable aggregates … [and]
+allocation of resources to multiple requesters should be performed."
+
+This module supplies the mechanism:
+
+* :class:`ResourceDescriptor` — the semantic description of a contributed
+  resource (capability numbers, architecture/OS identity, free-form tags
+  and attributes);
+* :class:`Requirement` — one constraint of a request (min/max/equals/tag),
+  plus :func:`parse_requirement` for the string form used by registries
+  (``"cpus>=4"``, ``"arch=x86"``, ``"tag:gpu"``) — the same expressions a
+  ClassAd-era matchmaker accepted;
+* :class:`ResourceCatalog` — registration + matchmaking + a simple
+  best-fit allocator (rank by surplus capability, allocate, release).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.util.errors import HarnessError, RunnerError
+
+__all__ = [
+    "ResourceDescriptor",
+    "Requirement",
+    "parse_requirement",
+    "NoMatchError",
+    "ResourceCatalog",
+]
+
+
+class NoMatchError(RunnerError):
+    """No registered resource satisfies the requirements."""
+
+
+@dataclass(frozen=True)
+class ResourceDescriptor:
+    """Semantic description of a contributed computational resource."""
+
+    name: str
+    cpus: int = 1
+    memory_mb: int = 1024
+    mflops: float = 100.0  # 2002-era capability number
+    arch: str = "x86"
+    os: str = "linux"
+    tags: frozenset[str] = frozenset()
+    attributes: dict = field(default_factory=dict)
+
+    def value_of(self, key: str) -> Any:
+        """An attribute by name, searching fields then free-form attributes."""
+        if key in ("name", "cpus", "memory_mb", "mflops", "arch", "os"):
+            return getattr(self, key)
+        return self.attributes.get(key)
+
+
+_REQ_PATTERN = re.compile(
+    r"^\s*(?:(?P<tag>tag:(?P<tagname>[\w.\-]+))|"
+    r"(?P<key>[\w.\-]+)\s*(?P<op>>=|<=|=|>|<)\s*(?P<value>.+?))\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One constraint: a comparison on an attribute, or a tag test."""
+
+    key: str
+    op: str  # '>=', '<=', '>', '<', '=', 'tag'
+    value: Any = None
+
+    def satisfied_by(self, resource: ResourceDescriptor) -> bool:
+        if self.op == "tag":
+            return self.key in resource.tags
+        actual = resource.value_of(self.key)
+        if actual is None:
+            return False
+        wanted = self.value
+        if isinstance(actual, (int, float)) and not isinstance(wanted, (int, float)):
+            try:
+                wanted = float(wanted)
+            except (TypeError, ValueError):
+                return False
+        if self.op == "=":
+            return actual == wanted or str(actual) == str(wanted)
+        try:
+            if self.op == ">=":
+                return actual >= wanted
+            if self.op == "<=":
+                return actual <= wanted
+            if self.op == ">":
+                return actual > wanted
+            if self.op == "<":
+                return actual < wanted
+        except TypeError:
+            return False
+        raise HarnessError(f"unknown requirement operator {self.op!r}")
+
+
+def parse_requirement(text: str) -> Requirement:
+    """Parse ``"cpus>=4"``, ``"arch=x86"`` or ``"tag:gpu"``."""
+    match = _REQ_PATTERN.match(text)
+    if match is None:
+        raise HarnessError(f"malformed requirement: {text!r}")
+    if match.group("tag"):
+        return Requirement(match.group("tagname"), "tag")
+    value_text = match.group("value")
+    value: Any
+    try:
+        value = int(value_text)
+    except ValueError:
+        try:
+            value = float(value_text)
+        except ValueError:
+            value = value_text
+    return Requirement(match.group("key"), match.group("op"), value)
+
+
+def _as_requirements(requirements: Iterable[Requirement | str]) -> list[Requirement]:
+    return [
+        r if isinstance(r, Requirement) else parse_requirement(r)
+        for r in requirements
+    ]
+
+
+class ResourceCatalog:
+    """The accessible location resources are published in, plus matchmaking.
+
+    Allocation model: each resource has ``cpus`` capacity; :meth:`allocate`
+    reserves whole CPUs and :meth:`release` returns them.  Ranking is
+    best-fit by a weighted surplus score (free cpus + normalised mflops),
+    so "suppliers" with more headroom win ties — the greedy policy early
+    grid schedulers shipped.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._resources: dict[str, ResourceDescriptor] = {}
+        self._allocated: dict[str, int] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, resource: ResourceDescriptor) -> None:
+        with self._lock:
+            if resource.name in self._resources:
+                raise RunnerError(f"resource {resource.name!r} already registered")
+            self._resources[resource.name] = resource
+            self._allocated[resource.name] = 0
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if name not in self._resources:
+                raise RunnerError(f"unknown resource {name!r}")
+            del self._resources[name]
+            del self._allocated[name]
+
+    def resources(self) -> list[ResourceDescriptor]:
+        with self._lock:
+            return list(self._resources.values())
+
+    def describe(self, name: str) -> ResourceDescriptor:
+        with self._lock:
+            resource = self._resources.get(name)
+        if resource is None:
+            raise RunnerError(f"unknown resource {name!r}")
+        return resource
+
+    def free_cpus(self, name: str) -> int:
+        with self._lock:
+            return self.describe(name).cpus - self._allocated[name]
+
+    # -- matchmaking ------------------------------------------------------------
+
+    def match(self, requirements: Iterable[Requirement | str]) -> list[ResourceDescriptor]:
+        """Resources satisfying every requirement, best-ranked first."""
+        parsed = _as_requirements(requirements)
+        with self._lock:
+            candidates = [
+                resource
+                for resource in self._resources.values()
+                if all(req.satisfied_by(resource) for req in parsed)
+            ]
+            return sorted(candidates, key=self._score, reverse=True)
+
+    def _score(self, resource: ResourceDescriptor) -> float:
+        free = resource.cpus - self._allocated.get(resource.name, 0)
+        return free + resource.mflops / 1000.0
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate(self, requirements: Iterable[Requirement | str], cpus: int = 1) -> ResourceDescriptor:
+        """Reserve *cpus* on the best matching resource with capacity."""
+        parsed = _as_requirements(requirements)
+        with self._lock:
+            for resource in self.match(parsed):
+                if self.free_cpus(resource.name) >= cpus:
+                    self._allocated[resource.name] += cpus
+                    return resource
+        raise NoMatchError(
+            f"no resource satisfies {[str(r) for r in parsed]!r} with {cpus} free cpus"
+        )
+
+    def release(self, name: str, cpus: int = 1) -> None:
+        with self._lock:
+            if name not in self._allocated:
+                raise RunnerError(f"unknown resource {name!r}")
+            if self._allocated[name] < cpus:
+                raise RunnerError(f"releasing more cpus than allocated on {name!r}")
+            self._allocated[name] -= cpus
+
+    # -- aggregates -----------------------------------------------------------------------
+
+    def aggregate(
+        self, requirements: Iterable[Requirement | str], total_cpus: int
+    ) -> list[tuple[ResourceDescriptor, int]]:
+        """Map matching resources into a usable aggregate of *total_cpus*.
+
+        Greedy bin-pack across ranked matches; returns (resource, cpus)
+        pairs whose sum is exactly *total_cpus*, allocating as it goes.
+        Raises :class:`NoMatchError` (and rolls back) when capacity runs
+        short — "mapping … into usable aggregates (e.g. a distributed
+        virtual machine)".
+        """
+        parsed = _as_requirements(requirements)
+        taken: list[tuple[ResourceDescriptor, int]] = []
+        remaining = total_cpus
+        with self._lock:
+            for resource in self.match(parsed):
+                if remaining == 0:
+                    break
+                grab = min(self.free_cpus(resource.name), remaining)
+                if grab <= 0:
+                    continue
+                self._allocated[resource.name] += grab
+                taken.append((resource, grab))
+                remaining -= grab
+            if remaining > 0:
+                for resource, grab in taken:  # roll back
+                    self._allocated[resource.name] -= grab
+                raise NoMatchError(
+                    f"cannot aggregate {total_cpus} cpus "
+                    f"({total_cpus - remaining} available across matches)"
+                )
+        return taken

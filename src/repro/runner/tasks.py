@@ -1,0 +1,73 @@
+"""Task specifications and status records for the resource layer.
+
+A runner box "defines only the limited functionality required by the
+Harness system to enroll a computational resource" (Section 6): run a task,
+query it, stop it.  :class:`TaskSpec` is the least common denominator those
+operations need — a callable (by import path or object) or an argv vector —
+so rsh daemons, batch schedulers and plain threads can all hide behind the
+same interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TaskKind", "TaskSpec", "TaskState", "TaskStatus"]
+
+
+class TaskKind(enum.Enum):
+    """What the payload of a :class:`TaskSpec` means."""
+
+    CALLABLE = "callable"  # a Python callable object
+    IMPORT_PATH = "import-path"  # "pkg.module:function" resolved at run time
+    ARGV = "argv"  # an OS command vector
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A unit of work submitted to a runner box."""
+
+    kind: TaskKind
+    payload: Any  # callable | str | list[str] according to kind
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    name: str = ""
+
+    @classmethod
+    def from_callable(cls, fn: Callable, *args, name: str = "", **kwargs) -> "TaskSpec":
+        return cls(TaskKind.CALLABLE, fn, args, dict(kwargs), name or getattr(fn, "__name__", "task"))
+
+    @classmethod
+    def from_import_path(cls, path: str, *args, name: str = "", **kwargs) -> "TaskSpec":
+        return cls(TaskKind.IMPORT_PATH, path, args, dict(kwargs), name or path)
+
+    @classmethod
+    def from_argv(cls, argv: list[str], name: str = "") -> "TaskSpec":
+        return cls(TaskKind.ARGV, list(argv), name=name or (argv[0] if argv else "argv"))
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a submitted task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TaskState.DONE, TaskState.FAILED, TaskState.STOPPED)
+
+
+@dataclass
+class TaskStatus:
+    """Point-in-time status of a task on a runner box."""
+
+    task_id: str
+    state: TaskState
+    result: Any = None
+    error: str = ""
+    name: str = ""

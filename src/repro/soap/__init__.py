@@ -1,0 +1,42 @@
+"""SOAP 1.1: envelopes, value encoding, faults, message codec.
+
+Importing this package registers the SOAP codecs (``text/xml`` in both
+array modes) with :data:`repro.encoding.default_registry`.
+"""
+
+from repro.encoding.registry import default_registry
+from repro.soap.codec import SoapMessageCodec
+from repro.soap.mime import MIME_CONTENT_TYPE, MimeMessageCodec
+from repro.soap.envelope import (
+    SOAP_CONTENT_TYPE,
+    build_call_envelope,
+    build_fault_envelope,
+    build_reply_envelope,
+    parse_call_envelope,
+    parse_reply_envelope,
+)
+from repro.soap.values import ARRAY_MODES, element_to_value, value_to_element
+
+__all__ = [
+    "SoapMessageCodec",
+    "MimeMessageCodec",
+    "MIME_CONTENT_TYPE",
+    "SOAP_CONTENT_TYPE",
+    "build_call_envelope",
+    "build_fault_envelope",
+    "build_reply_envelope",
+    "parse_call_envelope",
+    "parse_reply_envelope",
+    "ARRAY_MODES",
+    "element_to_value",
+    "value_to_element",
+]
+
+for _mode in ARRAY_MODES:
+    _codec = SoapMessageCodec(_mode)
+    if _codec.content_type not in default_registry.content_types():
+        default_registry.register(_codec)
+del _mode, _codec
+
+if MIME_CONTENT_TYPE not in default_registry.content_types():
+    default_registry.register(MimeMessageCodec())

@@ -1,0 +1,49 @@
+"""SOAP message codec plugging into the content-type codec registry."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.soap import envelope as env
+from repro.util.errors import SoapFaultError
+
+__all__ = ["SoapMessageCodec"]
+
+
+class SoapMessageCodec:
+    """RPC call/reply codec speaking SOAP 1.1 envelopes.
+
+    ``array_mode`` selects how numeric arrays are serialized: ``"base64"``
+    (SOAP's default XSD base64Binary, per the paper) or ``"items"``
+    (element-per-value SOAP-ENC arrays).  The content type carries the mode
+    so both ends agree.
+    """
+
+    def __init__(self, array_mode: str = "base64"):
+        self.array_mode = array_mode
+        self.content_type = (
+            "text/xml" if array_mode == "base64" else f"text/xml; arrays={array_mode}"
+        )
+
+    def encode_call(self, target: str, operation: str, args: tuple | list) -> bytes:
+        return env.build_call_envelope(target, operation, args, self.array_mode)
+
+    def decode_call(self, data: bytes) -> tuple[str, str, list]:
+        return env.parse_call_envelope(data)
+
+    def encode_reply(self, result: Any = None, fault: str | None = None) -> bytes:
+        if fault is not None:
+            return env.build_fault_envelope("soapenv:Server", fault)
+        return env.build_reply_envelope(result, array_mode=self.array_mode)
+
+    def decode_reply(self, data: bytes) -> Any:
+        return env.parse_reply_envelope(data)
+
+    @staticmethod
+    def fault_to_exception(data: bytes) -> SoapFaultError | None:
+        """Parse *data*; return the fault it carries, or None for a success reply."""
+        try:
+            env.parse_reply_envelope(data)
+            return None
+        except SoapFaultError as fault:
+            return fault

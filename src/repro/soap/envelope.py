@@ -1,0 +1,120 @@
+"""SOAP 1.1 envelope construction and parsing.
+
+Implements the subset of SOAP 1.1 the paper's stack uses: RPC-style bodies,
+``xsi:type``-annotated parameters, and ``<Fault>`` responses.  Envelopes are
+built on the :mod:`repro.xmlkit` infoset and rendered/parsed with its
+serializer, so the full XML cost (string building, escaping, expat parsing)
+is paid exactly as a 2002 SOAP stack would pay it — that cost *is* the
+phenomenon the C1/C2 benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.soap.values import element_to_value, value_to_element
+from repro.util.errors import EncodingError, SoapFaultError
+from repro.xmlkit import NS_SOAP_ENV, QName, XmlElement, parse, to_string
+
+__all__ = [
+    "build_call_envelope",
+    "build_reply_envelope",
+    "build_fault_envelope",
+    "parse_call_envelope",
+    "parse_reply_envelope",
+    "SOAP_CONTENT_TYPE",
+]
+
+SOAP_CONTENT_TYPE = "text/xml; charset=utf-8"
+
+_ENVELOPE = QName(NS_SOAP_ENV, "Envelope")
+_BODY = QName(NS_SOAP_ENV, "Body")
+_HEADER = QName(NS_SOAP_ENV, "Header")
+_FAULT = QName(NS_SOAP_ENV, "Fault")
+
+
+def _skeleton() -> tuple[XmlElement, XmlElement]:
+    envelope = XmlElement(_ENVELOPE)
+    body = envelope.element(_BODY)
+    return envelope, body
+
+
+def build_call_envelope(
+    target: str,
+    operation: str,
+    args: tuple | list,
+    array_mode: str = "base64",
+) -> bytes:
+    """Serialize an RPC call envelope.
+
+    The body holds one ``<{operation}>`` element carrying a ``target``
+    attribute (the Harness II port/instance address) and one ``<arg{i}>``
+    child per positional argument.
+    """
+    envelope, body = _skeleton()
+    call = body.element(QName("", operation), {"target": target})
+    for i, arg in enumerate(args):
+        call.append(value_to_element(f"arg{i}", arg, array_mode))
+    return to_string(envelope, indent=False).encode("utf-8")
+
+
+def parse_call_envelope(data: bytes | str) -> tuple[str, str, list]:
+    """Parse a call envelope into ``(target, operation, args)``."""
+    root = parse(data)
+    body = _require_body(root)
+    if not body.children:
+        raise EncodingError("SOAP body is empty")
+    call = body.children[0]
+    target = call.get("target") or ""
+    args = [element_to_value(child) for child in call.children]
+    return target, call.name.local, args
+
+
+def build_reply_envelope(result: Any, operation: str = "Response", array_mode: str = "base64") -> bytes:
+    """Serialize a successful RPC reply with one ``<return>`` element."""
+    envelope, body = _skeleton()
+    reply = body.element(QName("", f"{operation}Response"))
+    reply.append(value_to_element("return", result, array_mode))
+    return to_string(envelope, indent=False).encode("utf-8")
+
+
+def build_fault_envelope(faultcode: str, faultstring: str, detail: str = "") -> bytes:
+    """Serialize a SOAP ``<Fault>`` reply."""
+    envelope, body = _skeleton()
+    fault = body.element(_FAULT)
+    fault.element("faultcode", text=faultcode)
+    fault.element("faultstring", text=faultstring)
+    if detail:
+        fault.element("detail", text=detail)
+    return to_string(envelope, indent=False).encode("utf-8")
+
+
+def parse_reply_envelope(data: bytes | str) -> Any:
+    """Parse a reply envelope; raises :class:`SoapFaultError` for faults."""
+    root = parse(data)
+    body = _require_body(root)
+    if not body.children:
+        raise EncodingError("SOAP body is empty")
+    first = body.children[0]
+    if first.name == _FAULT or first.name.local == "Fault":
+        code_el = first.find("faultcode")
+        string_el = first.find("faultstring")
+        detail_el = first.find("detail")
+        raise SoapFaultError(
+            code_el.text if code_el is not None else "soapenv:Server",
+            string_el.text if string_el is not None else "unknown fault",
+            detail_el.text if detail_el is not None else None,
+        )
+    ret = first.find("return")
+    if ret is None:
+        raise EncodingError("SOAP reply lacks a <return> element")
+    return element_to_value(ret)
+
+
+def _require_body(root: XmlElement) -> XmlElement:
+    if root.name.local != "Envelope":
+        raise EncodingError(f"not a SOAP envelope: <{root.name.local}>")
+    body = root.find(_BODY) or root.find("Body")
+    if body is None:
+        raise EncodingError("SOAP envelope has no <Body>")
+    return body

@@ -1,0 +1,12 @@
+"""Automation tools: wsdlgen (class → WSDL), servicegen (WSDL → stub source)."""
+
+from repro.tools.servicegen import generate_port_type_source, generate_stub_source
+from repro.tools.wsdlgen import generate_wsdl, service_operations, xsd_type_for
+
+__all__ = [
+    "generate_port_type_source",
+    "generate_stub_source",
+    "generate_wsdl",
+    "service_operations",
+    "xsd_type_for",
+]

@@ -1,0 +1,270 @@
+"""The Harness console — an interactive DVM construction shell.
+
+The original Harness distribution shipped a user console for the Figure 1
+workflow ("DVM's are created by users and 'constructed' by first adding
+nodes … and subsequently deploying plugins on each node").  This is that
+console for Harness II: a line-oriented shell over a simulated fabric.
+
+Run interactively::
+
+    python -m repro.tools.console
+
+or scripted::
+
+    python -m repro.tools.console <<'EOF'
+    network 3
+    dvm demo
+    add node0
+    add node1
+    deploy node1 repro.plugins.services:MatMul
+    status node0
+    call node0 MatMul multiply [[1.0,2.0],[3.0,4.0]] [[1.0,0.0],[0.0,1.0]]
+    EOF
+
+Arguments to ``call`` are JSON literals; numeric nested lists become numpy
+arrays on the wire automatically.
+"""
+
+from __future__ import annotations
+
+import cmd
+import json
+import shlex
+
+from repro.core.builder import COHERENCY_SCHEMES, HarnessDvm
+from repro.netsim.topology import lan
+from repro.util.errors import HarnessError
+
+__all__ = ["HarnessConsole"]
+
+
+class HarnessConsole(cmd.Cmd):
+    """Interactive shell for building and driving a Harness II DVM."""
+
+    intro = "Harness II console — 'help' lists commands, 'quit' exits."
+    prompt = "harness> "
+
+    def __init__(self, stdout=None):
+        super().__init__(stdout=stdout)
+        self.network = None
+        self.harness: HarnessDvm | None = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _need_dvm(self) -> HarnessDvm | None:
+        if self.harness is None:
+            self._say("error: no DVM — run 'network N' then 'dvm NAME' first")
+        return self.harness
+
+    def onecmd(self, line: str) -> bool:  # noqa: D102 (cmd API)
+        try:
+            return super().onecmd(line)
+        except HarnessError as exc:
+            self._say(f"error: {exc}")
+            return False
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._say(f"error: {exc}")
+            return False
+
+    # -- construction -----------------------------------------------------------------
+
+    def do_network(self, arg: str) -> None:
+        """network N — create a simulated LAN of N hosts (node0..nodeN-1)."""
+        count = int(arg.strip() or "3")
+        self.network = lan(count)
+        self._say(f"created LAN fabric with {count} hosts")
+
+    def do_dvm(self, arg: str) -> None:
+        """dvm NAME [SCHEME] — create a DVM (scheme: full-synchrony |
+        decentralized | neighborhood)."""
+        if self.network is None:
+            self._say("error: create a network first ('network N')")
+            return
+        parts = shlex.split(arg)
+        if not parts:
+            self._say("usage: dvm NAME [SCHEME]")
+            return
+        name = parts[0]
+        scheme = parts[1] if len(parts) > 1 else "full-synchrony"
+        if scheme not in COHERENCY_SCHEMES:
+            self._say(f"error: unknown scheme {scheme!r} "
+                      f"(choose from {sorted(COHERENCY_SCHEMES)})")
+            return
+        if self.harness is not None:
+            self.harness.close()
+        self.harness = HarnessDvm(name, self.network, coherency=scheme)
+        self._say(f"DVM {name!r} created ({scheme})")
+
+    def do_add(self, arg: str) -> None:
+        """add HOST — enroll a host into the DVM (boots a kernel there)."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        host = arg.strip()
+        harness.add_node(host)
+        self._say(f"node {host} joined; members: {harness.dvm.nodes()}")
+
+    def do_plugin(self, arg: str) -> None:
+        """plugin HOST|all IMPORT_PATH — load a plugin on one node or all."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        parts = shlex.split(arg)
+        if len(parts) != 2:
+            self._say("usage: plugin HOST|all pkg.module:PluginClass")
+            return
+        where, path = parts
+        if where == "all":
+            harness.load_plugin_everywhere(path)
+            self._say(f"loaded {path} on every node")
+        else:
+            harness.load_plugin(where, path)
+            self._say(f"loaded {path} on {where}")
+
+    def do_deploy(self, arg: str) -> None:
+        """deploy HOST IMPORT_PATH [NAME] — deploy a component on a node."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        parts = shlex.split(arg)
+        if len(parts) < 2:
+            self._say("usage: deploy HOST pkg.module:Class [NAME]")
+            return
+        from repro.bindings.stubs import load_type
+
+        cls = load_type(parts[1])
+        name = parts[2] if len(parts) > 2 else None
+        handle = harness.deploy(parts[0], cls, name=name)
+        self._say(f"deployed {handle.name} on {parts[0]} ({handle.instance_id})")
+
+    # -- inspection ------------------------------------------------------------------------
+
+    def do_status(self, arg: str) -> None:
+        """status HOST — the DVM status as observed from HOST."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        status = harness.status(arg.strip() or harness.dvm.nodes()[0])
+        self._say(json.dumps(status, indent=2, sort_keys=True))
+
+    def do_list(self, arg: str) -> None:
+        """list — the unified component namespace (name → node)."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        nodes = harness.dvm.nodes()
+        if not nodes:
+            self._say("(no nodes)")
+            return
+        index = harness.dvm.component_index(nodes[0])
+        if not index:
+            self._say("(no components)")
+        for name, node in sorted(index.items()):
+            self._say(f"{name} @ {node}")
+
+    def do_wsdl(self, arg: str) -> None:
+        """wsdl SERVICE — print the WSDL of a component (from any node)."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        from repro.wsdl.io import document_to_string
+
+        node = harness.dvm.nodes()[0]
+        _, document = harness.lookup(node, arg.strip())
+        self._say(document_to_string(document))
+
+    def do_traffic(self, arg: str) -> None:
+        """traffic — fabric accounting (messages / bytes / simulated time)."""
+        if self.network is None:
+            self._say("error: no network")
+            return
+        self._say(
+            f"{self.network.total_messages} messages, "
+            f"{self.network.total_bytes} bytes, "
+            f"{self.network.simulated_time * 1e3:.2f} ms simulated"
+        )
+
+    # -- invocation ---------------------------------------------------------------------------
+
+    def do_call(self, arg: str) -> None:
+        """call HOST SERVICE OPERATION [JSON_ARG ...] — invoke an operation."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        parts = shlex.split(arg)
+        if len(parts) < 3:
+            self._say("usage: call HOST SERVICE OPERATION [JSON_ARG ...]")
+            return
+        host, service, operation = parts[:3]
+        args = [_coerce(json.loads(text)) for text in parts[3:]]
+        stub = harness.stub(host, service)
+        try:
+            result = stub.invoke(operation, *args)
+        finally:
+            stub.close()
+        self._say(_render(result))
+
+    def do_move(self, arg: str) -> None:
+        """move SERVICE HOST — migrate a component to another node."""
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        parts = shlex.split(arg)
+        if len(parts) != 2:
+            self._say("usage: move SERVICE HOST")
+            return
+        handle = harness.move(parts[0], parts[1])
+        self._say(f"{handle.name} now lives on {parts[1]}")
+
+    # -- exit -------------------------------------------------------------------------------------
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — close the DVM and leave."""
+        if self.harness is not None:
+            self.harness.close()
+            self.harness = None
+        return True
+
+    do_EOF = do_quit
+
+    def emptyline(self) -> bool:  # no repeat-last-command surprises
+        return False
+
+
+def _coerce(value):
+    """JSON → wire values: uniform numeric nested lists become ndarrays."""
+    import numpy as np
+
+    if isinstance(value, list):
+        try:
+            array = np.asarray(value, dtype=np.float64)
+        except (ValueError, TypeError):
+            return [_coerce(v) for v in value]
+        if array.dtype == np.float64 and array.size:
+            return array
+        return [_coerce(v) for v in value]
+    return value
+
+
+def _render(result) -> str:
+    import numpy as np
+
+    if isinstance(result, np.ndarray):
+        return np.array2string(result, precision=6, suppress_small=True)
+    return json.dumps(result, default=str)
+
+
+def main() -> int:  # pragma: no cover - interactive entry
+    console = HarnessConsole()
+    try:
+        console.cmdloop()
+    except KeyboardInterrupt:
+        console.do_quit("")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

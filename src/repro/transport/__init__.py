@@ -1,0 +1,44 @@
+"""Request/response transports: in-process, framed TCP, HTTP."""
+
+from repro.transport.base import (
+    ClientTransport,
+    Listener,
+    RequestHandler,
+    TransportMessage,
+    parse_url,
+)
+from repro.transport.http import HttpListener, HttpTransport
+from repro.transport.inproc import InProcListener, InProcTransport, reset_inproc_namespace
+from repro.transport.sim import SimListener, SimTransport
+from repro.transport.tcp import TcpListener, TcpTransport
+
+__all__ = [
+    "ClientTransport",
+    "Listener",
+    "RequestHandler",
+    "TransportMessage",
+    "parse_url",
+    "HttpListener",
+    "HttpTransport",
+    "InProcListener",
+    "InProcTransport",
+    "reset_inproc_namespace",
+    "SimListener",
+    "SimTransport",
+    "TcpListener",
+    "TcpTransport",
+]
+
+
+def connect(url: str) -> ClientTransport:
+    """Dial *url* with the transport matching its scheme."""
+    scheme, _ = parse_url(url)
+    if scheme == "inproc":
+        return InProcTransport(url)
+    if scheme == "tcp":
+        return TcpTransport(url)
+    if scheme == "http":
+        return HttpTransport(url)
+    from repro.util.errors import TransportError
+
+    raise TransportError(f"no transport for scheme {scheme!r}")

@@ -1,0 +1,64 @@
+"""Transport abstractions.
+
+A transport moves opaque request/response byte payloads tagged with a
+content type; which codec interprets them is the binding layer's business.
+This separation mirrors the paper's layering: WSDL names the *access
+mechanism* (binding + address), while the transport is just the pipe.
+
+Three implementations ship: in-process (:mod:`repro.transport.inproc`),
+framed TCP (:mod:`repro.transport.tcp` — the XDR binding's "direct socket
+level connections"), and HTTP (:mod:`repro.transport.http` — the SOAP
+binding's conventional carrier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+__all__ = ["TransportMessage", "RequestHandler", "ClientTransport", "Listener", "parse_url"]
+
+
+@dataclass(frozen=True)
+class TransportMessage:
+    """An opaque payload plus the content type identifying its codec."""
+
+    content_type: str
+    payload: bytes
+
+
+#: Server-side callback: request message in, response message out.
+RequestHandler = Callable[[TransportMessage], TransportMessage]
+
+
+class ClientTransport(Protocol):
+    """Client side of a request/response transport."""
+
+    def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+        """Send *message*, block for the response."""
+        ...
+
+    def close(self) -> None:
+        """Release the connection."""
+        ...
+
+
+class Listener(Protocol):
+    """Server side: a bound endpoint dispatching to a handler."""
+
+    @property
+    def url(self) -> str:
+        """The dialable address of this endpoint."""
+        ...
+
+    def close(self) -> None:
+        """Stop accepting requests."""
+        ...
+
+
+def parse_url(url: str) -> tuple[str, str]:
+    """Split ``scheme://rest`` and validate the scheme is non-empty."""
+    scheme, sep, rest = url.partition("://")
+    if not sep or not scheme:
+        raise ValueError(f"malformed transport url: {url!r}")
+    return scheme, rest

@@ -1,0 +1,81 @@
+"""In-process transport.
+
+Connects endpoints within one Python process through a process-global name
+table — the moral equivalent of components sharing a Harness kernel.  The
+*encoded* flavour still pays full codec cost (used by benchmarks to isolate
+encoding overhead from network overhead); the binding layer's local path
+skips transports entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.transport.base import Listener, RequestHandler, TransportMessage, parse_url
+from repro.util.errors import TransportClosedError, TransportError
+
+__all__ = ["InProcListener", "InProcTransport", "reset_inproc_namespace"]
+
+_endpoints: dict[str, "InProcListener"] = {}
+_lock = threading.Lock()
+
+
+def reset_inproc_namespace() -> None:
+    """Drop all registered endpoints (test isolation helper)."""
+    with _lock:
+        for listener in list(_endpoints.values()):
+            listener._closed = True
+        _endpoints.clear()
+
+
+class InProcListener:
+    """Server endpoint registered under ``inproc://<name>``."""
+
+    def __init__(self, name: str, handler: RequestHandler):
+        if "/" in name:
+            raise TransportError(f"inproc endpoint name may not contain '/': {name!r}")
+        self._name = name
+        self._handler = handler
+        self._closed = False
+        with _lock:
+            if name in _endpoints:
+                raise TransportError(f"inproc endpoint already bound: {name!r}")
+            _endpoints[name] = self
+
+    @property
+    def url(self) -> str:
+        return f"inproc://{self._name}"
+
+    def close(self) -> None:
+        self._closed = True
+        with _lock:
+            if _endpoints.get(self._name) is self:
+                del _endpoints[self._name]
+
+    def _dispatch(self, message: TransportMessage) -> TransportMessage:
+        if self._closed:
+            raise TransportClosedError(f"endpoint closed: {self.url}")
+        return self._handler(message)
+
+
+class InProcTransport:
+    """Client side dialing an ``inproc://`` URL."""
+
+    def __init__(self, url: str):
+        scheme, name = parse_url(url)
+        if scheme != "inproc":
+            raise TransportError(f"not an inproc url: {url!r}")
+        self._name = name
+        self._closed = False
+
+    def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+        if self._closed:
+            raise TransportClosedError("transport closed")
+        with _lock:
+            listener = _endpoints.get(self._name)
+        if listener is None:
+            raise TransportError(f"no inproc endpoint named {self._name!r}")
+        return listener._dispatch(message)
+
+    def close(self) -> None:
+        self._closed = True

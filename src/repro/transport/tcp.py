@@ -1,0 +1,172 @@
+"""Framed TCP transport — the XDR binding's "direct socket level connections".
+
+Wire format per message (both directions)::
+
+    uint32 BE  total frame length (excluding these 4 bytes)
+    uint16 BE  content-type length |ct|
+    |ct| bytes content type (ASCII)
+    uint8      status (requests: 0; responses: 0 = ok, 1 = fault)
+    payload    remaining bytes
+
+Connections are persistent: a client keeps one socket per server and
+serializes requests over it (Harness components are expected to open one
+channel per peer, matching the paper's point about minimizing "the number
+of entities that need to be traversed").
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+
+from repro.transport.base import RequestHandler, TransportMessage, parse_url
+from repro.util.errors import TransportClosedError, TransportError
+
+__all__ = ["TcpListener", "TcpTransport"]
+
+_HEADER = struct.Struct(">I")
+_CT_LEN = struct.Struct(">H")
+
+STATUS_OK = 0
+STATUS_FAULT = 1
+
+
+def _write_frame(sock: socket.socket, message: TransportMessage, status: int = STATUS_OK) -> None:
+    ct = message.content_type.encode("ascii")
+    body = _CT_LEN.pack(len(ct)) + ct + bytes([status]) + message.payload
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportClosedError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(sock: socket.socket) -> tuple[TransportMessage, int]:
+    header = _read_exact(sock, 4)
+    (length,) = _HEADER.unpack(header)
+    if length < 3:
+        raise TransportError(f"short frame: {length} bytes")
+    body = _read_exact(sock, length)
+    (ct_len,) = _CT_LEN.unpack(body[:2])
+    content_type = body[2 : 2 + ct_len].decode("ascii")
+    status = body[2 + ct_len]
+    payload = body[3 + ct_len :]
+    return TransportMessage(content_type, payload), status
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one connection, many frames
+        server: "_Server" = self.server  # type: ignore[assignment]
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                message, _status = _read_frame(sock)
+            except (TransportClosedError, ConnectionError, OSError):
+                return
+            try:
+                response = server.app_handler(message)
+                status = STATUS_OK
+            except Exception as exc:  # deliver faults instead of dropping the socket
+                response = TransportMessage("text/plain", str(exc).encode("utf-8"))
+                status = STATUS_FAULT
+            try:
+                _write_frame(sock, response, status)
+            except (ConnectionError, OSError):
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app_handler: RequestHandler):
+        super().__init__(address, _Handler)
+        self.app_handler = app_handler
+
+
+class TcpListener:
+    """A framed-TCP server endpoint; URL scheme ``tcp://host:port``."""
+
+    def __init__(self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0):
+        self._server = _Server((host, port), handler)
+        self._host, self._port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"tcp-listener-{self._port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+
+class TcpTransport:
+    """Client side of the framed-TCP transport (persistent connection)."""
+
+    def __init__(self, url: str, connect_timeout: float = 5.0):
+        scheme, rest = parse_url(url)
+        if scheme != "tcp":
+            raise TransportError(f"not a tcp url: {url!r}")
+        host, _, port_text = rest.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise TransportError(f"bad tcp url (no port): {url!r}") from exc
+        self._url = url
+        self._lock = threading.Lock()
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {url}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+
+    def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+        with self._lock:
+            if self._closed:
+                raise TransportClosedError("transport closed")
+            self._sock.settimeout(timeout)
+            try:
+                _write_frame(self._sock, message)
+                response, status = _read_frame(self._sock)
+            except socket.timeout as exc:
+                raise TransportError(f"request to {self._url} timed out") from exc
+            except (ConnectionError, OSError) as exc:
+                self._closed = True
+                raise TransportClosedError(f"connection to {self._url} lost: {exc}") from exc
+        if status == STATUS_FAULT:
+            raise TransportError(
+                f"remote fault from {self._url}: {response.payload.decode('utf-8', 'replace')}"
+            )
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass

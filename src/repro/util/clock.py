@@ -1,0 +1,135 @@
+"""Clocks and timing utilities.
+
+Two clock flavours coexist in the framework:
+
+* :class:`WallClock` — thin wrapper over ``time.monotonic`` used by real
+  transports and benchmarks.
+* :class:`VirtualClock` — a manually advanced clock used by the ``netsim``
+  fabric so that DVM-scale experiments (latency/bandwidth sweeps across
+  hundreds of virtual hosts) are deterministic and instantaneous.
+
+Both expose the same two-method protocol (``now()``, ``sleep()``), so any
+layer that needs time takes a ``Clock`` and never calls ``time`` directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Callable, Protocol
+
+__all__ = ["Clock", "WallClock", "VirtualClock", "Stopwatch", "Deadline"]
+
+
+class Clock(Protocol):
+    """Minimal clock protocol shared by wall and virtual clocks."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic)."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for *seconds*."""
+        ...
+
+
+class WallClock:
+    """Real monotonic clock."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """A deterministic clock advanced explicitly or by sleeping.
+
+    ``sleep`` advances the virtual time immediately; scheduled callbacks
+    registered with :meth:`call_at` fire in timestamp order whenever the
+    clock passes them.  This is enough to model message latency in
+    ``netsim`` without real waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.RLock()
+        self._pending: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.advance(seconds)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run when the clock reaches *when*."""
+        with self._lock:
+            self._seq += 1
+            heapq.heappush(self._pending, (when, self._seq, callback))
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing due callbacks in order."""
+        with self._lock:
+            target = self._now + seconds
+        while True:
+            with self._lock:
+                if not self._pending or self._pending[0][0] > target:
+                    self._now = target
+                    return
+                when, _, callback = heapq.heappop(self._pending)
+                self._now = max(self._now, when)
+            callback()
+
+    def run_until_idle(self) -> None:
+        """Fire every scheduled callback, advancing time as needed."""
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                when, _, callback = heapq.heappop(self._pending)
+                self._now = max(self._now, when)
+            callback()
+
+
+class Stopwatch:
+    """Measure elapsed wall time; used by benchmarks and the profiler hooks."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock or WallClock()
+        self._start = self._clock.now()
+
+    def restart(self) -> None:
+        self._start = self._clock.now()
+
+    def elapsed(self) -> float:
+        return self._clock.now() - self._start
+
+
+class Deadline:
+    """A point in time by which an operation must complete.
+
+    ``remaining()`` never goes negative; ``expired`` flips exactly once.
+    A ``timeout`` of ``None`` means "wait forever".
+    """
+
+    def __init__(self, timeout: float | None, clock: Clock | None = None):
+        self._clock = clock or WallClock()
+        self._expires = None if timeout is None else self._clock.now() + timeout
+
+    @property
+    def expired(self) -> bool:
+        return self._expires is not None and self._clock.now() >= self._expires
+
+    def remaining(self) -> float | None:
+        """Seconds left, clamped at zero; ``None`` for an infinite deadline."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - self._clock.now())

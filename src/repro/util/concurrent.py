@@ -1,0 +1,247 @@
+"""Concurrency primitives used across kernels, containers and transports.
+
+Harness kernels are concurrent: plugin invocations, transport listeners and
+DVM event distribution all run on threads.  This module collects the small
+set of primitives the rest of the framework builds on, so locking policy
+lives in one place.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Generic, Iterable, TypeVar
+
+from repro.util.errors import HarnessTimeoutError
+
+__all__ = [
+    "AtomicCounter",
+    "CountDownLatch",
+    "ReadWriteLock",
+    "SerialExecutor",
+    "run_all",
+    "wait_for",
+]
+
+T = TypeVar("T")
+
+
+class AtomicCounter:
+    """A thread-safe monotonically adjustable counter."""
+
+    def __init__(self, initial: int = 0):
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> int:
+        """Add *amount* and return the new value."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        return self.increment(-amount)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class CountDownLatch:
+    """Block until ``count`` events have occurred (java.util.concurrent style).
+
+    The DVM full-synchrony protocol uses a latch per broadcast to wait for
+    acknowledgements from every member node.
+    """
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise ValueError("latch count must be non-negative")
+        self._count = count
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._cond.notify_all()
+
+    @property
+    def count(self) -> int:
+        with self._cond:
+            return self._count
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the count hits zero; raise on timeout."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._count == 0, timeout):
+                raise HarnessTimeoutError(
+                    f"latch not released within {timeout}s ({self._count} remaining)"
+                )
+
+
+class ReadWriteLock:
+    """Many-readers / single-writer lock.
+
+    Container registries and DVM state tables are read-dominated (lookup and
+    status queries vastly outnumber deployments), so shared read access
+    matters for the C4/C5 benchmarks to measure protocol costs rather than
+    lock convoys.  Writer-preference: once a writer is waiting, new readers
+    block, which bounds writer starvation.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            self._cond.wait_for(lambda: not self._writer and self._writers_waiting == 0)
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                self._cond.wait_for(lambda: not self._writer and self._readers == 0)
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def reading(self) -> "_ReadGuard":
+        """Context manager acquiring the lock in read mode."""
+        return ReadWriteLock._ReadGuard(self)
+
+    def writing(self) -> "_WriteGuard":
+        """Context manager acquiring the lock in write mode."""
+        return ReadWriteLock._WriteGuard(self)
+
+
+class SerialExecutor(Generic[T]):
+    """Run submitted callables one at a time on a dedicated daemon thread.
+
+    Each Harness kernel owns one serial executor for lifecycle operations,
+    which gives plugins the single-threaded lifecycle guarantees the paper's
+    component model assumes while invocations stay concurrent.
+    """
+
+    def __init__(self, name: str = "harness-serial"):
+        self._queue: list[tuple[Callable[[], T], Future]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    def submit(self, fn: Callable[[], T]) -> "Future[T]":
+        """Queue *fn*; returns a future resolving to its result."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("executor closed")
+            self._queue.append((fn, future))
+            self._cond.notify()
+        return future
+
+    def call(self, fn: Callable[[], T], timeout: float | None = 30.0) -> T:
+        """Submit *fn* and wait for its result."""
+        return self.submit(fn).result(timeout)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+        self._thread.join(timeout=5)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(lambda: self._queue or self._closed)
+                if not self._queue and self._closed:
+                    return
+                fn, future = self._queue.pop(0)
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # propagate into the future
+                future.set_exception(exc)
+
+
+def run_all(thunks: Iterable[Callable[[], T]], prefix: str = "harness") -> list[T]:
+    """Run thunks concurrently on fresh threads and gather results in order.
+
+    Any exception is re-raised (the first one, by thunk order) after all
+    threads finish, so partially completed work is never silently dropped.
+    """
+    thunks = list(thunks)
+    results: list = [None] * len(thunks)
+    errors: list = [None] * len(thunks)
+
+    def runner(i: int, fn: Callable[[], T]) -> None:
+        try:
+            results[i] = fn()
+        except BaseException as exc:
+            errors[i] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(i, fn), name=f"{prefix}-{i}", daemon=True)
+        for i, fn in enumerate(thunks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for err in errors:
+        if err is not None:
+            raise err
+    return results
+
+
+def wait_for(predicate: Callable[[], bool], timeout: float = 5.0, interval: float = 0.001) -> None:
+    """Poll *predicate* until true; raise :class:`HarnessTimeoutError` otherwise."""
+    import time as _time
+
+    end = _time.monotonic() + timeout
+    while not predicate():
+        if _time.monotonic() >= end:
+            raise HarnessTimeoutError(f"condition not met within {timeout}s")
+        _time.sleep(interval)

@@ -1,0 +1,136 @@
+"""Exception hierarchy for the HARNESS II framework.
+
+Every error raised by this library derives from :class:`HarnessError` so that
+applications embedding a DVM can catch framework failures with a single
+``except`` clause, mirroring the single fault model that the paper's
+WSDL/SOAP layer exposes to clients (a SOAP ``Fault``).
+
+The hierarchy is deliberately shallow: one subclass per architectural layer
+(encoding, transport, binding, registry, container, DVM, plugin) plus a few
+cross-cutting conditions (timeouts, name clashes).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HarnessError",
+    "EncodingError",
+    "XmlError",
+    "WsdlError",
+    "SoapFaultError",
+    "TransportError",
+    "TransportClosedError",
+    "BindingError",
+    "NoBindingAvailableError",
+    "RegistryError",
+    "ServiceNotFoundError",
+    "DuplicateNameError",
+    "ContainerError",
+    "ComponentStateError",
+    "RunnerError",
+    "DvmError",
+    "MembershipError",
+    "CoherencyError",
+    "PluginError",
+    "PluginLoadError",
+    "HarnessTimeoutError",
+    "MigrationError",
+]
+
+
+class HarnessError(Exception):
+    """Base class for all errors raised by the HARNESS II framework."""
+
+
+class EncodingError(HarnessError):
+    """A value could not be encoded or decoded (XDR, base64, SOAP section 5)."""
+
+
+class XmlError(HarnessError):
+    """Malformed XML, bad namespace usage, or an invalid query expression."""
+
+
+class WsdlError(XmlError):
+    """A WSDL document is structurally invalid or refers to undefined parts."""
+
+
+class SoapFaultError(HarnessError):
+    """A SOAP fault returned by a remote service invocation.
+
+    Carries the fault code and fault string from the ``<Fault>`` element,
+    plus an optional ``detail`` payload.
+    """
+
+    def __init__(self, faultcode: str, faultstring: str, detail: object = None):
+        super().__init__(f"{faultcode}: {faultstring}")
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+
+
+class TransportError(HarnessError):
+    """A message could not be delivered over a transport."""
+
+
+class TransportClosedError(TransportError):
+    """The transport endpoint was closed while a message was in flight."""
+
+
+class BindingError(HarnessError):
+    """A binding could not be established or an invocation through it failed."""
+
+
+class NoBindingAvailableError(BindingError):
+    """No binding in a WSDL document is usable from the client's location."""
+
+
+class RegistryError(HarnessError):
+    """A lookup / registry operation failed."""
+
+
+class ServiceNotFoundError(RegistryError):
+    """Discovery found no service matching the query."""
+
+
+class DuplicateNameError(RegistryError):
+    """A name was already taken in the targeted namespace."""
+
+
+class ContainerError(HarnessError):
+    """A component container operation failed."""
+
+
+class ComponentStateError(ContainerError):
+    """A component was driven through an illegal lifecycle transition."""
+
+
+class RunnerError(HarnessError):
+    """The resource-abstraction layer (runner box) could not run a task."""
+
+
+class DvmError(HarnessError):
+    """A distributed virtual machine level operation failed."""
+
+
+class MembershipError(DvmError):
+    """A node join/leave violated DVM membership rules."""
+
+
+class CoherencyError(DvmError):
+    """The distributed state protocol detected an inconsistency."""
+
+
+class PluginError(HarnessError):
+    """A plugin misbehaved or was used outside its lifecycle."""
+
+
+class PluginLoadError(PluginError):
+    """A plugin could not be located, loaded, or instantiated."""
+
+
+class HarnessTimeoutError(HarnessError, TimeoutError):
+    """An operation did not complete within its deadline."""
+
+
+class MigrationError(HarnessError):
+    """A component could not be moved between containers."""

@@ -1,0 +1,112 @@
+"""In-process publish/subscribe event bus.
+
+The Harness kernel distributes lifecycle and system events ("general event
+management" in Figure 2) through an :class:`EventBus`.  Topics are
+hierarchical dotted strings; a subscription to ``dvm.member`` receives
+``dvm.member.joined`` and ``dvm.member.left``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.ids import new_id
+
+__all__ = ["Event", "EventBus", "Subscription"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable event record delivered to subscribers."""
+
+    topic: str
+    payload: Any = None
+    source: str = ""
+    attributes: dict = field(default_factory=dict)
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call :meth:`cancel` to stop."""
+
+    def __init__(self, bus: "EventBus", topic: str, sub_id: str):
+        self._bus = bus
+        self.topic = topic
+        self.id = sub_id
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        if self._active:
+            self._active = False
+            self._bus._remove(self)
+
+
+class EventBus:
+    """Topic-based synchronous event bus.
+
+    Delivery is synchronous in the publisher's thread: this keeps event
+    ordering deterministic, which the full-synchrony DVM protocol relies on.
+    Handlers must not block.  Handler exceptions are collected and reported
+    via the optional ``error_handler`` rather than unwinding the publisher.
+    """
+
+    def __init__(self, error_handler: Callable[[Exception, Event], None] | None = None):
+        self._lock = threading.RLock()
+        self._subs: dict[str, tuple[Subscription, Callable[[Event], None]]] = {}
+        self._error_handler = error_handler
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, topic: str, handler: Callable[[Event], None]) -> Subscription:
+        """Register *handler* for *topic* and every subtopic beneath it."""
+        sub = Subscription(self, topic, new_id("sub"))
+        with self._lock:
+            self._subs[sub.id] = (sub, handler)
+        return sub
+
+    def publish(self, topic: str, payload: Any = None, source: str = "", **attributes) -> int:
+        """Publish an event; returns the number of handlers that received it."""
+        event = Event(topic=topic, payload=payload, source=source, attributes=attributes)
+        with self._lock:
+            targets = [
+                (sub, handler)
+                for sub, handler in self._subs.values()
+                if _topic_matches(sub.topic, topic)
+            ]
+            self.published += 1
+        count = 0
+        for sub, handler in targets:
+            if not sub.active:
+                continue
+            try:
+                handler(event)
+                count += 1
+            except Exception as exc:  # isolate subscriber failures
+                if self._error_handler is not None:
+                    self._error_handler(exc, event)
+        with self._lock:
+            self.delivered += count
+        return count
+
+    def _remove(self, sub: Subscription) -> None:
+        with self._lock:
+            self._subs.pop(sub.id, None)
+
+    def subscriber_count(self, topic: str | None = None) -> int:
+        """Number of active subscriptions, optionally only those matching *topic*."""
+        with self._lock:
+            if topic is None:
+                return len(self._subs)
+            return sum(1 for sub, _ in self._subs.values() if _topic_matches(sub.topic, topic))
+
+
+def _topic_matches(pattern: str, topic: str) -> bool:
+    """True when *pattern* equals *topic* or is a dotted prefix of it."""
+    if pattern in ("", "*"):
+        return True
+    return topic == pattern or topic.startswith(pattern + ".")

@@ -1,0 +1,130 @@
+"""Identifier and name management.
+
+The paper requires that "a DVM is associated with a symbolic name that is
+unique in the Harness name space" and that containers "define a local name
+space".  :class:`HarnessName` implements that hierarchical, slash-separated
+name space (``/dvm/node-a/container0/matmul``), and :func:`new_id` produces
+collision-resistant identifiers for registry keys (the analogue of UDDI
+``uuid`` keys).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from typing import Iterable
+
+from repro.util.errors import HarnessError
+
+__all__ = ["new_id", "new_uuid_key", "HarnessName", "NameClashError"]
+
+_counter = itertools.count(1)
+_counter_lock = threading.Lock()
+
+
+def new_id(prefix: str = "h") -> str:
+    """Return a short process-unique identifier like ``h-17``.
+
+    Monotonically increasing, cheap, and stable within a process — suitable
+    for component/task ids that appear in logs and tests.  For globally
+    unique registry keys use :func:`new_uuid_key`.
+    """
+    with _counter_lock:
+        return f"{prefix}-{next(_counter)}"
+
+
+def new_uuid_key(prefix: str = "uuid") -> str:
+    """Return a globally unique key like UDDI's businessKey/tModelKey."""
+    return f"{prefix}:{uuid.uuid4()}"
+
+
+class NameClashError(HarnessError):
+    """Two distinct entities claimed the same :class:`HarnessName`."""
+
+
+class HarnessName:
+    """A hierarchical name in the Harness name space.
+
+    Names are immutable sequences of non-empty components rendered as
+    ``/a/b/c``.  The root name is ``/``.  Supports parent/child navigation
+    and prefix tests, which the DVM layer uses to scope lookups to a node or
+    container subtree.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: Iterable[str] | str = ()):
+        if isinstance(parts, str):
+            parts = [p for p in parts.split("/") if p]
+        parts = tuple(parts)
+        for part in parts:
+            if not part or "/" in part:
+                raise ValueError(f"invalid name component: {part!r}")
+        self._parts = parts
+
+    @classmethod
+    def root(cls) -> "HarnessName":
+        """The root of the name space, rendered as ``/``."""
+        return cls(())
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """The name components as a tuple."""
+        return self._parts
+
+    @property
+    def leaf(self) -> str:
+        """The final component; raises :class:`ValueError` for the root."""
+        if not self._parts:
+            raise ValueError("root name has no leaf")
+        return self._parts[-1]
+
+    @property
+    def parent(self) -> "HarnessName":
+        """The enclosing name; the root is its own parent."""
+        return HarnessName(self._parts[:-1])
+
+    def child(self, component: str) -> "HarnessName":
+        """Return this name extended by exactly one component."""
+        if not component or "/" in component:
+            raise ValueError(f"invalid name component: {component!r}")
+        return HarnessName(self._parts + (component,))
+
+    def is_ancestor_of(self, other: "HarnessName") -> bool:
+        """True when *other* lives strictly below this name."""
+        return (
+            len(other._parts) > len(self._parts)
+            and other._parts[: len(self._parts)] == self._parts
+        )
+
+    def relative_to(self, base: "HarnessName") -> "HarnessName":
+        """Strip *base* from the front of this name."""
+        if self._parts[: len(base._parts)] != base._parts:
+            raise ValueError(f"{self} is not under {base}")
+        return HarnessName(self._parts[len(base._parts):])
+
+    def __truediv__(self, component: str) -> "HarnessName":
+        return self.child(component)
+
+    def __str__(self) -> str:
+        return "/" + "/".join(self._parts)
+
+    def __repr__(self) -> str:
+        return f"HarnessName({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, HarnessName):
+            return self._parts == other._parts
+        if isinstance(other, str):
+            return self == HarnessName(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._parts)
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __iter__(self):
+        return iter(self._parts)

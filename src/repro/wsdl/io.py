@@ -1,0 +1,196 @@
+"""WSDL document ⇄ XML conversion.
+
+Produces documents shaped like the paper's Figures 7/8 listings:
+``<wsdl:definitions>`` containing messages, portTypes, bindings (with
+extensibility elements) and services.  References between sections use the
+``tns:`` prefix bound to the document's target namespace.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import WsdlError
+from repro.wsdl.extensions import ExtensibilityElement, extension_from_element
+from repro.wsdl.model import (
+    WsdlBinding,
+    WsdlBindingOperation,
+    WsdlDocument,
+    WsdlMessage,
+    WsdlOperation,
+    WsdlPart,
+    WsdlPort,
+    WsdlPortType,
+    WsdlService,
+)
+from repro.xmlkit import NS_WSDL, QName, XmlElement, parse, to_string
+
+__all__ = ["document_to_element", "document_to_string", "document_from_element", "document_from_string"]
+
+_DEFINITIONS = QName(NS_WSDL, "definitions")
+_MESSAGE = QName(NS_WSDL, "message")
+_PART = QName(NS_WSDL, "part")
+_PORT_TYPE = QName(NS_WSDL, "portType")
+_OPERATION = QName(NS_WSDL, "operation")
+_INPUT = QName(NS_WSDL, "input")
+_OUTPUT = QName(NS_WSDL, "output")
+_BINDING = QName(NS_WSDL, "binding")
+_SERVICE = QName(NS_WSDL, "service")
+_PORT = QName(NS_WSDL, "port")
+_DOCUMENTATION = QName(NS_WSDL, "documentation")
+
+
+def _tns(name: str) -> str:
+    return f"tns:{name}"
+
+
+def _strip_prefix(ref: str) -> str:
+    return ref.rsplit(":", 1)[-1]
+
+
+def document_to_element(doc: WsdlDocument) -> XmlElement:
+    """Render the document model as a ``<wsdl:definitions>`` tree."""
+    root = XmlElement(
+        _DEFINITIONS,
+        {
+            "name": doc.name,
+            "targetNamespace": doc.target_namespace,
+            "xmlns:tns": doc.target_namespace,
+        },
+    )
+    if doc.documentation:
+        root.element(_DOCUMENTATION, text=doc.documentation)
+    for message in doc.messages:
+        message_el = root.element(_MESSAGE, {"name": message.name})
+        for part in message.parts:
+            message_el.element(_PART, {"name": part.name, "type": part.type_name})
+    for port_type in doc.port_types:
+        pt_el = root.element(_PORT_TYPE, {"name": port_type.name})
+        for op in port_type.operations:
+            op_el = pt_el.element(_OPERATION, {"name": op.name})
+            if op.input_message:
+                op_el.element(_INPUT, {"message": _tns(op.input_message)})
+            if op.output_message:
+                op_el.element(_OUTPUT, {"message": _tns(op.output_message)})
+    for binding in doc.bindings:
+        b_el = root.element(
+            _BINDING, {"name": binding.name, "type": _tns(binding.port_type)}
+        )
+        for ext in binding.extensions:
+            b_el.append(ext.to_element())
+        for bop in binding.operations:
+            bop_el = b_el.element(_OPERATION, {"name": bop.name})
+            for ext in bop.extensions:
+                bop_el.append(ext.to_element())
+    for service in doc.services:
+        s_el = root.element(_SERVICE, {"name": service.name})
+        if service.documentation:
+            s_el.element(_DOCUMENTATION, text=service.documentation)
+        for port in service.ports:
+            p_el = s_el.element(
+                _PORT, {"name": port.name, "binding": _tns(port.binding)}
+            )
+            for ext in port.extensions:
+                p_el.append(ext.to_element())
+    return root
+
+
+def document_to_string(doc: WsdlDocument, indent: bool = True) -> str:
+    """Serialize to XML text (what gets published to a registry)."""
+    return to_string(document_to_element(doc), indent=indent)
+
+
+def document_from_string(text: str | bytes) -> WsdlDocument:
+    """Parse a WSDL XML document into the model."""
+    return document_from_element(parse(text))
+
+
+def document_from_element(root: XmlElement) -> WsdlDocument:
+    """Convert a parsed ``<definitions>`` tree into the model (validated)."""
+    if root.name.local != "definitions":
+        raise WsdlError(f"not a WSDL document: <{root.name.local}>")
+    name = root.get("name", "") or ""
+    target_namespace = root.get("targetNamespace", "") or ""
+    documentation = ""
+    doc_el = root.find("documentation")
+    if doc_el is not None:
+        documentation = doc_el.text
+
+    messages = []
+    for m_el in root.find_all("message"):
+        parts = tuple(
+            WsdlPart(p.require("name"), p.get("type", "xsd:anyType") or "xsd:anyType")
+            for p in m_el.find_all("part")
+        )
+        messages.append(WsdlMessage(m_el.require("name"), parts))
+
+    port_types = []
+    for pt_el in root.find_all("portType"):
+        ops = []
+        for op_el in pt_el.find_all("operation"):
+            input_el = op_el.find("input")
+            output_el = op_el.find("output")
+            ops.append(
+                WsdlOperation(
+                    op_el.require("name"),
+                    _strip_prefix(input_el.get("message", "") or "") if input_el is not None else "",
+                    _strip_prefix(output_el.get("message", "") or "") if output_el is not None else "",
+                )
+            )
+        port_types.append(WsdlPortType(pt_el.require("name"), tuple(ops)))
+
+    bindings = []
+    for b_el in root.find_all("binding"):
+        extensions = _parse_extensions(b_el)
+        bops = []
+        for op_el in b_el.find_all("operation"):
+            bops.append(
+                WsdlBindingOperation(op_el.require("name"), _parse_extensions(op_el))
+            )
+        bindings.append(
+            WsdlBinding(
+                b_el.require("name"),
+                _strip_prefix(b_el.require("type")),
+                extensions,
+                tuple(bops),
+            )
+        )
+
+    services = []
+    for s_el in root.find_all("service"):
+        service_doc_el = s_el.find("documentation")
+        ports = []
+        for p_el in s_el.find_all("port"):
+            ports.append(
+                WsdlPort(
+                    p_el.require("name"),
+                    _strip_prefix(p_el.require("binding")),
+                    _parse_extensions(p_el),
+                )
+            )
+        services.append(
+            WsdlService(
+                s_el.require("name"),
+                tuple(ports),
+                service_doc_el.text if service_doc_el is not None else "",
+            )
+        )
+
+    doc = WsdlDocument(
+        name=name,
+        target_namespace=target_namespace,
+        messages=tuple(messages),
+        port_types=tuple(port_types),
+        bindings=tuple(bindings),
+        services=tuple(services),
+        documentation=documentation,
+    )
+    doc.validate()
+    return doc
+
+
+def _parse_extensions(parent: XmlElement) -> tuple[ExtensibilityElement, ...]:
+    extensions = []
+    for child in parent.children:
+        ext = extension_from_element(child)
+        if ext is not None:
+            extensions.append(ext)
+    return tuple(extensions)

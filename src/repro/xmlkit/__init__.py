@@ -1,0 +1,39 @@
+"""Namespace-aware XML infoset, serializer/parser, and query engine."""
+
+from repro.xmlkit.element import XmlElement
+from repro.xmlkit.qname import (
+    NS_HARNESS,
+    NS_MIME,
+    NS_SOAP,
+    NS_SOAP_ENC,
+    NS_SOAP_ENV,
+    NS_UDDI,
+    NS_WSDL,
+    NS_WSIL,
+    NS_XSD,
+    NS_XSI,
+    QName,
+)
+from repro.xmlkit.query import XmlQuery, query, query_values
+from repro.xmlkit.serialize import canonicalize, parse, to_string
+
+__all__ = [
+    "XmlElement",
+    "QName",
+    "NS_HARNESS",
+    "NS_MIME",
+    "NS_SOAP",
+    "NS_SOAP_ENC",
+    "NS_SOAP_ENV",
+    "NS_UDDI",
+    "NS_WSDL",
+    "NS_WSIL",
+    "NS_XSD",
+    "NS_XSI",
+    "XmlQuery",
+    "query",
+    "query_values",
+    "canonicalize",
+    "parse",
+    "to_string",
+]

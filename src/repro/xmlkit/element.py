@@ -1,0 +1,172 @@
+"""A small namespace-aware XML element model.
+
+``xml.etree.ElementTree`` is used only at the parse/serialize boundary;
+inside the framework we keep our own :class:`XmlElement` tree because the
+registry query engine (:mod:`repro.xmlkit.query`) and the WSDL model need a
+mutable, parent-linked, QName-keyed infoset that ElementTree does not offer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.util.errors import XmlError
+from repro.xmlkit.qname import QName
+
+__all__ = ["XmlElement"]
+
+
+class XmlElement:
+    """One element in an XML document.
+
+    * ``name`` — a :class:`QName`
+    * ``attributes`` — dict mapping :class:`QName` (or plain local-name
+      strings, normalised to unqualified QNames) to string values
+    * ``children`` — ordered child elements (parent links maintained)
+    * ``text`` — character content (concatenated, whitespace preserved)
+    """
+
+    __slots__ = ("name", "attributes", "_children", "text", "parent")
+
+    def __init__(
+        self,
+        name: QName | str,
+        attributes: dict | None = None,
+        text: str = "",
+        children: Iterable["XmlElement"] | None = None,
+    ):
+        self.name = name if isinstance(name, QName) else QName.parse(name)
+        self.attributes: dict[QName, str] = {}
+        if attributes:
+            for key, value in attributes.items():
+                self.set(key, value)
+        self.text = text
+        self.parent: XmlElement | None = None
+        self._children: list[XmlElement] = []
+        for child in children or ():
+            self.append(child)
+
+    # -- attribute access ---------------------------------------------------
+
+    @staticmethod
+    def _attr_key(key: QName | str) -> QName:
+        return key if isinstance(key, QName) else QName.parse(key)
+
+    def set(self, key: QName | str, value: object) -> "XmlElement":
+        """Set an attribute; returns self for chaining."""
+        self.attributes[self._attr_key(key)] = str(value)
+        return self
+
+    def get(self, key: QName | str, default: str | None = None) -> str | None:
+        """Attribute value by QName or local name (unqualified)."""
+        qkey = self._attr_key(key)
+        if qkey in self.attributes:
+            return self.attributes[qkey]
+        if not qkey.namespace:
+            # fall back to matching by local name regardless of namespace
+            for attr, value in self.attributes.items():
+                if attr.local == qkey.local:
+                    return value
+        return default
+
+    def require(self, key: QName | str) -> str:
+        """Attribute value or :class:`XmlError` if absent."""
+        value = self.get(key)
+        if value is None:
+            raise XmlError(f"<{self.name.local}> missing required attribute {key!r}")
+        return value
+
+    # -- tree manipulation ----------------------------------------------------
+
+    @property
+    def children(self) -> tuple["XmlElement", ...]:
+        return tuple(self._children)
+
+    def append(self, child: "XmlElement") -> "XmlElement":
+        """Append *child* and return it (handy for builder-style code)."""
+        if child.parent is not None:
+            raise XmlError("element already has a parent; detach it first")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def element(self, name: QName | str, attributes: dict | None = None, text: str = "") -> "XmlElement":
+        """Create, append and return a new child element."""
+        return self.append(XmlElement(name, attributes, text))
+
+    def detach(self) -> "XmlElement":
+        """Remove this element from its parent; returns self."""
+        if self.parent is not None:
+            self.parent._children.remove(self)
+            self.parent = None
+        return self
+
+    # -- navigation -----------------------------------------------------------
+
+    def find(self, name: QName | str) -> "XmlElement | None":
+        """First direct child whose name matches (namespace-insensitive if bare)."""
+        for child in self._children:
+            if _name_matches(child.name, name):
+                return child
+        return None
+
+    def find_all(self, name: QName | str) -> list["XmlElement"]:
+        """All direct children matching *name*."""
+        return [c for c in self._children if _name_matches(c.name, name)]
+
+    def first(self, name: QName | str) -> "XmlElement":
+        """Like :meth:`find` but raises :class:`XmlError` when absent."""
+        found = self.find(name)
+        if found is None:
+            raise XmlError(f"<{self.name.local}> has no <{name}> child")
+        return found
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first pre-order traversal including self."""
+        yield self
+        for child in self._children:
+            yield from child.iter()
+
+    def path(self) -> str:
+        """Slash path of local names from the root, for diagnostics."""
+        parts = []
+        node: XmlElement | None = self
+        while node is not None:
+            parts.append(node.name.local)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- value helpers ----------------------------------------------------------
+
+    def text_content(self) -> str:
+        """Concatenated text of this element and all descendants."""
+        return self.text + "".join(c.text_content() for c in self._children)
+
+    def copy(self) -> "XmlElement":
+        """Deep copy with no parent."""
+        dup = XmlElement(self.name, dict(self.attributes), self.text)
+        for child in self._children:
+            dup.append(child.copy())
+        return dup
+
+    # -- equality (structural) ----------------------------------------------------
+
+    def structurally_equal(self, other: "XmlElement") -> bool:
+        """Deep equality of names, attributes, text and child order."""
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.text == other.text
+            and len(self._children) == len(other._children)
+            and all(a.structurally_equal(b) for a, b in zip(self._children, other._children))
+        )
+
+    def __repr__(self) -> str:
+        return f"<XmlElement {self.name.local} attrs={len(self.attributes)} children={len(self._children)}>"
+
+
+def _name_matches(name: QName, pattern: QName | str) -> bool:
+    if isinstance(pattern, QName):
+        return name == pattern
+    # Bare string: match by local name only (convenient, namespace-lenient).
+    return name.local == pattern

@@ -1,0 +1,81 @@
+"""Qualified names and the namespace vocabulary used across the framework.
+
+WSDL, SOAP and XSD are all namespace-heavy; this module pins the namespace
+URIs the paper's technology stack uses (WSDL 1.1, SOAP 1.1, XSD) plus the
+Harness II extension namespace for the local/XDR bindings of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "QName",
+    "NS_WSDL",
+    "NS_SOAP",
+    "NS_MIME",
+    "NS_SOAP_ENV",
+    "NS_SOAP_ENC",
+    "NS_XSD",
+    "NS_XSI",
+    "NS_HARNESS",
+    "NS_WSIL",
+    "NS_UDDI",
+    "WELL_KNOWN_PREFIXES",
+]
+
+NS_WSDL = "http://schemas.xmlsoap.org/wsdl/"
+NS_SOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+NS_MIME = "http://schemas.xmlsoap.org/wsdl/mime/"
+NS_SOAP_ENV = "http://schemas.xmlsoap.org/soap/envelope/"
+NS_SOAP_ENC = "http://schemas.xmlsoap.org/soap/encoding/"
+NS_XSD = "http://www.w3.org/2001/XMLSchema"
+NS_XSI = "http://www.w3.org/2001/XMLSchema-instance"
+#: Harness II extensibility namespace: local / local-instance / XDR bindings.
+NS_HARNESS = "http://harness.mathcs.emory.edu/wsdl/harness/"
+NS_WSIL = "http://schemas.xmlsoap.org/ws/2001/10/inspection/"
+NS_UDDI = "urn:uddi-org:api_v2"
+
+#: Preferred prefixes used by the serializer for readable documents.
+WELL_KNOWN_PREFIXES = {
+    NS_WSDL: "wsdl",
+    NS_SOAP: "soap",
+    NS_MIME: "mime",
+    NS_SOAP_ENV: "soapenv",
+    NS_SOAP_ENC: "soapenc",
+    NS_XSD: "xsd",
+    NS_XSI: "xsi",
+    NS_HARNESS: "harness",
+    NS_WSIL: "wsil",
+    NS_UDDI: "uddi",
+}
+
+
+@dataclass(frozen=True)
+class QName:
+    """A namespace-qualified XML name.
+
+    Rendered in Clark notation (``{uri}local``) internally; the serializer
+    maps namespaces to prefixes on output.  An empty ``namespace`` means an
+    unqualified name.
+    """
+
+    namespace: str
+    local: str
+
+    @classmethod
+    def parse(cls, text: str, default_namespace: str = "") -> "QName":
+        """Parse ``{uri}local`` Clark notation or a bare local name."""
+        if text.startswith("{"):
+            uri, _, local = text[1:].partition("}")
+            if not local:
+                raise ValueError(f"malformed Clark name: {text!r}")
+            return cls(uri, local)
+        return cls(default_namespace, text)
+
+    def clark(self) -> str:
+        """Clark notation, as used by ``xml.etree``."""
+        return f"{{{self.namespace}}}{self.local}" if self.namespace else self.local
+
+    def __str__(self) -> str:
+        return self.clark()

@@ -1,0 +1,260 @@
+"""XPath-like query engine over :class:`XmlElement` trees.
+
+Section 5 of the paper: the Harness II registry is "based on the capability
+of querying XML documents (actually WSDL descriptions) for specific nodes
+and values", with generic queries mappable onto commercial registries such
+as UDDI.  :class:`XmlQuery` is that generic query language.
+
+Supported grammar (a practical XPath subset)::
+
+    query      := ('/' | '//')? step (('/' | '//') step)*
+    step       := (name | '*') predicate*  |  '@' name  |  'text()'
+    predicate  := '[' '@' name ('=' literal)? ']'
+                | '[' name ('=' literal)? ']'
+    literal    := "'" chars "'"  |  '"' chars '"'
+
+Names match on *local name* (namespace-lenient), which is what lets one
+query work across UDDI, WSIL and raw WSDL renderings of the same service.
+Selecting ``@attr`` or ``text()`` as the final step yields strings;
+otherwise elements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.util.errors import XmlError
+from repro.xmlkit.element import XmlElement
+
+__all__ = ["XmlQuery", "query", "query_values"]
+
+_TOKEN = re.compile(
+    r"""
+    (?P<slash2>//)
+  | (?P<slash>/)
+  | (?P<lbrack>\[)
+  | (?P<rbrack>\])
+  | (?P<eq>=)
+  | (?P<at>@)
+  | (?P<text>text\(\))
+  | (?P<star>\*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][\w.\-]*)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Predicate:
+    """One ``[...]`` filter: attribute or child existence/value test."""
+
+    is_attr: bool
+    name: str
+    value: str | None  # None means existence test
+
+    def matches(self, element: XmlElement) -> bool:
+        if self.is_attr:
+            actual = element.get(self.name)
+            if actual is None:
+                return False
+            return self.value is None or actual == self.value
+        for child in element.find_all(self.name):
+            if self.value is None or child.text_content().strip() == self.value:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One location step."""
+
+    axis: str  # 'child' or 'descendant'
+    kind: str  # 'element' | 'attribute' | 'text'
+    name: str  # element/attribute local name, or '*' wildcard
+    predicates: tuple[_Predicate, ...] = field(default_factory=tuple)
+
+
+class XmlQuery:
+    """A compiled query, reusable across documents.
+
+    >>> q = XmlQuery("//port[@name='WSTimeService']/@binding")
+    >>> q.values(wsdl_root)
+    ['tns:WSTimeJavaBinding']
+    """
+
+    def __init__(self, expression: str):
+        self.expression = expression
+        self._steps = _compile(expression)
+
+    def select(self, root: XmlElement) -> list[XmlElement]:
+        """Elements matched by the query (error if it selects strings)."""
+        results = self._evaluate(root)
+        if results and not isinstance(results[0], XmlElement):
+            raise XmlError(f"query {self.expression!r} selects values, not elements")
+        return results  # type: ignore[return-value]
+
+    def values(self, root: XmlElement) -> list[str]:
+        """String results: attribute values, text() content, or element text."""
+        results = self._evaluate(root)
+        out: list[str] = []
+        for item in results:
+            if isinstance(item, XmlElement):
+                out.append(item.text_content().strip())
+            else:
+                out.append(item)
+        return out
+
+    def first(self, root: XmlElement) -> "XmlElement | str | None":
+        """First match or ``None``."""
+        results = self._evaluate(root)
+        return results[0] if results else None
+
+    def exists(self, root: XmlElement) -> bool:
+        """True when the query matches at least once."""
+        return bool(self._evaluate(root))
+
+    def _evaluate(self, root: XmlElement) -> list:
+        current: list[XmlElement] = [root]
+        for i, step in enumerate(self._steps):
+            is_last = i == len(self._steps) - 1
+            next_nodes: list = []
+            seen: set[int] = set()
+            for node in current:
+                candidates: list[XmlElement]
+                if step.axis == "descendant":
+                    candidates = list(node.iter())
+                elif step.kind in ("attribute", "text"):
+                    # value steps on the child axis read the current node
+                    candidates = [node]
+                else:
+                    candidates = list(node.children)
+                if step.kind == "attribute":
+                    for cand in candidates:
+                        value = cand.get(step.name)
+                        if value is not None:
+                            next_nodes.append(value)
+                    continue
+                if step.kind == "text":
+                    for cand in candidates:
+                        text = cand.text_content().strip()
+                        if text:
+                            next_nodes.append(text)
+                    continue
+                for cand in candidates:
+                    if step.name != "*" and cand.name.local != step.name:
+                        continue
+                    if not all(p.matches(cand) for p in step.predicates):
+                        continue
+                    if id(cand) not in seen:
+                        seen.add(id(cand))
+                        next_nodes.append(cand)
+            if not is_last and next_nodes and not isinstance(next_nodes[0], XmlElement):
+                raise XmlError(
+                    f"query {self.expression!r}: value step must be last"
+                )
+            current = next_nodes  # type: ignore[assignment]
+            if not current:
+                return []
+        return list(current)
+
+    def __repr__(self) -> str:
+        return f"XmlQuery({self.expression!r})"
+
+
+def _tokenize(expression: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(expression):
+        match = _TOKEN.match(expression, pos)
+        if match is None:
+            raise XmlError(f"bad query syntax at {expression[pos:]!r}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _compile(expression: str) -> list[_Step]:
+    tokens = _tokenize(expression)
+    if not tokens:
+        raise XmlError("empty query")
+    steps: list[_Step] = []
+    i = 0
+    # Leading '/' means child-of-root; leading '//' means descendant axis.
+    axis = "child"
+    if tokens[0][0] == "slash2":
+        axis = "descendant"
+        i += 1
+    elif tokens[0][0] == "slash":
+        i += 1
+
+    def parse_step(axis: str, i: int) -> tuple[_Step, int]:
+        kind, value = tokens[i]
+        if kind == "at":
+            name_kind, name = tokens[i + 1]
+            if name_kind != "name":
+                raise XmlError("expected attribute name after '@'")
+            return _Step(axis, "attribute", name), i + 2
+        if kind == "text":
+            return _Step(axis, "text", "text()"), i + 1
+        if kind in ("name", "star"):
+            name = "*" if kind == "star" else value
+            i += 1
+            predicates: list[_Predicate] = []
+            while i < len(tokens) and tokens[i][0] == "lbrack":
+                predicate, i = parse_predicate(i + 1)
+                predicates.append(predicate)
+            return _Step(axis, "element", name, tuple(predicates)), i
+        raise XmlError(f"unexpected token {value!r} in query")
+
+    def parse_predicate(i: int) -> tuple[_Predicate, int]:
+        if i + 1 >= len(tokens):
+            raise XmlError("unterminated predicate")
+        is_attr = False
+        if tokens[i][0] == "at":
+            is_attr = True
+            i += 1
+        if tokens[i][0] != "name":
+            raise XmlError("expected name inside predicate")
+        name = tokens[i][1]
+        i += 1
+        value: str | None = None
+        if tokens[i][0] == "eq":
+            if tokens[i + 1][0] != "string":
+                raise XmlError("expected quoted literal after '=' in predicate")
+            value = tokens[i + 1][1][1:-1]
+            i += 2
+        if tokens[i][0] != "rbrack":
+            raise XmlError("unterminated predicate")
+        return _Predicate(is_attr, name, value), i + 1
+
+    try:
+        step, i = parse_step(axis, i)
+        steps.append(step)
+        while i < len(tokens):
+            kind, _ = tokens[i]
+            if kind == "slash2":
+                axis = "descendant"
+            elif kind == "slash":
+                axis = "child"
+            else:
+                raise XmlError(f"expected '/' between steps, got {tokens[i][1]!r}")
+            step, i = parse_step(axis, i + 1)
+            steps.append(step)
+    except IndexError:
+        raise XmlError(f"truncated query: {expression!r}") from None
+    return steps
+
+
+def query(root: XmlElement, expression: str) -> list[XmlElement]:
+    """One-shot element query."""
+    return XmlQuery(expression).select(root)
+
+
+def query_values(root: XmlElement, expression: str) -> list[str]:
+    """One-shot value query."""
+    return XmlQuery(expression).values(root)

@@ -1,0 +1,140 @@
+"""Serialize :class:`XmlElement` trees to text and parse them back.
+
+The writer assigns namespace prefixes from
+:data:`repro.xmlkit.qname.WELL_KNOWN_PREFIXES` (falling back to ``ns0``,
+``ns1``, …) and declares every namespace on the root element, which is how
+the WSDL listings in the paper's Figures 7 and 8 are laid out.
+
+Parsing goes through ``xml.etree.ElementTree`` (expat) and converts into our
+parent-linked model.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.util.errors import XmlError
+from repro.xmlkit.element import XmlElement
+from repro.xmlkit.qname import WELL_KNOWN_PREFIXES, QName
+
+__all__ = ["to_string", "parse", "canonicalize"]
+
+
+def _collect_namespaces(root: XmlElement) -> dict[str, str]:
+    """Map namespace URI -> prefix for every namespace in the tree."""
+    uris: list[str] = []
+    for node in root.iter():
+        if node.name.namespace and node.name.namespace not in uris:
+            uris.append(node.name.namespace)
+        for attr in node.attributes:
+            if attr.namespace and attr.namespace not in uris:
+                uris.append(attr.namespace)
+    prefixes: dict[str, str] = {}
+    auto = 0
+    for uri in uris:
+        preferred = WELL_KNOWN_PREFIXES.get(uri)
+        if preferred and preferred not in prefixes.values():
+            prefixes[uri] = preferred
+        else:
+            prefixes[uri] = f"ns{auto}"
+            auto += 1
+    return prefixes
+
+
+def to_string(root: XmlElement, indent: bool = True, xml_declaration: bool = True) -> str:
+    """Render the tree as a UTF-8 XML string with prefixes on the root."""
+    prefixes = _collect_namespaces(root)
+    out = io.StringIO()
+    if xml_declaration:
+        out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    _write(out, root, prefixes, declare_on_this=True, depth=0, indent=indent)
+    return out.getvalue()
+
+
+def _qname_text(name: QName, prefixes: dict[str, str]) -> str:
+    if not name.namespace:
+        return name.local
+    return f"{prefixes[name.namespace]}:{name.local}"
+
+
+def _write(
+    out: io.StringIO,
+    node: XmlElement,
+    prefixes: dict[str, str],
+    declare_on_this: bool,
+    depth: int,
+    indent: bool,
+) -> None:
+    pad = "  " * depth if indent else ""
+    tag = _qname_text(node.name, prefixes)
+    out.write(f"{pad}<{tag}")
+    if declare_on_this:
+        for uri, prefix in sorted(prefixes.items(), key=lambda kv: kv[1]):
+            out.write(f' xmlns:{prefix}="{escape(uri)}"')
+    for attr, value in node.attributes.items():
+        out.write(f" {_qname_text(attr, prefixes)}={quoteattr(value)}")
+    if not node.children and not node.text:
+        out.write("/>")
+        if indent:
+            out.write("\n")
+        return
+    out.write(">")
+    if node.text:
+        out.write(escape(node.text))
+    if node.children:
+        if indent:
+            out.write("\n")
+        for child in node.children:
+            _write(out, child, prefixes, False, depth + 1, indent)
+        out.write(pad)
+    out.write(f"</{tag}>")
+    if indent:
+        out.write("\n")
+
+
+def parse(text: str | bytes) -> XmlElement:
+    """Parse an XML document into an :class:`XmlElement` tree."""
+    try:
+        et_root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlError(f"malformed XML: {exc}") from exc
+    return _convert(et_root)
+
+
+def _convert(node: ET.Element) -> XmlElement:
+    element = XmlElement(QName.parse(node.tag))
+    for key, value in node.attrib.items():
+        element.set(QName.parse(key), value)
+    text = node.text or ""
+    if len(node):
+        # whitespace around children is indentation, not content
+        text = text.strip()
+    element.text = text
+    for child in node:
+        element.append(_convert(child))
+    return element
+
+
+def canonicalize(root: XmlElement) -> str:
+    """A whitespace-free, attribute-sorted rendering used for comparisons.
+
+    Not full C14N — just enough determinism for round-trip tests and for
+    registry content hashing.
+    """
+    out = io.StringIO()
+
+    def emit(node: XmlElement) -> None:
+        out.write(f"<{node.name.clark()}")
+        for attr in sorted(node.attributes, key=lambda q: (q.namespace, q.local)):
+            out.write(f" {attr.clark()}={quoteattr(node.attributes[attr])}")
+        out.write(">")
+        if node.text:
+            out.write(escape(node.text.strip()))
+        for child in node.children:
+            emit(child)
+        out.write(f"</{node.name.clark()}>")
+
+    emit(root)
+    return out.getvalue()

@@ -1,0 +1,119 @@
+"""BindingServer internals: content-type normalisation, port manufacture,
+multi-binding exposure of a single dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.bindings.dispatcher import ObjectDispatcher
+from repro.bindings.server import BindingServer, _normalize
+from repro.plugins.services import CounterService, MatMul
+from repro.transport import HttpTransport, TcpTransport, TransportMessage
+from repro.wsdl.extensions import SoapAddressExt, XdrAddressExt
+
+
+class TestContentTypeNormalisation:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("text/xml", "text/xml"),
+            ("text/xml; charset=utf-8", "text/xml"),
+            ("text/xml; arrays=items", "text/xml; arrays=items"),
+            ("text/xml; charset=utf-8; arrays=items", "text/xml; arrays=items"),
+            ("application/x-xdr", "application/x-xdr"),
+            ("multipart/related; boundary=x", "multipart/related"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert _normalize(raw) == expected
+
+
+class TestMultiBindingExposure:
+    @pytest.fixture
+    def server(self):
+        dispatcher = ObjectDispatcher()
+        dispatcher.register("MatMul#0", MatMul())
+        dispatcher.register("Counter#0", CounterService())
+        server = BindingServer(dispatcher)
+        yield server
+        server.close()
+
+    def test_same_dispatcher_over_http_and_tcp(self, server, rng):
+        http = server.expose_soap_http()
+        tcp = server.expose_xdr_tcp()
+        from repro.encoding.registry import default_registry
+
+        soap_codec = default_registry.get("text/xml")
+        xdr_codec = default_registry.get("application/x-xdr")
+        a = rng.random((3, 3))
+
+        http_client = HttpTransport(http.url)
+        response = http_client.request(TransportMessage(
+            "text/xml", soap_codec.encode_call("MatMul#0", "multiply", (a, a))
+        ))
+        assert np.allclose(soap_codec.decode_reply(response.payload), a @ a)
+        http_client.close()
+
+        tcp_client = TcpTransport(tcp.url)
+        response = tcp_client.request(TransportMessage(
+            "application/x-xdr", xdr_codec.encode_call("MatMul#0", "multiply", (a, a))
+        ))
+        assert np.allclose(xdr_codec.decode_reply(response.payload), a @ a)
+        tcp_client.close()
+
+    def test_two_targets_one_endpoint(self, server):
+        tcp = server.expose_xdr_tcp()
+        from repro.encoding.registry import default_registry
+
+        codec = default_registry.get("application/x-xdr")
+        client = TcpTransport(tcp.url)
+        response = client.request(TransportMessage(
+            codec.content_type, codec.encode_call("Counter#0", "increment", (3,))
+        ))
+        assert codec.decode_reply(response.payload) == 3
+        client.close()
+
+    def test_unknown_target_maps_to_codec_fault(self, server):
+        tcp = server.expose_xdr_tcp()
+        from repro.encoding.registry import default_registry
+        from repro.util.errors import EncodingError
+
+        codec = default_registry.get("application/x-xdr")
+        client = TcpTransport(tcp.url)
+        response = client.request(TransportMessage(
+            codec.content_type, codec.encode_call("Ghost#9", "op", ())
+        ))
+        with pytest.raises(EncodingError, match="Ghost"):
+            codec.decode_reply(response.payload)
+        client.close()
+
+    def test_inproc_exposure(self, server, rng):
+        from repro.transport import InProcTransport
+        from repro.encoding.registry import default_registry
+
+        listener = server.expose_inproc("bench-ep")
+        codec = default_registry.get("application/x-xdr")
+        client = InProcTransport(listener.url)
+        a = rng.random(4)
+        response = client.request(TransportMessage(
+            codec.content_type, codec.encode_call("MatMul#0", "getResult", (a, a))
+        ))
+        expected = (a.reshape(2, 2) @ a.reshape(2, 2)).ravel()
+        assert np.allclose(codec.decode_reply(response.payload), expected)
+
+    def test_close_stops_all_listeners(self, server):
+        http = server.expose_soap_http()
+        server.close()
+        from repro.util.errors import TransportError
+
+        with pytest.raises(TransportError):
+            HttpTransport(http.url).request(TransportMessage("text/xml", b"<x/>"))
+
+    def test_port_helpers(self, server):
+        http = server.expose_soap_http()
+        tcp = server.expose_xdr_tcp()
+        soap_port = BindingServer.soap_port(http, "B1", "p1")
+        assert soap_port.extension_of(SoapAddressExt).location == http.url
+        xdr_port = BindingServer.xdr_port(tcp, "B2", "p2", target="T#1")
+        address = xdr_port.extension_of(XdrAddressExt)
+        assert address.port == tcp.port
+        assert address.target == "T#1"

@@ -1,0 +1,34 @@
+"""Shared fixtures: process-global state isolation and common builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bindings.context import LOCAL_DIRECTORY
+from repro.transport.inproc import reset_inproc_namespace
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_globals():
+    """Each test starts with empty inproc and container directories."""
+    reset_inproc_namespace()
+    LOCAL_DIRECTORY.clear()
+    yield
+    reset_inproc_namespace()
+    LOCAL_DIRECTORY.clear()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded RNG for reproducible numeric fixtures."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def matmul_doc():
+    """A deployed-looking MatMul WSDL document with all binding kinds."""
+    from repro.tools.wsdlgen import generate_wsdl
+    from repro.plugins.services import MatMul
+
+    return generate_wsdl(MatMul, bindings=("soap", "xdr", "local"))

@@ -1,0 +1,127 @@
+"""Management facades: Figure 6's 'containers are full-fledged services'."""
+
+import numpy as np
+import pytest
+
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import LightweightContainer
+from repro.container.management import (
+    MANAGEMENT_SERVICE_NAME,
+    ContainerManagementService,
+    DvmManagementService,
+    expose_management,
+)
+from repro.plugins.services import CounterService, MatMul
+from repro.util.errors import ContainerError
+
+
+@pytest.fixture
+def managed():
+    with LightweightContainer("mgmt", host="mgmthost") as container:
+        container.deploy(MatMul, bindings=("local-instance",))
+        handle = expose_management(container, bindings=("local-instance", "soap"))
+        yield container, handle
+
+
+class TestContainerManagement:
+    def test_facade_deployed_like_any_component(self, managed):
+        container, handle = managed
+        assert handle.name == MANAGEMENT_SERVICE_NAME
+        assert container.registry.lookup_name(MANAGEMENT_SERVICE_NAME)
+        handle.document.validate()
+
+    def test_lifecycle_hooks_not_exposed(self, managed):
+        container, handle = managed
+        port_type = handle.document.port_type(f"{MANAGEMENT_SERVICE_NAME}PortType")
+        assert "on_start" not in port_type.operation_names()
+
+    def test_describe_through_local_stub(self, managed):
+        container, _ = managed
+        stub = container.lookup(MANAGEMENT_SERVICE_NAME)
+        info = stub.describe()
+        assert info["uri"] == container.uri
+        assert "MatMul" in info["components"]
+
+    def test_remote_soap_management(self, managed):
+        container, handle = managed
+        factory = DynamicStubFactory(ClientContext(host="admin-console"))
+        stub = factory.create(handle.document, prefer=("soap",))
+        components = stub.listComponents()
+        names = {c["name"] for c in components}
+        assert {"MatMul", MANAGEMENT_SERVICE_NAME} <= names
+        assert stub.queryRegistry("//portType[@name='MatMulPortType']") == ["MatMul"]
+        stub.close()
+
+    def test_remote_deploy_by_type(self, managed, rng):
+        container, handle = managed
+        factory = DynamicStubFactory(ClientContext(host="admin-console"))
+        stub = factory.create(handle.document, prefer=("soap",))
+        instance_id = stub.deployType(
+            "repro.plugins.services:CounterService", "RemoteCounter", ["local-instance"]
+        )
+        assert instance_id.startswith("RemoteCounter#")
+        # the new component works
+        counter = container.lookup("RemoteCounter")
+        assert counter.increment(2) == 2
+        stub.close()
+
+    def test_remote_lifecycle_control(self, managed):
+        container, handle = managed
+        factory = DynamicStubFactory(ClientContext(host="admin-console"))
+        stub = factory.create(handle.document, prefer=("soap",))
+        matmul = container.component_named("MatMul")
+        assert stub.stopComponent(matmul.instance_id) is True
+        assert matmul.state.value == "stopped"
+        assert stub.startComponent(matmul.instance_id) is True
+        assert matmul.state.value == "active"
+        stub.close()
+
+    def test_get_wsdl_round_trips(self, managed):
+        container, handle = managed
+        stub = container.lookup(MANAGEMENT_SERVICE_NAME)
+        from repro.wsdl.io import document_from_string
+
+        document = document_from_string(stub.getWsdl("MatMul"))
+        assert document.name == "MatMul"
+
+    def test_exposure_control_remotely(self, managed):
+        container, handle = managed
+        stub = container.lookup(MANAGEMENT_SERVICE_NAME)
+        matmul = container.component_named("MatMul")
+        stub.setExposure(matmul.instance_id, "private")
+        assert stub.queryRegistry("//portType[@name='MatMulPortType']") == []
+
+    def test_unattached_facade_raises(self):
+        with pytest.raises(ContainerError):
+            ContainerManagementService().describe()
+
+
+class TestDvmManagement:
+    def test_dvm_facade(self, rng):
+        from repro.core.builder import HarnessDvm
+        from repro.netsim import lan
+
+        net = lan(3)
+        with HarnessDvm("mgmt-dvm", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy("node2", MatMul)
+            facade = DvmManagementService(harness.dvm, node="node0")
+            handle = harness.kernel("node0").container.deploy(
+                facade, name="DvmManagement", bindings=("local-instance", "soap")
+            )
+            factory = DynamicStubFactory(ClientContext(host="operator"))
+            stub = factory.create(handle.document, prefer=("soap",))
+            assert stub.members() == ["node0", "node1", "node2"]
+            assert stub.componentIndex()["MatMul"] == "node2"
+            located = stub.locate("MatMul")
+            assert located["node"] == "node2"
+            from repro.wsdl.io import document_from_string
+
+            document_from_string(located["wsdl"]).validate()
+            status = stub.status()
+            assert status["dvm"] == "mgmt-dvm"
+            stub.close()
+
+    def test_unattached_dvm_facade_raises(self):
+        with pytest.raises(ContainerError):
+            DvmManagementService().status()

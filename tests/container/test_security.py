@@ -1,0 +1,188 @@
+"""Access control and authorization (§1's security requirement)."""
+
+import numpy as np
+import pytest
+
+from repro.bindings import ClientContext, DynamicStubFactory, ObjectDispatcher
+from repro.container import (
+    ANONYMOUS,
+    AccessPolicy,
+    AuthenticationError,
+    AuthorizationError,
+    LightweightContainer,
+    Principal,
+    SecureDispatcher,
+    TokenAuthority,
+    with_credential,
+)
+from repro.plugins.services import CounterService, MatMul
+from repro.util.errors import ContainerError, SoapFaultError
+
+
+class TestTokenAuthority:
+    def test_issue_verify_round_trip(self):
+        authority = TokenAuthority()
+        alice = Principal("alice", frozenset({"compute", "admin"}))
+        assert authority.verify(authority.issue(alice)) == alice
+
+    def test_no_roles(self):
+        authority = TokenAuthority()
+        token = authority.issue(Principal("bob"))
+        assert authority.verify(token) == Principal("bob", frozenset())
+
+    def test_tampered_token_rejected(self):
+        authority = TokenAuthority()
+        token = authority.issue(Principal("alice", frozenset({"user"})))
+        forged = token.replace("user", "admin")
+        with pytest.raises(AuthenticationError):
+            authority.verify(forged)
+
+    def test_foreign_authority_rejected(self):
+        token = TokenAuthority().issue(Principal("alice"))
+        with pytest.raises(AuthenticationError):
+            TokenAuthority().verify(token)
+
+    def test_shared_secret_unifies_domains(self):
+        a = TokenAuthority()
+        b = TokenAuthority(secret=a.secret)
+        token = a.issue(Principal("alice", frozenset({"x"})))
+        assert b.verify(token).name == "alice"
+
+    def test_malformed_token(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthority().verify("garbage")
+
+    def test_separator_in_name_rejected(self):
+        with pytest.raises(AuthenticationError):
+            TokenAuthority().issue(Principal("a|b"))
+
+
+class TestAccessPolicy:
+    def test_default_open(self):
+        AccessPolicy().check(ANONYMOUS, "Anything", "op")
+
+    def test_default_closed(self):
+        with pytest.raises(AuthorizationError):
+            AccessPolicy(default_open=False).check(ANONYMOUS, "X", "op")
+
+    def test_role_required(self):
+        policy = AccessPolicy().allow("MatMul", "*", {"compute"})
+        policy.check(Principal("a", frozenset({"compute"})), "MatMul", "multiply")
+        with pytest.raises(AuthorizationError):
+            policy.check(ANONYMOUS, "MatMul", "multiply")
+
+    def test_governed_service_denies_unmatched_operations(self):
+        policy = AccessPolicy().allow("Counter*", "value", set())
+        policy.check(ANONYMOUS, "CounterService", "value")
+        with pytest.raises(AuthorizationError):
+            policy.check(ANONYMOUS, "CounterService", "increment")
+
+    def test_ungoverned_service_still_open(self):
+        policy = AccessPolicy().allow("Counter*", "*", {"admin"})
+        policy.check(ANONYMOUS, "WSTime", "getTime")  # no rule names WSTime
+
+    def test_patterns(self):
+        policy = AccessPolicy().allow("Mat*", "get*", {"compute"})
+        principal = Principal("p", frozenset({"compute"}))
+        policy.check(principal, "MatMul", "getResult")
+        with pytest.raises(AuthorizationError):
+            policy.check(principal, "MatMul", "multiply")
+
+    def test_empty_roles_means_anyone(self):
+        policy = AccessPolicy(default_open=False).allow("Public*", "*", set())
+        policy.check(ANONYMOUS, "PublicThing", "anything")
+
+
+class TestSecureDispatcher:
+    @pytest.fixture
+    def setup(self):
+        inner = ObjectDispatcher()
+        counter = CounterService()
+        inner.register("CounterService#1", counter)
+        authority = TokenAuthority()
+        policy = AccessPolicy().allow("CounterService", "value", set()).allow(
+            "CounterService", "increment", {"writer"}
+        )
+        return SecureDispatcher(inner, authority, policy), authority
+
+    def test_anonymous_allowed_operation(self, setup):
+        dispatcher, _ = setup
+        assert dispatcher.invoke("CounterService#1", "value", ()) == 0
+
+    def test_anonymous_denied_operation(self, setup):
+        dispatcher, _ = setup
+        with pytest.raises(AuthorizationError):
+            dispatcher.invoke("CounterService#1", "increment", (1,))
+
+    def test_credentialed_allowed(self, setup):
+        dispatcher, authority = setup
+        token = authority.issue(Principal("w", frozenset({"writer"})))
+        target = with_credential(token, "CounterService#1")
+        assert dispatcher.invoke(target, "increment", (5,)) == 5
+
+    def test_wrong_role_denied(self, setup):
+        dispatcher, authority = setup
+        token = authority.issue(Principal("r", frozenset({"reader"})))
+        with pytest.raises(AuthorizationError):
+            dispatcher.invoke(with_credential(token, "CounterService#1"), "increment", (1,))
+
+    def test_forged_credential_rejected(self, setup):
+        dispatcher, _ = setup
+        token = TokenAuthority().issue(Principal("evil", frozenset({"writer"})))
+        with pytest.raises(AuthenticationError):
+            dispatcher.invoke(with_credential(token, "CounterService#1"), "increment", (1,))
+
+
+class TestSecuredContainer:
+    @pytest.fixture
+    def secured(self):
+        policy = AccessPolicy().allow("MatMul", "*", {"compute"})
+        with LightweightContainer("sec", host="sechost", policy=policy) as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "xdr"))
+            yield container, handle
+
+    def test_anonymous_remote_call_denied(self, secured, rng):
+        container, handle = secured
+        factory = DynamicStubFactory(ClientContext(host="attacker"))
+        stub = factory.create(handle.document, prefer=("xdr",))
+        from repro.util.errors import EncodingError
+
+        with pytest.raises(EncodingError, match="may not call"):
+            stub.multiply(np.eye(2), np.eye(2))
+        stub.close()
+
+    def test_credentialed_remote_call_allowed(self, secured, rng):
+        container, handle = secured
+        token = container.issue_token(Principal("hpc-user", frozenset({"compute"})))
+        factory = DynamicStubFactory(ClientContext(host="clienthost"))
+        stub = factory.create(handle.document, prefer=("xdr",), credential=token)
+        a = rng.random((3, 3))
+        assert np.allclose(stub.multiply(a, a), a @ a)
+        stub.close()
+
+    def test_soap_path_also_enforced(self, rng):
+        policy = AccessPolicy(default_open=False).allow("MatMul", "*", {"compute"})
+        with LightweightContainer("sec2", host="sec2host", policy=policy) as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "soap"))
+            factory = DynamicStubFactory(ClientContext(host="x"))
+            anonymous = factory.create(handle.document, prefer=("soap",))
+            with pytest.raises(SoapFaultError, match="may not call"):
+                anonymous.multiply(np.eye(2), np.eye(2))
+            anonymous.close()
+            token = container.issue_token(Principal("u", frozenset({"compute"})))
+            allowed = factory.create(handle.document, prefer=("soap",), credential=token)
+            a = rng.random((2, 2))
+            assert np.allclose(allowed.multiply(a, a), a @ a)
+            allowed.close()
+
+    def test_issue_token_requires_policy(self):
+        with LightweightContainer("nosec", host="nosechost") as container:
+            with pytest.raises(ContainerError):
+                container.issue_token(Principal("x"))
+
+    def test_co_located_access_is_trusted(self, secured):
+        # local bindings bypass the dispatcher by design (same address space)
+        container, handle = secured
+        stub = container.lookup("MatMul")
+        assert stub.protocol == "local-instance"
+        assert np.allclose(stub.multiply(np.eye(2), np.eye(2)), np.eye(2))

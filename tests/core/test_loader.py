@@ -1,0 +1,164 @@
+"""Dynamic source loading: third-party plugin repositories (§3)."""
+
+import sys
+
+import pytest
+
+from repro.container import LightweightContainer
+from repro.core.kernel import HarnessKernel
+from repro.core.loader import (
+    PluginRepository,
+    load_class_from_source,
+    load_source_module,
+)
+from repro.util.errors import PluginLoadError
+
+COUNTER_SOURCE = '''
+class DynamicCounter:
+    """A stateful component delivered as source."""
+
+    def __init__(self):
+        self._n = 0
+
+    def bump(self, k: int = 1) -> int:
+        self._n += int(k)
+        return self._n
+
+    def total(self) -> int:
+        return self._n
+'''
+
+PLUGIN_SOURCE = '''
+from repro.core.plugin import Plugin
+
+
+class GreeterPlugin(Plugin):
+    plugin_name = "greeter"
+    provides = ("greeting",)
+
+    def greet(self, who: str) -> str:
+        return f"hello, {who}"
+'''
+
+
+class TestLoadSourceModule:
+    def test_module_registered_in_sys_modules(self):
+        module = load_source_module("X = 41 + 1")
+        assert module.X == 42
+        assert sys.modules[module.__name__] is module
+        assert module.__source__ == "X = 41 + 1"
+
+    def test_unique_names_on_repeat_loads(self):
+        a = load_source_module("V = 1")
+        b = load_source_module("V = 2")
+        assert a.__name__ != b.__name__
+        assert a.V == 1 and b.V == 2
+
+    def test_explicit_name_collision_rejected(self):
+        load_source_module("pass", module_name="repro_dynamic_fixed_x")
+        with pytest.raises(PluginLoadError):
+            load_source_module("pass", module_name="repro_dynamic_fixed_x")
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(PluginLoadError, match="compile"):
+            load_source_module("def broken(:")
+
+    def test_import_time_error_reported(self):
+        with pytest.raises(PluginLoadError, match="ZeroDivisionError"):
+            load_source_module("x = 1 / 0")
+
+    def test_missing_class(self):
+        with pytest.raises(PluginLoadError, match="no class"):
+            load_class_from_source("x = 1", "Ghost")
+
+
+class TestSourceLoadedComponents:
+    def test_deploy_source_into_container(self):
+        with LightweightContainer("dyn", host="dynhost") as container:
+            handle = container.deploy_source(COUNTER_SOURCE, "DynamicCounter")
+            stub = container.lookup("DynamicCounter")
+            assert stub.bump(5) == 5
+            assert stub.total() == 5
+            # the WSDL's local binding names the dynamic module:class —
+            # and load_type can resolve it, because the module is registered
+            from repro.bindings.stubs import load_type
+            from repro.wsdl.extensions import LocalInstanceBindingExt
+
+            binding = handle.document.binding("DynamicCounterInstanceBinding")
+            ext = binding.extension_of(LocalInstanceBindingExt)
+            assert load_type(ext.type_name).__name__ == "DynamicCounter"
+
+    def test_source_component_migrates_with_state(self):
+        from repro.core.builder import HarnessDvm
+        from repro.netsim import lan
+
+        net = lan(2)
+        with HarnessDvm("dynmig", net) as harness:
+            harness.add_nodes("node0", "node1")
+            container = harness.dvm.node("node0").container
+            container.deploy_source(
+                COUNTER_SOURCE, "DynamicCounter",
+                bindings=("local-instance", "sim"),
+            )
+            harness.dvm.publish("node0", "DynamicCounter")
+            harness.stub("node0", "DynamicCounter").bump(7)
+            harness.move("DynamicCounter", "node1")
+            assert harness.stub("node1", "DynamicCounter").total() == 7
+
+
+class TestSourceLoadedPlugins:
+    def test_kernel_loads_plugin_from_source(self):
+        kernel = HarnessKernel("dynk")
+        plugin = kernel.load_plugin_source(PLUGIN_SOURCE, "GreeterPlugin")
+        assert plugin.name() == "greeter"
+        assert kernel.get_service("greeting").greet("world") == "hello, world"
+        kernel.shutdown()
+
+    def test_non_plugin_source_rejected(self):
+        kernel = HarnessKernel("dynk2")
+        with pytest.raises(PluginLoadError, match="not a Plugin"):
+            kernel.load_plugin_source(COUNTER_SOURCE, "DynamicCounter")
+        kernel.shutdown()
+
+
+class TestPluginRepository:
+    def test_publish_validates(self):
+        repository = PluginRepository()
+        with pytest.raises(PluginLoadError):
+            repository.publish("bad", "def x(:", "X")
+        assert repository.catalog() == []
+
+    def test_publish_fetch_materialize(self):
+        repository = PluginRepository()
+        repository.publish("counter", COUNTER_SOURCE, "DynamicCounter")
+        assert repository.catalog() == ["counter"]
+        bundle = repository.fetch("counter")
+        assert bundle["class_name"] == "DynamicCounter"
+        cls = repository.materialize("counter")
+        assert cls().bump(3) == 3
+
+    def test_fetch_unknown(self):
+        with pytest.raises(PluginLoadError):
+            PluginRepository().fetch("ghost")
+
+    def test_repository_as_remote_service(self):
+        """The §3 story end to end: a third-party repository is itself a
+        component; a kernel on another host installs a plugin from it."""
+        from repro.core.builder import HarnessDvm
+        from repro.netsim import lan
+
+        net = lan(2)
+        with HarnessDvm("repo-dvm", net) as harness:
+            harness.add_nodes("node0", "node1")
+            repository = PluginRepository()
+            repository.publish("greeter", PLUGIN_SOURCE, "GreeterPlugin")
+            harness.deploy("node0", repository, name="Repository",
+                           bindings=("local-instance", "sim"))
+
+            # node1 fetches the bundle over the fabric and installs it
+            stub = harness.stub("node1", "Repository")
+            bundle = stub.fetch("greeter")
+            stub.close()
+            kernel = harness.kernel("node1")
+            kernel.load_plugin_source(bundle["source"], bundle["class_name"])
+            assert kernel.get_service("greeting").greet("node1") == "hello, node1"

@@ -1,0 +1,184 @@
+"""DVM state coherency protocols: semantics, costs, failure behaviour."""
+
+import pytest
+
+from repro.dvm.state import (
+    DecentralizedState,
+    FullSynchronyState,
+    NeighborhoodState,
+    StateEntry,
+)
+from repro.netsim import lan
+from repro.util.errors import CoherencyError, DvmError
+
+ALL_SCHEMES = [
+    ("full-synchrony", lambda net, members: FullSynchronyState(net, members)),
+    ("decentralized", lambda net, members: DecentralizedState(net, members)),
+    ("neighborhood", lambda net, members: NeighborhoodState(net, members, radius=1)),
+]
+
+
+def make(scheme_factory, n=4):
+    net = lan(n)
+    protocol = scheme_factory(net, [f"node{i}" for i in range(n)])
+    return net, protocol
+
+
+class TestStateEntry:
+    def test_last_writer_wins_by_lamport(self):
+        old = StateEntry("k", 1, 1, "a")
+        new = StateEntry("k", 2, 2, "a")
+        assert new.newer_than(old)
+        assert not old.newer_than(new)
+
+    def test_origin_breaks_ties(self):
+        a = StateEntry("k", 1, 5, "nodeA")
+        b = StateEntry("k", 2, 5, "nodeB")
+        assert b.newer_than(a)
+
+    def test_anything_newer_than_none(self):
+        assert StateEntry("k", 1, 1, "a").newer_than(None)
+
+    def test_wire_round_trip(self):
+        entry = StateEntry("k", {"x": 1}, 7, "n")
+        assert StateEntry.from_wire(entry.to_wire()) == entry
+
+
+@pytest.mark.parametrize("name,factory", ALL_SCHEMES, ids=[s[0] for s in ALL_SCHEMES])
+class TestUniformInterface:
+    """C7: every scheme exposes identical observable semantics."""
+
+    def test_update_visible_from_every_node(self, name, factory):
+        net, protocol = make(factory)
+        protocol.update("node0", "component/X", {"node": "node0"})
+        for i in range(4):
+            assert protocol.get(f"node{i}", "component/X") == {"node": "node0"}
+
+    def test_missing_key_is_none(self, name, factory):
+        net, protocol = make(factory)
+        assert protocol.get("node1", "ghost") is None
+
+    def test_last_writer_wins_across_nodes(self, name, factory):
+        net, protocol = make(factory)
+        protocol.update("node0", "k", "first")
+        protocol.update("node2", "k", "second")
+        for i in range(4):
+            assert protocol.get(f"node{i}", "k") == "second"
+
+    def test_snapshot_with_prefix(self, name, factory):
+        net, protocol = make(factory)
+        protocol.update("node0", "member/node0", "joined")
+        protocol.update("node1", "component/M", {"node": "node1"})
+        snap = protocol.snapshot("node3", prefix="member/")
+        assert snap == {"member/node0": "joined"}
+
+    def test_update_returns_entry(self, name, factory):
+        net, protocol = make(factory)
+        entry = protocol.update("node0", "k", 1)
+        assert entry.origin == "node0"
+        assert entry.key == "k"
+
+    def test_non_member_rejected(self, name, factory):
+        net, protocol = make(factory)
+        with pytest.raises(DvmError):
+            protocol.update("ghost", "k", 1)
+
+    def test_membership_grow(self, name, factory):
+        net, protocol = make(factory)
+        protocol.update("node0", "k", "v")
+        net.add_host("node9")
+        protocol.add_member("node9")
+        assert protocol.get("node9", "k") == "v"
+
+    def test_duplicate_member_rejected(self, name, factory):
+        net, protocol = make(factory)
+        with pytest.raises(DvmError):
+            protocol.add_member("node0")
+
+    def test_remove_member(self, name, factory):
+        net, protocol = make(factory)
+        protocol.remove_member("node3")
+        assert "node3" not in protocol.members
+        with pytest.raises(DvmError):
+            protocol.remove_member("node3")
+
+
+class TestCostShapes:
+    """The paper's qualitative cost claims, at the message-count level."""
+
+    def test_full_synchrony_reads_are_free(self):
+        net, protocol = make(lambda n, m: FullSynchronyState(n, m))
+        protocol.update("node0", "k", "v")
+        net.reset_stats()
+        for i in range(4):
+            protocol.get(f"node{i}", "k")
+        assert net.total_messages == 0
+
+    def test_full_synchrony_writes_broadcast(self):
+        net, protocol = make(lambda n, m: FullSynchronyState(n, m))
+        net.reset_stats()
+        protocol.update("node0", "k", "v")
+        assert net.total_messages == 2 * 3  # push+ack to each other member
+
+    def test_decentralized_writes_are_free(self):
+        net, protocol = make(lambda n, m: DecentralizedState(n, m))
+        net.reset_stats()
+        protocol.update("node0", "k", "v")
+        assert net.total_messages == 0
+
+    def test_decentralized_reads_flood(self):
+        net, protocol = make(lambda n, m: DecentralizedState(n, m))
+        protocol.update("node0", "k", "v")
+        net.reset_stats()
+        protocol.get("node1", "k")
+        assert net.total_messages == 2 * 3
+
+    def test_neighborhood_write_cost_bounded_by_radius(self):
+        net, protocol = make(lambda n, m: NeighborhoodState(n, m, radius=1), n=8)
+        net.reset_stats()
+        protocol.update("node0", "k", "v")
+        assert net.total_messages == 2 * 2  # two ring neighbours
+
+    def test_neighborhood_read_cost_bounded_by_radius_on_hit(self):
+        net, protocol = make(lambda n, m: NeighborhoodState(n, m, radius=1), n=8)
+        protocol.update("node0", "k", "v")
+        net.reset_stats()
+        protocol.get("node0", "k")
+        # coherent read within the neighbourhood: one round trip per neighbour
+        assert net.total_messages == 2 * 2
+
+    def test_neighborhood_near_read_cheaper_than_far(self):
+        net, protocol = make(lambda n, m: NeighborhoodState(n, m, radius=1), n=8)
+        protocol.update("node0", "k", "v")
+        net.reset_stats()
+        protocol.get("node1", "k")  # neighbour holds a replica
+        near_messages = net.total_messages
+        net.reset_stats()
+        protocol.get("node4", "k")  # must flood beyond its neighbourhood
+        far_messages = net.total_messages
+        assert near_messages < far_messages
+
+
+class TestFailures:
+    def test_full_synchrony_update_fails_on_down_member(self):
+        net, protocol = make(lambda n, m: FullSynchronyState(n, m))
+        net.host("node2").crash()
+        with pytest.raises(CoherencyError):
+            protocol.update("node0", "k", "v")
+
+    def test_decentralized_tolerates_down_members(self):
+        net, protocol = make(lambda n, m: DecentralizedState(n, m))
+        protocol.update("node0", "k", "v")
+        net.host("node3").crash()
+        assert protocol.get("node1", "k") == "v"
+
+    def test_neighborhood_update_skips_down_neighbor(self):
+        net, protocol = make(lambda n, m: NeighborhoodState(n, m, radius=1))
+        net.host("node1").crash()
+        protocol.update("node0", "k", "v")  # must not raise
+        net.host("node1").restart()
+        assert protocol.get("node3", "k") == "v"
+
+    def test_bad_radius(self):
+        with pytest.raises(DvmError):
+            NeighborhoodState(lan(3), ["node0"], radius=0)

@@ -1,0 +1,82 @@
+"""BASE64/hex XSD codecs — the SOAP default the paper complains about."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.base64codec import (
+    decode_array_base64,
+    decode_array_base64_pure,
+    decode_hex,
+    encode_array_base64,
+    encode_array_base64_pure,
+    encode_hex,
+)
+from repro.util.errors import EncodingError
+
+
+class TestBase64Arrays:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int32", "int64", "uint32", "uint64", "uint8"])
+    def test_round_trip(self, dtype, rng):
+        if dtype.startswith("float"):
+            values = rng.random(100).astype(dtype)
+        else:
+            values = rng.integers(0, 100, 100).astype(dtype)
+        text = encode_array_base64(values, dtype)
+        out = decode_array_base64(text, dtype)
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, values)
+
+    def test_empty(self):
+        assert decode_array_base64(encode_array_base64([], "float64")).size == 0
+
+    def test_fast_path_matches_pure_reference(self, rng):
+        values = rng.random(64)
+        assert encode_array_base64(values) == encode_array_base64_pure(values)
+        text = encode_array_base64(values)
+        assert np.allclose(decode_array_base64(text), decode_array_base64_pure(text))
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_array_base64("!!!not base64!!!")
+
+    def test_length_mismatch_rejected(self):
+        import base64
+
+        bad = base64.b64encode(b"12345").decode()  # 5 bytes, not a multiple of 8
+        with pytest.raises(EncodingError):
+            decode_array_base64(bad, "float64")
+
+    def test_unencodable_values_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_array_base64(["a", "b"], "float64")
+
+    def test_wire_is_big_endian(self):
+        text = encode_array_base64([1], "int32")
+        import base64
+
+        assert base64.b64decode(text) == b"\x00\x00\x00\x01"
+
+    def test_size_overhead_is_4_over_3(self, rng):
+        values = rng.random(300)
+        encoded = encode_array_base64(values)
+        raw_bytes = values.nbytes
+        assert len(encoded) == pytest.approx(raw_bytes * 4 / 3, rel=0.02)
+
+    def test_pure_unsupported_dtype(self):
+        with pytest.raises(EncodingError):
+            encode_array_base64_pure([1.0], "float16")
+        with pytest.raises(EncodingError):
+            decode_array_base64_pure("AA==", "float16")
+
+
+class TestHex:
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert decode_hex(encode_hex(data)) == data
+
+    def test_uppercase(self):
+        assert encode_hex(b"\xab\xcd") == "ABCD"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_hex("XYZ")

@@ -1,0 +1,83 @@
+"""Heterogeneity: the wire formats are endianness- and layout-neutral.
+
+The paper's title promise is *heterogeneous* metacomputing — sparc next to
+x86, Java next to C.  Our XDR and SOAP codecs must therefore produce
+identical wire bytes regardless of the producer's in-memory byte order or
+array layout, and decode to native-order values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.encoding.base64codec import decode_array_base64, encode_array_base64
+from repro.encoding.xdr import pack_value, unpack_value
+
+
+def variants(values, dtype="float64"):
+    """The same logical array in every in-memory representation."""
+    native = np.asarray(values, dtype=dtype)
+    return {
+        "native": native,
+        "big-endian": native.astype(native.dtype.newbyteorder(">")),
+        "little-endian": native.astype(native.dtype.newbyteorder("<")),
+        "fortran-order": np.asfortranarray(native.reshape(2, -1)).reshape(native.shape)
+        if native.size % 2 == 0 else native,
+        "strided-view": np.repeat(native, 2)[::2],
+    }
+
+
+class TestXdrEndiannessNeutral:
+    def test_identical_wire_bytes_for_all_representations(self):
+        reference = None
+        for name, array in variants([1.5, -2.25, 3e100, 0.0]).items():
+            wire = pack_value(np.ascontiguousarray(array, dtype=np.float64))
+            if reference is None:
+                reference = wire
+            assert wire == reference, name
+
+    @pytest.mark.parametrize("byte_order", [">", "<", "="])
+    def test_foreign_byte_order_input(self, byte_order):
+        array = np.arange(10, dtype=np.dtype("f8").newbyteorder(byte_order))
+        out = unpack_value(pack_value(array))
+        # decoded values equal; dtype is the logical float64 either way
+        assert np.array_equal(out.astype(np.float64), np.arange(10.0))
+
+    def test_decoded_arrays_are_native_order(self):
+        big = np.arange(4, dtype=">f8")
+        out = unpack_value(pack_value(big))
+        assert out.dtype.byteorder in ("=", "<", ">")
+        # usable in arithmetic without byteswap surprises
+        assert float((out + 1).sum()) == 10.0
+
+    def test_int_sizes_across_architectures(self):
+        # a 32-bit producer's ints and a 64-bit producer's ints interoperate
+        for dtype in ("int32", "int64"):
+            array = np.array([1, -2, 2**30], dtype=dtype)
+            out = unpack_value(pack_value(array))
+            assert np.array_equal(out, array)
+            assert out.dtype == np.dtype(dtype)
+
+
+class TestBase64EndiannessNeutral:
+    def test_same_text_for_both_byte_orders(self):
+        values = [1.0, 2.5, -3.75]
+        big = np.asarray(values, dtype=">f8")
+        little = np.asarray(values, dtype="<f8")
+        assert encode_array_base64(big) == encode_array_base64(little)
+
+    def test_decode_is_native(self):
+        text = encode_array_base64([7.0, 8.0])
+        out = decode_array_base64(text)
+        assert float(out.sum()) == 15.0
+
+
+class TestSoapTextIsArchitectureFree:
+    def test_repr_round_trip_independent_of_dtype_order(self):
+        from repro.soap.values import element_to_value, value_to_element
+        from repro.xmlkit import parse, to_string
+
+        for order in (">", "<"):
+            array = np.asarray([0.1, 1e-300, 6.25], dtype=np.dtype("f8").newbyteorder(order))
+            element = value_to_element("v", np.ascontiguousarray(array, dtype=np.float64), "items")
+            out = element_to_value(parse(to_string(element)))
+            assert np.array_equal(out, array.astype(np.float64))

@@ -1,0 +1,51 @@
+"""Codec registry: registration, lookup, negotiation failures."""
+
+import pytest
+
+from repro.encoding.registry import CodecRegistry, XdrMessageCodec, default_registry
+from repro.util.errors import EncodingError
+
+
+class TestCodecRegistry:
+    def test_register_and_get(self):
+        registry = CodecRegistry()
+        codec = XdrMessageCodec()
+        registry.register(codec)
+        assert registry.get("application/x-xdr") is codec
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = CodecRegistry()
+        registry.register(XdrMessageCodec())
+        with pytest.raises(EncodingError):
+            registry.register(XdrMessageCodec())
+        registry.register(XdrMessageCodec(), replace=True)
+
+    def test_unknown_content_type(self):
+        with pytest.raises(EncodingError, match="no codec"):
+            CodecRegistry().get("application/x-mystery")
+
+    def test_content_types_sorted(self):
+        registry = CodecRegistry()
+        registry.register(XdrMessageCodec())
+        assert registry.content_types() == ["application/x-xdr"]
+
+
+class TestDefaultRegistry:
+    def test_xdr_preregistered(self):
+        assert "application/x-xdr" in default_registry.content_types()
+
+    def test_soap_registered_on_import(self):
+        import repro.soap  # noqa: F401  (side effect: registers codecs)
+
+        types = default_registry.content_types()
+        assert "text/xml" in types
+        assert "text/xml; arrays=items" in types
+
+    def test_xdr_codec_round_trip_through_registry(self):
+        import numpy as np
+
+        codec = default_registry.get("application/x-xdr")
+        data = codec.encode_call("t", "op", (np.arange(3.0),))
+        target, op, args = codec.decode_call(data)
+        assert target == "t" and op == "op"
+        assert np.array_equal(args[0], np.arange(3.0))

@@ -1,0 +1,224 @@
+"""XDR primitives, tagged values, and the RPC message layer."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.xdr import (
+    XdrDecoder,
+    XdrEncoder,
+    pack_call,
+    pack_reply,
+    pack_value,
+    unpack_call,
+    unpack_reply,
+    unpack_value,
+)
+from repro.util.errors import EncodingError
+
+
+class TestPrimitives:
+    def test_int_round_trip(self):
+        enc = XdrEncoder()
+        enc.pack_int(-123456)
+        assert XdrDecoder(enc.getvalue()).unpack_int() == -123456
+
+    def test_int_range_enforced(self):
+        enc = XdrEncoder()
+        with pytest.raises(EncodingError):
+            enc.pack_int(2**31)
+        with pytest.raises(EncodingError):
+            enc.pack_uint(-1)
+
+    def test_hyper(self):
+        enc = XdrEncoder()
+        enc.pack_hyper(-(2**62))
+        assert XdrDecoder(enc.getvalue()).unpack_hyper() == -(2**62)
+
+    def test_bool(self):
+        enc = XdrEncoder()
+        enc.pack_bool(True)
+        enc.pack_bool(False)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_bool() is True
+        assert dec.unpack_bool() is False
+
+    def test_double_exact(self):
+        enc = XdrEncoder()
+        enc.pack_double(3.141592653589793)
+        assert XdrDecoder(enc.getvalue()).unpack_double() == 3.141592653589793
+
+    def test_float_single_precision(self):
+        enc = XdrEncoder()
+        enc.pack_float(1.5)
+        assert XdrDecoder(enc.getvalue()).unpack_float() == 1.5
+
+    @pytest.mark.parametrize("payload", [b"", b"a", b"ab", b"abc", b"abcd", b"abcde"])
+    def test_opaque_padding(self, payload):
+        enc = XdrEncoder()
+        enc.pack_opaque(payload)
+        assert len(enc) % 4 == 0  # RFC 1014 alignment
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_opaque() == payload
+        assert dec.done()
+
+    def test_string_utf8(self):
+        enc = XdrEncoder()
+        enc.pack_string("héllo wörld ☃")
+        assert XdrDecoder(enc.getvalue()).unpack_string() == "héllo wörld ☃"
+
+    def test_underflow_raises(self):
+        with pytest.raises(EncodingError):
+            XdrDecoder(b"\x00\x00").unpack_int()
+
+    def test_double_array_vectorised(self):
+        values = np.linspace(0, 1, 1000)
+        enc = XdrEncoder()
+        enc.pack_double_array(values)
+        out = XdrDecoder(enc.getvalue()).unpack_double_array()
+        assert np.array_equal(out, values)
+        assert out.dtype == np.float64
+
+
+class TestNdarray:
+    @pytest.mark.parametrize(
+        "dtype",
+        ["int8", "uint8", "int16", "uint16", "int32", "uint32",
+         "int64", "uint64", "float32", "float64", "complex64", "complex128"],
+    )
+    def test_dtypes_round_trip(self, dtype):
+        array = np.arange(24).astype(dtype).reshape(2, 3, 4)
+        enc = XdrEncoder()
+        enc.pack_ndarray(array)
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        assert out.dtype == np.dtype(dtype)
+        assert out.shape == (2, 3, 4)
+        assert np.array_equal(out, array)
+
+    def test_zero_dim(self):
+        array = np.float64(7.5)
+        enc = XdrEncoder()
+        enc.pack_ndarray(np.asarray(array))
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        assert out.shape == ()
+        assert out == 7.5
+
+    def test_empty_array(self):
+        enc = XdrEncoder()
+        enc.pack_ndarray(np.zeros((0, 3)))
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        assert out.shape == (0, 3)
+
+    def test_non_contiguous_input(self):
+        array = np.arange(20, dtype=np.float64).reshape(4, 5)[:, ::2]
+        enc = XdrEncoder()
+        enc.pack_ndarray(array)
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        assert np.array_equal(out, array)
+
+    def test_unsupported_dtype_rejected(self):
+        enc = XdrEncoder()
+        with pytest.raises(EncodingError):
+            enc.pack_ndarray(np.array(["a", "b"]))
+
+    def test_big_endian_on_wire(self):
+        enc = XdrEncoder()
+        enc.pack_ndarray(np.array([1], dtype=np.int32))
+        # dtype code (1), ndim (1), dim (1), nbytes (4), payload 00 00 00 01
+        assert enc.getvalue().endswith(b"\x00\x00\x00\x01")
+
+    def test_decoder_output_is_writable_copy(self):
+        array = np.arange(4, dtype=np.float64)
+        enc = XdrEncoder()
+        enc.pack_ndarray(array)
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        out[0] = 99  # must not raise (frombuffer views are read-only)
+
+
+class TestTaggedValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**40,
+            3.5,
+            "text",
+            b"bytes",
+            [1, "two", 3.0],
+            {"a": 1, "b": [True, None]},
+            {},
+            [],
+        ],
+    )
+    def test_round_trip(self, value):
+        assert unpack_value(pack_value(value)) == value
+
+    def test_uniform_float_list_becomes_array(self):
+        out = unpack_value(pack_value([1.0, 2.0, 3.0]))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_uniform_int_list_becomes_array(self):
+        out = unpack_value(pack_value([1, 2, 3]))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.int64
+
+    def test_bool_list_stays_list(self):
+        assert unpack_value(pack_value([True, False])) == [True, False]
+
+    def test_nested_ndarray_in_dict(self):
+        value = {"m": np.eye(3), "n": 2}
+        out = unpack_value(pack_value(value))
+        assert np.array_equal(out["m"], np.eye(3))
+        assert out["n"] == 2
+
+    def test_numpy_scalar_preserves_dtype(self):
+        out = unpack_value(pack_value(np.float32(1.5)))
+        assert out.dtype == np.float32
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(EncodingError):
+            pack_value({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(EncodingError):
+            pack_value(object())
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(EncodingError):
+            unpack_value(pack_value(1) + b"\x00\x00\x00\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(EncodingError):
+            unpack_value(b"\x00\x00\x00\x63")
+
+
+class TestRpcMessages:
+    def test_call_round_trip(self):
+        data = pack_call("svc#1", "getResult", (np.eye(2), 5, "x"))
+        target, operation, args = unpack_call(data)
+        assert target == "svc#1"
+        assert operation == "getResult"
+        assert np.array_equal(args[0], np.eye(2))
+        assert args[1:] == [5, "x"]
+
+    def test_reply_ok(self):
+        assert unpack_reply(pack_reply({"ok": True})) == {"ok": True}
+
+    def test_reply_fault_raises(self):
+        with pytest.raises(EncodingError, match="remote fault: boom"):
+            unpack_reply(pack_reply(fault="boom"))
+
+    def test_call_reply_kind_mismatch(self):
+        with pytest.raises(EncodingError):
+            unpack_reply(pack_call("t", "op", ()))
+        with pytest.raises(EncodingError):
+            unpack_call(pack_reply(1))
+
+    def test_empty_args(self):
+        target, operation, args = unpack_call(pack_call("t", "op", ()))
+        assert args == []

@@ -1,0 +1,176 @@
+"""Failure injection across the stack: crashes, partitions, recovery.
+
+The paper motivates Harness with "improving robustness … and adaptation";
+these tests drive the failure paths: node crashes mid-protocol, network
+partitions, service faults, and recovery after healing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.dvm.state import DecentralizedState, FullSynchronyState, NeighborhoodState
+from repro.netsim import lan
+from repro.netsim.fabric import HostDownError
+from repro.plugins.services import CounterService, MatMul
+from repro.util.errors import CoherencyError, PluginError
+
+
+class TestCoherencyUnderPartition:
+    def test_full_synchrony_update_fails_cleanly_across_partition(self):
+        net = lan(4)
+        members = [f"node{i}" for i in range(4)]
+        protocol = FullSynchronyState(net, members)
+        protocol.update("node0", "k", "before")
+        net.partition({"node0", "node1"}, {"node2", "node3"})
+        with pytest.raises(CoherencyError):
+            protocol.update("node0", "k", "after")
+        # pre-partition state still readable locally everywhere
+        for member in members:
+            assert protocol.get(member, "k") in ("before", "after")
+
+    def test_decentralized_survives_partition_with_stale_reads(self):
+        net = lan(4)
+        members = [f"node{i}" for i in range(4)]
+        protocol = DecentralizedState(net, members)
+        protocol.update("node0", "k", "v1")
+        net.partition({"node0", "node1"}, {"node2", "node3"})
+        protocol.update("node0", "k", "v2")  # local write always succeeds
+        # same side sees the new value; the other side sees nothing newer
+        assert protocol.get("node1", "k") == "v2"
+        assert protocol.get("node2", "k") is None  # v1 only lived on node0
+        net.heal()
+        assert protocol.get("node3", "k") == "v2"  # convergence after heal
+
+    def test_neighborhood_heals_after_partition(self):
+        net = lan(6)
+        members = [f"node{i}" for i in range(6)]
+        protocol = NeighborhoodState(net, members, radius=1)
+        net.partition({"node0", "node1", "node5"}, {"node2", "node3", "node4"})
+        protocol.update("node0", "k", "v")  # replicates within its side
+        assert protocol.get("node1", "k") == "v"
+        net.heal()
+        assert protocol.get("node3", "k") == "v"  # flood finds it post-heal
+
+
+class TestDvmNodeCrash:
+    def test_remote_call_to_crashed_host_fails_fast(self, rng):
+        net = lan(3)
+        with HarnessDvm("crash1", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy("node1", MatMul)
+            stub = harness.stub("node0", "MatMul")
+            net.host("node1").crash()
+            with pytest.raises(HostDownError):
+                stub.multiply(np.eye(2), np.eye(2))
+            stub.close()
+
+    def test_service_recovers_after_restart(self, rng):
+        net = lan(3)
+        with HarnessDvm("crash2", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy("node1", MatMul)
+            stub = harness.stub("node0", "MatMul")
+            net.host("node1").crash()
+            with pytest.raises(HostDownError):
+                stub.multiply(np.eye(2), np.eye(2))
+            net.host("node1").restart()
+            a = rng.random((3, 3))
+            assert np.allclose(stub.multiply(a, a), a @ a)
+            stub.close()
+
+    def test_migration_away_from_failing_node(self):
+        """Adaptation: move a component off a node before taking it down."""
+        net = lan(3)
+        with HarnessDvm("crash3", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy("node1", CounterService)
+            harness.stub("node1", "CounterService").increment(4)
+            harness.move("CounterService", "node2")
+            net.host("node1").crash()
+            stub = harness.stub("node0", "CounterService")
+            assert stub.value() == 4  # state survived the evacuation
+            stub.close()
+
+    def test_kernel_message_to_crashed_host(self):
+        net = lan(2)
+        with HarnessDvm("crash4", net) as harness:
+            harness.add_nodes("node0", "node1")
+            from repro.plugins import PingPlugin
+
+            harness.load_plugin_everywhere(PingPlugin)
+            net.host("node1").crash()
+            ping = harness.kernel("node0").get_service("ping")
+            with pytest.raises(HostDownError):
+                ping.ping("node1", 1)
+
+
+class TestServiceFaults:
+    def test_component_exception_does_not_kill_the_endpoint(self, rng):
+        net = lan(2)
+        with HarnessDvm("fault1", net) as harness:
+            harness.add_nodes("node0", "node1")
+            harness.deploy("node1", MatMul)
+            stub = harness.stub("node0", "MatMul")
+            from repro.util.errors import EncodingError
+
+            with pytest.raises(EncodingError):
+                stub.getResult(np.arange(3.0), np.arange(3.0))  # not square
+            # endpoint still serves good requests afterwards
+            a = rng.random((2, 2))
+            assert np.allclose(stub.multiply(a, a), a @ a)
+            stub.close()
+
+    def test_pvm_recv_timeout_is_clean(self):
+        net = lan(2)
+        with HarnessDvm("fault2", net) as harness:
+            harness.add_nodes("node0", "node1")
+            from repro.plugins import BASELINE_PLUGINS
+            from repro.plugins.hpvmd import PvmDaemonPlugin
+            from repro.util.errors import HarnessTimeoutError
+
+            for plugin in BASELINE_PLUGINS:
+                harness.load_plugin_everywhere(plugin)
+            harness.load_plugin("node0", PvmDaemonPlugin())
+            pvmd = harness.kernel("node0").get_service("pvm")
+            console = pvmd.mytid()
+            with pytest.raises(HarnessTimeoutError):
+                pvmd._recv_for(console, None, 0.05)
+
+    def test_mpi_rank_failure_reported_with_rank_id(self):
+        net = lan(1)
+        with HarnessDvm("fault3", net) as harness:
+            harness.add_nodes("node0")
+            from repro.plugins import BASELINE_PLUGINS
+            from repro.plugins.hmpi import MpiPlugin
+
+            for plugin in BASELINE_PLUGINS:
+                harness.load_plugin_everywhere(plugin)
+            harness.load_plugin("node0", MpiPlugin())
+            mpi = harness.kernel("node0").get_service("mpi")
+
+            def crash_rank_one(ctx):
+                if ctx.rank == 1:
+                    raise RuntimeError("simulated rank crash")
+                return "ok"
+
+            with pytest.raises(PluginError, match="rank 1"):
+                mpi.run(crash_rank_one, world_size=3)
+
+
+class TestRegistryRecovery:
+    def test_reregistration_after_neighborhood_node_loss(self):
+        from repro.registry.distributed import NeighborhoodLookup
+        from repro.tools.wsdlgen import generate_wsdl
+
+        net = lan(5)
+        lookup = NeighborhoodLookup(net, replication=1)
+        lookup.register("node0", generate_wsdl(MatMul, bindings=("soap",)))
+        # both node0 and its replica die
+        net.host("node0").crash()
+        net.host("node1").crash()
+        assert lookup.discover("node3", "//portType[@name='MatMulPortType']") == []
+        # supplier recovers and re-registers elsewhere
+        lookup.register("node2", generate_wsdl(MatMul, bindings=("soap",)))
+        found = lookup.discover("node3", "//portType[@name='MatMulPortType']")
+        assert [d.name for d in found] == ["MatMul"]

@@ -1,0 +1,125 @@
+"""F2 — Figure 2: the PVM plugin leveraging other plugins' services.
+
+"The hpvmd plugin emulates the PVM daemon on each host, but leverages
+process spawning, message transport, general event management, and table
+lookup from other plugins — both within the same address space (same
+Harness kernel) as well as in remote Harness kernels."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hpvmd import PvmDaemonPlugin
+
+
+def ring_worker(pvm, size):
+    """Pass an accumulating token around a ring of PVM tasks.
+
+    Each worker first receives its successor tid (tag 0), then forwards
+    the token (tag 1) until it has made ``size`` hops.
+    """
+    successor = pvm.recv(tag=0, timeout=15).data
+    token = pvm.recv(tag=1, timeout=15).data
+    token["hops"] += 1
+    token["trace"].append(pvm.tid)
+    if token["hops"] < size:
+        pvm.send(successor, 1, token)
+    else:
+        pvm.send(token["home"], 2, token)
+
+
+def summing_worker(pvm, chunk_lo, chunk_hi):
+    """Worker half of a master/worker sum over a float array chunk."""
+    envelope = pvm.recv(tag=1, timeout=15)
+    data = np.asarray(envelope.data)
+    partial = float(data[chunk_lo:chunk_hi].sum())
+    pvm.send(pvm.parent, 2, partial)
+
+
+@pytest.fixture
+def pvm_cluster():
+    net = lan(3)
+    with HarnessDvm("fig2", net) as harness:
+        harness.add_nodes("node0", "node1", "node2")
+        for plugin in BASELINE_PLUGINS:
+            harness.load_plugin_everywhere(plugin)
+        for host in harness.kernels:
+            harness.load_plugin(host, PvmDaemonPlugin(group_server="node0"))
+        yield harness, net
+
+
+class TestFigure2PvmEmulation:
+    def test_daemon_composes_other_plugins(self, pvm_cluster):
+        harness, _ = pvm_cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        # the daemon's services ARE the other plugins' provider objects
+        assert pvmd.hmsg is harness.kernel("node0").get_service("message-transport")
+        assert pvmd.hproc is harness.kernel("node0").get_service("process-management")
+        assert pvmd.htable is harness.kernel("node0").get_service("table-lookup")
+        assert pvmd.hevent is harness.kernel("node0").get_service("event-management")
+
+    def test_token_ring(self, pvm_cluster):
+        """A size-4 PVM token ring: the classic first PVM program."""
+        harness, _ = pvm_cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+        size = 4
+        tids = pvmd.spawn(ring_worker, count=size, args=(size,), parent=console)
+        for i, tid in enumerate(tids):
+            pvmd.send(tid, 0, tids[(i + 1) % size])  # successor wiring
+        pvmd.send(tids[0], 1, {"hops": 0, "trace": [], "home": console})
+        token = pvmd._recv_for(console, 2, 15.0).data
+        assert token["hops"] == size
+        assert token["trace"] == tids  # visited in ring order
+        pvmd.wait_all(tids)
+
+    def test_master_worker_sum_across_hosts(self, pvm_cluster):
+        harness, net = pvm_cluster
+        pvmd0 = harness.kernel("node0").get_service("pvm")
+        console = pvmd0.mytid()
+        data = np.arange(1000, dtype=np.float64)
+
+        # place one worker per host, each summing a chunk (Figure 2's
+        # hpvmd spanning local and remote kernels)
+        chunks = [(0, 300), (300, 700), (700, 1000)]
+        tids = []
+        for host, (lo, hi) in zip(("node0", "node1", "node2"), chunks):
+            if host == "node0":
+                tid = pvmd0.spawn(summing_worker, count=1, args=(lo, hi), parent=console)[0]
+            else:
+                tid = pvmd0.spawn(
+                    "tests.integration.test_fig2_pvm:summing_worker",
+                    count=1, where=host, args=(lo, hi), parent=console,
+                )[0]
+            tids.append(tid)
+        for tid in tids:
+            pvmd0.send(tid, 1, data)
+        total = sum(pvmd0._recv_for(console, 2, 15.0).data for _ in tids)
+        assert total == pytest.approx(data.sum())
+        pvmd0.wait_all(tids)
+
+    def test_cross_host_messaging_pays_fabric_cost(self, pvm_cluster):
+        harness, net = pvm_cluster
+        pvmd0 = harness.kernel("node0").get_service("pvm")
+        console = pvmd0.mytid()
+        tid = pvmd0.spawn(
+            "tests.integration.test_fig2_pvm:summing_worker",
+            count=1, where="node1", args=(0, 10), parent=console,
+        )[0]
+        before = net.total_bytes
+        pvmd0.send(tid, 1, np.arange(10, dtype=np.float64))
+        pvmd0._recv_for(console, 2, 15.0)
+        assert net.total_bytes > before
+
+    def test_task_directory_spans_kernels(self, pvm_cluster):
+        harness, _ = pvm_cluster
+        pvmd0 = harness.kernel("node0").get_service("pvm")
+        remote = pvmd0.spawn(
+            "tests.integration.test_fig2_pvm:summing_worker",
+            count=1, where="node2", args=(0, 1), parent="",
+        )[0]
+        info = pvmd0.task_info(remote)
+        assert info["host"] == "node2"

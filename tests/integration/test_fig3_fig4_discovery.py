@@ -1,0 +1,127 @@
+"""F3/F4 — Figures 3 and 4: Web-Services deployment loop and DVM interaction.
+
+Figure 3: a provider deploys services A, B, C into a container, publishes
+interface + access point documents to a lookup system; a client queries the
+lookup system once, then "interaction takes place directly between the Web
+Service and the client.  There is no need for further interrogation of the
+lookup service."
+
+Figure 4: inside a DVM, component A registers in the DVM lookup service,
+other components query it for a handle (a proxy hiding connection details)
+and call through the proxy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import LightweightContainer
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins.services import CounterService, LinearAlgebraService, MatMul, WSTime
+from repro.registry.uddi import UddiRegistry
+from repro.registry.wsil import WsilDocument
+
+
+class TestFigure3WebServicesLoop:
+    def test_deploy_publish_discover_invoke(self, rng):
+        # -- deployment of three services into one provider container
+        with LightweightContainer("provider", host="prov") as container:
+            handles = {
+                "A": container.deploy(MatMul, name="A", bindings=("local-instance", "soap")),
+                "B": container.deploy(WSTime, name="B", bindings=("local-instance", "soap")),
+                "C": container.deploy(CounterService, name="C", bindings=("local-instance", "soap")),
+            }
+            # -- publication of interface + access points to the lookup system
+            uddi = UddiRegistry()
+            business = uddi.save_business("provider-corp")
+            for handle in handles.values():
+                uddi.publish_wsdl(business.key, handle.document)
+
+            # -- client side: one interrogation of the lookup system
+            found = uddi.find_service("A")
+            assert len(found) == 1
+            document = uddi.get_wsdl(found[0].key)
+
+            # -- direct interaction; the lookup service is out of the loop
+            factory = DynamicStubFactory(ClientContext(host="clienthost"))
+            stub = factory.create(document, prefer=("soap",))
+            a = rng.random(16)
+            result = stub.getResult(a, a)
+            assert np.allclose(result, (a.reshape(4, 4) @ a.reshape(4, 4)).ravel())
+            stub.close()
+
+    def test_wsil_flavour_of_lookup(self):
+        # WSIL lists name -> WSDL location; location here is the UDDI key
+        uddi = UddiRegistry()
+        business = uddi.save_business("prov")
+        with LightweightContainer("prov-wsil", host="pw") as container:
+            handle = container.deploy(WSTime, bindings=("local-instance", "soap"))
+            service = uddi.publish_wsdl(business.key, handle.document)
+            wsil = WsilDocument()
+            wsil.add("WSTime", service.key, "time service")
+            # a crawler parses WSIL, resolves the WSDL through the registry
+            crawled = WsilDocument.from_string(wsil.to_string())
+            document = uddi.get_wsdl(crawled.locate("WSTime"))
+            assert document.name == "WSTime"
+
+    def test_exposure_review_hides_service_from_lookup(self):
+        """Section 6: publish only after internal testing; revocable."""
+        with LightweightContainer("staged", host="st") as container:
+            handle = container.deploy(LinearAlgebraService, exposure="private")
+            assert container.registry.find("//service") == []
+            # internal testing through the private path still works
+            stub = container.lookup("LinearAlgebraService", include_private=True)
+            assert stub.determinant(np.eye(2)) == 1.0
+            # now publish it
+            container.set_exposure(handle.instance_id, "public")
+            assert len(container.registry.find("//service")) == 1
+
+
+class TestFigure4DvmInteraction:
+    @pytest.fixture
+    def dvm(self):
+        net = lan(3)
+        with HarnessDvm("fig4", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            yield harness
+
+    def test_register_query_proxy_invoke(self, dvm, rng):
+        # component A is created inside the DVM and registered in the DVM
+        # lookup service
+        dvm.deploy("node1", MatMul, name="A")
+        # another component queries the lookup service for a handle
+        owner, document = dvm.lookup("node2", "A")
+        assert owner == "node1"
+        # the handle contains a proxy hiding remote connection details
+        stub = dvm.stub("node2", "A")
+        a = rng.random((4, 4))
+        assert np.allclose(stub.multiply(a, a), a @ a)
+        stub.close()
+
+    def test_client_server_blur(self, dvm):
+        """'every component can play both roles at the same time'"""
+        dvm.deploy("node0", CounterService, name="counter0")
+        dvm.deploy("node1", CounterService, name="counter1")
+        # node0's component calls node1's and vice versa
+        stub01 = dvm.stub("node0", "counter1")
+        stub10 = dvm.stub("node1", "counter0")
+        assert stub01.increment(1) == 1
+        assert stub10.increment(2) == 2
+        stub01.close()
+        stub10.close()
+
+    def test_lookup_then_direct_no_further_lookups(self, dvm, rng):
+        # deploy over real loopback XDR so fabric traffic isolates lookups
+        dvm.deploy("node1", MatMul, name="A", bindings=("local-instance", "xdr"))
+        net = dvm.network
+        stub = dvm.stub("node0", "A")
+        net.reset_stats()
+        state_endpoint_traffic = 0
+        for _ in range(5):
+            a = rng.random((2, 2))
+            stub.multiply(a, a)
+        # calls ran over the XDR socket (real loopback), not the state
+        # protocol: no further fabric messages to the lookup endpoints
+        assert net.total_messages == state_endpoint_traffic
+        stub.close()

@@ -1,0 +1,147 @@
+"""F5/F6 — Figures 5 and 6: local/remote communication and the 3-layer stack.
+
+Figure 5: the same service reached through the standard remote path
+(SOAP/HTTP), the fast remote path (XDR sockets) and the local unmediated
+path (local/local-instance bindings).
+
+Figure 6: runner box (resource abstraction) → component container →
+distributed component container, each layer a describable service.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bindings import ClientContext, DynamicStubFactory
+from repro.container import LightweightContainer
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins.services import CounterService, MatMul
+from repro.runner.box import ThreadRunnerBox
+from repro.runner.tasks import TaskSpec
+from repro.tools.wsdlgen import generate_wsdl
+
+
+class TestFigure5LocalAndRemotePaths:
+    @pytest.fixture
+    def deployment(self):
+        with LightweightContainer("fig5", host="fig5host") as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "xdr", "soap"))
+            yield container, handle
+
+    def test_all_three_paths_give_identical_results(self, deployment, rng):
+        container, handle = deployment
+        a = rng.random((6, 6))
+        results = {}
+        co_located = DynamicStubFactory(
+            ClientContext(container_uri=container.uri, host="fig5host")
+        )
+        remote = DynamicStubFactory(ClientContext(host="elsewhere"))
+        results["local-instance"] = co_located.create(handle.document).multiply(a, a)
+        for protocol in ("xdr", "soap"):
+            stub = remote.create(handle.document, prefer=(protocol,))
+            assert stub.protocol == protocol
+            results[protocol] = stub.multiply(a, a)
+            stub.close()
+        for result in results.values():
+            assert np.allclose(result, a @ a)
+
+    def test_local_path_is_unmediated(self, deployment):
+        """Co-located calls touch the very object — no copies, no encoding."""
+        container, handle = deployment
+        factory = DynamicStubFactory(
+            ClientContext(container_uri=container.uri, host="fig5host")
+        )
+        stub = factory.create(handle.document)
+        assert stub.protocol == "local-instance"
+        assert stub.wrapped_object is handle.instance
+
+    def test_remote_path_copies(self, deployment, rng):
+        """Network bindings must serialize: the result is a distinct array."""
+        container, handle = deployment
+        remote = DynamicStubFactory(ClientContext(host="elsewhere"))
+        stub = remote.create(handle.document, prefer=("xdr",))
+        a = rng.random((3, 3))
+        result = stub.multiply(a, a)
+        assert result.flags.owndata or result.base is not a
+        stub.close()
+
+    def test_binding_choice_by_context(self, deployment):
+        container, handle = deployment
+        co_located = DynamicStubFactory(
+            ClientContext(container_uri=container.uri, host="fig5host")
+        )
+        remote = DynamicStubFactory(ClientContext(host="elsewhere"))
+        assert co_located.usable_protocols(handle.document)[0] == "local-instance"
+        assert remote.usable_protocols(handle.document)[0] == "xdr"
+
+
+class TestFigure6ThreeLayers:
+    def test_runner_box_layer(self):
+        """Lowest layer: enroll a computational resource, run/control tasks."""
+        box = ThreadRunnerBox(name="fig6-runner")
+        info = box.describe()
+        assert info["kind"] == "thread"
+        task_id = box.run(TaskSpec.from_callable(lambda: 7 * 6))
+        assert box.wait(task_id).result == 42
+
+    def test_container_layer_adds_shared_environment(self, rng):
+        """Middle layer: query + access services hosted locally."""
+        with LightweightContainer("fig6c", host="f6") as container:
+            container.deploy(MatMul)
+            container.deploy(CounterService)
+            # query for characteristics ...
+            names = {e.name for e in container.registry.entries()}
+            assert names == {"MatMul", "CounterService"}
+            assert container.registry.find_by_operation("increment")
+            # ... and access the services hosted locally
+            stub = container.lookup("MatMul")
+            a = rng.random((2, 2))
+            assert np.allclose(stub.multiply(a, a), a @ a)
+
+    def test_container_is_itself_a_describable_service(self):
+        """'they are full-fledged services themselves'"""
+        with LightweightContainer("fig6self", host="f6s") as container:
+            document = generate_wsdl(
+                type(container), service_name="ContainerManagement",
+                bindings=("local",),
+            )
+            document.validate()
+            ops = document.port_type("ContainerManagementPortType").operation_names()
+            assert "deploy" in ops and "lookup" in ops and "describe" in ops
+
+    def test_distributed_container_layer(self, rng):
+        """Top layer: unified namespace, status, lookup, management."""
+        net = lan(3)
+        with HarnessDvm("fig6dvm", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy("node2", MatMul)
+            # unified name space
+            assert harness.dvm.component_index("node0") == {"MatMul": "node2"}
+            # status query
+            status = harness.status("node1")
+            assert status["members"] == ["node0", "node1", "node2"]
+            # lookup + management (undeploy from a management point)
+            stub = harness.stub("node0", "MatMul")
+            a = rng.random((2, 2))
+            assert np.allclose(stub.multiply(a, a), a @ a)
+            stub.close()
+            harness.undeploy("node2", "MatMul")
+            assert harness.dvm.component_index("node0") == {}
+
+    def test_stack_composes_bottom_up(self):
+        """All three layers in one deployment."""
+        net = lan(2)
+        with HarnessDvm("fig6full", net) as harness:
+            harness.add_nodes("node0", "node1")
+            from repro.plugins import BASELINE_PLUGINS
+
+            for plugin in BASELINE_PLUGINS:
+                harness.load_plugin_everywhere(plugin)
+            # runner (hproc) under container under DVM
+            hproc = harness.kernel("node0").get_service("process-management")
+            task_id = hproc.spawn(lambda: "bottom layer works")
+            assert hproc.wait(task_id).result == "bottom layer works"
+            harness.deploy("node0", CounterService)
+            stub = harness.stub("node1", "CounterService")
+            assert stub.increment(1) == 1
+            stub.close()

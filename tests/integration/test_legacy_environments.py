@@ -1,0 +1,140 @@
+"""§3's legacy-environment claim, end to end.
+
+"Alternatively, users may first load plugins that emulate distributed
+computing environments (currently PVM, MPI, and JavaSpaces plugins are
+available), thereby creating a framework within which their legacy codes
+may run."
+
+One DVM; all three emulation plugins loaded side by side; one legacy-style
+program per environment, all running concurrently over the same kernels
+and the same backplane services — the composition the sentence promises.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hmpi import SUM, MpiPlugin
+from repro.plugins.hpvmd import PvmDaemonPlugin
+from repro.plugins.hspaces import TupleSpacePlugin
+
+
+def mpi_stencil(mpi, width):
+    """A 1-D Jacobi sweep with halo exchange — the archetypal legacy MPI code."""
+    rng = np.random.default_rng(mpi.rank)
+    local = rng.random(width)
+    for _ in range(3):
+        left = mpi.sendrecv(
+            (mpi.rank - 1) % mpi.size, local[0],
+            source=(mpi.rank + 1) % mpi.size, sendtag=11,
+        )
+        right = mpi.sendrecv(
+            (mpi.rank + 1) % mpi.size, local[-1],
+            source=(mpi.rank - 1) % mpi.size, sendtag=12,
+        )
+        padded = np.concatenate([[right], local, [left]])
+        local = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+    return mpi.allreduce(float(local.sum()), op=SUM)
+
+
+def pvm_worker(pvm, factor):
+    message = pvm.recv(tag=1)
+    pvm.send(message.data["reply"], 2, message.data["x"] * factor)
+
+
+@pytest.fixture
+def metacomputer():
+    net = lan(3)
+    with HarnessDvm("legacy", net) as harness:
+        harness.add_nodes("node0", "node1", "node2")
+        for plugin in BASELINE_PLUGINS:
+            harness.load_plugin_everywhere(plugin)
+        for host in harness.kernels:
+            harness.load_plugin(host, PvmDaemonPlugin(group_server="node0"))
+            harness.load_plugin(host, MpiPlugin(root_host="node0"))
+            harness.load_plugin(host, TupleSpacePlugin(space_host="node0"))
+        yield harness
+
+
+class TestThreeEnvironmentsCoexist:
+    def test_all_plugins_loaded_alongside(self, metacomputer):
+        for host, kernel in metacomputer.kernels.items():
+            assert {"hpvmd", "hmpi", "hspaces"} <= set(kernel.plugins())
+            # they all share the same backplane providers
+            pvm = kernel.get_service("pvm")
+            mpi = kernel.get_service("mpi")
+            assert pvm.hmsg is mpi.hmsg
+
+    def test_pvm_program(self, metacomputer):
+        pvmd = metacomputer.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+        tids = pvmd.spawn(pvm_worker, count=3, args=(7,))
+        for i, tid in enumerate(tids):
+            pvmd.send(tid, 1, {"reply": console, "x": i})
+        got = sorted(pvmd._recv_for(console, 2, 10.0).data for _ in tids)
+        assert got == [0, 7, 14]
+        pvmd.wait_all(tids)
+
+    def test_mpi_program(self, metacomputer):
+        mpi = metacomputer.kernel("node0").get_service("mpi")
+        results = mpi.run(mpi_stencil, world_size=3, args=(32,))
+        assert len(set(results)) == 1  # allreduce agreed
+
+    def test_spaces_program(self, metacomputer):
+        space0 = metacomputer.kernel("node1").get_service("tuple-space")
+        space1 = metacomputer.kernel("node2").get_service("tuple-space")
+        space0.write({"legacy": "javaspaces", "n": 1})
+        assert space1.take({"legacy": "javaspaces"}, timeout=5)["n"] == 1
+
+    def test_all_three_run_concurrently(self, metacomputer):
+        """The claim is coexistence, so run them at the same time."""
+        outcomes: dict[str, object] = {}
+        errors: list[str] = []
+
+        def run_pvm():
+            try:
+                pvmd = metacomputer.kernel("node1").get_service("pvm")
+                console = pvmd.mytid()
+                tids = pvmd.spawn(pvm_worker, count=2, args=(3,))
+                for i, tid in enumerate(tids):
+                    pvmd.send(tid, 1, {"reply": console, "x": i + 1})
+                outcomes["pvm"] = sorted(
+                    pvmd._recv_for(console, 2, 15.0).data for _ in tids
+                )
+                pvmd.wait_all(tids)
+            except Exception as exc:
+                errors.append(f"pvm: {exc}")
+
+        def run_mpi():
+            try:
+                mpi = metacomputer.kernel("node0").get_service("mpi")
+                outcomes["mpi"] = mpi.run(mpi_stencil, world_size=2, args=(16,))
+            except Exception as exc:
+                errors.append(f"mpi: {exc}")
+
+        def run_spaces():
+            try:
+                space = metacomputer.kernel("node2").get_service("tuple-space")
+                for n in range(4):
+                    space.write({"kind": "concurrent", "n": n})
+                outcomes["spaces"] = sorted(
+                    space.take({"kind": "concurrent"}, timeout=15)["n"]
+                    for _ in range(4)
+                )
+            except Exception as exc:
+                errors.append(f"spaces: {exc}")
+
+        threads = [threading.Thread(target=fn, daemon=True)
+                   for fn in (run_pvm, run_mpi, run_spaces)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert outcomes["pvm"] == [3, 6]
+        assert len(set(outcomes["mpi"])) == 1
+        assert outcomes["spaces"] == [0, 1, 2, 3]

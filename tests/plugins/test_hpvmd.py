@@ -1,0 +1,203 @@
+"""hpvmd — PVM emulation over the plugin backplane (Figure 2)."""
+
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hpvmd import PvmDaemonPlugin
+from repro.util.errors import PluginError
+
+
+def echo_task(pvm, factor):
+    """Importable worker used for remote spawns."""
+    message = pvm.recv(tag=1)
+    pvm.send(message.data["reply_to"], 2, message.data["value"] * factor)
+
+
+def group_task(pvm, group, count):
+    pvm.joingroup(group)
+    pvm.barrier(group, count, timeout=10)
+    pvm.send(pvm.parent, 9, pvm.tid)
+
+
+@pytest.fixture
+def cluster():
+    net = lan(3)
+    with HarnessDvm("pvm-dvm", net, coherency="full-synchrony") as harness:
+        harness.add_nodes("node0", "node1", "node2")
+        for plugin in BASELINE_PLUGINS:
+            harness.load_plugin_everywhere(plugin)
+        for host in harness.kernels:
+            harness.load_plugin(host, PvmDaemonPlugin(group_server="node0"))
+        yield harness, net
+
+
+class TestDaemonWiring:
+    def test_requires_figure2_services(self):
+        assert set(PvmDaemonPlugin.requires) == {
+            "message-transport", "process-management", "table-lookup", "event-management",
+        }
+
+    def test_cannot_load_without_dependencies(self):
+        from repro.core.kernel import HarnessKernel
+        from repro.util.errors import PluginLoadError
+
+        kernel = HarnessKernel("alone")
+        with pytest.raises(PluginLoadError):
+            kernel.load_plugin(PvmDaemonPlugin)
+        kernel.shutdown()
+
+
+class TestTaskLifecycle:
+    def test_spawn_and_message_round_trip(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        tids = pvmd.spawn(echo_task, count=3, args=(2,))
+        assert len(tids) == 3
+        console = pvmd.mytid()
+        for i, tid in enumerate(tids):
+            pvmd.send(tid, 1, {"reply_to": console, "value": i})
+        replies = sorted(pvmd._recv_for(console, 2, 5.0).data for _ in tids)
+        assert replies == [0, 2, 4]
+        pvmd.wait_all(tids)
+
+    def test_tids_are_host_scoped_and_unique(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node1").get_service("pvm")
+        tids = pvmd.spawn(lambda pvm: None, count=5)
+        assert len(set(tids)) == 5
+        assert all(t.startswith("tid:node1:") for t in tids)
+
+    def test_task_info_records_parent_and_state(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        tids = pvmd.spawn(lambda pvm: None, count=1, parent="tid:node0:999")
+        pvmd.wait_all(tids)
+        info = pvmd.task_info(tids[0])
+        assert info["parent"] == "tid:node0:999"
+        assert info["state"] == "exited"
+
+    def test_remote_spawn_by_import_path(self, cluster):
+        harness, _ = cluster
+        pvmd0 = harness.kernel("node0").get_service("pvm")
+        tids = pvmd0.spawn(
+            "tests.plugins.test_hpvmd:echo_task", count=2, where="node2", args=(5,)
+        )
+        assert all(t.startswith("tid:node2:") for t in tids)
+        console = pvmd0.mytid()
+        for tid in tids:
+            pvmd0.send(tid, 1, {"reply_to": console, "value": 3})
+        replies = [pvmd0._recv_for(console, 2, 5.0).data for _ in tids]
+        assert replies == [15, 15]
+        # cross-host task info query goes through htable remotely
+        info = pvmd0.task_info(tids[0])
+        assert info["host"] == "node2"
+
+    def test_remote_spawn_requires_import_path(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        with pytest.raises(PluginError):
+            pvmd.spawn(lambda pvm: None, where="node1")
+
+    def test_malformed_tid_rejected(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        with pytest.raises(PluginError):
+            pvmd.send("garbage", 1, None)
+
+
+class TestGroupsAndBarriers:
+    def test_group_membership(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node1").get_service("pvm")
+        tid = pvmd.mytid()
+        pvmd.joingroup("workers", tid)
+        assert tid in pvmd.group_members("workers")
+        # membership visible from other daemons (shared group server)
+        pvmd2 = harness.kernel("node2").get_service("pvm")
+        assert tid in pvmd2.group_members("workers")
+
+    def test_join_idempotent(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        tid = pvmd.mytid()
+        pvmd.joingroup("g", tid)
+        pvmd.joingroup("g", tid)
+        assert pvmd.group_members("g").count(tid) == 1
+
+    def test_barrier_releases_all(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+        tids = pvmd.spawn(group_task, count=3, args=("sync", 3), parent=console)
+        finished = sorted(pvmd._recv_for(console, 9, 10.0).data for _ in tids)
+        assert finished == sorted(tids)
+        pvmd.wait_all(tids)
+
+    def test_cross_host_barrier(self, cluster):
+        harness, _ = cluster
+        pvmd0 = harness.kernel("node0").get_service("pvm")
+        console = pvmd0.mytid()
+        local = pvmd0.spawn(group_task, count=1, args=("xsync", 2), parent=console)
+        remote = pvmd0.spawn(
+            "tests.plugins.test_hpvmd:group_task", count=1, where="node1",
+            args=("xsync", 2), parent=console,
+        )
+        done = {pvmd0._recv_for(console, 9, 10.0).data for _ in range(2)}
+        assert done == set(local) | set(remote)
+
+
+class TestPing:
+    def test_ping_round_trip(self, cluster):
+        harness, _ = cluster
+        from repro.plugins import PingPlugin
+
+        for host in harness.kernels:
+            harness.load_plugin(host, PingPlugin)
+        ping = harness.kernel("node0").get_service("ping")
+        assert ping.ping("node2", 7) == 7
+
+
+def bcast_listener(pvm, group):
+    pvm.joingroup(group)
+    pvm.send(pvm.parent, 8, "joined")
+    envelope = pvm.recv(tag=3, timeout=10)
+    pvm.send(pvm.parent, 9, envelope.data)
+
+
+class TestMulticast:
+    def test_mcast_explicit_tids(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+
+        def waiter(pvm):
+            envelope = pvm.recv(tag=4, timeout=10)
+            pvm.send(pvm.parent, 5, envelope.data * 2)
+
+        tids = pvmd.spawn(waiter, count=3, parent=console)
+        assert pvmd.mcast(tids, 4, 21) == 3
+        replies = [pvmd._recv_for(console, 5, 10.0).data for _ in tids]
+        assert replies == [42, 42, 42]
+        pvmd.wait_all(tids)
+
+    def test_group_bcast(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+        tids = pvmd.spawn(bcast_listener, count=3, args=("listeners",), parent=console)
+        for _ in tids:
+            pvmd._recv_for(console, 8, 10.0)  # all joined
+        count = pvmd.bcast("listeners", 3, {"news": True}, exclude=console)
+        assert count == 3
+        for _ in tids:
+            assert pvmd._recv_for(console, 9, 10.0).data == {"news": True}
+        pvmd.wait_all(tids)
+
+    def test_bcast_excludes_sender(self, cluster):
+        harness, _ = cluster
+        pvmd = harness.kernel("node0").get_service("pvm")
+        console = pvmd.mytid()
+        pvmd.joingroup("self-group", console)
+        assert pvmd.bcast("self-group", 1, "x", exclude=console) == 0

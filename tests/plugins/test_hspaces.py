@@ -1,0 +1,163 @@
+"""hspaces — tuple-space (JavaSpaces) emulation (§3's third plugin)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.core.kernel import HarnessKernel
+from repro.netsim import lan
+from repro.plugins import BASELINE_PLUGINS
+from repro.plugins.hspaces import TupleSpacePlugin, matches_template
+from repro.util.errors import HarnessTimeoutError, PluginError
+
+
+class TestTemplateMatching:
+    def test_exact_match(self):
+        assert matches_template({"kind": "job"}, {"kind": "job", "n": 1})
+
+    def test_missing_key_fails(self):
+        assert not matches_template({"kind": "job"}, {"n": 1})
+
+    def test_value_mismatch_fails(self):
+        assert not matches_template({"kind": "job"}, {"kind": "result"})
+
+    def test_none_is_wildcard(self):
+        assert matches_template({"kind": "job", "n": None}, {"kind": "job", "n": 42})
+        assert not matches_template({"kind": "job", "n": None}, {"kind": "job"})
+
+    def test_empty_template_matches_all(self):
+        assert matches_template({}, {"anything": 1})
+
+
+@pytest.fixture
+def space():
+    kernel = HarnessKernel("space-host")
+    kernel.load_plugin("repro.plugins.hevent:EventManagementPlugin")
+    plugin = TupleSpacePlugin()
+    kernel.load_plugin(plugin)
+    yield plugin
+    kernel.shutdown()
+
+
+class TestLocalSpace:
+    def test_write_read_take(self, space):
+        space.write({"kind": "job", "n": 1})
+        assert space.read_if_exists({"kind": "job"}) == {"kind": "job", "n": 1}
+        assert space.count() == 1  # read is non-destructive
+        assert space.take_if_exists({"kind": "job"}) == {"kind": "job", "n": 1}
+        assert space.count() == 0
+
+    def test_if_exists_returns_none_on_miss(self, space):
+        assert space.read_if_exists({"kind": "nothing"}) is None
+        assert space.take_if_exists({"kind": "nothing"}) is None
+
+    def test_fifo_among_matches(self, space):
+        space.write({"kind": "job", "n": 1})
+        space.write({"kind": "job", "n": 2})
+        assert space.take_if_exists({"kind": "job"})["n"] == 1
+        assert space.take_if_exists({"kind": "job"})["n"] == 2
+
+    def test_blocking_take_waits_for_writer(self, space):
+        def writer():
+            time.sleep(0.05)
+            space.write({"kind": "late", "v": 9})
+
+        threading.Thread(target=writer, daemon=True).start()
+        assert space.take({"kind": "late"}, timeout=2.0)["v"] == 9
+
+    def test_blocking_timeout(self, space):
+        with pytest.raises(HarnessTimeoutError):
+            space.read({"kind": "never"}, timeout=0.05)
+
+    def test_lease_expiry(self, space):
+        space.write({"kind": "ephemeral"}, lease_s=0.02)
+        assert space.count({"kind": "ephemeral"}) == 1
+        time.sleep(0.05)
+        assert space.count({"kind": "ephemeral"}) == 0
+        assert space.read_if_exists({"kind": "ephemeral"}) is None
+
+    def test_entries_are_copied(self, space):
+        original = {"kind": "job", "data": [1]}
+        space.write(original)
+        got = space.read_if_exists({"kind": "job"})
+        got["data"].append(2)  # outer dict copied; caller can't corrupt keys
+        assert space.read_if_exists({"kind": "job"})["kind"] == "job"
+
+    def test_non_dict_rejected(self, space):
+        with pytest.raises(PluginError):
+            space.write(["not", "a", "dict"])
+
+    def test_notify(self, space):
+        seen = []
+        space.notify({"kind": "job"}, seen.append)
+        space.write({"kind": "job", "n": 5})
+        space.write({"kind": "other"})
+        assert seen == [{"kind": "job", "n": 5}]
+
+
+class TestDistributedSpace:
+    @pytest.fixture
+    def cluster(self):
+        net = lan(3)
+        with HarnessDvm("spaces-dvm", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            for plugin in BASELINE_PLUGINS:
+                harness.load_plugin_everywhere(plugin)
+            for host in harness.kernels:
+                harness.load_plugin(host, TupleSpacePlugin(space_host="node0"))
+            yield harness, net
+
+    def test_remote_write_local_take(self, cluster):
+        harness, _ = cluster
+        remote = harness.kernel("node1").get_service("tuple-space")
+        server = harness.kernel("node0").get_service("tuple-space")
+        remote.write({"kind": "task", "payload": [1.0, 2.0]})
+        entry = server.take_if_exists({"kind": "task"})
+        assert list(entry["payload"]) == [1.0, 2.0]
+
+    def test_cross_kernel_producer_consumer(self, cluster):
+        harness, net = cluster
+        producer = harness.kernel("node1").get_service("tuple-space")
+        consumer = harness.kernel("node2").get_service("tuple-space")
+        before = net.total_messages
+        for i in range(5):
+            producer.write({"kind": "work", "i": i})
+        got = sorted(consumer.take({"kind": "work"}, timeout=5)["i"] for _ in range(5))
+        assert got == [0, 1, 2, 3, 4]
+        assert net.total_messages > before  # space ops crossed the fabric
+
+    def test_count_remote(self, cluster):
+        harness, _ = cluster
+        harness.kernel("node2").get_service("tuple-space").write({"kind": "x"})
+        assert harness.kernel("node1").get_service("tuple-space").count({"kind": "x"}) == 1
+
+    def test_master_worker_pattern(self, cluster):
+        """The canonical JavaSpaces pattern: bag of tasks, result entries."""
+        harness, _ = cluster
+        master = harness.kernel("node0").get_service("tuple-space")
+
+        def worker(host):
+            plugin = harness.kernel(host).get_service("tuple-space")
+            while True:
+                task = plugin.take_if_exists({"kind": "task"})
+                if task is None:
+                    return
+                plugin.write({"kind": "result", "n": task["n"], "sq": task["n"] ** 2})
+
+        for n in range(6):
+            master.write({"kind": "task", "n": n})
+        threads = [
+            threading.Thread(target=worker, args=(host,), daemon=True)
+            for host in ("node1", "node2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        results = {}
+        for _ in range(6):
+            entry = master.take({"kind": "result"}, timeout=5)
+            results[entry["n"]] = entry["sq"]
+        assert results == {n: n * n for n in range(6)}

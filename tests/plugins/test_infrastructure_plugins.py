@@ -1,0 +1,230 @@
+"""hmsg / hproc / htable / hevent — the Figure 2 infrastructure plugins."""
+
+import pytest
+
+from repro.core.kernel import HarnessKernel
+from repro.netsim import lan
+from repro.plugins.hevent import EventManagementPlugin
+from repro.plugins.hmsg import MessageTransportPlugin
+from repro.plugins.hproc import ProcessManagementPlugin
+from repro.plugins.htable import TableLookupPlugin
+from repro.runner.tasks import TaskState
+from repro.util.errors import HarnessTimeoutError, PluginError
+
+
+@pytest.fixture
+def pair():
+    """Two kernels on a LAN, each with all four infrastructure plugins."""
+    net = lan(2)
+    kernels = []
+    for i in range(2):
+        kernel = HarnessKernel(f"node{i}", network=net)
+        for plugin in (MessageTransportPlugin, ProcessManagementPlugin,
+                       TableLookupPlugin, EventManagementPlugin):
+            kernel.load_plugin(plugin)
+        kernels.append(kernel)
+    yield kernels[0], kernels[1], net
+    for kernel in kernels:
+        kernel.shutdown()
+
+
+class TestHmsg:
+    def test_local_send_recv(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        hmsg.send("node0", "box", {"v": 1}, tag=7)
+        envelope = hmsg.recv("box", tag=7, timeout=2)
+        assert envelope.data == {"v": 1}
+        assert envelope.src_host == "node0"
+
+    def test_cross_kernel_send(self, pair):
+        k0, k1, _ = pair
+        k1.get_service("message-transport").open_mailbox("inbox")
+        k0.get_service("message-transport").send("node1", "inbox", "hello", tag=3)
+        envelope = k1.get_service("message-transport").recv("inbox", timeout=2)
+        assert envelope.data == "hello"
+        assert envelope.tag == 3
+        assert envelope.src_host == "node0"
+
+    def test_tag_filtering(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        hmsg.send("node0", "box", "a", tag=1)
+        hmsg.send("node0", "box", "b", tag=2)
+        assert hmsg.recv("box", tag=2, timeout=1).data == "b"
+        assert hmsg.recv("box", tag=1, timeout=1).data == "a"
+
+    def test_recv_any_tag_fifo(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        for i in range(3):
+            hmsg.send("node0", "box", i, tag=i)
+        assert [hmsg.recv("box", timeout=1).data for _ in range(3)] == [0, 1, 2]
+
+    def test_recv_timeout(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("empty")
+        with pytest.raises(HarnessTimeoutError):
+            hmsg.recv("empty", timeout=0.05)
+
+    def test_recv_unopened_mailbox_rejected(self, pair):
+        k0, _, _ = pair
+        with pytest.raises(PluginError):
+            k0.get_service("message-transport").recv("nope", timeout=0.05)
+
+    def test_try_recv(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        assert hmsg.try_recv("box") is None
+        hmsg.send("node0", "box", 1)
+        assert hmsg.try_recv("box").data == 1
+
+    def test_auto_open_on_remote_delivery(self, pair):
+        k0, k1, _ = pair
+        # node0 sends before node1 opened the box: delivery auto-opens it
+        k0.get_service("message-transport").send("node1", "latebox", "x")
+        assert k1.get_service("message-transport").recv("latebox", timeout=1).data == "x"
+
+    def test_pending_count(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        hmsg.send("node0", "box", 1)
+        hmsg.send("node0", "box", 2)
+        assert hmsg.pending("box") == 2
+
+    def test_remote_send_charged_to_fabric(self, pair):
+        k0, k1, net = pair
+        before = net.total_bytes
+        k0.get_service("message-transport").send("node1", "b", "payload" * 100)
+        assert net.total_bytes > before
+
+    def test_cross_thread_blocking_recv(self, pair):
+        k0, _, _ = pair
+        hmsg = k0.get_service("message-transport")
+        hmsg.open_mailbox("box")
+        import threading
+
+        def sender():
+            hmsg.send("node0", "box", "late")
+
+        threading.Timer(0.05, sender).start()
+        assert hmsg.recv("box", timeout=2).data == "late"
+
+
+class TestHproc:
+    def test_local_spawn(self, pair):
+        k0, _, _ = pair
+        hproc = k0.get_service("process-management")
+        task_id = hproc.spawn(lambda a, b: a + b, 2, 3)
+        status = hproc.wait(task_id)
+        assert status.state is TaskState.DONE
+        assert status.result == 5
+
+    def test_spawn_by_import_path(self, pair):
+        k0, _, _ = pair
+        hproc = k0.get_service("process-management")
+        status = hproc.wait(hproc.spawn_path("math:factorial", 5))
+        assert status.result == 120
+
+    def test_remote_spawn(self, pair):
+        k0, k1, _ = pair
+        hproc0 = k0.get_service("process-management")
+        remote_id = hproc0.spawn_remote("node1", "math:factorial", 6)
+        hproc1 = k1.get_service("process-management")
+        assert hproc1.wait(remote_id).result == 720
+
+    def test_remote_status(self, pair):
+        k0, k1, _ = pair
+        hproc0 = k0.get_service("process-management")
+        remote_id = hproc0.spawn_remote("node1", "math:sqrt", 16)
+        k1.get_service("process-management").wait(remote_id)
+        info = hproc0.status_remote("node1", remote_id)
+        assert info["state"] == "done"
+
+    def test_unknown_remote_op(self, pair):
+        k0, _, _ = pair
+        with pytest.raises(PluginError):
+            k0.send("node1", "process-management", {"op": "fork-bomb"})
+
+
+class TestHtable:
+    def test_local_put_get(self, pair):
+        k0, _, _ = pair
+        htable = k0.get_service("table-lookup")
+        htable.put("t", "k", [1, 2])
+        assert htable.get("t", "k") == [1, 2]
+        assert htable.get("t", "missing") is None
+        assert htable.get("t", "missing", "default") == "default"
+
+    def test_remove_and_keys(self, pair):
+        k0, _, _ = pair
+        htable = k0.get_service("table-lookup")
+        htable.put("t", "b", 1)
+        htable.put("t", "a", 2)
+        assert htable.keys("t") == ["a", "b"]
+        htable.remove("t", "a")
+        assert htable.keys("t") == ["b"]
+        htable.remove("t", "ghost")  # idempotent
+
+    def test_items_snapshot(self, pair):
+        k0, _, _ = pair
+        htable = k0.get_service("table-lookup")
+        htable.put("t", "k", 1)
+        items = htable.items("t")
+        items["k"] = 99
+        assert htable.get("t", "k") == 1
+
+    def test_remote_put_get(self, pair):
+        k0, k1, _ = pair
+        k0.get_service("table-lookup").put_remote("node1", "shared", "key", "val")
+        assert k1.get_service("table-lookup").get("shared", "key") == "val"
+        assert k0.get_service("table-lookup").get_remote("node1", "shared", "key") == "val"
+
+    def test_tables_isolated(self, pair):
+        k0, _, _ = pair
+        htable = k0.get_service("table-lookup")
+        htable.put("t1", "k", 1)
+        assert htable.get("t2", "k") is None
+
+
+class TestHevent:
+    def test_local_publish_subscribe(self, pair):
+        k0, _, _ = pair
+        hevent = k0.get_service("event-management")
+        got = []
+        hevent.subscribe("app.topic", got.append)
+        count = hevent.publish("app.topic", {"n": 1})
+        assert count == 1
+        assert got[0].payload == {"n": 1}
+
+    def test_cross_kernel_publish(self, pair):
+        k0, k1, _ = pair
+        got = []
+        k1.get_service("event-management").subscribe("app", lambda e: got.append(e))
+        k0.get_service("event-management").publish("app.remote", "data", peers=["node1"])
+        assert len(got) == 1
+        assert got[0].payload == "data"
+        assert got[0].source == "node0"
+
+    def test_publish_skips_self_in_peers(self, pair):
+        k0, _, _ = pair
+        hevent = k0.get_service("event-management")
+        got = []
+        hevent.subscribe("t", got.append)
+        hevent.publish("t", 1, peers=["node0"])  # self in peers: no double delivery
+        assert len(got) == 1
+
+    def test_local_false_suppresses_local_delivery(self, pair):
+        k0, k1, _ = pair
+        local_got, remote_got = [], []
+        k0.get_service("event-management").subscribe("t", local_got.append)
+        k1.get_service("event-management").subscribe("t", remote_got.append)
+        k0.get_service("event-management").publish("t", 1, peers=["node1"], local=False)
+        assert local_got == []
+        assert len(remote_got) == 1

@@ -1,0 +1,73 @@
+"""Property: all coherency protocols are observationally equivalent.
+
+The C7 claim, hypothesis-strength: for *any* sequence of updates issued
+from arbitrary member nodes, every protocol answers every subsequent read
+from every node identically (last-writer-wins on the issue order, since
+updates are totally ordered by the shared lamport clock).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvm.state import DecentralizedState, FullSynchronyState, NeighborhoodState
+from repro.netsim import lan
+
+N_NODES = 4
+MEMBERS = [f"node{i}" for i in range(N_NODES)]
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_NODES - 1),  # origin node
+        st.sampled_from(["alpha", "beta", "gamma"]),  # key
+        st.integers(min_value=0, max_value=99),  # value
+    ),
+    max_size=12,
+)
+
+
+def _apply(protocol_factory, ops):
+    net = lan(N_NODES)
+    protocol = protocol_factory(net, list(MEMBERS))
+    for origin, key, value in ops:
+        protocol.update(MEMBERS[origin], key, value)
+    return protocol
+
+
+class TestObservationalEquivalence:
+    @given(operations)
+    @settings(max_examples=40, deadline=None)
+    def test_all_protocols_agree_on_every_read(self, ops):
+        protocols = [
+            _apply(lambda n, m: FullSynchronyState(n, m), ops),
+            _apply(lambda n, m: DecentralizedState(n, m), ops),
+            _apply(lambda n, m: NeighborhoodState(n, m, radius=1), ops),
+        ]
+        for key in ("alpha", "beta", "gamma", "never-written"):
+            views = {
+                protocol.scheme: {m: protocol.get(m, key) for m in MEMBERS}
+                for protocol in protocols
+            }
+            baseline = views.pop("full-synchrony")
+            for scheme, view in views.items():
+                assert view == baseline, (key, scheme, view, baseline)
+
+    @given(operations)
+    @settings(max_examples=25, deadline=None)
+    def test_snapshots_agree(self, ops):
+        protocols = [
+            _apply(lambda n, m: FullSynchronyState(n, m), ops),
+            _apply(lambda n, m: DecentralizedState(n, m), ops),
+            _apply(lambda n, m: NeighborhoodState(n, m, radius=2), ops),
+        ]
+        snapshots = [p.snapshot(MEMBERS[-1]) for p in protocols]
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    @given(operations)
+    @settings(max_examples=25, deadline=None)
+    def test_last_writer_wins_matches_issue_order(self, ops):
+        protocol = _apply(lambda n, m: FullSynchronyState(n, m), ops)
+        expected: dict = {}
+        for origin, key, value in ops:
+            expected[key] = value
+        for key, value in expected.items():
+            assert protocol.get("node0", key) == value

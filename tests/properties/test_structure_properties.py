@@ -1,0 +1,145 @@
+"""Property tests on structural invariants: names, queries, state merge."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvm.state import StateEntry
+from repro.util.ids import HarnessName
+from repro.xmlkit import XmlElement, canonicalize, parse, to_string
+
+name_component = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_.", min_size=1, max_size=8
+)
+name_parts = st.lists(name_component, max_size=5)
+
+
+class TestHarnessNameProperties:
+    @given(name_parts)
+    def test_string_round_trip(self, parts):
+        name = HarnessName(parts)
+        assert HarnessName(str(name)) == name
+
+    @given(name_parts, name_component)
+    def test_child_parent_inverse(self, parts, component):
+        name = HarnessName(parts)
+        assert (name / component).parent == name
+
+    @given(name_parts, name_component)
+    def test_child_is_descendant(self, parts, component):
+        name = HarnessName(parts)
+        assert name.is_ancestor_of(name / component)
+
+    @given(name_parts, name_parts)
+    def test_relative_to_inverts_concatenation(self, base_parts, rest_parts):
+        base = HarnessName(base_parts)
+        full = HarnessName(base_parts + rest_parts)
+        assert full.relative_to(base) == HarnessName(rest_parts)
+
+    @given(name_parts)
+    def test_hash_consistent_with_eq(self, parts):
+        assert hash(HarnessName(parts)) == hash(HarnessName(list(parts)))
+
+
+xml_name = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+xml_attr_value = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E), max_size=12
+)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    element = XmlElement(draw(xml_name))
+    for key in draw(st.lists(xml_name, max_size=3, unique=True)):
+        element.set(key, draw(xml_attr_value))
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            element.append(draw(xml_trees(depth=depth - 1)))
+    if not element.children:
+        element.text = draw(xml_attr_value)
+    return element
+
+
+class TestXmlProperties:
+    @given(xml_trees())
+    @settings(max_examples=80)
+    def test_serialize_parse_preserves_structure(self, tree):
+        reparsed = parse(to_string(tree))
+        assert canonicalize(reparsed) == canonicalize(tree)
+
+    @given(xml_trees())
+    @settings(max_examples=50)
+    def test_copy_is_structurally_equal(self, tree):
+        assert tree.copy().structurally_equal(tree)
+
+    @given(xml_trees())
+    @settings(max_examples=50)
+    def test_iter_count_consistent(self, tree):
+        manual = 1 + sum(len(list(c.iter())) for c in tree.children)
+        assert len(list(tree.iter())) == manual
+
+
+entries = st.builds(
+    StateEntry,
+    key=st.just("k"),
+    value=st.integers(),
+    lamport=st.integers(min_value=0, max_value=100),
+    origin=st.sampled_from(["a", "b", "c"]),
+)
+
+
+class TestStateMergeProperties:
+    @given(entries, entries)
+    def test_newer_than_is_total_for_distinct_versions(self, x, y):
+        if (x.lamport, x.origin) != (y.lamport, y.origin):
+            assert x.newer_than(y) != y.newer_than(x)
+
+    @given(entries, entries, entries)
+    def test_merge_order_independent(self, a, b, c):
+        """Last-writer-wins merge must be associative/commutative."""
+
+        def merge(*items):
+            best = None
+            for item in items:
+                if item.newer_than(best):
+                    best = item
+            return best
+
+        results = {
+            (merge(a, b, c).lamport, merge(a, b, c).origin),
+            (merge(c, b, a).lamport, merge(c, b, a).origin),
+            (merge(b, a, c).lamport, merge(b, a, c).origin),
+        }
+        assert len(results) == 1
+
+    @given(entries)
+    def test_never_newer_than_self(self, entry):
+        assert not entry.newer_than(entry)
+
+    @given(entries)
+    def test_wire_round_trip(self, entry):
+        assert StateEntry.from_wire(entry.to_wire()) == entry
+
+
+class TestQueryProperties:
+    @given(xml_trees())
+    @settings(max_examples=60)
+    def test_descendant_wildcard_counts_all_elements(self, tree):
+        from repro.xmlkit import XmlQuery
+
+        root = XmlElement("root")
+        root.append(tree)
+        matches = XmlQuery("//*").select(root)
+        assert len(matches) == len(list(root.iter()))
+
+    @given(xml_trees())
+    @settings(max_examples=60)
+    def test_name_query_matches_iter_filter(self, tree):
+        from repro.xmlkit import XmlQuery
+
+        root = XmlElement("root")
+        root.append(tree)
+        target = tree.name.local
+        expected = [e for e in root.iter() if e.name.local == target]
+        assert XmlQuery(f"//{target}").select(root) == expected

@@ -1,0 +1,140 @@
+"""Distributed lookup schemes: costs and failure modes (C5's mechanics)."""
+
+import pytest
+
+from repro.netsim import lan
+from repro.plugins.services import MatMul, WSTime
+from repro.registry.distributed import (
+    CentralizedLookup,
+    DecentralizedLookup,
+    NeighborhoodLookup,
+)
+from repro.netsim.fabric import HostDownError
+from repro.tools.wsdlgen import generate_wsdl
+from repro.util.errors import RegistryError
+
+
+def matmul_doc():
+    return generate_wsdl(MatMul, bindings=("soap",))
+
+
+def time_doc():
+    return generate_wsdl(WSTime, bindings=("soap",))
+
+
+QUERY = "//portType[@name='MatMulPortType']"
+
+
+class TestCentralized:
+    def test_register_and_discover(self):
+        net = lan(5)
+        lookup = CentralizedLookup(net, "node0")
+        lookup.register("node3", matmul_doc())
+        found = lookup.discover("node4", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_all_traffic_flows_through_registry_host(self):
+        net = lan(5)
+        lookup = CentralizedLookup(net, "node0")
+        lookup.register("node3", matmul_doc())
+        lookup.discover("node4", QUERY)
+        for (src, dst), stats in net.stats.items():
+            assert "node0" in (src, dst), (src, dst)
+
+    def test_registration_costs_messages(self):
+        net = lan(3)
+        lookup = CentralizedLookup(net, "node0")
+        net.reset_stats()
+        lookup.register("node2", matmul_doc())
+        assert net.total_messages == 2  # request + ack
+
+    def test_single_point_of_failure(self):
+        net = lan(3)
+        lookup = CentralizedLookup(net, "node0")
+        lookup.register("node1", matmul_doc())
+        net.host("node0").crash()
+        with pytest.raises(HostDownError):
+            lookup.discover("node2", QUERY)
+        with pytest.raises(HostDownError):
+            lookup.register("node2", time_doc())
+
+    def test_unknown_registry_host(self):
+        with pytest.raises(RegistryError):
+            CentralizedLookup(lan(2), "ghost")
+
+
+class TestDecentralized:
+    def test_registration_is_free(self):
+        net = lan(4)
+        lookup = DecentralizedLookup(net)
+        net.reset_stats()
+        lookup.register("node1", matmul_doc())
+        assert net.total_messages == 0
+
+    def test_discovery_floods(self):
+        net = lan(4)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node1", matmul_doc())
+        net.reset_stats()
+        found = lookup.discover("node0", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+        assert net.total_messages == 2 * 3  # query+reply to each other node
+
+    def test_local_hit_still_answers(self):
+        net = lan(3)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node0", matmul_doc())
+        found = lookup.discover("node0", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_survives_registry_node_crash(self):
+        net = lan(4)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node1", matmul_doc())
+        lookup.register("node2", time_doc())
+        net.host("node2").crash()
+        found = lookup.discover("node0", QUERY)
+        assert [d.name for d in found] == ["MatMul"]  # node1's entry still found
+
+    def test_dedup_across_hosts(self):
+        net = lan(3)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node0", matmul_doc())
+        lookup.register("node1", matmul_doc())
+        found = lookup.discover("node2", QUERY)
+        assert len(found) == 1
+
+
+class TestNeighborhood:
+    def test_registration_replicates_to_k_neighbors(self):
+        net = lan(5)
+        lookup = NeighborhoodLookup(net, replication=2)
+        net.reset_stats()
+        lookup.register("node0", matmul_doc())
+        assert net.total_messages == 2 * 2  # two replicas, request+ack each
+
+    def test_neighborhood_hit_avoids_flood(self):
+        net = lan(6)
+        lookup = NeighborhoodLookup(net, replication=2)
+        lookup.register("node0", matmul_doc())
+        net.reset_stats()
+        # node5's neighbours are node0, node1 (ring): replica hit
+        found = lookup.discover("node5", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+        assert net.total_messages <= 2 * 2
+
+    def test_miss_falls_back_to_flood(self):
+        net = lan(8)
+        lookup = NeighborhoodLookup(net, replication=1)
+        lookup.register("node0", matmul_doc())
+        found = lookup.discover("node4", QUERY)  # far from node0's replicas
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(RegistryError):
+            NeighborhoodLookup(lan(3), replication=0)
+
+    def test_discover_unregistered_returns_empty(self):
+        net = lan(4)
+        lookup = NeighborhoodLookup(net, replication=1)
+        assert lookup.discover("node0", QUERY) == []

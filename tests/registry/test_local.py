@@ -1,0 +1,114 @@
+"""ServiceRegistry: registration, exposure control, XML queries."""
+
+import pytest
+
+from repro.plugins.services import CounterService, MatMul, WSTime
+from repro.registry.local import PRIVATE, PUBLIC, ServiceRegistry
+from repro.tools.wsdlgen import generate_wsdl
+from repro.util.errors import DuplicateNameError, RegistryError, ServiceNotFoundError
+
+
+@pytest.fixture
+def registry():
+    reg = ServiceRegistry()
+    reg.register(generate_wsdl(MatMul, bindings=("soap", "xdr")))
+    reg.register(generate_wsdl(WSTime, bindings=("soap",)))
+    reg.register(generate_wsdl(CounterService, bindings=("local",)), exposure=PRIVATE)
+    return reg
+
+
+class TestRegistration:
+    def test_register_assigns_key(self, registry):
+        entry = registry.lookup_name("MatMul")
+        assert entry.key.startswith("svc:")
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(DuplicateNameError):
+            registry.register(generate_wsdl(MatMul))
+
+    def test_unregister(self, registry):
+        entry = registry.lookup_name("MatMul")
+        registry.unregister(entry.key)
+        with pytest.raises(ServiceNotFoundError):
+            registry.lookup_name("MatMul")
+        with pytest.raises(ServiceNotFoundError):
+            registry.unregister(entry.key)
+
+    def test_invalid_exposure_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.register(generate_wsdl(CounterService, service_name="C2"), exposure="secret")
+
+    def test_len(self, registry):
+        assert len(registry) == 3
+
+    def test_invalid_document_rejected(self):
+        from repro.wsdl.model import WsdlBinding, WsdlDocument
+        from repro.util.errors import WsdlError
+
+        bad = WsdlDocument("X", "urn:x", bindings=(WsdlBinding("b", "Ghost"),))
+        with pytest.raises(WsdlError):
+            ServiceRegistry().register(bad)
+
+
+class TestExposure:
+    def test_private_hidden_from_default_lookup(self, registry):
+        with pytest.raises(ServiceNotFoundError):
+            registry.lookup_name("CounterService")
+        assert registry.lookup_name("CounterService", include_private=True)
+
+    def test_entries_filtering(self, registry):
+        assert {e.name for e in registry.entries()} == {"MatMul", "WSTime"}
+        assert len(registry.entries(include_private=True)) == 3
+
+    def test_runtime_exposure_flip(self, registry):
+        entry = registry.lookup_name("CounterService", include_private=True)
+        registry.set_exposure(entry.key, PUBLIC)
+        assert registry.lookup_name("CounterService")
+        registry.set_exposure(entry.key, PRIVATE)
+        with pytest.raises(ServiceNotFoundError):
+            registry.lookup_name("CounterService")
+
+    def test_bad_exposure_value(self, registry):
+        entry = registry.lookup_name("MatMul")
+        with pytest.raises(RegistryError):
+            registry.set_exposure(entry.key, "internal")
+
+    def test_set_exposure_unknown_key(self, registry):
+        with pytest.raises(ServiceNotFoundError):
+            registry.set_exposure("svc:ghost", PUBLIC)
+
+
+class TestQueries:
+    def test_find_by_structure(self, registry):
+        matches = registry.find("//xdrBinding")
+        assert [m.name for m in matches] == ["MatMul"]
+
+    def test_find_respects_exposure(self, registry):
+        assert registry.find("//localBinding") == []
+        assert len(registry.find("//localBinding", include_private=True)) == 1
+
+    def test_find_by_port_type(self, registry):
+        assert [m.name for m in registry.find_by_port_type("MatMulPortType")] == ["MatMul"]
+        assert registry.find_by_port_type("Nothing") == []
+
+    def test_find_by_operation(self, registry):
+        assert [m.name for m in registry.find_by_operation("getTime")] == ["WSTime"]
+        names = {m.name for m in registry.find_by_operation("getResult")}
+        assert names == {"MatMul"}
+
+    def test_find_values(self, registry):
+        values = registry.find_values("//portType/@name")
+        assert values["MatMul"] == ["MatMulPortType"]
+        assert values["WSTime"] == ["WSTimePortType"]
+
+    def test_find_with_precompiled_query(self, registry):
+        from repro.xmlkit import XmlQuery
+
+        q = XmlQuery("//operation[@name='getTime']")
+        assert [m.name for m in registry.find(q)] == ["WSTime"]
+
+    def test_get_by_key(self, registry):
+        entry = registry.lookup_name("MatMul")
+        assert registry.get(entry.key).name == "MatMul"
+        with pytest.raises(ServiceNotFoundError):
+            registry.get("svc:nope")

@@ -1,0 +1,111 @@
+"""UDDI-model registry: publication, inquiry, generic query mapping."""
+
+import pytest
+
+from repro.plugins.services import MatMul, WSTime
+from repro.registry.uddi import UddiRegistry
+from repro.tools.wsdlgen import generate_wsdl
+from repro.util.errors import RegistryError, ServiceNotFoundError
+
+
+@pytest.fixture
+def registry():
+    return UddiRegistry()
+
+
+@pytest.fixture
+def published(registry):
+    business = registry.save_business("Emory MathCS", "metacomputing lab")
+    registry.publish_wsdl(business.key, _deployed_doc(MatMul))
+    registry.publish_wsdl(business.key, _deployed_doc(WSTime))
+    return registry, business
+
+
+def _deployed_doc(cls):
+    from repro.wsdl.extensions import SoapAddressExt
+    from repro.wsdl.model import WsdlPort, WsdlService
+
+    doc = generate_wsdl(cls, bindings=("soap",))
+    return doc.with_service(
+        WsdlService(
+            cls.__name__,
+            (WsdlPort("p", f"{cls.__name__}SoapBinding",
+                      (SoapAddressExt(f"http://host/{cls.__name__}"),)),),
+        )
+    )
+
+
+class TestPublication:
+    def test_business_entity(self, registry):
+        business = registry.save_business("Acme")
+        assert registry.find_business("Acme") == [business]
+        assert registry.find_business("None") == []
+
+    def test_service_requires_known_business(self, registry):
+        with pytest.raises(RegistryError):
+            registry.save_service("business:ghost", "S", [])
+
+    def test_binding_requires_known_tmodel(self, registry):
+        business = registry.save_business("Acme")
+        with pytest.raises(RegistryError):
+            registry.save_service(business.key, "S", [("http://x", "tmodel:ghost")])
+
+    def test_publish_wsdl_creates_tmodels_per_port_type(self, published):
+        registry, _ = published
+        tmodels = registry.find_tmodel("MatMulPortType")
+        assert len(tmodels) == 1
+        assert "portType" in tmodels[0].overview_doc
+
+    def test_publish_wsdl_binding_templates_have_access_points(self, published):
+        registry, _ = published
+        service = registry.find_service("MatMul")[0]
+        assert service.bindings[0].access_point == "http://host/MatMul"
+
+
+class TestInquiry:
+    def test_find_service_by_name(self, published):
+        registry, _ = published
+        assert len(registry.find_service("MatMul")) == 1
+        assert len(registry.find_service()) == 2
+
+    def test_find_service_by_business(self, published):
+        registry, business = published
+        assert len(registry.find_service(business_key=business.key)) == 2
+        assert registry.find_service(business_key="business:other") == []
+
+    def test_find_service_by_tmodel(self, published):
+        registry, _ = published
+        tmodel = registry.find_tmodel("WSTimePortType")[0]
+        services = registry.find_service(tmodel_key=tmodel.key)
+        assert [s.name for s in services] == ["WSTime"]
+
+    def test_get_service_detail(self, published):
+        registry, _ = published
+        key = registry.find_service("MatMul")[0].key
+        assert registry.get_service_detail(key).name == "MatMul"
+        with pytest.raises(ServiceNotFoundError):
+            registry.get_service_detail("service:ghost")
+
+    def test_get_wsdl_rematerializes_document(self, published):
+        registry, _ = published
+        key = registry.find_service("MatMul")[0].key
+        doc = registry.get_wsdl(key)
+        doc.validate()
+        assert doc.name == "MatMul"
+        assert doc.port_type("MatMulPortType")
+
+
+class TestGenericQueryMapping:
+    def test_query_over_published_wsdl(self, published):
+        registry, _ = published
+        matches = registry.map_generic_query("//operation[@name='getTime']")
+        assert [s.name for s in matches] == ["WSTime"]
+
+    def test_query_no_match(self, published):
+        registry, _ = published
+        assert registry.map_generic_query("//operation[@name='launchMissiles']") == []
+
+    def test_query_structural(self, published):
+        registry, _ = published
+        matches = registry.map_generic_query("//port/@binding")
+        assert len(matches) == 2

@@ -1,0 +1,83 @@
+"""UDDI registry XML export/import — durable accessible locations."""
+
+import pytest
+
+from repro.plugins.services import MatMul, WSTime
+from repro.registry.uddi import UddiRegistry
+from repro.tools.wsdlgen import generate_wsdl
+from repro.util.errors import RegistryError
+from repro.wsdl.extensions import SoapAddressExt
+from repro.wsdl.model import WsdlPort, WsdlService
+
+
+def _deployed(cls, location: str):
+    doc = generate_wsdl(cls, bindings=("soap",))
+    return doc.with_service(
+        WsdlService(
+            cls.__name__,
+            (WsdlPort("p", f"{cls.__name__}SoapBinding", (SoapAddressExt(location),)),),
+        )
+    )
+
+
+@pytest.fixture
+def populated():
+    registry = UddiRegistry()
+    business = registry.save_business("dept", "departmental supplier")
+    registry.publish_wsdl(business.key, _deployed(MatMul, "http://h:1/"))
+    registry.publish_wsdl(business.key, _deployed(WSTime, "http://h:2/"))
+    return registry, business
+
+
+class TestExportImport:
+    def test_round_trip_preserves_everything(self, populated):
+        registry, business = populated
+        revived = UddiRegistry.import_xml(registry.export_xml())
+        assert revived.find_business("dept")[0].description == "departmental supplier"
+        assert {s.name for s in revived.find_service()} == {"MatMul", "WSTime"}
+        service = revived.find_service("MatMul")[0]
+        assert service.business_key == business.key
+        assert service.bindings[0].access_point == "http://h:1/"
+        assert len(revived.find_tmodel("PortType")) == 2
+
+    def test_wsdl_still_resolvable_after_round_trip(self, populated):
+        registry, _ = populated
+        revived = UddiRegistry.import_xml(registry.export_xml())
+        key = revived.find_service("WSTime")[0].key
+        document = revived.get_wsdl(key)
+        document.validate()
+        assert document.port_type("WSTimePortType")
+
+    def test_generic_queries_work_after_round_trip(self, populated):
+        registry, _ = populated
+        revived = UddiRegistry.import_xml(registry.export_xml())
+        matches = revived.map_generic_query("//operation[@name='getTime']")
+        assert [s.name for s in matches] == ["WSTime"]
+
+    def test_empty_registry_round_trip(self):
+        revived = UddiRegistry.import_xml(UddiRegistry().export_xml())
+        assert revived.find_service() == []
+
+    def test_double_round_trip_stable(self, populated):
+        registry, _ = populated
+        once = UddiRegistry.import_xml(registry.export_xml())
+        assert once.export_xml() == UddiRegistry.import_xml(once.export_xml()).export_xml()
+
+    def test_import_rejects_non_registry(self):
+        with pytest.raises(RegistryError):
+            UddiRegistry.import_xml("<something/>")
+
+    def test_import_rejects_dangling_business_reference(self, populated):
+        registry, business = populated
+        text = registry.export_xml()
+        corrupted = text.replace(business.key, "business:ghost", 1)  # entity key only
+        with pytest.raises(RegistryError):
+            UddiRegistry.import_xml(corrupted)
+
+    def test_export_is_valid_xml_with_uddi_namespace(self, populated):
+        registry, _ = populated
+        from repro.xmlkit import parse
+
+        root = parse(registry.export_xml())
+        assert root.name.local == "registry"
+        assert root.name.namespace == "urn:uddi-org:api_v2"

@@ -1,0 +1,34 @@
+"""WS-Inspection documents."""
+
+import pytest
+
+from repro.registry.wsil import WsilDocument, WsilEntry
+from repro.util.errors import XmlError
+
+
+class TestBuildAndParse:
+    def test_round_trip(self):
+        doc = WsilDocument()
+        doc.add("MatMul", "http://host/matmul.wsdl", "matrix multiplication")
+        doc.add("WSTime", "http://host/time.wsdl")
+        reparsed = WsilDocument.from_string(doc.to_string())
+        assert len(reparsed) == 2
+        assert reparsed.entries[0] == WsilEntry("MatMul", "http://host/matmul.wsdl", "matrix multiplication")
+        assert reparsed.entries[1].wsdl_location == "http://host/time.wsdl"
+
+    def test_locate(self):
+        doc = WsilDocument([WsilEntry("S", "http://x/s.wsdl")])
+        assert doc.locate("S") == "http://x/s.wsdl"
+        with pytest.raises(XmlError):
+            doc.locate("T")
+
+    def test_empty_document(self):
+        assert len(WsilDocument.from_string(WsilDocument().to_string())) == 0
+
+    def test_non_wsil_rejected(self):
+        with pytest.raises(XmlError):
+            WsilDocument.from_string("<random/>")
+
+    def test_wsil_namespace_present(self):
+        text = WsilDocument([WsilEntry("S", "u")]).to_string()
+        assert "http://schemas.xmlsoap.org/ws/2001/10/inspection/" in text

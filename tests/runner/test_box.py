@@ -1,0 +1,165 @@
+"""Runner boxes: the resource abstraction layer."""
+
+import sys
+import time
+
+import pytest
+
+from repro.netsim import lan
+from repro.runner.box import SimHostRunnerBox, SubprocessRunnerBox, ThreadRunnerBox
+from repro.runner.tasks import TaskKind, TaskSpec, TaskState
+from repro.util.errors import RunnerError
+
+
+def double(x):
+    return x * 2
+
+
+def fail():
+    raise RuntimeError("task exploded")
+
+
+class TestTaskSpec:
+    def test_from_callable(self):
+        spec = TaskSpec.from_callable(double, 4)
+        assert spec.kind is TaskKind.CALLABLE
+        assert spec.name == "double"
+        assert spec.args == (4,)
+
+    def test_from_import_path(self):
+        spec = TaskSpec.from_import_path("tests.runner.test_box:double", 2)
+        assert spec.kind is TaskKind.IMPORT_PATH
+
+    def test_from_argv(self):
+        spec = TaskSpec.from_argv(["echo", "hi"])
+        assert spec.kind is TaskKind.ARGV
+        assert spec.name == "echo"
+
+    def test_terminal_states(self):
+        assert TaskState.DONE.terminal
+        assert TaskState.FAILED.terminal
+        assert TaskState.STOPPED.terminal
+        assert not TaskState.RUNNING.terminal
+        assert not TaskState.PENDING.terminal
+
+
+class TestThreadRunnerBox:
+    def test_run_and_wait(self):
+        box = ThreadRunnerBox()
+        task_id = box.run(TaskSpec.from_callable(double, 21))
+        status = box.wait(task_id)
+        assert status.state is TaskState.DONE
+        assert status.result == 42
+
+    def test_failure_captured(self):
+        box = ThreadRunnerBox()
+        task_id = box.run(TaskSpec.from_callable(fail))
+        status = box.wait(task_id)
+        assert status.state is TaskState.FAILED
+        assert "task exploded" in status.error
+
+    def test_kwargs(self):
+        box = ThreadRunnerBox()
+        task_id = box.run(TaskSpec.from_callable(lambda a, b=1: a + b, 1, b=5))
+        assert box.wait(task_id).result == 6
+
+    def test_import_path_task(self):
+        box = ThreadRunnerBox()
+        task_id = box.run(TaskSpec.from_import_path("math:sqrt", 81))
+        assert box.wait(task_id).result == 9.0
+
+    def test_argv_rejected(self):
+        box = ThreadRunnerBox()
+        with pytest.raises(RunnerError):
+            box.run(TaskSpec.from_argv(["ls"]))
+
+    def test_unknown_task_id(self):
+        with pytest.raises(RunnerError):
+            ThreadRunnerBox().status("task-999999")
+
+    def test_stop_pending_task(self):
+        box = ThreadRunnerBox()
+        gate = {"go": False}
+
+        def slow():
+            while not gate["go"]:
+                time.sleep(0.005)
+            return "done"
+
+        task_id = box.run(TaskSpec.from_callable(slow))
+        assert box.stop(task_id) is True
+        assert box.status(task_id).state is TaskState.STOPPED
+        gate["go"] = True
+        assert box.stop(task_id) is False  # already terminal
+
+    def test_describe(self):
+        box = ThreadRunnerBox(name="r1")
+        box.wait(box.run(TaskSpec.from_callable(double, 1)))
+        info = box.describe()
+        assert info["name"] == "r1"
+        assert info["kind"] == "thread"
+        assert info["total_tasks"] == 1
+        assert info["active_tasks"] == 0
+
+    def test_tasks_listing(self):
+        box = ThreadRunnerBox()
+        box.wait(box.run(TaskSpec.from_callable(double, 1)))
+        box.wait(box.run(TaskSpec.from_callable(double, 2)))
+        assert len(box.tasks()) == 2
+
+    def test_bad_import_path(self):
+        box = ThreadRunnerBox()
+        with pytest.raises(RunnerError):
+            box.run(TaskSpec.from_import_path("nosuch.module:fn"))
+
+
+class TestSubprocessRunnerBox:
+    def test_run_python_subprocess(self):
+        box = SubprocessRunnerBox()
+        task_id = box.run(TaskSpec.from_argv([sys.executable, "-c", "print('hello')"]))
+        status = box.wait(task_id, timeout=30)
+        assert status.state is TaskState.DONE
+        assert status.result.strip() == "hello"
+
+    def test_nonzero_exit_is_failure(self):
+        box = SubprocessRunnerBox()
+        task_id = box.run(TaskSpec.from_argv([sys.executable, "-c", "import sys; sys.exit(3)"]))
+        status = box.wait(task_id, timeout=30)
+        assert status.state is TaskState.FAILED
+
+    def test_stderr_captured(self):
+        box = SubprocessRunnerBox()
+        task_id = box.run(TaskSpec.from_argv(
+            [sys.executable, "-c", "import sys; print('bad', file=sys.stderr); sys.exit(1)"]
+        ))
+        status = box.wait(task_id, timeout=30)
+        assert "bad" in status.error
+
+    def test_callable_rejected(self):
+        with pytest.raises(RunnerError):
+            SubprocessRunnerBox().run(TaskSpec.from_callable(double, 1))
+
+    def test_resource_kind(self):
+        assert SubprocessRunnerBox().describe()["kind"] == "subprocess"
+
+
+class TestSimHostRunnerBox:
+    def test_runs_and_charges_fabric(self):
+        net = lan(2)
+        box = SimHostRunnerBox(net, "node1")
+        before = net.total_bytes
+        task_id = box.run(TaskSpec.from_callable(double, 10))
+        status = box.status(task_id)
+        assert status.state is TaskState.DONE
+        assert status.result == 20
+        assert net.total_bytes > before
+
+    def test_failure(self):
+        net = lan(1)
+        box = SimHostRunnerBox(net, "node0")
+        task_id = box.run(TaskSpec.from_callable(fail))
+        assert box.status(task_id).state is TaskState.FAILED
+
+    def test_name_defaults_to_host(self):
+        net = lan(1)
+        assert "node0" in SimHostRunnerBox(net, "node0").name

@@ -1,0 +1,180 @@
+"""Resource description, matchmaking, allocation (§1's resource issues)."""
+
+import pytest
+
+from repro.runner.resources import (
+    NoMatchError,
+    Requirement,
+    ResourceCatalog,
+    ResourceDescriptor,
+    parse_requirement,
+)
+from repro.util.errors import HarnessError, RunnerError
+
+
+def fleet() -> ResourceCatalog:
+    catalog = ResourceCatalog()
+    catalog.register(ResourceDescriptor(
+        "bigiron", cpus=16, memory_mb=32768, mflops=4000, arch="sparc", os="solaris",
+        tags=frozenset({"batch"}),
+    ))
+    catalog.register(ResourceDescriptor(
+        "cluster-a", cpus=8, memory_mb=8192, mflops=1200, arch="x86", os="linux",
+        tags=frozenset({"mpi", "batch"}), attributes={"network": "myrinet"},
+    ))
+    catalog.register(ResourceDescriptor(
+        "desktop", cpus=2, memory_mb=1024, mflops=300, arch="x86", os="linux",
+        tags=frozenset({"interactive"}),
+    ))
+    return catalog
+
+
+class TestParseRequirement:
+    @pytest.mark.parametrize(
+        "text,key,op,value",
+        [
+            ("cpus>=4", "cpus", ">=", 4),
+            ("memory_mb <= 8192", "memory_mb", "<=", 8192),
+            ("arch=x86", "arch", "=", "x86"),
+            ("mflops>999.5", "mflops", ">", 999.5),
+            ("cpus<3", "cpus", "<", 3),
+        ],
+    )
+    def test_comparisons(self, text, key, op, value):
+        req = parse_requirement(text)
+        assert (req.key, req.op, req.value) == (key, op, value)
+
+    def test_tag(self):
+        req = parse_requirement("tag:gpu")
+        assert req.op == "tag" and req.key == "gpu"
+
+    def test_malformed(self):
+        with pytest.raises(HarnessError):
+            parse_requirement("cpus !! 4")
+
+
+class TestRequirementSatisfaction:
+    def test_numeric(self):
+        resource = ResourceDescriptor("r", cpus=4)
+        assert Requirement("cpus", ">=", 4).satisfied_by(resource)
+        assert not Requirement("cpus", ">", 4).satisfied_by(resource)
+
+    def test_string_equality(self):
+        resource = ResourceDescriptor("r", arch="sparc")
+        assert Requirement("arch", "=", "sparc").satisfied_by(resource)
+        assert not Requirement("arch", "=", "x86").satisfied_by(resource)
+
+    def test_tag_test(self):
+        resource = ResourceDescriptor("r", tags=frozenset({"gpu"}))
+        assert Requirement("gpu", "tag").satisfied_by(resource)
+        assert not Requirement("fpga", "tag").satisfied_by(resource)
+
+    def test_custom_attribute(self):
+        resource = ResourceDescriptor("r", attributes={"network": "myrinet"})
+        assert Requirement("network", "=", "myrinet").satisfied_by(resource)
+
+    def test_missing_attribute_fails(self):
+        assert not Requirement("gpu_ram", ">=", 1).satisfied_by(ResourceDescriptor("r"))
+
+
+class TestMatchmaking:
+    def test_match_filters_and_ranks(self):
+        catalog = fleet()
+        matches = catalog.match(["arch=x86", "os=linux"])
+        assert [m.name for m in matches] == ["cluster-a", "desktop"]
+
+    def test_string_and_object_requirements_mix(self):
+        catalog = fleet()
+        matches = catalog.match([Requirement("cpus", ">=", 8), "tag:batch"])
+        assert {m.name for m in matches} == {"bigiron", "cluster-a"}
+
+    def test_no_match_is_empty(self):
+        assert fleet().match(["arch=ia64"]) == []
+
+    def test_register_duplicate_rejected(self):
+        catalog = fleet()
+        with pytest.raises(RunnerError):
+            catalog.register(ResourceDescriptor("desktop"))
+
+    def test_unregister(self):
+        catalog = fleet()
+        catalog.unregister("desktop")
+        assert catalog.match(["tag:interactive"]) == []
+        with pytest.raises(RunnerError):
+            catalog.unregister("desktop")
+
+    def test_describe(self):
+        assert fleet().describe("bigiron").arch == "sparc"
+        with pytest.raises(RunnerError):
+            fleet().describe("ghost")
+
+
+class TestAllocation:
+    def test_allocate_best_match(self):
+        catalog = fleet()
+        chosen = catalog.allocate(["tag:batch"], cpus=4)
+        assert chosen.name == "bigiron"  # most headroom
+        assert catalog.free_cpus("bigiron") == 12
+
+    def test_allocation_shifts_ranking(self):
+        catalog = fleet()
+        catalog.allocate(["tag:batch"], cpus=14)  # bigiron nearly full
+        chosen = catalog.allocate(["tag:batch"], cpus=4)
+        assert chosen.name == "cluster-a"
+
+    def test_release(self):
+        catalog = fleet()
+        catalog.allocate(["arch=x86"], cpus=2)
+        catalog.release("cluster-a", 2)
+        assert catalog.free_cpus("cluster-a") == 8
+
+    def test_over_release_rejected(self):
+        catalog = fleet()
+        with pytest.raises(RunnerError):
+            catalog.release("desktop", 1)
+
+    def test_exhaustion_raises(self):
+        catalog = fleet()
+        catalog.allocate(["tag:interactive"], cpus=2)
+        with pytest.raises(NoMatchError):
+            catalog.allocate(["tag:interactive"], cpus=1)
+
+    def test_no_candidate_raises(self):
+        with pytest.raises(NoMatchError):
+            fleet().allocate(["arch=alpha"])
+
+
+class TestAggregates:
+    def test_aggregate_spans_resources(self):
+        catalog = fleet()
+        pieces = catalog.aggregate(["tag:batch"], total_cpus=20)
+        assert sum(cpus for _, cpus in pieces) == 20
+        assert {r.name for r, _ in pieces} == {"bigiron", "cluster-a"}
+        # capacity actually reserved
+        assert catalog.free_cpus("bigiron") + catalog.free_cpus("cluster-a") == 4
+
+    def test_aggregate_rolls_back_on_shortage(self):
+        catalog = fleet()
+        with pytest.raises(NoMatchError):
+            catalog.aggregate(["tag:batch"], total_cpus=100)
+        assert catalog.free_cpus("bigiron") == 16
+        assert catalog.free_cpus("cluster-a") == 8
+
+    def test_aggregate_exact_fit(self):
+        catalog = fleet()
+        pieces = catalog.aggregate(["arch=x86"], total_cpus=10)
+        assert sum(c for _, c in pieces) == 10
+
+
+class TestRunnerBoxIntegration:
+    def test_descriptor_for_runner_box(self):
+        """A runner box's describe() output publishes into the catalog."""
+        from repro.runner.box import ThreadRunnerBox
+
+        box = ThreadRunnerBox(name="thread-node")
+        info = box.describe()
+        catalog = ResourceCatalog()
+        catalog.register(ResourceDescriptor(
+            info["name"], cpus=4, tags=frozenset({info["kind"]}),
+        ))
+        assert catalog.match(["tag:thread"])[0].name == "thread-node"

@@ -1,0 +1,129 @@
+"""SOAP 1.1 envelope construction/parsing and faults."""
+
+import numpy as np
+import pytest
+
+from repro.soap.envelope import (
+    build_call_envelope,
+    build_fault_envelope,
+    build_reply_envelope,
+    parse_call_envelope,
+    parse_reply_envelope,
+)
+from repro.util.errors import EncodingError, SoapFaultError
+from repro.xmlkit import parse
+
+
+class TestCallEnvelope:
+    def test_round_trip(self):
+        data = build_call_envelope("matmul#1", "getResult", (np.eye(2), 5))
+        target, operation, args = parse_call_envelope(data)
+        assert target == "matmul#1"
+        assert operation == "getResult"
+        assert np.array_equal(args[0], np.eye(2))
+        assert args[1] == 5
+
+    def test_is_well_formed_soap(self):
+        root = parse(build_call_envelope("t", "op", (1,)))
+        assert root.name.local == "Envelope"
+        body = root.find("Body")
+        assert body is not None
+        assert body.children[0].name.local == "op"
+
+    def test_no_args(self):
+        _, operation, args = parse_call_envelope(build_call_envelope("t", "ping", ()))
+        assert operation == "ping" and args == []
+
+    def test_arg_order_preserved(self):
+        _, _, args = parse_call_envelope(build_call_envelope("t", "op", ("a", "b", "c")))
+        assert args == ["a", "b", "c"]
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(EncodingError):
+            parse_call_envelope(
+                b'<?xml version="1.0"?><Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body/></Envelope>'
+            )
+
+    def test_non_envelope_rejected(self):
+        with pytest.raises(EncodingError):
+            parse_call_envelope(b"<notsoap/>")
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(EncodingError):
+            parse_call_envelope(b"<Envelope/>")
+
+
+class TestReplyEnvelope:
+    def test_round_trip(self):
+        assert parse_reply_envelope(build_reply_envelope({"x": 1})) == {"x": 1}
+
+    def test_none_result(self):
+        assert parse_reply_envelope(build_reply_envelope(None)) is None
+
+    def test_array_result(self, rng):
+        array = rng.random(64)
+        assert np.array_equal(parse_reply_envelope(build_reply_envelope(array)), array)
+
+    def test_reply_without_return_rejected(self):
+        data = build_call_envelope("t", "opResponse", ())
+        with pytest.raises(EncodingError):
+            parse_reply_envelope(data)
+
+
+class TestFaults:
+    def test_fault_round_trip(self):
+        data = build_fault_envelope("soapenv:Server", "exploded", detail="trace here")
+        with pytest.raises(SoapFaultError) as info:
+            parse_reply_envelope(data)
+        assert info.value.faultcode == "soapenv:Server"
+        assert info.value.faultstring == "exploded"
+        assert info.value.detail == "trace here"
+
+    def test_fault_without_detail(self):
+        with pytest.raises(SoapFaultError) as info:
+            parse_reply_envelope(build_fault_envelope("soapenv:Client", "bad input"))
+        assert info.value.detail is None
+
+    def test_foreign_fault_shape_tolerated(self):
+        # a fault from a non-Harness SOAP stack, unqualified
+        xml = (
+            b'<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body>'
+            b"<Fault><faultcode>Server</faultcode>"
+            b"<faultstring>nope</faultstring></Fault></Body></Envelope>"
+        )
+        with pytest.raises(SoapFaultError, match="nope"):
+            parse_reply_envelope(xml)
+
+
+class TestCodec:
+    def test_codec_round_trip_both_modes(self, rng):
+        from repro.soap.codec import SoapMessageCodec
+
+        array = rng.random(32)
+        for mode in ("base64", "items"):
+            codec = SoapMessageCodec(mode)
+            target, op, args = codec.decode_call(codec.encode_call("t", "op", (array,)))
+            assert np.array_equal(args[0], array)
+            result = codec.decode_reply(codec.encode_reply(array))
+            assert np.array_equal(result, array)
+
+    def test_codec_fault_reply(self):
+        from repro.soap.codec import SoapMessageCodec
+
+        codec = SoapMessageCodec()
+        with pytest.raises(SoapFaultError, match="went wrong"):
+            codec.decode_reply(codec.encode_reply(fault="went wrong"))
+
+    def test_fault_to_exception_helper(self):
+        from repro.soap.codec import SoapMessageCodec
+
+        codec = SoapMessageCodec()
+        assert codec.fault_to_exception(codec.encode_reply(1)) is None
+        fault = codec.fault_to_exception(codec.encode_reply(fault="f"))
+        assert isinstance(fault, SoapFaultError)
+
+    def test_content_types(self):
+        from repro.soap.codec import SoapMessageCodec
+
+        assert SoapMessageCodec("base64").content_type == "text/xml"
+        assert SoapMessageCodec("items").content_type == "text/xml; arrays=items"

@@ -1,0 +1,121 @@
+"""MIME multipart binding (SOAP with Attachments) — the third W3C binding."""
+
+import numpy as np
+import pytest
+
+from repro.soap.mime import MimeMessageCodec
+from repro.util.errors import EncodingError, SoapFaultError
+
+
+@pytest.fixture
+def codec():
+    return MimeMessageCodec()
+
+
+class TestCallRoundTrip:
+    def test_mixed_arguments(self, codec, rng):
+        a = rng.random((4, 6))
+        data = codec.encode_call("svc#1", "solve", (a, 3, "label", b"\x00\xff", {"k": 1.5}))
+        target, operation, args = codec.decode_call(data)
+        assert target == "svc#1" and operation == "solve"
+        assert np.array_equal(args[0], a) and args[0].shape == (4, 6)
+        assert args[1:3] == [3, "label"]
+        assert args[3] == b"\x00\xff"
+        assert args[4] == {"k": 1.5}
+
+    def test_no_args(self, codec):
+        target, operation, args = codec.decode_call(codec.encode_call("t", "ping", ()))
+        assert operation == "ping" and args == []
+
+    def test_multiple_arrays_distinct_attachments(self, codec, rng):
+        a, b = rng.random(10), rng.random((2, 5))
+        _, _, args = codec.decode_call(codec.encode_call("t", "op", (a, b)))
+        assert np.array_equal(args[0], a)
+        assert np.array_equal(args[1], b)
+
+    @pytest.mark.parametrize("dtype", ["float32", "int64", "uint8", "complex128"])
+    def test_dtypes_preserved(self, codec, dtype):
+        array = np.arange(12).astype(dtype)
+        _, _, args = codec.decode_call(codec.encode_call("t", "op", (array,)))
+        assert args[0].dtype == np.dtype(dtype)
+        assert np.array_equal(args[0], array)
+
+    def test_arrays_are_unencoded_on_the_wire(self, codec, rng):
+        array = rng.random(50_000)
+        wire = codec.encode_call("t", "op", (array,))
+        # manifest + headers only; no base64 expansion
+        assert len(wire) < array.nbytes * 1.01 + 2048
+
+    def test_attachment_bytes_verbatim(self, codec, rng):
+        array = np.arange(4, dtype=">f8")
+        wire = codec.encode_call("t", "op", (array,))
+        assert array.tobytes() in wire
+
+
+class TestReplyRoundTrip:
+    def test_array_result(self, codec, rng):
+        array = rng.random((3, 3))
+        assert np.array_equal(codec.decode_reply(codec.encode_reply(array)), array)
+
+    def test_scalar_result(self, codec):
+        assert codec.decode_reply(codec.encode_reply(42)) == 42
+        assert codec.decode_reply(codec.encode_reply(None)) is None
+
+    def test_fault(self, codec):
+        with pytest.raises(SoapFaultError, match="kaput"):
+            codec.decode_reply(codec.encode_reply(fault="kaput"))
+
+
+class TestMalformedPayloads:
+    def test_not_multipart(self, codec):
+        with pytest.raises(EncodingError):
+            codec.decode_call(b"<Envelope/>")
+
+    def test_truncated_body(self, codec, rng):
+        wire = codec.encode_call("t", "op", (rng.random(100),))
+        with pytest.raises(EncodingError):
+            codec.decode_call(wire[: len(wire) // 2])
+
+    def test_missing_attachment_reference(self, codec):
+        wire = codec.encode_call("t", "op", (np.arange(3.0),))
+        corrupted = wire.replace(b"cid:part0", b"cid:ghost")
+        with pytest.raises(EncodingError, match="ghost"):
+            codec.decode_call(corrupted)
+
+
+class TestMimeBindingEndToEnd:
+    def test_container_deployment(self, rng):
+        from repro.bindings import ClientContext, DynamicStubFactory
+        from repro.container import LightweightContainer
+        from repro.plugins.services import MatMul
+
+        with LightweightContainer("mime-e2e", host="mimehost") as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "mime"))
+            assert handle.document.binding("MatMulMimeBinding").protocol == "mime"
+            stub = DynamicStubFactory(ClientContext(host="client")).create(handle.document)
+            assert stub.protocol == "mime"
+            a = rng.random((6, 6))
+            assert np.allclose(stub.multiply(a, a), a @ a)
+            stub.close()
+
+    def test_wsdl_round_trip_with_mime_binding(self):
+        from repro.plugins.services import MatMul
+        from repro.tools.wsdlgen import generate_wsdl
+        from repro.wsdl.io import document_from_string, document_to_string
+
+        document = generate_wsdl(MatMul, bindings=("mime", "soap"))
+        reparsed = document_from_string(document_to_string(document))
+        assert reparsed == document
+        assert reparsed.binding("MatMulMimeBinding").protocol == "mime"
+
+    def test_preference_order_between_mime_and_soap(self, rng):
+        from repro.bindings import ClientContext, DynamicStubFactory
+        from repro.container import LightweightContainer
+        from repro.plugins.services import MatMul
+
+        with LightweightContainer("mime-pref", host="mp") as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "soap", "mime"))
+            factory = DynamicStubFactory(ClientContext(host="client"))
+            # default order prefers mime (binary arrays) over soap
+            assert factory.create(handle.document).protocol == "mime"
+            assert factory.create(handle.document, prefer=("soap",)).protocol == "soap"

@@ -1,0 +1,134 @@
+"""SOAP value encoding: xsi:type annotations, both array modes."""
+
+import numpy as np
+import pytest
+
+from repro.soap.values import element_to_value, value_to_element
+from repro.util.errors import EncodingError
+from repro.xmlkit import parse, to_string
+
+
+def round_trip(value, array_mode="base64"):
+    element = value_to_element("v", value, array_mode)
+    # force a full serialize/parse cycle, as the wire would
+    reparsed = parse(to_string(element))
+    return element_to_value(reparsed)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [None, True, False, 0, -7, 2**40, "hello", ""])
+    def test_round_trip(self, value):
+        assert round_trip(value) == value
+
+    def test_float_exact(self):
+        assert round_trip(0.1) == 0.1
+        assert round_trip(1e300) == 1e300
+
+    def test_bool_is_not_int(self):
+        assert round_trip(True) is True
+        assert round_trip(1) == 1 and round_trip(1) is not True
+
+    def test_bytes(self):
+        assert round_trip(b"\x00\x01\xff") == b"\x00\x01\xff"
+
+    def test_unicode_text(self):
+        assert round_trip("héllo ☃ <tag>&") == "héllo ☃ <tag>&"
+
+    def test_numpy_scalar(self):
+        assert round_trip(np.float64(2.5)) == 2.5
+
+    def test_xsi_type_annotations(self):
+        assert value_to_element("v", 1.5).get("type") == "xsd:double"
+        assert value_to_element("v", 1).get("type") == "xsd:long"
+        assert value_to_element("v", "s").get("type") == "xsd:string"
+        assert value_to_element("v", True).get("type") == "xsd:boolean"
+
+
+class TestArrays:
+    @pytest.mark.parametrize("mode", ["base64", "items"])
+    def test_float_ndarray(self, mode, rng):
+        array = rng.random((4, 5))
+        out = round_trip(array, mode)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (4, 5)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, array)
+
+    @pytest.mark.parametrize("mode", ["base64", "items"])
+    def test_int_ndarray(self, mode):
+        array = np.arange(12, dtype=np.int64).reshape(3, 4)
+        out = round_trip(array, mode)
+        assert np.array_equal(out, array)
+        assert out.dtype == np.int64
+
+    def test_items_mode_is_exact_for_doubles(self, rng):
+        # repr() round-trips float64 exactly
+        array = rng.random(50)
+        assert np.array_equal(round_trip(array, "items"), array)
+
+    def test_uniform_float_list_becomes_array(self):
+        out = round_trip([1.0, 2.0])
+        assert isinstance(out, np.ndarray)
+
+    def test_mixed_list_stays_list(self):
+        assert round_trip([1, "a", None]) == [1, "a", None]
+
+    def test_empty_list(self):
+        assert round_trip([]) == []
+
+    def test_base64_carries_dtype_and_shape_attrs(self):
+        element = value_to_element("v", np.zeros((2, 3), dtype=np.float32))
+        assert element.get("dtype") == "float32"
+        assert element.get("shape") == "2 3"
+
+    def test_items_mode_element_per_value(self):
+        element = value_to_element("v", np.arange(5.0), "items")
+        assert len(element.find_all("item")) == 5
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(EncodingError):
+            value_to_element("v", 1, "protobuf")
+
+
+class TestStructs:
+    def test_dict_round_trip(self):
+        value = {"a": 1, "b": "x", "c": [1.0, 2.0]}
+        out = round_trip(value)
+        assert out["a"] == 1 and out["b"] == "x"
+        assert np.array_equal(out["c"], [1.0, 2.0])
+
+    def test_nested_dict(self):
+        assert round_trip({"outer": {"inner": True}})["outer"]["inner"] is True
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(EncodingError):
+            value_to_element("v", {1: "a"})
+
+
+class TestDecodingErrors:
+    def test_bad_boolean_text(self):
+        element = value_to_element("v", True)
+        element.text = "maybe"
+        with pytest.raises(EncodingError):
+            element_to_value(element)
+
+    def test_bad_integer_text(self):
+        element = value_to_element("v", 1)
+        element.text = "one"
+        with pytest.raises(EncodingError):
+            element_to_value(element)
+
+    def test_unknown_xsi_type(self):
+        element = value_to_element("v", 1)
+        element.set("{http://www.w3.org/2001/XMLSchema-instance}type", "xsd:gopher")
+        with pytest.raises(EncodingError):
+            element_to_value(element)
+
+    def test_untyped_element_treated_as_string(self):
+        from repro.xmlkit import XmlElement
+
+        assert element_to_value(XmlElement("v", text="plain")) == "plain"
+
+    def test_unencodable_value(self):
+        with pytest.raises(EncodingError):
+            value_to_element("v", object())

@@ -1,0 +1,62 @@
+"""The command-line toolkit front end."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.tools.__main__ import main
+from repro.wsdl.io import document_from_string
+
+
+class TestWsdlgenCommand:
+    def test_emits_valid_wsdl(self, capsys):
+        assert main(["wsdlgen", "repro.plugins.services:WSTime"]) == 0
+        out = capsys.readouterr().out
+        document = document_from_string(out)
+        assert document.name == "WSTime"
+        assert document.binding("WSTimeSoapBinding")
+
+    def test_binding_selection(self, capsys):
+        main(["wsdlgen", "repro.plugins.services:MatMul", "--bindings", "xdr"])
+        out = capsys.readouterr().out
+        document = document_from_string(out)
+        assert [b.name for b in document.bindings] == ["MatMulXdrBinding"]
+
+    def test_custom_name_and_namespace(self, capsys):
+        main(["wsdlgen", "repro.plugins.services:MatMul",
+              "--name", "FastMM", "--namespace", "urn:custom"])
+        out = capsys.readouterr().out
+        document = document_from_string(out)
+        assert document.name == "FastMM"
+        assert document.target_namespace == "urn:custom"
+
+
+class TestServicegenCommand:
+    def test_emits_compilable_stub(self, capsys):
+        assert main(["servicegen", "repro.plugins.services:WSTime",
+                     "--class-name", "TimeClient"]) == 0
+        out = capsys.readouterr().out
+        compile(out, "<cli-stub>", "exec")
+        assert "class TimeClient:" in out
+
+
+class TestQueryCommand:
+    def test_query_over_file(self, tmp_path, capsys):
+        main(["wsdlgen", "repro.plugins.services:MatMul"])
+        wsdl_text = capsys.readouterr().out
+        path = tmp_path / "matmul.wsdl"
+        path.write_text(wsdl_text)
+        assert main(["query", str(path), "//portType/@name"]) == 0
+        assert capsys.readouterr().out.strip() == "MatMulPortType"
+
+
+class TestSubprocessInvocation:
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "wsdlgen",
+             "repro.plugins.services:WSTime"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "WSTimePortType" in result.stdout

@@ -1,0 +1,149 @@
+"""The interactive Harness console."""
+
+import io
+
+import pytest
+
+from repro.tools.console import HarnessConsole
+
+
+@pytest.fixture
+def console():
+    out = io.StringIO()
+    shell = HarnessConsole(stdout=out)
+    yield shell, out
+    shell.do_quit("")
+
+
+def run(shell, out, *lines):
+    for line in lines:
+        shell.onecmd(line)
+    return out.getvalue()
+
+
+class TestConstruction:
+    def test_network_and_dvm(self, console):
+        shell, out = console
+        text = run(shell, out, "network 3", "dvm demo")
+        assert "3 hosts" in text
+        assert "DVM 'demo' created" in text
+
+    def test_dvm_requires_network(self, console):
+        shell, out = console
+        text = run(shell, out, "dvm demo")
+        assert "create a network first" in text
+
+    def test_add_nodes_and_status(self, console):
+        shell, out = console
+        text = run(shell, out, "network 2", "dvm demo", "add node0", "add node1",
+                   "status node0")
+        assert "node0" in text and "node1" in text
+        assert '"members"' in text
+
+    def test_unknown_scheme(self, console):
+        shell, out = console
+        text = run(shell, out, "network 2", "dvm demo psychic")
+        assert "unknown scheme" in text
+
+    def test_scheme_selection(self, console):
+        shell, out = console
+        text = run(shell, out, "network 2", "dvm demo decentralized", "add node0",
+                   "status node0")
+        assert '"scheme": "decentralized"' in text
+
+
+class TestDeploymentAndCalls:
+    def test_deploy_list_call(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 2", "dvm demo", "add node0", "add node1",
+            "deploy node1 repro.plugins.services:MatMul",
+            "list",
+            "call node0 MatMul multiply [[1.0,0.0],[0.0,1.0]] [[5.0,6.0],[7.0,8.0]]",
+        )
+        assert "MatMul @ node1" in text
+        assert "5." in text and "8." in text
+
+    def test_call_scalar_service(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 1", "dvm demo", "add node0",
+            "deploy node0 repro.plugins.services:CounterService",
+            "call node0 CounterService increment 5",
+            "call node0 CounterService value",
+        )
+        assert text.rstrip().endswith("5")
+
+    def test_wsdl_output(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 1", "dvm demo", "add node0",
+            "deploy node0 repro.plugins.services:WSTime",
+            "wsdl WSTime",
+        )
+        assert "<wsdl:definitions" in text
+        assert "WSTimePortType" in text
+
+    def test_move(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 2", "dvm demo", "add node0", "add node1",
+            "deploy node0 repro.plugins.services:CounterService",
+            "call node0 CounterService increment 3",
+            "move CounterService node1",
+            "call node1 CounterService value",
+        )
+        assert "now lives on node1" in text
+        assert text.rstrip().endswith("3")  # state moved
+
+    def test_plugin_everywhere(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 2", "dvm demo", "add node0", "add node1",
+            "plugin all repro.plugins.hmsg:MessageTransportPlugin",
+            "status node0",
+        )
+        assert '"hmsg"' in text
+
+    def test_traffic_accounting(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 2", "dvm demo", "add node0", "add node1",
+            "deploy node0 repro.plugins.services:WSTime",
+            "traffic",
+        )
+        assert "messages" in text and "simulated" in text
+
+
+class TestErrorHandling:
+    def test_harness_errors_reported_not_raised(self, console):
+        shell, out = console
+        text = run(shell, out, "network 1", "dvm demo", "add node0", "add node0")
+        assert "error:" in text
+
+    def test_bad_json_reported(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 1", "dvm demo", "add node0",
+            "deploy node0 repro.plugins.services:CounterService",
+            "call node0 CounterService increment {not-json",
+        )
+        assert "error:" in text
+
+    def test_usage_messages(self, console):
+        shell, out = console
+        text = run(shell, out, "network 1", "dvm d", "call x")
+        assert "usage: call" in text
+
+    def test_quit_closes_dvm(self, console):
+        shell, out = console
+        run(shell, out, "network 1", "dvm demo", "add node0")
+        assert shell.onecmd("quit") is True
+        assert shell.harness is None

@@ -1,0 +1,46 @@
+"""Golden-file checks: the checked-in Figure 7/8 WSDL documents stay in
+sync with what wsdlgen generates (the repository's versions of the paper's
+listings)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.plugins.services import MatMul, WSTime
+from repro.tools.wsdlgen import generate_wsdl
+from repro.wsdl.io import document_from_string, document_to_string
+
+FIGURES = Path(__file__).resolve().parents[2] / "docs" / "figures"
+
+CASES = [
+    (WSTime, "figure7_wstime.wsdl"),
+    (MatMul, "figure8_matmul.wsdl"),
+]
+
+
+@pytest.mark.parametrize("cls,filename", CASES, ids=[c[1] for c in CASES])
+class TestGoldenFigures:
+    def test_golden_file_exists(self, cls, filename):
+        assert (FIGURES / filename).is_file()
+
+    def test_regeneration_matches_golden(self, cls, filename):
+        generated = document_to_string(generate_wsdl(cls, bindings=("soap", "local")))
+        golden = (FIGURES / filename).read_text()
+        assert generated == golden, (
+            f"{filename} is stale; regenerate with "
+            f"python -m repro.tools wsdlgen {cls.__module__}:{cls.__name__}"
+        )
+
+    def test_golden_file_is_valid_wsdl(self, cls, filename):
+        document = document_from_string((FIGURES / filename).read_text())
+        document.validate()
+        assert document.name == cls.__name__
+
+    def test_golden_has_paper_structure(self, cls, filename):
+        """The figures show: messages, a portType, a SOAP binding, and the
+        non-standard local (java) binding."""
+        document = document_from_string((FIGURES / filename).read_text())
+        assert document.messages
+        assert len(document.port_types) == 1
+        protocols = {binding.protocol for binding in document.bindings}
+        assert protocols == {"soap", "local"}

@@ -1,0 +1,89 @@
+"""servicegen — static stub/interface source generation."""
+
+import numpy as np
+import pytest
+
+from repro.container import LightweightContainer
+from repro.plugins.services import CounterService, MatMul
+from repro.tools.servicegen import generate_port_type_source, generate_stub_source
+from repro.tools.wsdlgen import generate_wsdl
+from repro.util.errors import WsdlError
+
+
+class TestPortTypeSource:
+    def test_compiles_and_defines_abstract_class(self):
+        doc = generate_wsdl(MatMul)
+        source = generate_port_type_source(doc)
+        namespace: dict = {}
+        exec(compile(source, "<gen>", "exec"), namespace)
+        cls = namespace["MatMulPortType"]
+        import abc
+
+        assert isinstance(cls, abc.ABCMeta)
+        with pytest.raises(TypeError):
+            cls()  # abstract
+
+    def test_methods_signature_from_messages(self):
+        doc = generate_wsdl(MatMul)
+        source = generate_port_type_source(doc)
+        assert "def getResult(self, mata, matb):" in source
+        assert "def multiply(self, mata, matb):" in source
+
+    def test_multiple_port_types_require_name(self):
+        from dataclasses import replace
+
+        doc = generate_wsdl(MatMul)
+        doc2 = replace(doc, port_types=doc.port_types + doc.port_types)
+        with pytest.raises(WsdlError):
+            generate_port_type_source(doc2)
+
+
+class TestStubSource:
+    def test_requires_deployed_service(self):
+        doc = generate_wsdl(MatMul)  # no service/ports yet
+        with pytest.raises(WsdlError, match="deploy"):
+            generate_stub_source(doc, service_name=None)
+
+    def test_generated_stub_runs_against_live_container(self, rng):
+        with LightweightContainer("gen-test", host="genhost") as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "xdr"))
+            source = generate_stub_source(handle.document, class_name="MatMulClient")
+            namespace: dict = {}
+            exec(compile(source, "<stub>", "exec"), namespace)
+            from repro.bindings import ClientContext
+
+            client = namespace["MatMulClient"](
+                context=ClientContext(container_uri=container.uri, host="genhost")
+            )
+            assert client.protocol == "local-instance"
+            a = rng.random((3, 3))
+            assert np.allclose(client.multiply(a, a), a @ a)
+            client.close()
+
+    def test_generated_stub_remote_binding(self, rng):
+        with LightweightContainer("gen-test2", host="genhost2") as container:
+            handle = container.deploy(MatMul, bindings=("local-instance", "xdr"))
+            source = generate_stub_source(handle.document)
+            namespace: dict = {}
+            exec(compile(source, "<stub>", "exec"), namespace)
+            from repro.bindings import ClientContext
+
+            client = namespace["MatMulStub"](context=ClientContext(host="elsewhere"))
+            assert client.protocol == "xdr"
+            a = rng.random(4)
+            result = client.getResult(a, a)
+            assert np.allclose(result, (a.reshape(2, 2) @ a.reshape(2, 2)).ravel())
+            client.close()
+
+    def test_embedded_wsdl_is_self_contained(self):
+        with LightweightContainer("gen-test3", host="genhost3") as container:
+            handle = container.deploy(CounterService)
+            source = generate_stub_source(handle.document)
+            assert "WSDL_TEXT = " in source
+            assert "CounterService" in source
+
+    def test_invalid_class_name_rejected(self):
+        with LightweightContainer("gen-test4", host="genhost4") as container:
+            handle = container.deploy(CounterService)
+            with pytest.raises(WsdlError):
+                generate_stub_source(handle.document, class_name="not a name")

@@ -1,0 +1,176 @@
+"""wsdlgen — including the F7 (WSTime) and F8 (MatMul) figure reproductions."""
+
+import numpy as np
+import pytest
+
+from repro.plugins.services import CounterService, MatMul, WSTime
+from repro.tools.wsdlgen import generate_wsdl, service_operations, xsd_type_for
+from repro.util.errors import WsdlError
+from repro.wsdl.extensions import (
+    LocalBindingExt,
+    LocalInstanceBindingExt,
+    SoapBindingExt,
+    SoapOperationExt,
+    XdrBindingExt,
+)
+from repro.wsdl.io import document_from_string, document_to_element, document_to_string
+from repro.xmlkit import XmlQuery
+
+
+class TestTypeMapping:
+    @pytest.mark.parametrize(
+        "annotation,expected",
+        [
+            (bool, "xsd:boolean"),
+            (int, "xsd:long"),
+            (float, "xsd:double"),
+            (str, "xsd:string"),
+            (bytes, "xsd:base64Binary"),
+            (np.ndarray, "harness:array"),
+            (list, "soapenc:Array"),
+            (dict, "harness:Struct"),
+            (None, "xsd:anyType"),
+            (object, "xsd:anyType"),
+        ],
+    )
+    def test_mapping(self, annotation, expected):
+        assert xsd_type_for(annotation) == expected
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; must map to boolean
+        assert xsd_type_for(bool) == "xsd:boolean"
+
+    def test_generic_alias(self):
+        assert xsd_type_for(list[float]) == "soapenc:Array"
+
+
+class TestServiceOperations:
+    def test_matmul(self):
+        assert service_operations(MatMul) == ["getResult", "multiply"]
+
+    def test_no_operations_rejected(self):
+        class Empty:
+            _private = 1
+
+        with pytest.raises(WsdlError):
+            service_operations(Empty)
+
+    def test_inherited_methods_included(self):
+        class Base:
+            def inherited(self):
+                return 1
+
+        class Derived(Base):
+            def own(self):
+                return 2
+
+        ops = service_operations(Derived)
+        assert "own" in ops and "inherited" in ops
+
+
+class TestFigure7WSTime:
+    """The paper's Figure 7: WSDL for the trivial Time service."""
+
+    @pytest.fixture
+    def doc(self):
+        return generate_wsdl(WSTime, bindings=("soap", "local"))
+
+    def test_validates(self, doc):
+        doc.validate()
+
+    def test_abstract_part_shape(self, doc):
+        # messages, port types, operations — the figure's abstract half
+        assert doc.message("getTimeRequest").parts == ()
+        assert doc.message("getTimeResponse").parts[0].type_name == "xsd:string"
+        port_type = doc.port_type("WSTimePortType")
+        op = port_type.operation("getTime")
+        assert op.input_message == "getTimeRequest"
+        assert op.output_message == "getTimeResponse"
+
+    def test_concrete_part_has_soap_and_java_style_bindings(self, doc):
+        soap = doc.binding("WSTimeSoapBinding")
+        assert isinstance(soap.extensions[0], SoapBindingExt)
+        local = doc.binding("WSTimeLocalBinding")
+        ext = local.extensions[0]
+        assert isinstance(ext, LocalBindingExt)
+        # the figure's java binding names the implementing class
+        assert ext.type_name == "repro.plugins.services:WSTime"
+
+    def test_xml_round_trip(self, doc):
+        assert document_from_string(document_to_string(doc)) == doc
+
+    def test_figure_structure_queryable(self, doc):
+        root = document_to_element(doc)
+        assert XmlQuery("//operation[@name='getTime']").exists(root)
+        assert XmlQuery("//localBinding").exists(root)
+        # definition order of the class's operations is preserved
+        assert XmlQuery("/message/@name").values(root) == [
+            "getTimeRequest", "getTimeResponse",
+            "getEpochSecondsRequest", "getEpochSecondsResponse",
+        ]
+
+
+class TestFigure8MatMul:
+    """The paper's Figure 8: WSDL for the MatMul service (SOAP + local)."""
+
+    @pytest.fixture
+    def doc(self):
+        return generate_wsdl(MatMul, bindings=("soap", "local"))
+
+    def test_get_result_signature(self, doc):
+        request = doc.message("getResultRequest")
+        assert [p.name for p in request.parts] == ["mata", "matb"]
+        assert all(p.type_name == "harness:array" for p in request.parts)
+        response = doc.message("getResultResponse")
+        assert response.parts[0].type_name == "harness:array"
+
+    def test_soap_operations_carry_soap_action(self, doc):
+        binding = doc.binding("MatMulSoapBinding")
+        actions = {
+            bop.name: bop.extensions[0].soap_action
+            for bop in binding.operations
+            if isinstance(bop.extensions[0], SoapOperationExt)
+        }
+        assert "getResult" in actions
+        assert actions["getResult"].endswith("#getResult")
+
+    def test_dual_binding_like_figure(self, doc):
+        assert doc.binding("MatMulSoapBinding").protocol == "soap"
+        assert doc.binding("MatMulLocalBinding").protocol == "local"
+
+
+class TestOtherBindings:
+    def test_xdr_binding(self):
+        doc = generate_wsdl(MatMul, bindings=("xdr",))
+        ext = doc.binding("MatMulXdrBinding").extensions[0]
+        assert isinstance(ext, XdrBindingExt)
+
+    def test_local_instance_requires_id(self):
+        with pytest.raises(WsdlError):
+            generate_wsdl(CounterService, bindings=("local-instance",))
+        doc = generate_wsdl(CounterService, bindings=("local-instance",), instance_id="c#1")
+        ext = doc.binding("CounterServiceInstanceBinding").extensions[0]
+        assert isinstance(ext, LocalInstanceBindingExt)
+        assert ext.instance_id == "c#1"
+
+    def test_unknown_binding_kind(self):
+        with pytest.raises(WsdlError):
+            generate_wsdl(MatMul, bindings=("iiop",))
+
+    def test_custom_names(self):
+        doc = generate_wsdl(MatMul, service_name="FastMM", target_namespace="urn:mm")
+        assert doc.name == "FastMM"
+        assert doc.target_namespace == "urn:mm"
+        assert doc.port_type("FastMMPortType")
+
+    def test_documentation_from_docstring(self):
+        doc = generate_wsdl(WSTime)
+        assert "Figure 7" in doc.documentation
+
+    def test_untyped_params_any_type(self):
+        class Loose:
+            def op(self, anything):
+                return anything
+
+        doc = generate_wsdl(Loose)
+        assert doc.message("opRequest").parts[0].type_name == "xsd:anyType"

@@ -1,0 +1,82 @@
+"""SimTransport/SimListener — the fabric-charged transport."""
+
+import pytest
+
+from repro.netsim import lan
+from repro.netsim.fabric import HostDownError
+from repro.transport.base import TransportMessage
+from repro.transport.sim import SimListener, SimTransport
+from repro.util.errors import TransportClosedError, TransportError
+
+
+def echo(message: TransportMessage) -> TransportMessage:
+    return TransportMessage(message.content_type, message.payload.upper())
+
+
+@pytest.fixture
+def net():
+    return lan(3)
+
+
+class TestSimListener:
+    def test_url_shape(self, net):
+        listener = SimListener(net, "node0", "svc", echo)
+        assert listener.url == "sim://node0/svc"
+
+    def test_close_unbinds(self, net):
+        listener = SimListener(net, "node0", "svc", echo)
+        listener.close()
+        transport = SimTransport(net, "node1", "sim://node0/svc")
+        with pytest.raises(TransportError):
+            transport.request(TransportMessage("t", b"x"))
+        listener.close()  # idempotent
+
+    def test_duplicate_endpoint_rejected(self, net):
+        SimListener(net, "node0", "svc", echo)
+        with pytest.raises(TransportError):
+            SimListener(net, "node0", "svc", echo)
+
+
+class TestSimTransport:
+    def test_round_trip_and_charging(self, net):
+        SimListener(net, "node2", "svc", echo)
+        transport = SimTransport(net, "node0", "sim://node2/svc")
+        before = net.total_bytes
+        reply = transport.request(TransportMessage("t", b"abc"))
+        assert reply.payload == b"ABC"
+        assert net.total_bytes == before + 6  # 3 bytes each way
+        assert net.total_messages == 2
+
+    def test_cost_follows_link_model(self, net):
+        from repro.netsim.fabric import LinkModel
+
+        SimListener(net, "node1", "svc", echo)
+        net.set_link("node0", "node1", LinkModel(latency_s=1.0, bandwidth_Bps=1e9))
+        transport = SimTransport(net, "node0", "sim://node1/svc")
+        net.reset_stats()
+        transport.request(TransportMessage("t", b"x"))
+        assert net.simulated_time >= 2.0  # 1 s latency each way
+
+    def test_crashed_destination(self, net):
+        SimListener(net, "node1", "svc", echo)
+        net.host("node1").crash()
+        transport = SimTransport(net, "node0", "sim://node1/svc")
+        with pytest.raises(HostDownError):
+            transport.request(TransportMessage("t", b"x"))
+
+    def test_closed_transport(self, net):
+        SimListener(net, "node1", "svc", echo)
+        transport = SimTransport(net, "node0", "sim://node1/svc")
+        transport.close()
+        with pytest.raises(TransportClosedError):
+            transport.request(TransportMessage("t", b"x"))
+
+    @pytest.mark.parametrize("bad", ["tcp://h:1", "sim://hostonly", "sim:///ep"])
+    def test_bad_urls(self, net, bad):
+        with pytest.raises((TransportError, ValueError)):
+            SimTransport(net, "node0", bad)
+
+    def test_loopback_to_own_host(self, net):
+        SimListener(net, "node0", "svc", echo)
+        transport = SimTransport(net, "node0", "sim://node0/svc")
+        assert transport.request(TransportMessage("t", b"me")).payload == b"ME"

@@ -1,0 +1,103 @@
+"""Wall and virtual clocks, stopwatch, deadlines."""
+
+import pytest
+
+from repro.util.clock import Deadline, Stopwatch, VirtualClock, WallClock
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_zero_and_negative_are_noops(self):
+        clock = WallClock()
+        clock.sleep(0)
+        clock.sleep(-1)  # must not raise
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-0.1)
+
+    def test_callbacks_fire_in_timestamp_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(3.0, lambda: fired.append("c"))
+        clock.advance(2.5)
+        assert fired == ["a", "b"]
+        clock.advance(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_registration_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(1))
+        clock.call_at(1.0, lambda: fired.append(2))
+        clock.advance(1.0)
+        assert fired == [1, 2]
+
+    def test_run_until_idle(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(10.0, lambda: fired.append("x"))
+        clock.run_until_idle()
+        assert fired == ["x"]
+        assert clock.now() == 10.0
+
+    def test_callback_scheduling_callback(self):
+        clock = VirtualClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.call_at(2.0, lambda: fired.append("second"))
+
+        clock.call_at(1.0, first)
+        clock.advance(5.0)
+        assert fired == ["first", "second"]
+
+
+class TestStopwatch:
+    def test_elapsed_with_virtual_clock(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        assert watch.elapsed() == pytest.approx(3.0)
+        watch.restart()
+        assert watch.elapsed() == 0.0
+
+
+class TestDeadline:
+    def test_infinite_deadline(self):
+        deadline = Deadline(None)
+        assert not deadline.expired
+        assert deadline.remaining() is None
+
+    def test_expiry_with_virtual_clock(self):
+        clock = VirtualClock()
+        deadline = Deadline(5.0, clock)
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_never_negative(self):
+        clock = VirtualClock()
+        deadline = Deadline(1.0, clock)
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0

@@ -1,0 +1,152 @@
+"""Concurrency primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.concurrent import (
+    AtomicCounter,
+    CountDownLatch,
+    ReadWriteLock,
+    SerialExecutor,
+    run_all,
+    wait_for,
+)
+from repro.util.errors import HarnessTimeoutError
+
+
+class TestAtomicCounter:
+    def test_increment_decrement(self):
+        counter = AtomicCounter(10)
+        assert counter.increment() == 11
+        assert counter.decrement(5) == 6
+        assert counter.value == 6
+
+    def test_concurrent_increments(self):
+        counter = AtomicCounter()
+        run_all([lambda: [counter.increment() for _ in range(1000)] for _ in range(8)])
+        assert counter.value == 8000
+
+
+class TestCountDownLatch:
+    def test_wait_releases_at_zero(self):
+        latch = CountDownLatch(3)
+        for _ in range(3):
+            latch.count_down()
+        latch.wait(timeout=0.1)  # must not raise
+
+    def test_timeout_raises(self):
+        latch = CountDownLatch(1)
+        with pytest.raises(HarnessTimeoutError):
+            latch.wait(timeout=0.05)
+
+    def test_extra_count_down_is_harmless(self):
+        latch = CountDownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountDownLatch(-1)
+
+    def test_cross_thread_release(self):
+        latch = CountDownLatch(2)
+        threading.Thread(target=latch.count_down, daemon=True).start()
+        threading.Thread(target=latch.count_down, daemon=True).start()
+        latch.wait(timeout=2.0)
+
+
+class TestReadWriteLock:
+    def test_multiple_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        lock.acquire_read()  # second reader does not block
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.reading():
+                order.append("read")
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        order.append("write-done")
+        lock.release_write()
+        t.join(timeout=2)
+        assert order == ["write-done", "read"]
+
+    def test_guards(self):
+        lock = ReadWriteLock()
+        with lock.writing():
+            pass
+        with lock.reading():
+            pass
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self):
+        executor = SerialExecutor()
+        order = []
+        futures = [executor.submit(lambda i=i: order.append(i)) for i in range(10)]
+        for future in futures:
+            future.result(timeout=2)
+        assert order == list(range(10))
+        executor.close()
+
+    def test_call_returns_value(self):
+        executor = SerialExecutor()
+        assert executor.call(lambda: 42) == 42
+        executor.close()
+
+    def test_exception_propagates(self):
+        executor = SerialExecutor()
+        with pytest.raises(ValueError):
+            executor.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        executor.close()
+
+    def test_submit_after_close_raises(self):
+        executor = SerialExecutor()
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.submit(lambda: None)
+
+
+class TestRunAll:
+    def test_results_in_order(self):
+        assert run_all([lambda i=i: i * 2 for i in range(5)]) == [0, 2, 4, 6, 8]
+
+    def test_first_error_raised(self):
+        def bad():
+            raise KeyError("x")
+
+        with pytest.raises(KeyError):
+            run_all([lambda: 1, bad])
+
+    def test_empty(self):
+        assert run_all([]) == []
+
+
+class TestWaitFor:
+    def test_immediate_success(self):
+        wait_for(lambda: True, timeout=0.1)
+
+    def test_timeout(self):
+        with pytest.raises(HarnessTimeoutError):
+            wait_for(lambda: False, timeout=0.05)
+
+    def test_eventual_success(self):
+        state = {"n": 0}
+
+        def bump():
+            state["n"] += 1
+            return state["n"] > 3
+
+        wait_for(bump, timeout=2.0)

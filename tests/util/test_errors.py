@@ -1,0 +1,39 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.util import errors as E
+
+
+class TestHierarchy:
+    def test_all_derive_from_harness_error(self):
+        for name in E.__all__:
+            exc_type = getattr(E, name)
+            assert issubclass(exc_type, E.HarnessError), name
+
+    def test_timeout_is_also_builtin_timeout(self):
+        assert issubclass(E.HarnessTimeoutError, TimeoutError)
+
+    def test_layer_groupings(self):
+        assert issubclass(E.WsdlError, E.XmlError)
+        assert issubclass(E.TransportClosedError, E.TransportError)
+        assert issubclass(E.NoBindingAvailableError, E.BindingError)
+        assert issubclass(E.ServiceNotFoundError, E.RegistryError)
+        assert issubclass(E.DuplicateNameError, E.RegistryError)
+        assert issubclass(E.ComponentStateError, E.ContainerError)
+        assert issubclass(E.MembershipError, E.DvmError)
+        assert issubclass(E.CoherencyError, E.DvmError)
+        assert issubclass(E.PluginLoadError, E.PluginError)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(E.HarnessError):
+            raise E.XdrError if hasattr(E, "XdrError") else E.EncodingError("x")
+
+
+class TestSoapFaultError:
+    def test_carries_fault_fields(self):
+        fault = E.SoapFaultError("soapenv:Server", "kaboom", detail="trace")
+        assert fault.faultcode == "soapenv:Server"
+        assert fault.faultstring == "kaboom"
+        assert fault.detail == "trace"
+        assert "kaboom" in str(fault)

@@ -1,0 +1,106 @@
+"""EventBus topic matching, delivery, error isolation."""
+
+from repro.util.events import EventBus
+
+
+class TestSubscribe:
+    def test_exact_topic(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("dvm.member", got.append)
+        bus.publish("dvm.member", payload=1)
+        assert len(got) == 1 and got[0].payload == 1
+
+    def test_prefix_matches_subtopics(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("dvm.member", lambda e: got.append(e.topic))
+        bus.publish("dvm.member.joined")
+        bus.publish("dvm.member.left")
+        assert got == ["dvm.member.joined", "dvm.member.left"]
+
+    def test_prefix_does_not_match_lexical_siblings(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("dvm.member", lambda e: got.append(e.topic))
+        bus.publish("dvm.membership")  # not a dotted subtopic
+        assert got == []
+
+    def test_wildcard_and_empty_pattern(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("*", lambda e: got.append(e.topic))
+        bus.publish("anything.at.all")
+        assert got == ["anything.at.all"]
+
+    def test_unrelated_topic_not_delivered(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("a.b", got.append)
+        bus.publish("c.d")
+        assert got == []
+
+
+class TestDelivery:
+    def test_publish_returns_handler_count(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda e: None)
+        bus.subscribe("t", lambda e: None)
+        assert bus.publish("t") == 2
+
+    def test_cancelled_subscription_not_delivered(self):
+        bus = EventBus()
+        got = []
+        sub = bus.subscribe("t", got.append)
+        sub.cancel()
+        assert not sub.active
+        bus.publish("t")
+        assert got == []
+
+    def test_event_fields(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("t", got.append)
+        bus.publish("t", payload={"x": 1}, source="node0", extra="y")
+        event = got[0]
+        assert event.payload == {"x": 1}
+        assert event.source == "node0"
+        assert event.attributes == {"extra": "y"}
+
+    def test_counters(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda e: None)
+        bus.publish("t")
+        bus.publish("other")
+        assert bus.published == 2
+        assert bus.delivered == 1
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        bus.subscribe("a", lambda e: None)
+        bus.subscribe("a.b", lambda e: None)
+        assert bus.subscriber_count() == 2
+        assert bus.subscriber_count("a.b.c") == 2  # both prefixes match
+        assert bus.subscriber_count("a") == 1
+
+
+class TestErrorIsolation:
+    def test_failing_handler_does_not_block_others(self):
+        errors = []
+        bus = EventBus(error_handler=lambda exc, e: errors.append(str(exc)))
+        got = []
+
+        def bad(event):
+            raise RuntimeError("handler broke")
+
+        bus.subscribe("t", bad)
+        bus.subscribe("t", got.append)
+        count = bus.publish("t")
+        assert count == 1  # only the healthy handler counted
+        assert len(got) == 1
+        assert errors == ["handler broke"]
+
+    def test_failing_handler_without_error_handler_is_swallowed(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda e: 1 / 0)
+        bus.publish("t")  # must not raise

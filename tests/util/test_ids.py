@@ -1,0 +1,87 @@
+"""HarnessName namespace semantics and id generation."""
+
+import pytest
+
+from repro.util.ids import HarnessName, new_id, new_uuid_key
+
+
+class TestNewId:
+    def test_monotonic_unique(self):
+        ids = [new_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_prefix(self):
+        assert new_id("task").startswith("task-")
+
+    def test_uuid_key_unique_and_prefixed(self):
+        a, b = new_uuid_key("svc"), new_uuid_key("svc")
+        assert a != b
+        assert a.startswith("svc:")
+
+    def test_thread_safety(self):
+        from repro.util.concurrent import run_all
+
+        results = run_all([lambda: [new_id() for _ in range(200)] for _ in range(8)])
+        flat = [i for chunk in results for i in chunk]
+        assert len(set(flat)) == len(flat)
+
+
+class TestHarnessName:
+    def test_parse_from_string(self):
+        name = HarnessName("/dvm/nodeA/matmul")
+        assert name.parts == ("dvm", "nodeA", "matmul")
+
+    def test_str_round_trip(self):
+        assert str(HarnessName("/a/b")) == "/a/b"
+        assert HarnessName(str(HarnessName(["x", "y"]))) == HarnessName(["x", "y"])
+
+    def test_root(self):
+        root = HarnessName.root()
+        assert str(root) == "/"
+        assert len(root) == 0
+
+    def test_root_leaf_raises(self):
+        with pytest.raises(ValueError):
+            HarnessName.root().leaf
+
+    def test_child_and_truediv(self):
+        name = HarnessName.root() / "dvm" / "node"
+        assert name == HarnessName("/dvm/node")
+        assert name.leaf == "node"
+
+    def test_parent(self):
+        assert HarnessName("/a/b/c").parent == HarnessName("/a/b")
+        assert HarnessName.root().parent == HarnessName.root()
+
+    def test_ancestor(self):
+        base = HarnessName("/dvm")
+        assert base.is_ancestor_of(HarnessName("/dvm/node"))
+        assert not base.is_ancestor_of(HarnessName("/dvm"))
+        assert not base.is_ancestor_of(HarnessName("/other/node"))
+
+    def test_relative_to(self):
+        name = HarnessName("/dvm/node/svc")
+        assert name.relative_to(HarnessName("/dvm")) == HarnessName("/node/svc")
+        with pytest.raises(ValueError):
+            name.relative_to(HarnessName("/x"))
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(ValueError):
+            HarnessName(["a/b"])
+        with pytest.raises(ValueError):
+            HarnessName([""])
+
+    def test_equality_with_string(self):
+        assert HarnessName("/a/b") == "/a/b"
+        assert HarnessName("/a/b") != "/a/c"
+
+    def test_hashable(self):
+        assert len({HarnessName("/a"), HarnessName("/a"), HarnessName("/b")}) == 2
+
+    def test_iter(self):
+        assert list(HarnessName("/x/y")) == ["x", "y"]
+
+    def test_multi_component_child(self):
+        # child() accepts only single components
+        with pytest.raises(ValueError):
+            HarnessName("/a").child("b/c")

@@ -1,0 +1,78 @@
+"""Extensibility elements: XML round trips and parsing of foreign elements."""
+
+import pytest
+
+from repro.util.errors import WsdlError
+from repro.wsdl.extensions import (
+    HttpAddressExt,
+    LocalAddressExt,
+    LocalBindingExt,
+    LocalInstanceBindingExt,
+    ServiceTargetExt,
+    SoapAddressExt,
+    SoapBindingExt,
+    SoapOperationExt,
+    XdrAddressExt,
+    XdrBindingExt,
+    extension_from_element,
+)
+from repro.xmlkit import NS_HARNESS, QName, XmlElement, parse, to_string
+
+ALL_EXTENSIONS = [
+    SoapBindingExt(),
+    SoapBindingExt(style="document", transport="urn:custom"),
+    SoapOperationExt("urn:x#op"),
+    SoapAddressExt("http://h:1/"),
+    HttpAddressExt("http://h:2/raw"),
+    LocalBindingExt("pkg.mod:Cls"),
+    LocalInstanceBindingExt("pkg.mod:Cls", "Cls#c-7"),
+    XdrBindingExt(("float64",)),
+    XdrBindingExt(),
+    XdrAddressExt("10.0.0.1", 9000, "target#1"),
+    XdrAddressExt("10.0.0.1", 9000),
+    LocalAddressExt("container://h/c", "t#1"),
+    LocalAddressExt("container://h/c"),
+    ServiceTargetExt("MatMul#c-3"),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("ext", ALL_EXTENSIONS, ids=lambda e: type(e).__name__)
+    def test_element_round_trip(self, ext):
+        element = ext.to_element()
+        assert extension_from_element(element) == ext
+
+    @pytest.mark.parametrize("ext", ALL_EXTENSIONS, ids=lambda e: type(e).__name__)
+    def test_full_xml_round_trip(self, ext):
+        reparsed = parse(to_string(ext.to_element()))
+        assert extension_from_element(reparsed) == ext
+
+
+class TestParsing:
+    def test_foreign_extension_returns_none(self):
+        foreign = XmlElement(QName("urn:alien", "binding"))
+        assert extension_from_element(foreign) is None
+
+    def test_xdr_address_requires_integer_port(self):
+        element = XmlElement(QName(NS_HARNESS, "xdrAddress"), {"host": "h", "port": "abc"})
+        with pytest.raises(WsdlError):
+            extension_from_element(element)
+
+    def test_missing_required_attribute(self):
+        from repro.util.errors import XmlError
+
+        element = XmlElement(QName(NS_HARNESS, "localBinding"))
+        with pytest.raises(XmlError):
+            extension_from_element(element)
+
+    def test_xdr_binding_defaults(self):
+        element = XmlElement(QName(NS_HARNESS, "xdrBinding"))
+        ext = extension_from_element(element)
+        assert ext.array_dtypes == ("float64", "int64")
+
+    def test_soap_binding_defaults(self):
+        from repro.xmlkit import NS_SOAP
+
+        ext = extension_from_element(XmlElement(QName(NS_SOAP, "binding")))
+        assert ext.style == "rpc"
+        assert "soap/http" in ext.transport

@@ -1,0 +1,111 @@
+"""WSDL document ⇄ XML: shapes matching the paper's Figures 7/8."""
+
+import pytest
+
+from repro.util.errors import WsdlError
+from repro.wsdl.extensions import LocalBindingExt, SoapAddressExt, SoapBindingExt
+from repro.wsdl.io import (
+    document_from_string,
+    document_to_element,
+    document_to_string,
+)
+from repro.wsdl.model import (
+    WsdlBinding,
+    WsdlDocument,
+    WsdlMessage,
+    WsdlOperation,
+    WsdlPart,
+    WsdlPort,
+    WsdlPortType,
+    WsdlService,
+)
+from repro.xmlkit import XmlQuery
+
+
+def time_doc() -> WsdlDocument:
+    """Shaped like the paper's Figure 7 WSTime document."""
+    return WsdlDocument(
+        name="WSTime",
+        target_namespace="urn:harness:WSTime",
+        documentation="Trivial example of a Time Web Service",
+        messages=(
+            WsdlMessage("getTimeRequest"),
+            WsdlMessage("getTimeResponse", (WsdlPart("return", "xsd:string"),)),
+        ),
+        port_types=(
+            WsdlPortType(
+                "WSTimePortType",
+                (WsdlOperation("getTime", "getTimeRequest", "getTimeResponse"),),
+            ),
+        ),
+        bindings=(
+            WsdlBinding("WSTimeSoapBinding", "WSTimePortType", (SoapBindingExt(),)),
+            WsdlBinding("WSTimeJavaBinding", "WSTimePortType", (LocalBindingExt("repro.plugins.services:WSTime"),)),
+        ),
+        services=(
+            WsdlService(
+                "WSTimeService",
+                (WsdlPort("WSTimeServicePort", "WSTimeJavaBinding"),),
+            ),
+        ),
+    )
+
+
+class TestSerialization:
+    def test_round_trip_equality(self):
+        doc = time_doc()
+        reparsed = document_from_string(document_to_string(doc))
+        assert reparsed == doc
+
+    def test_round_trip_compact(self):
+        doc = time_doc()
+        assert document_from_string(document_to_string(doc, indent=False)) == doc
+
+    def test_target_namespace_and_tns(self):
+        text = document_to_string(time_doc())
+        assert 'targetNamespace="urn:harness:WSTime"' in text
+        assert 'xmlns:tns="urn:harness:WSTime"' in text
+        assert 'type="tns:WSTimePortType"' in text
+        assert 'binding="tns:WSTimeJavaBinding"' in text
+
+    def test_documentation_preserved(self):
+        reparsed = document_from_string(document_to_string(time_doc()))
+        assert reparsed.documentation == "Trivial example of a Time Web Service"
+
+    def test_structure_queryable(self):
+        root = document_to_element(time_doc())
+        assert XmlQuery("//portType[@name='WSTimePortType']/operation/@name").values(root) == ["getTime"]
+        assert XmlQuery("//service[@name='WSTimeService']/port").exists(root)
+        assert XmlQuery("//localBinding/@type").values(root) == [
+            "repro.plugins.services:WSTime"
+        ]
+
+
+class TestParsing:
+    def test_invalid_root_rejected(self):
+        with pytest.raises(WsdlError):
+            document_from_string("<notwsdl/>")
+
+    def test_parse_validates(self):
+        # service port pointing at a binding that does not exist
+        bad = document_to_string(time_doc()).replace(
+            'binding="tns:WSTimeJavaBinding"', 'binding="tns:Ghost"'
+        )
+        with pytest.raises(WsdlError):
+            document_from_string(bad)
+
+    def test_foreign_extension_elements_ignored(self):
+        text = document_to_string(time_doc()).replace(
+            "<wsdl:service",
+            '<wsdl:binding name="Alien" type="tns:WSTimePortType">'
+            "</wsdl:binding><wsdl:service",
+        )
+        doc = document_from_string(text)
+        assert doc.binding("Alien").protocol == "unknown"
+
+    def test_parts_default_type(self):
+        text = """<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" name="X" targetNamespace="urn:x">
+          <wsdl:message name="m"><wsdl:part name="p"/></wsdl:message>
+        </wsdl:definitions>"""
+        doc = document_from_string(text)
+        assert doc.message("m").part("p").type_name == "xsd:anyType"

@@ -1,0 +1,170 @@
+"""WSDL model: lookups, validation, abstract/concrete split."""
+
+import pytest
+
+from repro.util.errors import WsdlError
+from repro.wsdl.extensions import (
+    LocalBindingExt,
+    LocalInstanceBindingExt,
+    SoapBindingExt,
+    XdrBindingExt,
+)
+from repro.wsdl.model import (
+    WsdlBinding,
+    WsdlBindingOperation,
+    WsdlDocument,
+    WsdlMessage,
+    WsdlOperation,
+    WsdlPart,
+    WsdlPort,
+    WsdlPortType,
+    WsdlService,
+)
+
+
+def sample_doc() -> WsdlDocument:
+    return WsdlDocument(
+        name="Time",
+        target_namespace="urn:time",
+        messages=(
+            WsdlMessage("getTimeRequest"),
+            WsdlMessage("getTimeResponse", (WsdlPart("return", "xsd:string"),)),
+        ),
+        port_types=(
+            WsdlPortType("TimePortType", (WsdlOperation("getTime", "getTimeRequest", "getTimeResponse"),)),
+        ),
+        bindings=(
+            WsdlBinding("TimeSoapBinding", "TimePortType", (SoapBindingExt(),)),
+            WsdlBinding("TimeLocalBinding", "TimePortType", (LocalBindingExt("x:Y"),)),
+        ),
+        services=(
+            WsdlService("TimeService", (WsdlPort("p1", "TimeSoapBinding"),)),
+        ),
+    )
+
+
+class TestLookups:
+    def test_message(self):
+        assert sample_doc().message("getTimeResponse").parts[0].type_name == "xsd:string"
+        with pytest.raises(WsdlError):
+            sample_doc().message("nope")
+
+    def test_port_type_and_operation(self):
+        pt = sample_doc().port_type("TimePortType")
+        assert pt.operation("getTime").output_message == "getTimeResponse"
+        assert pt.operation_names() == ("getTime",)
+        with pytest.raises(WsdlError):
+            pt.operation("nope")
+
+    def test_binding_and_service(self):
+        doc = sample_doc()
+        assert doc.binding("TimeSoapBinding").port_type == "TimePortType"
+        assert doc.service("TimeService").port("p1").binding == "TimeSoapBinding"
+        with pytest.raises(WsdlError):
+            doc.binding("nope")
+        with pytest.raises(WsdlError):
+            doc.service("TimeService").port("nope")
+
+    def test_message_part_lookup(self):
+        message = sample_doc().message("getTimeResponse")
+        assert message.part("return").type_name == "xsd:string"
+        with pytest.raises(WsdlError):
+            message.part("nope")
+
+
+class TestProtocolTags:
+    def test_soap(self):
+        assert WsdlBinding("b", "pt", (SoapBindingExt(),)).protocol == "soap"
+
+    def test_xdr(self):
+        assert WsdlBinding("b", "pt", (XdrBindingExt(),)).protocol == "xdr"
+
+    def test_local(self):
+        assert WsdlBinding("b", "pt", (LocalBindingExt("m:C"),)).protocol == "local"
+
+    def test_local_instance_takes_precedence(self):
+        binding = WsdlBinding(
+            "b", "pt", (LocalBindingExt("m:C"), LocalInstanceBindingExt("m:C", "i1"))
+        )
+        assert binding.protocol == "local-instance"
+
+    def test_unknown(self):
+        assert WsdlBinding("b", "pt").protocol == "unknown"
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        sample_doc().validate()
+
+    def test_binding_to_undefined_port_type(self):
+        doc = sample_doc().with_binding(WsdlBinding("bad", "NoSuchPT"))
+        with pytest.raises(WsdlError, match="undefined portType"):
+            doc.validate()
+
+    def test_port_to_undefined_binding(self):
+        doc = sample_doc().with_service(
+            WsdlService("S2", (WsdlPort("p", "NoSuchBinding"),))
+        )
+        with pytest.raises(WsdlError, match="undefined binding"):
+            doc.validate()
+
+    def test_operation_references_undefined_message(self):
+        doc = WsdlDocument(
+            name="X",
+            target_namespace="urn:x",
+            port_types=(WsdlPortType("PT", (WsdlOperation("op", "ghost"),)),),
+        )
+        with pytest.raises(WsdlError, match="undefined"):
+            doc.validate()
+
+    def test_binding_operation_not_in_port_type(self):
+        doc = sample_doc()
+        bad = WsdlBinding(
+            "b2", "TimePortType", (SoapBindingExt(),),
+            (WsdlBindingOperation("ghostOp"),),
+        )
+        with pytest.raises(WsdlError, match="ghostOp"):
+            doc.with_binding(bad).validate()
+
+    def test_duplicate_names_rejected(self):
+        doc = sample_doc()
+        with pytest.raises(WsdlError, match="duplicate"):
+            doc.with_service(doc.services[0]).validate()
+
+    def test_one_way_operation_allowed(self):
+        doc = WsdlDocument(
+            name="X",
+            target_namespace="urn:x",
+            messages=(WsdlMessage("m"),),
+            port_types=(WsdlPortType("PT", (WsdlOperation("fire", "m", ""),)),),
+        )
+        doc.validate()
+
+
+class TestAbstractConcreteSplit:
+    def test_split_and_merge_round_trip(self):
+        doc = sample_doc()
+        abstract = doc.abstract_part()
+        concrete = doc.concrete_part()
+        assert abstract.bindings == () and abstract.services == ()
+        assert concrete.messages == () and concrete.port_types == ()
+        merged = abstract.merge(concrete)
+        merged.validate()
+        assert merged.binding("TimeSoapBinding")
+        assert merged.message("getTimeRequest")
+
+    def test_merge_validates(self):
+        abstract = sample_doc().abstract_part()
+        bad_concrete = WsdlDocument(
+            name="Time", target_namespace="urn:time",
+            bindings=(WsdlBinding("b", "Ghost"),),
+        )
+        with pytest.raises(WsdlError):
+            abstract.merge(bad_concrete)
+
+    def test_ports_by_protocol(self):
+        doc = sample_doc()
+        index = doc.ports_by_protocol()
+        assert set(index) == {"soap"}
+        service, port = index["soap"][0]
+        assert service.name == "TimeService" and port.name == "p1"

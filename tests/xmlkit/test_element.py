@@ -1,0 +1,128 @@
+"""XmlElement tree model."""
+
+import pytest
+
+from repro.util.errors import XmlError
+from repro.xmlkit import NS_WSDL, QName, XmlElement
+
+
+class TestQName:
+    def test_clark_round_trip(self):
+        q = QName(NS_WSDL, "binding")
+        assert QName.parse(q.clark()) == q
+
+    def test_parse_bare_name(self):
+        assert QName.parse("foo") == QName("", "foo")
+
+    def test_parse_with_default_namespace(self):
+        assert QName.parse("foo", "urn:x") == QName("urn:x", "foo")
+
+    def test_malformed_clark_rejected(self):
+        with pytest.raises(ValueError):
+            QName.parse("{urn:x")
+
+    def test_unqualified_clark(self):
+        assert QName("", "a").clark() == "a"
+
+
+class TestAttributes:
+    def test_set_get_by_string(self):
+        el = XmlElement("root")
+        el.set("name", "x")
+        assert el.get("name") == "x"
+
+    def test_values_stringified(self):
+        el = XmlElement("root", {"port": 8080})
+        assert el.get("port") == "8080"
+
+    def test_qualified_attribute(self):
+        q = QName(NS_WSDL, "type")
+        el = XmlElement("root").set(q, "v")
+        assert el.get(q) == "v"
+        # bare local name falls back across namespaces
+        assert el.get("type") == "v"
+
+    def test_get_default(self):
+        assert XmlElement("r").get("missing", "d") == "d"
+        assert XmlElement("r").get("missing") is None
+
+    def test_require_raises(self):
+        with pytest.raises(XmlError):
+            XmlElement("r").require("missing")
+
+
+class TestTree:
+    def test_element_builder(self):
+        root = XmlElement("root")
+        child = root.element("child", {"a": "1"}, text="hello")
+        assert child.parent is root
+        assert root.children == (child,)
+        assert child.text == "hello"
+
+    def test_append_rejects_reparenting(self):
+        root = XmlElement("root")
+        child = root.element("c")
+        other = XmlElement("other")
+        with pytest.raises(XmlError):
+            other.append(child)
+
+    def test_detach_allows_reparenting(self):
+        root = XmlElement("root")
+        child = root.element("c")
+        other = XmlElement("other")
+        other.append(child.detach())
+        assert root.children == ()
+        assert child.parent is other
+
+    def test_find_and_find_all(self):
+        root = XmlElement("root")
+        root.element("a", {"i": "1"})
+        root.element("b")
+        root.element("a", {"i": "2"})
+        assert root.find("a").get("i") == "1"
+        assert [e.get("i") for e in root.find_all("a")] == ["1", "2"]
+        assert root.find("zzz") is None
+
+    def test_first_raises_when_absent(self):
+        with pytest.raises(XmlError):
+            XmlElement("root").first("missing")
+
+    def test_find_by_qname_is_namespace_strict(self):
+        root = XmlElement("root")
+        root.element(QName(NS_WSDL, "binding"))
+        assert root.find(QName(NS_WSDL, "binding")) is not None
+        assert root.find(QName("urn:other", "binding")) is None
+        assert root.find("binding") is not None  # bare name is lenient
+
+    def test_iter_preorder(self):
+        root = XmlElement("r")
+        a = root.element("a")
+        a.element("b")
+        root.element("c")
+        assert [e.name.local for e in root.iter()] == ["r", "a", "b", "c"]
+
+    def test_path(self):
+        root = XmlElement("r")
+        leaf = root.element("a").element("b")
+        assert leaf.path() == "/r/a/b"
+
+    def test_text_content_concatenates(self):
+        root = XmlElement("r", text="x")
+        root.element("a", text="y").element("b", text="z")
+        assert root.text_content() == "xyz"
+
+    def test_copy_is_deep_and_detached(self):
+        root = XmlElement("r", {"k": "v"})
+        root.element("a", text="t")
+        dup = root.copy()
+        assert dup.parent is None
+        assert dup.structurally_equal(root)
+        dup.children[0].text = "changed"
+        assert root.children[0].text == "t"
+
+    def test_structural_equality(self):
+        a = XmlElement("r", {"x": "1"}, children=[XmlElement("c")])
+        b = XmlElement("r", {"x": "1"}, children=[XmlElement("c")])
+        assert a.structurally_equal(b)
+        b.children[0].set("y", "2")
+        assert not a.structurally_equal(b)

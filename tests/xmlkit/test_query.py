@@ -1,0 +1,142 @@
+"""The XML query engine (the registry's generic query language)."""
+
+import pytest
+
+from repro.util.errors import XmlError
+from repro.xmlkit import XmlQuery, parse, query, query_values
+
+DOC = """
+<definitions name="MatMul">
+  <portType name="MatMulPortType">
+    <operation name="getResult">
+      <input message="tns:getResultRequest"/>
+      <output message="tns:getResultResponse"/>
+    </operation>
+    <operation name="getName"/>
+  </portType>
+  <binding name="SoapBinding" type="tns:MatMulPortType"/>
+  <binding name="XdrBinding" type="tns:MatMulPortType"/>
+  <service name="MatMulService">
+    <port name="soapPort" binding="tns:SoapBinding"><note>remote</note></port>
+    <port name="xdrPort" binding="tns:XdrBinding"/>
+  </service>
+</definitions>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse(DOC)
+
+
+class TestChildAxis:
+    def test_single_step(self, doc):
+        assert [e.get("name") for e in query(doc, "/binding")] == ["SoapBinding", "XdrBinding"]
+
+    def test_multi_step_path(self, doc):
+        ports = query(doc, "/service/port")
+        assert [p.get("name") for p in ports] == ["soapPort", "xdrPort"]
+
+    def test_no_leading_slash_equivalent(self, doc):
+        assert query(doc, "service/port") == query(doc, "/service/port")
+
+    def test_wildcard(self, doc):
+        all_children = query(doc, "/*")
+        assert len(all_children) == 4  # portType + 2 bindings + service
+
+
+class TestDescendantAxis:
+    def test_anywhere(self, doc):
+        ops = query(doc, "//operation")
+        assert [o.get("name") for o in ops] == ["getResult", "getName"]
+
+    def test_descendant_mid_path(self, doc):
+        assert query_values(doc, "/portType//input/@message") == ["tns:getResultRequest"]
+
+    def test_descendant_includes_self_level_children(self, doc):
+        assert len(query(doc, "//port")) == 2
+
+
+class TestPredicates:
+    def test_attribute_equality(self, doc):
+        matches = query(doc, "//port[@name='xdrPort']")
+        assert len(matches) == 1
+        assert matches[0].get("binding") == "tns:XdrBinding"
+
+    def test_attribute_existence(self, doc):
+        assert len(query(doc, "//operation[@name]")) == 2
+
+    def test_child_existence(self, doc):
+        assert [o.get("name") for o in query(doc, "//operation[input]")] == ["getResult"]
+
+    def test_child_text_equality(self, doc):
+        assert [p.get("name") for p in query(doc, "//port[note='remote']")] == ["soapPort"]
+
+    def test_multiple_predicates(self, doc):
+        assert query(doc, "//operation[@name='getResult'][input]")
+        assert not query(doc, "//operation[@name='getName'][input]")
+
+    def test_no_match(self, doc):
+        assert query(doc, "//port[@name='nope']") == []
+
+
+class TestValueSteps:
+    def test_attribute_value(self, doc):
+        assert query_values(doc, "//service/@name") == ["MatMulService"]
+
+    def test_text_function(self, doc):
+        assert query_values(doc, "//note/text()") == ["remote"]
+
+    def test_values_of_elements_take_text(self, doc):
+        assert query_values(doc, "//note") == ["remote"]
+
+    def test_select_rejects_value_query(self, doc):
+        with pytest.raises(XmlError):
+            XmlQuery("//port/@name").select(doc)
+
+    def test_value_step_must_be_last(self, doc):
+        with pytest.raises(XmlError):
+            XmlQuery("//service/@name/port").select(doc)
+
+
+class TestApi:
+    def test_exists(self, doc):
+        assert XmlQuery("//binding[@name='XdrBinding']").exists(doc)
+        assert not XmlQuery("//binding[@name='Rmi']").exists(doc)
+
+    def test_first(self, doc):
+        first = XmlQuery("//port").first(doc)
+        assert first.get("name") == "soapPort"
+        assert XmlQuery("//nothing").first(doc) is None
+
+    def test_compiled_query_reusable(self, doc):
+        q = XmlQuery("//operation")
+        assert len(q.select(doc)) == 2
+        assert len(q.select(doc)) == 2
+
+    def test_repr(self):
+        assert "//x" in repr(XmlQuery("//x"))
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "//",
+            "//port[@name=",
+            "//port[@name='x'",
+            "//port[@]",
+            "port//",
+            "a b",
+            "[x]",
+            "//port[@name=x]",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XmlError):
+            XmlQuery(bad)
+
+    def test_predicate_quotes_both_kinds(self, doc):
+        assert XmlQuery('//port[@name="xdrPort"]').exists(doc)
+        assert XmlQuery("//port[@name='xdrPort']").exists(doc)

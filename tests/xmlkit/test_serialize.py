@@ -1,0 +1,92 @@
+"""Serializer/parser round trips, namespace prefixes, canonicalization."""
+
+import pytest
+
+from repro.util.errors import XmlError
+from repro.xmlkit import (
+    NS_SOAP,
+    NS_WSDL,
+    QName,
+    XmlElement,
+    canonicalize,
+    parse,
+    to_string,
+)
+
+
+def _sample():
+    root = XmlElement(QName(NS_WSDL, "definitions"), {"name": "S"})
+    binding = root.element(QName(NS_WSDL, "binding"), {"name": "B"})
+    binding.element(QName(NS_SOAP, "binding"), {"style": "rpc"})
+    root.element(QName(NS_WSDL, "service"), {"name": "svc"}, text="")
+    return root
+
+
+class TestToString:
+    def test_declares_known_prefixes_on_root(self):
+        text = to_string(_sample())
+        assert 'xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"' in text
+        assert 'xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"' in text
+        assert "<wsdl:definitions" in text
+        assert "<soap:binding" in text
+
+    def test_xml_declaration_toggle(self):
+        assert to_string(_sample()).startswith("<?xml")
+        assert not to_string(_sample(), xml_declaration=False).startswith("<?xml")
+
+    def test_escapes_attribute_and_text(self):
+        el = XmlElement("r", {"a": 'x"<>&'}, text="<&>")
+        text = to_string(el)
+        reparsed = parse(text)
+        assert reparsed.get("a") == 'x"<>&'
+        assert reparsed.text == "<&>"
+
+    def test_unknown_namespace_gets_auto_prefix(self):
+        el = XmlElement(QName("urn:custom", "thing"))
+        text = to_string(el)
+        assert 'xmlns:ns0="urn:custom"' in text
+        assert "<ns0:thing" in text
+
+    def test_self_closing_empty_element(self):
+        assert "<r/>" in to_string(XmlElement("r"), xml_declaration=False)
+
+
+class TestParse:
+    def test_round_trip_structure(self):
+        original = _sample()
+        reparsed = parse(to_string(original))
+        assert reparsed.structurally_equal(original)
+
+    def test_round_trip_indented_and_compact_agree(self):
+        original = _sample()
+        a = parse(to_string(original, indent=True))
+        b = parse(to_string(original, indent=False))
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_malformed_raises_xml_error(self):
+        with pytest.raises(XmlError):
+            parse("<a><b></a>")
+
+    def test_parse_bytes(self):
+        root = parse(b"<a x='1'/>")
+        assert root.get("x") == "1"
+
+    def test_namespaces_preserved(self):
+        reparsed = parse(to_string(_sample()))
+        assert reparsed.name == QName(NS_WSDL, "definitions")
+        assert reparsed.find(QName(NS_WSDL, "binding")) is not None
+
+
+class TestCanonicalize:
+    def test_attribute_order_irrelevant(self):
+        a = XmlElement("r", {"x": "1", "y": "2"})
+        b = XmlElement("r", {"y": "2", "x": "1"})
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_child_order_significant(self):
+        a = XmlElement("r", children=[XmlElement("a"), XmlElement("b")])
+        b = XmlElement("r", children=[XmlElement("b"), XmlElement("a")])
+        assert canonicalize(a) != canonicalize(b)
+
+    def test_text_significant(self):
+        assert canonicalize(XmlElement("r", text="x")) != canonicalize(XmlElement("r"))
