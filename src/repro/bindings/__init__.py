@@ -3,6 +3,16 @@
 from repro.bindings.context import LOCAL_DIRECTORY, ClientContext
 from repro.bindings.dispatcher import ObjectDispatcher, exposed_operations
 from repro.bindings.factory import DEFAULT_PREFERENCE, DynamicStubFactory
+from repro.bindings.policy import (
+    DEFAULT_POLICY,
+    BreakerRegistry,
+    CircuitBreaker,
+    InvocationPolicy,
+    PolicyExecutor,
+    backoff_schedule,
+    retry_safe,
+)
+from repro.bindings.resilient import ResilientStub
 from repro.bindings.server import BindingServer
 from repro.bindings.stubs import LocalStub, ServiceStub, TransportStub, load_type
 
@@ -18,4 +28,12 @@ __all__ = [
     "ServiceStub",
     "TransportStub",
     "load_type",
+    "DEFAULT_POLICY",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "InvocationPolicy",
+    "PolicyExecutor",
+    "backoff_schedule",
+    "retry_safe",
+    "ResilientStub",
 ]

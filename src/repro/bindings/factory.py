@@ -20,8 +20,10 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.bindings.context import ClientContext
+from repro.bindings.policy import BreakerRegistry, InvocationPolicy
 from repro.bindings.stubs import LocalStub, ServiceStub, TransportStub, load_type
 from repro.encoding.registry import CodecRegistry, default_registry
+from repro.util.events import EventBus
 from repro.transport.http import HttpTransport
 from repro.transport.tcp import TcpTransport
 from repro.util.errors import BindingError, NoBindingAvailableError
@@ -42,13 +44,31 @@ __all__ = ["DynamicStubFactory", "DEFAULT_PREFERENCE"]
 
 DEFAULT_PREFERENCE: tuple[str, ...] = ("local-instance", "local", "sim", "xdr", "mime", "soap")
 
+#: distinguishes "no per-call policy given, use the factory default" from
+#: an explicit ``policy=None`` ("build this stub without any policy")
+_UNSET = object()
+
 
 class DynamicStubFactory:
     """Manufactures :class:`ServiceStub` objects from WSDL documents."""
 
-    def __init__(self, context: ClientContext | None = None, codecs: CodecRegistry | None = None):
+    def __init__(
+        self,
+        context: ClientContext | None = None,
+        codecs: CodecRegistry | None = None,
+        policy: InvocationPolicy | None = None,
+        events: EventBus | None = None,
+        breakers: BreakerRegistry | None = None,
+    ):
         self.context = context or ClientContext()
         self._codecs = codecs or default_registry
+        # Default invocation policy applied to every network stub this
+        # factory manufactures (None = raw, unretried invocations).  The
+        # breaker registry is shared across stubs so every stub to the same
+        # address trips / heals one circuit.
+        self.policy = policy
+        self.events = events
+        self.breakers = breakers or BreakerRegistry()
 
     # -- public API -----------------------------------------------------------
 
@@ -61,21 +81,28 @@ class DynamicStubFactory:
         soap_array_mode: str = "base64",
         timeout: float | None = 30.0,
         credential: str | None = None,
+        policy: InvocationPolicy | None = _UNSET,  # type: ignore[assignment]
     ) -> ServiceStub:
         """Build a stub for a service in *document*.
 
         With ``port_name`` the client "select[s] the type of protocol it
         wants to use"; without it the factory "dynamically generate[s] the
         required stub" for the best usable port (Section 4).
+
+        ``policy`` overrides the factory's default invocation policy for
+        this stub (pass ``None`` explicitly for a raw, unretried stub).
+        Local bindings never carry a policy — there is no transport to fail.
         """
         document.validate()
+        if policy is _UNSET:
+            policy = self.policy
         service = self._select_service(document, service_name)
         candidates = self._rank_ports(document, service, port_name, prefer)
         errors: list[str] = []
         for port in candidates:
             try:
                 return self._build(
-                    document, service, port, soap_array_mode, timeout, credential
+                    document, service, port, soap_array_mode, timeout, credential, policy
                 )
             except BindingError as exc:
                 errors.append(f"{port.name}: {exc}")
@@ -154,12 +181,22 @@ class DynamicStubFactory:
         soap_array_mode: str,
         timeout: float | None,
         credential: str | None = None,
+        policy: InvocationPolicy | None = None,
     ) -> ServiceStub:
         binding = document.binding(port.binding)
         operations = document.port_type(binding.port_type).operation_names()
         target_ext = port.extension_of(ServiceTargetExt)
         target = target_ext.name if target_ext is not None else service.name
         protocol = binding.protocol
+
+        def transport_stub(address_key: str, dispatch_target, codec, transport, tag):
+            breaker = (
+                self.breakers.get(address_key, policy) if policy is not None else None
+            )
+            return TransportStub(
+                operations, dispatch_target, codec, transport, tag, timeout,
+                policy=policy, events=self.events, breaker=breaker,
+            )
 
         def credentialed(dispatch_target: str) -> str:
             # network paths carry the caller's credential in the target
@@ -178,8 +215,8 @@ class DynamicStubFactory:
                 "text/xml" if soap_array_mode == "base64" else f"text/xml; arrays={soap_array_mode}"
             )
             transport = HttpTransport(address.location)
-            return TransportStub(
-                operations, credentialed(target), codec, transport, "soap", timeout
+            return transport_stub(
+                address.location, credentialed(target), codec, transport, "soap"
             )
 
         if protocol == "mime":
@@ -188,8 +225,8 @@ class DynamicStubFactory:
                 raise BindingError(f"mime port {port.name!r} lacks an http address")
             codec = self._codecs.get("multipart/related")
             transport = HttpTransport(address.location)
-            return TransportStub(
-                operations, credentialed(target), codec, transport, "mime", timeout
+            return transport_stub(
+                address.location, credentialed(target), codec, transport, "mime"
             )
 
         if protocol == "sim":
@@ -201,13 +238,10 @@ class DynamicStubFactory:
             from repro.transport.sim import SimTransport
 
             codec = self._codecs.get("application/x-xdr")
-            transport = SimTransport(
-                self.context.network, self.context.host,
-                f"sim://{address.host}/{address.endpoint}",
-            )
-            return TransportStub(
-                operations, credentialed(address.target or target), codec,
-                transport, "sim", timeout,
+            sim_url = f"sim://{address.host}/{address.endpoint}"
+            transport = SimTransport(self.context.network, self.context.host, sim_url)
+            return transport_stub(
+                sim_url, credentialed(address.target or target), codec, transport, "sim"
             )
 
         if protocol == "xdr":
@@ -215,10 +249,10 @@ class DynamicStubFactory:
             if address is None:
                 raise BindingError(f"xdr port {port.name!r} lacks a harness:xdrAddress")
             codec = self._codecs.get("application/x-xdr")
-            transport = TcpTransport(f"tcp://{address.host}:{address.port}")
-            return TransportStub(
-                operations, credentialed(address.target or target), codec,
-                transport, "xdr", timeout,
+            tcp_url = f"tcp://{address.host}:{address.port}"
+            transport = TcpTransport(tcp_url)
+            return transport_stub(
+                tcp_url, credentialed(address.target or target), codec, transport, "xdr"
             )
 
         if protocol == "local-instance":

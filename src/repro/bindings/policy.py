@@ -1,0 +1,347 @@
+"""Invocation policies: retry, backoff, deadlines, circuit breaking.
+
+The paper promises "improving robustness … and adaptation"; the stub layer
+is where a metacomputing client first *sees* a fault, so this module makes
+the reaction configurable instead of hard-coded.  An
+:class:`InvocationPolicy` describes how a :class:`~repro.bindings.stubs.TransportStub`
+should behave when a call fails:
+
+* bounded retries with exponential backoff + jitter (seeded RNG → the
+  schedule is deterministic in tests);
+* an overall deadline from which each attempt's transport timeout is
+  carved, so retrying never extends the caller's wait;
+* a per-target :class:`CircuitBreaker` that opens after N consecutive
+  failures, rejects calls instantly (:class:`CircuitOpenError`) while open,
+  and lets a single probe through after a cooldown (half-open).
+
+Retries are restricted to *idempotent-safe* failure points: a request that
+provably never reached the service (:class:`HostDownError`, a request-phase
+:class:`MessageDroppedError`) is always safe to resend; response-phase
+losses and timeouts mean the service may have done the work, so they are
+retried only when the policy declares the operations idempotent.
+
+Every retry, breaker trip, and recovery is published on the
+:class:`~repro.util.events.EventBus` under ``invoke.*`` topics (see
+DESIGN.md's fault-tolerance section for the full list).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.util.clock import Clock, WallClock
+from repro.util.errors import CircuitOpenError, HarnessTimeoutError
+from repro.util.events import EventBus
+
+__all__ = [
+    "InvocationPolicy",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "PolicyExecutor",
+    "backoff_schedule",
+    "retry_safe",
+    "DEFAULT_POLICY",
+]
+
+
+@dataclass(frozen=True)
+class InvocationPolicy:
+    """How a stub reacts to invocation failures.
+
+    ``max_attempts`` counts the first try: 1 disables retries entirely.
+    ``deadline_s`` is the overall budget across all attempts (``None`` =
+    unbounded); each attempt's transport timeout is the remaining budget.
+    ``idempotent`` widens the retryable set to response-phase losses and
+    timeouts — only declare it for operations that tolerate re-execution.
+    ``breaker_threshold`` consecutive failures open the circuit for
+    ``breaker_cooldown_s``; 0 disables circuit breaking.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.1  # fraction of the step, added uniformly
+    deadline_s: float | None = None
+    idempotent: bool = False
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff_base_s and backoff_max_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        step = min(
+            self.backoff_base_s * (self.backoff_multiplier ** attempt),
+            self.backoff_max_s,
+        )
+        if self.jitter and rng is not None:
+            step += rng.uniform(0.0, self.jitter * step)
+        return step
+
+
+#: Conservative default used when a caller asks for "a" policy: three
+#: attempts, 50 ms base backoff, breaker after five consecutive failures.
+DEFAULT_POLICY = InvocationPolicy()
+
+
+def backoff_schedule(
+    policy: InvocationPolicy, attempts: int, rng: random.Random | None = None
+) -> list[float]:
+    """The first *attempts* retry delays — deterministic under a seeded RNG."""
+    return [policy.backoff(i, rng) for i in range(attempts)]
+
+
+def retry_safe(exc: BaseException, policy: InvocationPolicy) -> bool:
+    """Is resending after *exc* idempotent-safe under *policy*?
+
+    ``HostDownError`` and request-phase drops mean the operation never ran:
+    always safe.  Response-phase drops and timeouts mean it *may* have run:
+    safe only for operations the policy declares idempotent.
+    """
+    # imported lazily: netsim.fabric sits below the transport layer, and a
+    # module-scope import here would close an import cycle through
+    # repro.transport.sim
+    from repro.netsim.fabric import HostDownError, MessageDroppedError
+
+    if isinstance(exc, MessageDroppedError):
+        return exc.phase == "request" or policy.idempotent
+    if isinstance(exc, HostDownError):
+        return True
+    if isinstance(exc, HarnessTimeoutError):
+        return policy.idempotent
+    return False
+
+
+class CircuitBreaker:
+    """Per-target failure accountant: closed → open → half-open → closed.
+
+    ``allow()`` answers "may a call proceed right now?"; callers must then
+    report the outcome through :meth:`record_success` /
+    :meth:`record_failure`.  While open, only after ``cooldown_s`` does a
+    single half-open probe get through; its outcome closes or re-opens the
+    circuit.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int, cooldown_s: float, clock: Clock | None = None):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if (
+                self._state == self.OPEN
+                and self._clock.now() - self._opened_at >= self.cooldown_s
+            ):
+                return self.HALF_OPEN
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed?  Transitions open → half-open after cooldown."""
+        # lock-free fast path: a closed breaker admits everything, and the
+        # racy read is benign (a stale CLOSED at worst admits one extra call)
+        if self._state == self.CLOSED:
+            return True
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                return False  # a probe is already in flight; keep failing fast
+            if self._clock.now() - self._opened_at >= self.cooldown_s:
+                # admit exactly one probe; concurrent callers keep failing fast
+                self._state = self.HALF_OPEN
+                return True
+            return False
+
+    def record_success(self) -> bool:
+        """Reset the circuit; True when this success re-closed an open one."""
+        # lock-free fast path for the healthy steady state
+        if self._state == self.CLOSED and not self._failures:
+            return False
+        with self._lock:
+            reclosed = self._state != self.CLOSED
+            self._failures = 0
+            self._state = self.CLOSED
+            return reclosed
+
+    def record_failure(self) -> bool:
+        """Count a failure; True when this one tripped the circuit open."""
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or (
+                self.threshold and self._failures >= self.threshold
+            ):
+                tripped = self._state != self.OPEN
+                self._state = self.OPEN
+                self._opened_at = self._clock.now()
+                return tripped
+            return False
+
+
+class BreakerRegistry:
+    """Shared per-target breakers, so every stub to a target sees one circuit."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, target: str, policy: InvocationPolicy) -> CircuitBreaker | None:
+        if not policy.breaker_threshold:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(target)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    policy.breaker_threshold, policy.breaker_cooldown_s, self._clock
+                )
+                self._breakers[target] = breaker
+            return breaker
+
+
+class PolicyExecutor:
+    """Applies an :class:`InvocationPolicy` around a transport call.
+
+    The fault-free fast path is one ``allow()`` check, the call, and one
+    ``record_success()`` — no allocation, no event, no clock read unless a
+    deadline is configured (measured <5% overhead by
+    ``benchmarks/bench_recovery.py``).
+    """
+
+    def __init__(
+        self,
+        policy: InvocationPolicy,
+        target: str,
+        breaker: CircuitBreaker | None = None,
+        events: EventBus | None = None,
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.policy = policy
+        self.target = target
+        self.breaker = breaker
+        self.events = events
+        self.clock = clock or WallClock()
+        self.rng = rng if rng is not None else random.Random()
+
+    def call(
+        self, attempt_fn, request=None, operation: str = "", base_timeout: float | None = None
+    ):
+        """Run ``attempt_fn(request, timeout)`` under the policy.
+
+        ``request`` is opaque — typically the encoded transport message,
+        passed through so callers need not allocate a closure per call.
+        ``attempt_fn`` receives the per-attempt timeout (the smaller of the
+        transport's own timeout and what remains of the overall deadline).
+        The fault-free path is kept deliberately lean — no loop state, no
+        clock read (unless a deadline is set), no allocation.
+        """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit for {self.target!r} is open "
+                f"(cooldown {self.policy.breaker_cooldown_s}s)"
+            )
+        if self.policy.deadline_s is None:
+            deadline = None
+            timeout = base_timeout
+        else:
+            deadline = self.clock.now() + self.policy.deadline_s
+            timeout = self._attempt_timeout(base_timeout, deadline)
+        try:
+            result = attempt_fn(request, timeout)
+        except Exception as exc:
+            return self._retry_loop(attempt_fn, request, operation, base_timeout, deadline, exc)
+        if breaker is not None and breaker.record_success():
+            self._publish_close(operation)
+        return result
+
+    def _retry_loop(self, attempt_fn, request, operation, base_timeout, deadline, exc):
+        """Failure path: account the first failure, then retry under policy."""
+        policy = self.policy
+        attempt = 0
+        while True:
+            self._record_failure(operation, exc)
+            if not retry_safe(exc, policy):
+                raise exc
+            if attempt + 1 >= policy.max_attempts:
+                raise exc
+            if deadline is not None and self.clock.now() >= deadline:
+                raise exc
+            delay = policy.backoff(attempt, self.rng)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - self.clock.now()))
+            if self.events is not None:
+                self.events.publish(
+                    "invoke.retry",
+                    {
+                        "target": self.target,
+                        "operation": operation,
+                        "attempt": attempt + 1,
+                        "delay_s": delay,
+                        "error": str(exc),
+                    },
+                    source=self.target,
+                )
+            self.clock.sleep(delay)
+            attempt += 1
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit for {self.target!r} is open "
+                    f"(cooldown {policy.breaker_cooldown_s}s)"
+                )
+            try:
+                result = attempt_fn(request, self._attempt_timeout(base_timeout, deadline))
+            except Exception as next_exc:
+                exc = next_exc
+                continue
+            if self.breaker is not None and self.breaker.record_success():
+                self._publish_close(operation)
+            return result
+
+    def _publish_close(self, operation: str) -> None:
+        if self.events is not None:
+            self.events.publish(
+                "invoke.breaker.close",
+                {"target": self.target, "operation": operation},
+                source=self.target,
+            )
+
+    def _attempt_timeout(
+        self, base_timeout: float | None, deadline: float | None
+    ) -> float | None:
+        if deadline is None:
+            return base_timeout
+        remaining = max(0.0, deadline - self.clock.now())
+        return remaining if base_timeout is None else min(base_timeout, remaining)
+
+    def _record_failure(self, operation: str, exc: Exception) -> None:
+        if self.breaker is not None and self.breaker.record_failure():
+            if self.events is not None:
+                self.events.publish(
+                    "invoke.breaker.open",
+                    {"target": self.target, "operation": operation, "error": str(exc)},
+                    source=self.target,
+                )

@@ -1,0 +1,138 @@
+"""Self-healing stubs: transparent endpoint re-resolution.
+
+A plain :class:`~repro.bindings.stubs.TransportStub` is pinned to the
+address it was built with; when the hosting node dies and the failover
+manager revives the component elsewhere, that address is dead forever.
+:class:`ResilientStub` closes the loop of the paper's "dynamic
+reconfiguration" story: it holds a *resolver* (typically
+``DistributedVirtualMachine.stub``) instead of an address, and on failures
+that indicate endpoint death it discards the inner stub, re-resolves the
+service through the DVM namespace, and re-issues the call — so a
+pre-existing stub completes its next call without the caller ever seeing
+the failure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.bindings.stubs import ServiceStub
+from repro.util.clock import Clock, WallClock
+from repro.util.errors import (
+    CircuitOpenError,
+    ServiceNotFoundError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.util.events import EventBus
+
+__all__ = ["ResilientStub", "redial_errors"]
+
+
+def redial_errors() -> tuple[type[Exception], ...]:
+    """Failures that mean "this endpoint is gone / unusable", as opposed to
+    a fault *from* the service: worth re-resolving instead of giving up.
+    All are idempotent-safe — the call never executed.  (Message *drops*
+    are the inner stub's InvocationPolicy's business, not a reason to
+    redial.)  ServiceNotFoundError covers the failover window — the
+    component has been evicted from the namespace but not yet revived
+    elsewhere.
+
+    A function (not a module constant) because importing ``netsim.fabric``
+    at module scope would close an import cycle through
+    ``repro.transport.sim``.
+    """
+    from repro.netsim.fabric import HostDownError
+
+    return (HostDownError, TransportClosedError, CircuitOpenError, ServiceNotFoundError)
+
+
+class ResilientStub(ServiceStub):
+    """A stub that survives the death of the endpoint behind it.
+
+    ``resolver`` manufactures a fresh concrete stub from the current DVM
+    namespace.  On a redial-worthy failure the inner stub is dropped and
+    resolution is retried up to ``max_redials`` times with a jittered
+    backoff — enough to ride out the detector→evict→failover window.
+    """
+
+    def __init__(
+        self,
+        resolver: Callable[[], ServiceStub],
+        max_redials: int = 5,
+        redial_backoff_s: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        clock: Clock | None = None,
+        events: EventBus | None = None,
+        rng: random.Random | None = None,
+    ):
+        self._resolver = resolver
+        self._max_redials = max_redials
+        self._redial_backoff_s = redial_backoff_s
+        self._backoff_multiplier = backoff_multiplier
+        self._clock = clock or WallClock()
+        self._events = events
+        self._rng = rng if rng is not None else random.Random()
+        self._inner = resolver()
+        super().__init__(self._inner.operations, self._inner.target)
+        self.protocol = f"resilient+{self._inner.protocol}"
+
+    @property
+    def inner(self) -> ServiceStub:
+        """The concrete stub currently in use (tests assert re-resolution)."""
+        return self._inner
+
+    def _invoke(self, operation: str, args: tuple) -> Any:
+        redials = 0
+        while True:
+            if self._inner is None:
+                self._inner = self._resolve(operation, redials)
+            try:
+                return self._inner._invoke(operation, args)
+            except redial_errors() as exc:
+                if redials >= self._max_redials:
+                    raise
+                self._drop_inner()
+                if self._events is not None:
+                    self._events.publish(
+                        "invoke.redial",
+                        {
+                            "target": self._target,
+                            "operation": operation,
+                            "redial": redials + 1,
+                            "error": str(exc),
+                        },
+                        source=self._target,
+                    )
+                self._backoff(redials)
+                redials += 1
+
+    def _resolve(self, operation: str, redials: int) -> ServiceStub:
+        while True:
+            try:
+                inner = self._resolver()
+            except (ServiceNotFoundError, TransportError):
+                if redials >= self._max_redials:
+                    raise
+                self._backoff(redials)
+                redials += 1
+                continue
+            self.protocol = f"resilient+{inner.protocol}"
+            return inner
+
+    def _backoff(self, redials: int) -> None:
+        delay = self._redial_backoff_s * (self._backoff_multiplier ** redials)
+        delay += self._rng.uniform(0.0, 0.1 * delay)
+        self._clock.sleep(delay)
+
+    def _drop_inner(self) -> None:
+        if self._inner is not None:
+            try:
+                self._inner.close()
+            except Exception:
+                pass
+            self._inner = None
+
+    def close(self) -> None:
+        self._drop_inner()

@@ -117,7 +117,14 @@ class ServiceStub:
 
 
 class TransportStub(ServiceStub):
-    """Stub invoking through a codec + transport pair."""
+    """Stub invoking through a codec + transport pair.
+
+    When an :class:`~repro.bindings.policy.InvocationPolicy` is attached the
+    call is executed under it: bounded retries at idempotent-safe failure
+    points, backoff, an overall deadline, and a per-target circuit breaker.
+    The request bytes are encoded once, so every retry resends the identical
+    message.  Without a policy the invocation path is unchanged.
+    """
 
     def __init__(
         self,
@@ -127,17 +134,38 @@ class TransportStub(ServiceStub):
         transport: ClientTransport,
         protocol: str,
         timeout: float | None = 30.0,
+        policy=None,
+        events=None,
+        breaker=None,
+        clock=None,
+        rng=None,
     ):
         super().__init__(operations, target)
         self._codec = codec
         self._transport = transport
         self.protocol = protocol
         self._timeout = timeout
+        if policy is None:
+            self._executor = None
+        else:
+            from repro.bindings.policy import PolicyExecutor
+
+            self._executor = PolicyExecutor(
+                policy, target, breaker=breaker, events=events, clock=clock, rng=rng
+            )
 
     def _invoke(self, operation: str, args: tuple) -> Any:
         payload = self._codec.encode_call(self._target, operation, args)
         request = TransportMessage(self._codec.content_type, payload)
-        response = self._transport.request(request, timeout=self._timeout)
+        if self._executor is None:
+            response = self._transport.request(request, timeout=self._timeout)
+        else:
+            response = self._executor.call(
+                self._transport.request,
+                request,
+                operation,
+                base_timeout=self._timeout,
+            )
         try:
             return self._codec.decode_reply(response.payload)
         except (SoapFaultError, EncodingError):

@@ -66,6 +66,10 @@ class HarnessDvm:
         self.events = events or EventBus()
         self.dvm = DistributedVirtualMachine(name, network, factory, events=self.events)
         self.kernels: dict[str, HarnessKernel] = {}
+        self.detector = None  # set by enable_self_healing
+        self.failover = None
+        # an evicted node's kernel must not linger in the kernel table
+        self._death_sub = self.events.subscribe("dvm.member.dead", self._on_member_dead)
 
     # -- construction -----------------------------------------------------------
 
@@ -109,8 +113,10 @@ class HarnessDvm:
     def lookup(self, from_node: str, service_name: str):
         return self.dvm.lookup(from_node, service_name)
 
-    def stub(self, from_node: str, service_name: str, prefer=None):
-        return self.dvm.stub(from_node, service_name, prefer=prefer)
+    def stub(self, from_node: str, service_name: str, prefer=None, policy=None, resilient=False):
+        return self.dvm.stub(
+            from_node, service_name, prefer=prefer, policy=policy, resilient=resilient
+        )
 
     def status(self, from_node: str) -> dict:
         status = self.dvm.status(from_node)
@@ -124,12 +130,67 @@ class HarnessDvm:
 
         return move_component(self.dvm, service_name, to_node)
 
+    # -- self-healing -----------------------------------------------------------------
+
+    def enable_self_healing(
+        self,
+        observer: str | None = None,
+        suspect_after: int = 2,
+        evict_after: int = 3,
+        heartbeat_interval_s: float = 0.5,
+        checkpoint_interval_s: float = 0.5,
+        checkpoint_home: str | None = None,
+        start_threads: bool = False,
+    ):
+        """Attach a failure detector and failover manager to this deployment.
+
+        With ``start_threads=False`` (the default, and what tests use) the
+        caller drives ``detector.tick()`` / ``failover.checkpoint()``
+        explicitly — fully deterministic.  ``start_threads=True`` runs both
+        on daemon threads at their configured intervals.
+
+        Returns ``(detector, failover)``.
+        """
+        from repro.dvm.failure import FailureDetector
+        from repro.recovery.failover import FailoverManager
+
+        if self.detector is None:
+            self.detector = FailureDetector(
+                self.dvm,
+                observer=observer,
+                suspect_after=suspect_after,
+                evict_after=evict_after,
+                interval_s=heartbeat_interval_s,
+            )
+        if self.failover is None:
+            self.failover = FailoverManager(
+                self.dvm, home=checkpoint_home, interval_s=checkpoint_interval_s
+            )
+        if start_threads:
+            self.failover.start()
+            self.detector.start()
+        return self.detector, self.failover
+
+    def _on_member_dead(self, event) -> None:
+        payload = event.payload or {}
+        kernel = self.kernels.pop(payload.get("node", ""), None)
+        if kernel is not None:
+            try:
+                kernel.shutdown()  # idempotent; evict_node closed the container already
+            except Exception:
+                pass
+
     # -- teardown ----------------------------------------------------------------------
 
     def close(self) -> None:
+        if self.detector is not None:
+            self.detector.stop()
+        if self.failover is not None:
+            self.failover.close()
         for kernel in self.kernels.values():
             kernel.shutdown()
         self.kernels.clear()
+        self._death_sub.cancel()
         # kernel.shutdown() already closed each container; the DVM only
         # drops its node table here.
         self.dvm._nodes.clear()

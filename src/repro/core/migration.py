@@ -49,26 +49,35 @@ def move_component(
     dvm: DistributedVirtualMachine,
     service_name: str,
     to_node: str,
-    bindings: tuple[str, ...] = ("local-instance", "xdr", "soap"),
+    bindings: tuple[str, ...] | None = None,
 ) -> ComponentHandle:
     """Move a live component to *to_node*, preserving its state.
 
     Returns the new handle.  The instance's in-memory state travels with it
     (asserted by tests on stateful components); transfer bytes are charged
-    to the virtual network between the two nodes.
+    to the virtual network between the two nodes.  ``bindings=None`` keeps
+    the component's original bindings, and the ``restartable`` failover flag
+    always survives the move.
     """
     owner, _document = dvm.lookup(to_node, service_name)
     if owner == to_node:
         raise MigrationError(f"{service_name!r} already lives on {to_node}")
     source = dvm.node(owner).container
     handle = source.component_named(service_name)
+    if bindings is None:
+        bindings = tuple(handle.metadata.get("bindings", ())) or (
+            "local-instance", "xdr", "soap",
+        )
+    restartable = bool(handle.metadata.get("restartable"))
 
     blob = serialize_component(handle.instance)
     dvm.network.charge(owner, to_node, len(blob))
     instance = deserialize_component(blob)
 
     dvm.undeploy(owner, service_name)
-    new_handle = dvm.deploy(to_node, instance, name=service_name, bindings=bindings)
+    new_handle = dvm.deploy(
+        to_node, instance, name=service_name, bindings=bindings, restartable=restartable
+    )
     dvm.events.publish(
         "dvm.component.moved",
         {"service": service_name, "from": owner, "to": to_node, "bytes": len(blob)},

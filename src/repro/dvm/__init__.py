@@ -1,5 +1,6 @@
 """Distributed Virtual Machine: the distributed component container layer."""
 
+from repro.dvm.failure import PING_ENDPOINT, FailureDetector, NodeHealth, bind_ping_endpoint
 from repro.dvm.machine import DistributedVirtualMachine, DvmNode
 from repro.dvm.state import (
     DecentralizedState,
@@ -14,7 +15,11 @@ __all__ = [
     "DvmNode",
     "DecentralizedState",
     "DvmStateProtocol",
+    "FailureDetector",
     "FullSynchronyState",
     "NeighborhoodState",
+    "NodeHealth",
+    "PING_ENDPOINT",
     "StateEntry",
+    "bind_ping_endpoint",
 ]

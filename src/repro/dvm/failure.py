@@ -1,0 +1,187 @@
+"""Heartbeat failure detection for the DVM — the "robustness" half of §1.
+
+The paper motivates Harness with "improving robustness … and adaptation"
+through dynamic reconfiguration of the DVM; reconfiguration needs a trigger.
+:class:`FailureDetector` provides it: an observer node pings every other
+enrolled member over the fabric's ``dvm-ping`` endpoint and tracks
+consecutive misses per member — a miss-count accrual detector, the discrete
+cousin of the φ-accrual detectors used by later grid middleware.  A member
+accrues suspicion monotonically:
+
+    ALIVE --(suspect_after misses)--> SUSPECTED --(evict_after)--> DEAD
+
+Reaching DEAD triggers :meth:`DistributedVirtualMachine.evict_node`: the
+member leaves the coherency protocol, its components are deregistered from
+the unified namespace, and ``dvm.member.dead`` is published — which is the
+event the recovery layer's failover manager listens for.
+
+The detector is *tick-driven* for determinism (tests and the simulated
+fabric advance it explicitly); :meth:`start` runs the same ticks on a
+daemon thread for wall-clock deployments.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from repro.netsim.fabric import VirtualNetwork
+from repro.transport.base import TransportMessage
+from repro.util.errors import DvmError, TransportError
+
+__all__ = ["NodeHealth", "FailureDetector", "PING_ENDPOINT", "bind_ping_endpoint"]
+
+PING_ENDPOINT = "dvm-ping"
+_CT = "application/x-harness-ping"
+
+
+def bind_ping_endpoint(network: VirtualNetwork, host_name: str) -> None:
+    """Expose the heartbeat endpoint on a host (idempotent)."""
+
+    def pong(message: TransportMessage) -> TransportMessage:
+        return TransportMessage(_CT, message.payload)
+
+    host = network.host(host_name)
+    host.unbind(PING_ENDPOINT)
+    host.bind(PING_ENDPOINT, pong)
+
+
+class NodeHealth(enum.Enum):
+    """Detector-side view of a member's liveness."""
+
+    ALIVE = "alive"
+    SUSPECTED = "suspected"
+    DEAD = "dead"
+
+
+class FailureDetector:
+    """Pings DVM members and evicts the ones that stop answering.
+
+    ``suspect_after`` consecutive missed heartbeats mark a member SUSPECTED
+    (``dvm.member.suspected`` published, nothing evicted yet — a suspected
+    member that answers again is fully rehabilitated); ``evict_after``
+    misses mark it DEAD and trigger eviction.  The *observer* defaults to
+    the first enrolled node and falls over to the next alive member if the
+    observer itself dies.
+    """
+
+    def __init__(
+        self,
+        dvm,
+        observer: str | None = None,
+        suspect_after: int = 2,
+        evict_after: int = 3,
+        interval_s: float = 0.5,
+    ):
+        if suspect_after < 1 or evict_after < suspect_after:
+            raise DvmError("need 1 <= suspect_after <= evict_after")
+        self.dvm = dvm
+        self.observer = observer
+        self.suspect_after = suspect_after
+        self.evict_after = evict_after
+        self.interval_s = interval_s
+        self._misses: dict[str, int] = {}
+        self._health: dict[str, NodeHealth] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- introspection ------------------------------------------------------------
+
+    def health(self, member: str) -> NodeHealth:
+        return self._health.get(member, NodeHealth.ALIVE)
+
+    def statuses(self) -> dict[str, NodeHealth]:
+        return {m: self.health(m) for m in self.dvm.nodes()}
+
+    # -- one heartbeat round -------------------------------------------------------
+
+    def _pick_observer(self) -> str | None:
+        members = self.dvm.nodes()
+        if not members:
+            return None
+        if self.observer in members and self.dvm.network.host(self.observer).up:
+            return self.observer
+        for member in members:
+            if self.dvm.network.host(member).up:
+                return member
+        return None
+
+    def tick(self) -> list[str]:
+        """Ping every member once; returns the members evicted this round."""
+        observer = self._pick_observer()
+        if observer is None:
+            return []
+        evicted: list[str] = []
+        for member in self.dvm.nodes():
+            if member == observer:
+                continue
+            if self._ping(observer, member):
+                if self._misses.pop(member, 0) and self._health.get(member):
+                    self._health[member] = NodeHealth.ALIVE
+                    self.dvm.events.publish(
+                        "dvm.member.recovered", member, source=self.dvm.name
+                    )
+                continue
+            misses = self._misses.get(member, 0) + 1
+            self._misses[member] = misses
+            if misses >= self.evict_after:
+                self._health[member] = NodeHealth.DEAD
+                self.dvm.evict_node(member, by=observer)
+                self._misses.pop(member, None)
+                evicted.append(member)
+            elif misses >= self.suspect_after and (
+                self._health.get(member) is not NodeHealth.SUSPECTED
+            ):
+                self._health[member] = NodeHealth.SUSPECTED
+                self.dvm.events.publish(
+                    "dvm.member.suspected",
+                    {"node": member, "misses": misses},
+                    source=self.dvm.name,
+                )
+        return evicted
+
+    def _ping(self, observer: str, member: str) -> bool:
+        try:
+            self.dvm.network.request(
+                observer, member, PING_ENDPOINT, TransportMessage(_CT, b"ping")
+            )
+            return True
+        except TransportError:
+            # HostDownError, MessageDroppedError, unbound endpoint: all count
+            # as a missed heartbeat — the accrual threshold absorbs lossy
+            # links, so a single dropped ping never evicts anybody.
+            return False
+
+    # -- wall-clock mode -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Run ticks every ``interval_s`` seconds on a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.tick()
+                except Exception:
+                    # detection must never kill the monitoring thread
+                    pass
+
+        self._thread = threading.Thread(target=loop, name="dvm-failure-detector", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "FailureDetector":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

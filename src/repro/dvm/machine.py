@@ -20,9 +20,12 @@ from typing import Callable
 
 from repro.bindings.context import ClientContext
 from repro.bindings.factory import DynamicStubFactory
+from repro.bindings.policy import InvocationPolicy
+from repro.bindings.resilient import ResilientStub
 from repro.bindings.stubs import ServiceStub
 from repro.container.component import ComponentHandle
 from repro.container.container import ComponentContainer, LightweightContainer
+from repro.dvm.failure import PING_ENDPOINT, bind_ping_endpoint
 from repro.dvm.state import DvmStateProtocol
 from repro.netsim.fabric import VirtualNetwork
 from repro.util.errors import DvmError, MembershipError, ServiceNotFoundError
@@ -89,6 +92,7 @@ class DistributedVirtualMachine:
                 )
             node = DvmNode(host_name, container)
             self._nodes[host_name] = node
+        bind_ping_endpoint(self.network, host_name)  # heartbeat target
         self.protocol.add_member(host_name)
         self.protocol.update(host_name, f"{_MEMBER_PREFIX}{host_name}", "joined")
         self.events.publish("dvm.member.joined", host_name, source=self.name)
@@ -106,6 +110,60 @@ class DistributedVirtualMachine:
         self.protocol.remove_member(host_name)
         node.close()
         self.events.publish("dvm.member.left", host_name, source=self.name)
+
+    def evict_node(self, host_name: str, by: str) -> list[dict]:
+        """Forcibly expel a *dead* node, acting as the surviving node *by*.
+
+        Unlike :meth:`remove_node` — a cooperative withdrawal initiated by
+        the leaving node itself — eviction is initiated by a witness: the
+        dead node cannot originate state updates, so everything here is
+        written with ``by`` as the origin, and the node leaves the coherency
+        protocol *first* so synchronous schemes stop pushing to it.
+
+        Returns the lost components' records (name, wsdl, restartable,
+        bindings) — the failover manager's work list, also carried on the
+        ``dvm.member.dead`` event.
+        """
+        with self._lock:
+            node = self._nodes.pop(host_name, None)
+        if node is None:
+            raise MembershipError(f"node {host_name!r} not in DVM {self.name!r}")
+        if by == host_name or by not in self.nodes():
+            raise MembershipError(f"eviction witness {by!r} must be a surviving member")
+        self.protocol.remove_member(host_name)
+        lost: list[dict] = []
+        for handle in node.container.components():
+            record = self.protocol.get(by, f"{_COMPONENT_PREFIX}{handle.name}")
+            lost.append(
+                record
+                if record
+                else {
+                    "node": host_name,
+                    "wsdl": document_to_string(handle.document, indent=False),
+                    "restartable": bool(handle.metadata.get("restartable")),
+                    "bindings": list(handle.metadata.get("bindings", ())),
+                    "name": handle.name,
+                }
+            )
+            lost[-1].setdefault("name", handle.name)
+            self.protocol.update(by, f"{_COMPONENT_PREFIX}{handle.name}", None)
+            self.events.publish(
+                "dvm.component.lost",
+                {"service": handle.name, "node": host_name},
+                source=self.name,
+            )
+        self.protocol.update(by, f"{_MEMBER_PREFIX}{host_name}", "dead")
+        try:
+            self.network.host(host_name).unbind(PING_ENDPOINT)
+        except Exception:
+            pass
+        node.close()
+        self.events.publish(
+            "dvm.member.dead",
+            {"node": host_name, "by": by, "components": lost},
+            source=self.name,
+        )
+        return lost
 
     def node(self, host_name: str) -> DvmNode:
         with self._lock:
@@ -135,20 +193,34 @@ class DistributedVirtualMachine:
         component: type | object,
         name: str | None = None,
         bindings: tuple[str, ...] = ("local-instance", "sim"),
+        restartable: bool = False,
         **kwargs,
     ) -> ComponentHandle:
         """Deploy a component on a node and publish it DVM-wide.
 
         The WSDL text travels through the state protocol, so its cost is
         charged according to the coherency scheme in force.
+
+        ``restartable=True`` marks the deployment for automatic failover:
+        the recovery layer checkpoints the instance and, should the hosting
+        node die, revives it on a surviving node (see
+        :mod:`repro.recovery`).  The flag travels in the component record so
+        any node can drive the recovery.
         """
         node = self.node(host_name)
         handle = node.container.deploy(component, name=name, bindings=bindings, **kwargs)
+        handle.metadata["restartable"] = restartable
+        handle.metadata["bindings"] = tuple(bindings)
         wsdl_text = document_to_string(handle.document, indent=False)
         self.protocol.update(
             host_name,
             f"{_COMPONENT_PREFIX}{handle.name}",
-            {"node": host_name, "wsdl": wsdl_text},
+            {
+                "node": host_name,
+                "wsdl": wsdl_text,
+                "restartable": restartable,
+                "bindings": list(bindings),
+            },
         )
         self.events.publish("dvm.component.deployed", handle, source=self.name)
         return handle
@@ -165,7 +237,12 @@ class DistributedVirtualMachine:
         self.protocol.update(
             host_name,
             f"{_COMPONENT_PREFIX}{handle.name}",
-            {"node": host_name, "wsdl": wsdl_text},
+            {
+                "node": host_name,
+                "wsdl": wsdl_text,
+                "restartable": bool(handle.metadata.get("restartable")),
+                "bindings": list(handle.metadata.get("bindings", ())),
+            },
         )
         self.events.publish("dvm.component.deployed", handle, source=self.name)
 
@@ -188,13 +265,29 @@ class DistributedVirtualMachine:
         return record["node"], document_from_string(record["wsdl"])
 
     def stub(
-        self, from_node: str, service_name: str, prefer: tuple[str, ...] | None = None
+        self,
+        from_node: str,
+        service_name: str,
+        prefer: tuple[str, ...] | None = None,
+        policy: InvocationPolicy | None = None,
+        resilient: bool = False,
     ) -> ServiceStub:
         """A ready-to-call stub for a component, local bindings preferred.
 
         A caller on the owning node gets the local-instance path; remote
         callers fall back per the factory's preference order.
+
+        ``policy`` attaches an invocation policy (retry/backoff/breaker) to
+        network stubs.  ``resilient=True`` wraps the stub so that endpoint
+        death triggers a fresh lookup through the DVM namespace — after a
+        failover the same stub transparently reaches the component's new
+        home.
         """
+        if resilient:
+            return ResilientStub(
+                lambda: self.stub(from_node, service_name, prefer=prefer, policy=policy),
+                events=self.events,
+            )
         owner, document = self.lookup(from_node, service_name)
         container_uri = self.node(
             owner if owner == from_node else from_node
@@ -202,7 +295,7 @@ class DistributedVirtualMachine:
         context = ClientContext(
             container_uri=container_uri, host=from_node, network=self.network
         )
-        factory = DynamicStubFactory(context)
+        factory = DynamicStubFactory(context, policy=policy, events=self.events)
         return factory.create(document, prefer=prefer)
 
     def component_index(self, from_node: str) -> dict[str, str]:

@@ -34,10 +34,16 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.encoding.xdr import pack_value, unpack_value
-from repro.netsim.fabric import HostDownError, VirtualNetwork
+from repro.netsim.fabric import HostDownError, MessageDroppedError, VirtualNetwork
 from repro.transport.base import TransportMessage
 from repro.util.concurrent import AtomicCounter
 from repro.util.errors import CoherencyError, DvmError
+
+#: "this peer is effectively unreachable right now" — a crashed/partitioned
+#: host or a message lost beyond the retry budget.  Every best-effort path
+#: (decentralized reads, neighbourhood pushes, state transfer) skips peers
+#: failing with these.
+_UNREACHABLE = (HostDownError, MessageDroppedError)
 
 __all__ = [
     "StateEntry",
@@ -127,7 +133,12 @@ class DvmStateProtocol:
     #: human-readable protocol tag used by benchmarks and status queries
     scheme = "abstract"
 
-    def __init__(self, network: VirtualNetwork, members: list[str] | None = None):
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        members: list[str] | None = None,
+        send_retries: int = 0,
+    ):
         members = list(members or [])
         self.network = network
         self.members = list(members)
@@ -135,6 +146,11 @@ class DvmStateProtocol:
             name: _StateNode(self, name) for name in self.members
         }
         self._clock = AtomicCounter()
+        # Bounded resends over lossy links.  State operations are idempotent
+        # (entries merge last-writer-wins), so resending either phase of a
+        # dropped exchange is always safe; each resend is charged to the
+        # fabric like any other message.  0 = drops surface to the caller.
+        self.send_retries = send_retries
 
     # -- the uniform interface ---------------------------------------------------
 
@@ -172,7 +188,7 @@ class DvmStateProtocol:
                 for entry in self._remote_snapshot(newcomer, source, ""):
                     node.apply(entry)
                 return
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
 
     def remove_member(self, name: str) -> None:
@@ -194,10 +210,17 @@ class DvmStateProtocol:
         return StateEntry(key, value, self._clock.increment(), origin)
 
     def _send(self, src: str, dst: str, request: dict) -> dict:
-        response = self.network.request(
-            src, dst, _ENDPOINT, TransportMessage(_CT, pack_value(request))
-        )
-        return unpack_value(response.payload)
+        message = TransportMessage(_CT, pack_value(request))
+        attempts = self.send_retries + 1
+        for attempt in range(attempts):
+            try:
+                response = self.network.request(src, dst, _ENDPOINT, message)
+            except MessageDroppedError:
+                if attempt + 1 >= attempts:
+                    raise
+                continue
+            return unpack_value(response.payload)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _remote_get(self, src: str, dst: str, key: str) -> StateEntry | None:
         reply = self._send(src, dst, {"kind": "get", "key": key})
@@ -230,7 +253,7 @@ class FullSynchronyState(DvmStateProtocol):
                 continue
             try:
                 self._push(origin, member, entry)
-            except HostDownError as exc:
+            except _UNREACHABLE as exc:
                 failures.append(f"{member}: {exc}")
         if failures:
             raise CoherencyError(
@@ -267,7 +290,7 @@ class DecentralizedState(DvmStateProtocol):
                 continue
             try:
                 remote = self._remote_get(node, member, key)
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
             if remote is not None and remote.newer_than(best):
                 best = remote
@@ -284,7 +307,7 @@ class DecentralizedState(DvmStateProtocol):
                 for entry in self._remote_snapshot(node, member, prefix):
                     if entry.newer_than(merged.get(entry.key)):
                         merged[entry.key] = entry
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
         return {k: e.value for k, e in merged.items()}
 
@@ -331,7 +354,7 @@ class NeighborhoodState(DvmStateProtocol):
         for neighbor in self.neighbors(origin):
             try:
                 self._push(origin, neighbor, entry)
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
         return entry
 
@@ -345,7 +368,7 @@ class NeighborhoodState(DvmStateProtocol):
         for peer in neighborhood:
             try:
                 remote = self._remote_get(node, peer, key)
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
             if remote is not None and remote.newer_than(best):
                 best = remote
@@ -356,7 +379,7 @@ class NeighborhoodState(DvmStateProtocol):
                 continue
             try:
                 remote = self._remote_get(node, peer, key)
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
             if remote is not None and remote.newer_than(best):
                 best = remote
@@ -373,6 +396,6 @@ class NeighborhoodState(DvmStateProtocol):
                 for entry in self._remote_snapshot(node, peer, prefix):
                     if entry.newer_than(merged.get(entry.key)):
                         merged[entry.key] = entry
-            except HostDownError:
+            except _UNREACHABLE:
                 continue
         return {k: e.value for k, e in merged.items()}

@@ -4,6 +4,7 @@ from repro.netsim.fabric import (
     HostDownError,
     LinkModel,
     LinkStats,
+    MessageDroppedError,
     VirtualHost,
     VirtualNetwork,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "HostDownError",
     "LinkModel",
     "LinkStats",
+    "MessageDroppedError",
     "VirtualHost",
     "VirtualNetwork",
     "LAN_LINK",

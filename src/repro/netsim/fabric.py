@@ -12,23 +12,50 @@ decentralized queries, independent of wall-clock noise.
 
 Failure injection: hosts can be crashed and links partitioned, which the
 C5 benchmark uses to demonstrate the centralized registry's single point of
-failure.
+failure.  Links can also be *flaky* rather than binary up/down: a
+:class:`LinkModel` carries probabilistic message drop and duplication rates
+(plus latency jitter), all drawn from the network's seeded RNG so lossy
+runs stay reproducible.
 """
 
 from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.transport.base import RequestHandler, TransportMessage
-from repro.util.errors import TransportError
+from repro.util.errors import HarnessTimeoutError, TransportError
 
-__all__ = ["LinkModel", "LinkStats", "VirtualHost", "VirtualNetwork", "HostDownError"]
+__all__ = [
+    "LinkModel",
+    "LinkStats",
+    "VirtualHost",
+    "VirtualNetwork",
+    "HostDownError",
+    "MessageDroppedError",
+]
 
 
 class HostDownError(TransportError):
     """The destination host is crashed or unreachable (partitioned)."""
+
+
+class MessageDroppedError(TransportError):
+    """A message was lost on a lossy link.
+
+    ``phase`` records where the loss happened: ``"request"`` means the
+    message never reached the destination (the operation did *not* execute —
+    retrying is always safe), ``"response"`` means the destination processed
+    the request but the reply was lost (retrying is only safe for
+    idempotent operations).
+    """
+
+    def __init__(self, src: str, dst: str, phase: str):
+        super().__init__(f"message {src} -> {dst} dropped in {phase} phase")
+        self.src = src
+        self.dst = dst
+        self.phase = phase
 
 
 @dataclass(frozen=True)
@@ -37,11 +64,18 @@ class LinkModel:
 
     ``cost(n)`` = ``latency_s + n / bandwidth_Bps`` (+ jitter drawn from a
     seeded RNG when ``jitter_s`` > 0, so runs stay reproducible).
+
+    ``drop_rate`` / ``duplicate_rate`` make the link *flaky*: each message
+    crossing it is independently lost (raising
+    :class:`MessageDroppedError`) or delivered twice with the given
+    probability, drawn from the owning network's seeded RNG.
     """
 
     latency_s: float = 1e-4
     bandwidth_Bps: float = 100e6  # ~100 MB/s LAN default
     jitter_s: float = 0.0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
 
     def cost(self, nbytes: int, rng: random.Random | None = None) -> float:
         base = self.latency_s + nbytes / self.bandwidth_Bps
@@ -142,6 +176,37 @@ class VirtualNetwork:
             return LOOPBACK
         return self._links.get((src, dst), self._default_link)
 
+    def set_link_faults(
+        self,
+        src: str,
+        dst: str,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        jitter_s: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Make a link flaky, keeping its existing latency/bandwidth model."""
+        for a, b in ((src, dst), (dst, src)) if symmetric else ((src, dst),):
+            model = replace(
+                self.link_model(a, b),
+                drop_rate=drop_rate,
+                duplicate_rate=duplicate_rate,
+                jitter_s=jitter_s,
+            )
+            self.set_link(a, b, model, symmetric=False)
+
+    def set_default_faults(
+        self, drop_rate: float = 0.0, duplicate_rate: float = 0.0, jitter_s: float = 0.0
+    ) -> None:
+        """Make every link without an explicit override flaky."""
+        with self._lock:
+            self._default_link = replace(
+                self._default_link,
+                drop_rate=drop_rate,
+                duplicate_rate=duplicate_rate,
+                jitter_s=jitter_s,
+            )
+
     # -- partitions --------------------------------------------------------------
 
     def partition(self, *groups: set[str] | list[str]) -> None:
@@ -166,20 +231,64 @@ class VirtualNetwork:
     # -- messaging ---------------------------------------------------------------
 
     def request(
-        self, src: str, dst: str, endpoint: str, message: TransportMessage
+        self,
+        src: str,
+        dst: str,
+        endpoint: str,
+        message: TransportMessage,
+        timeout: float | None = None,
     ) -> TransportMessage:
-        """Synchronous request/response with cost accounting both ways."""
-        self._charge(src, dst, len(message.payload))
+        """Synchronous request/response with cost accounting both ways.
+
+        Flaky links may drop either leg (:class:`MessageDroppedError`) or
+        duplicate the request — the handler then runs twice, which is what
+        exercises idempotency downstream.  When *timeout* is given and the
+        simulated round-trip exceeds it, :class:`HarnessTimeoutError` is
+        raised *after* dispatch: the destination did the work, the caller
+        just gave up waiting, exactly the ambiguity real timeouts carry.
+        """
+        elapsed = self._charge(src, dst, len(message.payload))
         target = self._deliverable(src, dst)
+        if self._lost(src, dst):
+            raise MessageDroppedError(src, dst, "request")
+        if self._duplicated(src, dst):
+            elapsed += self._charge(src, dst, len(message.payload))
+            target._dispatch(endpoint, message)  # duplicate delivery; reply discarded
         response = target._dispatch(endpoint, message)
-        self._charge(dst, src, len(response.payload))
+        elapsed += self._charge(dst, src, len(response.payload))
+        if self._lost(dst, src):
+            raise MessageDroppedError(dst, src, "response")
+        if timeout is not None and elapsed > timeout:
+            raise HarnessTimeoutError(
+                f"request {src} -> {dst}/{endpoint} took {elapsed:.6f}s simulated "
+                f"(timeout {timeout:.6f}s)"
+            )
         return response
 
     def post(self, src: str, dst: str, endpoint: str, message: TransportMessage) -> None:
         """One-way message (events); charged once."""
         self._charge(src, dst, len(message.payload))
         target = self._deliverable(src, dst)
+        if self._lost(src, dst):
+            raise MessageDroppedError(src, dst, "request")
+        if self._duplicated(src, dst):
+            self._charge(src, dst, len(message.payload))
+            target._dispatch(endpoint, message)
         target._dispatch(endpoint, message)
+
+    def _lost(self, src: str, dst: str) -> bool:
+        model = self.link_model(src, dst)
+        if not model.drop_rate:
+            return False
+        with self._lock:
+            return self._rng.random() < model.drop_rate
+
+    def _duplicated(self, src: str, dst: str) -> bool:
+        model = self.link_model(src, dst)
+        if not model.duplicate_rate:
+            return False
+        with self._lock:
+            return self._rng.random() < model.duplicate_rate
 
     def _deliverable(self, src: str, dst: str) -> VirtualHost:
         target = self.host(dst)
@@ -194,7 +303,7 @@ class VirtualNetwork:
         """Account a raw transfer without endpoint dispatch (bulk moves)."""
         self._charge(src, dst, nbytes)
 
-    def _charge(self, src: str, dst: str, nbytes: int) -> None:
+    def _charge(self, src: str, dst: str, nbytes: int) -> float:
         model = self.link_model(src, dst)
         with self._lock:
             cost = model.cost(nbytes, self._rng)
@@ -205,6 +314,7 @@ class VirtualNetwork:
             self.simulated_time += cost
             self.total_messages += 1
             self.total_bytes += nbytes
+            return cost
 
     def reset_stats(self) -> None:
         """Zero the accounting (between benchmark phases)."""

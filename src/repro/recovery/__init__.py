@@ -1,0 +1,5 @@
+"""Automatic component failover: the self-healing half of the robustness story."""
+
+from repro.recovery.failover import CheckpointStore, FailoverManager, least_loaded_node
+
+__all__ = ["CheckpointStore", "FailoverManager", "least_loaded_node"]

@@ -55,9 +55,18 @@ class SimTransport:
         self._closed = False
 
     def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+        """Round-trip across the fabric.
+
+        *timeout* is enforced against the *simulated* round-trip time: when
+        the link model's delivery cost exceeds it, the fabric raises
+        :class:`~repro.util.errors.HarnessTimeoutError`, matching the
+        wall-clock timeout behaviour of the TCP/HTTP transports.
+        """
         if self._closed:
             raise TransportClosedError("transport closed")
-        return self._network.request(self._src, self._dst, self._endpoint, message)
+        return self._network.request(
+            self._src, self._dst, self._endpoint, message, timeout=timeout
+        )
 
     def close(self) -> None:
         self._closed = True

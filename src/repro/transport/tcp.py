@@ -22,7 +22,7 @@ import struct
 import threading
 
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
-from repro.util.errors import TransportClosedError, TransportError
+from repro.util.errors import HarnessTimeoutError, TransportClosedError, TransportError
 
 __all__ = ["TcpListener", "TcpTransport"]
 
@@ -152,7 +152,15 @@ class TcpTransport:
                 _write_frame(self._sock, message)
                 response, status = _read_frame(self._sock)
             except socket.timeout as exc:
-                raise TransportError(f"request to {self._url} timed out") from exc
+                # The socket is mid-frame: a later reply (or the unread tail
+                # of this one) would desynchronize the framing.  Poison the
+                # connection so reuse fails fast with TransportClosedError.
+                self._closed = True
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                raise HarnessTimeoutError(f"request to {self._url} timed out") from exc
             except (ConnectionError, OSError) as exc:
                 self._closed = True
                 raise TransportClosedError(f"connection to {self._url} lost: {exc}") from exc

@@ -22,6 +22,7 @@ __all__ = [
     "TransportClosedError",
     "BindingError",
     "NoBindingAvailableError",
+    "CircuitOpenError",
     "RegistryError",
     "ServiceNotFoundError",
     "DuplicateNameError",
@@ -35,6 +36,7 @@ __all__ = [
     "PluginLoadError",
     "HarnessTimeoutError",
     "MigrationError",
+    "RecoveryError",
 ]
 
 
@@ -82,6 +84,15 @@ class BindingError(HarnessError):
 
 class NoBindingAvailableError(BindingError):
     """No binding in a WSDL document is usable from the client's location."""
+
+
+class CircuitOpenError(BindingError):
+    """An invocation was rejected because the target's circuit breaker is open.
+
+    The call never left the client: after too many consecutive failures the
+    breaker fails fast instead of hammering a dead endpoint, until a cooldown
+    elapses and a half-open probe succeeds.
+    """
 
 
 class RegistryError(HarnessError):
@@ -134,3 +145,7 @@ class HarnessTimeoutError(HarnessError, TimeoutError):
 
 class MigrationError(HarnessError):
     """A component could not be moved between containers."""
+
+
+class RecoveryError(HarnessError):
+    """The failover/checkpoint machinery was misused or cannot proceed."""

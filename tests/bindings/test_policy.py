@@ -1,0 +1,278 @@
+"""Invocation policies: backoff determinism, breaker transitions, retries."""
+
+import random
+
+import pytest
+
+from repro.bindings.policy import (
+    DEFAULT_POLICY,
+    BreakerRegistry,
+    CircuitBreaker,
+    InvocationPolicy,
+    PolicyExecutor,
+    backoff_schedule,
+    retry_safe,
+)
+from repro.netsim.fabric import HostDownError, MessageDroppedError
+from repro.util.clock import VirtualClock
+from repro.util.errors import CircuitOpenError, HarnessTimeoutError
+from repro.util.events import EventBus
+
+
+class TestInvocationPolicy:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_POLICY.max_attempts == 3
+        assert not DEFAULT_POLICY.idempotent
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            InvocationPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = InvocationPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, backoff_max_s=0.5, jitter=0.0
+        )
+        assert backoff_schedule(policy, 4) == pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+    def test_backoff_deterministic_under_seeded_rng(self):
+        policy = InvocationPolicy(jitter=0.2)
+        a = backoff_schedule(policy, 5, random.Random(42))
+        b = backoff_schedule(policy, 5, random.Random(42))
+        assert a == b
+        # jitter widens, never shrinks, the base step
+        base = backoff_schedule(policy, 5, None)
+        assert all(x >= y for x, y in zip(a, base))
+
+    def test_different_seeds_differ(self):
+        policy = InvocationPolicy(jitter=0.5)
+        assert backoff_schedule(policy, 5, random.Random(1)) != backoff_schedule(
+            policy, 5, random.Random(2)
+        )
+
+
+class TestRetrySafe:
+    def test_request_phase_drop_always_safe(self):
+        exc = MessageDroppedError("a", "b", "request")
+        assert retry_safe(exc, InvocationPolicy(idempotent=False))
+
+    def test_response_phase_drop_needs_idempotency(self):
+        exc = MessageDroppedError("a", "b", "response")
+        assert not retry_safe(exc, InvocationPolicy(idempotent=False))
+        assert retry_safe(exc, InvocationPolicy(idempotent=True))
+
+    def test_host_down_always_safe(self):
+        assert retry_safe(HostDownError("b"), InvocationPolicy(idempotent=False))
+
+    def test_timeout_needs_idempotency(self):
+        exc = HarnessTimeoutError("late")
+        assert not retry_safe(exc, InvocationPolicy(idempotent=False))
+        assert retry_safe(exc, InvocationPolicy(idempotent=True))
+
+    def test_other_errors_never_retried(self):
+        assert not retry_safe(ValueError("app bug"), InvocationPolicy(idempotent=True))
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third failure trips it
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0, clock=VirtualClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_single_probe(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent caller keeps failing fast
+
+    def test_probe_success_recloses(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_success()  # True: this success re-closed it
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(threshold=5, cooldown_s=5.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # a single half-open failure, not five
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_zero_threshold_never_trips(self):
+        breaker = CircuitBreaker(threshold=0, cooldown_s=1.0, clock=VirtualClock())
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_registry_shares_per_target(self):
+        registry = BreakerRegistry(clock=VirtualClock())
+        policy = InvocationPolicy()
+        assert registry.get("sim://a/x", policy) is registry.get("sim://a/x", policy)
+        assert registry.get("sim://a/x", policy) is not registry.get("sim://b/x", policy)
+
+    def test_registry_returns_none_when_breaking_disabled(self):
+        registry = BreakerRegistry()
+        assert registry.get("t", InvocationPolicy(breaker_threshold=0)) is None
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``exc_factory()``, then succeeds."""
+
+    def __init__(self, failures: int, exc_factory):
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+        self.timeouts = []
+
+    def __call__(self, request, timeout):
+        self.calls += 1
+        self.timeouts.append(timeout)
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return ("ok", request)
+
+
+def _executor(policy, clock=None, events=None, breaker=None, seed=7):
+    return PolicyExecutor(
+        policy,
+        "sim://b/svc",
+        breaker=breaker,
+        events=events,
+        clock=clock or VirtualClock(),
+        rng=random.Random(seed),
+    )
+
+
+class TestPolicyExecutor:
+    def test_fast_path_passes_through(self):
+        executor = _executor(InvocationPolicy())
+        flaky = _Flaky(0, None)
+        assert executor.call(flaky, "req", "op", base_timeout=1.5) == ("ok", "req")
+        assert flaky.calls == 1
+        assert flaky.timeouts == [1.5]
+
+    def test_retries_request_phase_drops(self):
+        executor = _executor(InvocationPolicy(max_attempts=3, jitter=0.0))
+        flaky = _Flaky(2, lambda: MessageDroppedError("a", "b", "request"))
+        assert executor.call(flaky, "req", "op")[0] == "ok"
+        assert flaky.calls == 3
+
+    def test_gives_up_after_max_attempts(self):
+        executor = _executor(InvocationPolicy(max_attempts=2, jitter=0.0))
+        flaky = _Flaky(5, lambda: MessageDroppedError("a", "b", "request"))
+        with pytest.raises(MessageDroppedError):
+            executor.call(flaky, "req", "op")
+        assert flaky.calls == 2
+
+    def test_non_idempotent_timeout_not_retried(self):
+        executor = _executor(InvocationPolicy(max_attempts=3, idempotent=False))
+        flaky = _Flaky(1, lambda: HarnessTimeoutError("late"))
+        with pytest.raises(HarnessTimeoutError):
+            executor.call(flaky, "req", "op")
+        assert flaky.calls == 1
+
+    def test_idempotent_timeout_retried(self):
+        executor = _executor(InvocationPolicy(max_attempts=3, idempotent=True, jitter=0.0))
+        flaky = _Flaky(1, lambda: HarnessTimeoutError("late"))
+        assert executor.call(flaky, "req", "op")[0] == "ok"
+        assert flaky.calls == 2
+
+    def test_application_errors_propagate_unretried(self):
+        executor = _executor(InvocationPolicy(max_attempts=5))
+        flaky = _Flaky(1, lambda: ValueError("app bug"))
+        with pytest.raises(ValueError):
+            executor.call(flaky, "req", "op")
+        assert flaky.calls == 1
+
+    def test_backoff_consumes_virtual_time_deterministically(self):
+        clock = VirtualClock()
+        policy = InvocationPolicy(
+            max_attempts=3, backoff_base_s=0.1, backoff_multiplier=2.0, jitter=0.0
+        )
+        executor = _executor(policy, clock=clock)
+        flaky = _Flaky(2, lambda: HostDownError("b"))
+        executor.call(flaky, "req", "op")
+        assert clock.now() == pytest.approx(0.1 + 0.2)
+
+    def test_deadline_carves_attempt_timeouts(self):
+        clock = VirtualClock()
+        policy = InvocationPolicy(
+            max_attempts=5, deadline_s=1.0, backoff_base_s=0.4, jitter=0.0
+        )
+        executor = _executor(policy, clock=clock)
+        flaky = _Flaky(10, lambda: HostDownError("b"))
+        with pytest.raises(HostDownError):
+            executor.call(flaky, "req", "op", base_timeout=30.0)
+        # every per-attempt timeout fits inside what remained of the deadline
+        assert all(t <= 1.0 for t in flaky.timeouts)
+        assert flaky.timeouts[0] == pytest.approx(1.0)
+        assert flaky.timeouts[-1] < flaky.timeouts[0]
+        # and retrying stopped once the deadline was exhausted
+        assert clock.now() <= 1.0 + 1e-9
+
+    def test_breaker_opens_and_fails_fast(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(threshold=2, cooldown_s=60.0, clock=clock)
+        executor = _executor(
+            InvocationPolicy(max_attempts=1, breaker_threshold=2), clock=clock,
+            breaker=breaker,
+        )
+        flaky = _Flaky(99, lambda: HostDownError("b"))
+        for _ in range(2):
+            with pytest.raises(HostDownError):
+                executor.call(flaky, "req", "op")
+        with pytest.raises(CircuitOpenError):
+            executor.call(flaky, "req", "op")
+        assert flaky.calls == 2  # the third call never reached the transport
+
+    def test_events_published(self):
+        clock = VirtualClock()
+        events = EventBus()
+        seen = []
+        events.subscribe("invoke", lambda e: seen.append(e.topic))
+        # cooldown shorter than the backoff: by the time the retry fires the
+        # breaker is half-open, the probe succeeds, and the circuit re-closes
+        breaker = CircuitBreaker(threshold=1, cooldown_s=0.01, clock=clock)
+        executor = _executor(
+            InvocationPolicy(
+                max_attempts=2, jitter=0.0, backoff_base_s=0.05, breaker_threshold=1
+            ),
+            clock=clock, events=events, breaker=breaker,
+        )
+        flaky = _Flaky(1, lambda: HostDownError("b"))
+        executor.call(flaky, "req", "op")
+        assert "invoke.breaker.open" in seen
+        assert "invoke.retry" in seen
+        assert "invoke.breaker.close" in seen

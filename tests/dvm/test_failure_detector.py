@@ -1,0 +1,141 @@
+"""Heartbeat failure detector: accrual, eviction, observer failover."""
+
+import pytest
+
+from repro.dvm.failure import FailureDetector, NodeHealth
+from repro.dvm.machine import DistributedVirtualMachine
+from repro.dvm.state import FullSynchronyState
+from repro.netsim import lan
+from repro.plugins.services import CounterService
+from repro.util.errors import DvmError, MembershipError
+
+
+def make_dvm(n: int = 3, seed: int = 0):
+    net = lan(n, seed=seed)
+    dvm = DistributedVirtualMachine("fd", net, lambda network: FullSynchronyState(network))
+    for i in range(n):
+        dvm.add_node(f"node{i}")
+    return net, dvm
+
+
+class TestThresholds:
+    def test_invalid_thresholds_rejected(self):
+        _net, dvm = make_dvm(2)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, suspect_after=0)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, suspect_after=3, evict_after=2)
+        dvm.close()
+
+
+class TestDetection:
+    def test_healthy_cluster_never_suspects(self):
+        _net, dvm = make_dvm(3)
+        detector = FailureDetector(dvm, observer="node0")
+        for _ in range(10):
+            assert detector.tick() == []
+        assert all(h is NodeHealth.ALIVE for h in detector.statuses().values())
+        dvm.close()
+
+    def test_crash_suspect_then_evict(self):
+        net, dvm = make_dvm(3)
+        events = []
+        dvm.events.subscribe("dvm.member", lambda e: events.append(e.topic))
+        detector = FailureDetector(dvm, observer="node0", suspect_after=2, evict_after=3)
+        net.host("node2").crash()
+        assert detector.tick() == []  # miss 1: still alive
+        assert detector.health("node2") is NodeHealth.ALIVE
+        assert detector.tick() == []  # miss 2: suspected
+        assert detector.health("node2") is NodeHealth.SUSPECTED
+        assert "dvm.member.suspected" in events
+        assert detector.tick() == ["node2"]  # miss 3: dead + evicted
+        assert detector.health("node2") is NodeHealth.DEAD
+        assert "dvm.member.dead" in events
+        assert dvm.nodes() == ["node0", "node1"]
+        dvm.close()
+
+    def test_suspected_member_rehabilitates(self):
+        net, dvm = make_dvm(3)
+        events = []
+        dvm.events.subscribe("dvm.member.recovered", lambda e: events.append(e.payload))
+        detector = FailureDetector(dvm, observer="node0", suspect_after=1, evict_after=5)
+        net.host("node1").crash()
+        detector.tick()
+        detector.tick()
+        assert detector.health("node1") is NodeHealth.SUSPECTED
+        net.host("node1").restart()
+        detector.tick()
+        assert detector.health("node1") is NodeHealth.ALIVE
+        assert events == ["node1"]
+        # the miss counter reset: surviving one more outage takes full accrual
+        net.host("node1").crash()
+        detector.tick()
+        assert detector.health("node1") is NodeHealth.SUSPECTED  # 1 fresh miss
+        dvm.close()
+
+    def test_eviction_deregisters_components(self):
+        net, dvm = make_dvm(3)
+        lost = []
+        dvm.events.subscribe("dvm.component.lost", lambda e: lost.append(e.payload))
+        dvm.deploy("node2", CounterService, name="counter", bindings=("local-instance", "sim"))
+        detector = FailureDetector(dvm, observer="node0", suspect_after=1, evict_after=1)
+        net.host("node2").crash()
+        assert detector.tick() == ["node2"]
+        assert lost == [{"service": "counter", "node": "node2"}]
+        assert "counter" not in dvm.component_index("node0")
+        dvm.close()
+
+    def test_observer_death_falls_over_to_next_member(self):
+        net, dvm = make_dvm(3)
+        detector = FailureDetector(dvm, observer="node0", suspect_after=1, evict_after=2)
+        net.host("node0").crash()
+        evicted = []
+        for _ in range(3):
+            evicted += detector.tick()
+        # node1 took over observing and expelled the dead observer
+        assert evicted == ["node0"]
+        assert dvm.nodes() == ["node1", "node2"]
+        dvm.close()
+
+    def test_lossy_link_absorbed_by_accrual(self):
+        # seeded fabric: deterministic drop pattern.  10% per-leg drops shake
+        # the heartbeat but never produce evict_after consecutive misses.
+        net, dvm = make_dvm(3, seed=5)
+        net.set_default_faults(drop_rate=0.10)
+        detector = FailureDetector(dvm, observer="node0", suspect_after=2, evict_after=5)
+        evicted = []
+        for _ in range(60):
+            evicted += detector.tick()
+        assert evicted == []
+        assert dvm.nodes() == ["node0", "node1", "node2"]
+        dvm.close()
+
+
+class TestEvictNode:
+    def test_witness_must_be_surviving_member(self):
+        _net, dvm = make_dvm(3)
+        with pytest.raises(MembershipError):
+            dvm.evict_node("node1", by="node1")
+        with pytest.raises(MembershipError):
+            dvm.evict_node("node1", by="ghost")
+        with pytest.raises(MembershipError):
+            dvm.evict_node("ghost", by="node0")
+        dvm.close()
+
+    def test_evicted_member_disappears_from_membership_views(self):
+        net, dvm = make_dvm(3)
+        net.host("node2").crash()
+        dvm.evict_node("node2", by="node0")
+        assert dvm.members_seen_by("node0") == ["node0", "node1"]
+        assert dvm.members_seen_by("node1") == ["node0", "node1"]
+        dvm.close()
+
+
+class TestWallClockMode:
+    def test_start_stop_threads(self):
+        net, dvm = make_dvm(2)
+        detector = FailureDetector(dvm, observer="node0", interval_s=0.01)
+        with detector:
+            assert detector._thread is not None
+        assert detector._thread is None
+        dvm.close()

@@ -174,3 +174,175 @@ class TestRegistryRecovery:
         lookup.register("node2", generate_wsdl(MatMul, bindings=("soap",)))
         found = lookup.discover("node3", "//portType[@name='MatMulPortType']")
         assert [d.name for d in found] == ["MatMul"]
+
+
+class TestLossyLinks:
+    def test_coherency_converges_over_lossy_links_with_retries(self):
+        # idempotent state ops + bounded resends: full synchrony still
+        # completes on a fabric dropping 15% of messages per leg (seeded)
+        net = lan(4, seed=21)
+        net.set_default_faults(drop_rate=0.15)
+        members = [f"node{i}" for i in range(4)]
+        protocol = FullSynchronyState(net, members, send_retries=8)
+        for i in range(20):
+            protocol.update("node0", f"k{i}", i)
+        for member in members:
+            assert protocol.get(member, "k19") == 19
+
+    def test_stub_policy_rides_out_drops(self):
+        from repro.bindings.policy import InvocationPolicy
+
+        net = lan(2, seed=3)
+        with HarnessDvm("lossy1", net) as harness:
+            harness.add_nodes("node0", "node1")
+            harness.deploy("node1", MatMul, bindings=("sim",))
+            net.set_link_faults("node0", "node1", drop_rate=0.25)
+            policy = InvocationPolicy(
+                max_attempts=8, backoff_base_s=0.0, backoff_max_s=0.0, jitter=0.0,
+                idempotent=True, breaker_threshold=0,
+            )
+            stub = harness.stub("node0", "MatMul", prefer=("sim",), policy=policy)
+            a = np.eye(3)
+            for _ in range(10):  # seeded fabric: deterministic drop pattern
+                assert np.allclose(stub.multiply(a, a), a)
+            stub.close()
+
+    def test_unpolicied_stub_surfaces_drops(self):
+        from repro.netsim.fabric import MessageDroppedError
+
+        net = lan(2, seed=3)
+        with HarnessDvm("lossy2", net) as harness:
+            harness.add_nodes("node0", "node1")
+            harness.deploy("node1", MatMul, bindings=("sim",))
+            net.set_link_faults("node0", "node1", drop_rate=1.0, symmetric=False)
+            stub = harness.stub("node0", "MatMul", prefer=("sim",))
+            with pytest.raises(MessageDroppedError):
+                stub.multiply(np.eye(2), np.eye(2))
+            stub.close()
+
+
+class TestCircuitBreaking:
+    def test_breaker_fails_fast_on_dead_host_and_recovers(self):
+        from repro.bindings.policy import InvocationPolicy
+        from repro.util.errors import CircuitOpenError
+
+        net = lan(2)
+        with HarnessDvm("breaker1", net) as harness:
+            harness.add_nodes("node0", "node1")
+            harness.deploy("node1", CounterService, bindings=("sim",))
+            policy = InvocationPolicy(
+                max_attempts=1, breaker_threshold=2, breaker_cooldown_s=0.05,
+            )
+            stub = harness.stub("node0", "CounterService", prefer=("sim",), policy=policy)
+            net.host("node1").crash()
+            for _ in range(2):
+                with pytest.raises(HostDownError):
+                    stub.increment(1)
+            with pytest.raises(CircuitOpenError):  # breaker open: no fabric traffic
+                stub.increment(1)
+            net.host("node1").restart()
+            import time
+
+            time.sleep(0.06)  # cooldown elapses; half-open probe succeeds
+            assert stub.increment(1) == 1
+            stub.close()
+
+
+class TestSelfHealing:
+    def test_end_to_end_recovery_from_node_crash(self):
+        """The acceptance scenario: crash the node hosting a restartable
+        component mid-workload; the detector evicts it, the failover manager
+        revives the component from its checkpoint on a surviving node, and a
+        pre-existing stub completes its next call without the caller ever
+        handling the failure."""
+        net = lan(3)
+        with HarnessDvm("heal1", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy(
+                "node0", CounterService, name="counter",
+                bindings=("local-instance", "sim"), restartable=True,
+            )
+            detector, failover = harness.enable_self_healing(
+                observer="node2", suspect_after=1, evict_after=2,
+            )
+            stub = harness.stub("node1", "counter", resilient=True)
+            assert stub.increment(5) == 5   # workload in progress
+            failover.checkpoint()
+
+            net.host("node0").crash()
+            evicted = []
+            for _ in range(4):
+                evicted += detector.tick()
+            assert evicted == ["node0"]
+
+            # same stub object, no caller-side error handling
+            assert stub.increment(1) == 6
+            index = harness.dvm.component_index("node1")
+            assert index["counter"] in ("node1", "node2")
+            assert failover.recovered[0]["service"] == "counter"
+            stub.close()
+
+    def test_recovery_preserves_checkpointed_not_post_checkpoint_state(self):
+        net = lan(3)
+        with HarnessDvm("heal2", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy(
+                "node0", CounterService, name="counter",
+                bindings=("local-instance", "sim"), restartable=True,
+            )
+            detector, failover = harness.enable_self_healing(
+                observer="node2", suspect_after=1, evict_after=1,
+            )
+            stub = harness.stub("node1", "counter", resilient=True)
+            stub.increment(5)
+            failover.checkpoint()
+            stub.increment(100)  # never checkpointed: lost with the node
+
+            net.host("node0").crash()
+            while not detector.tick():
+                pass
+            assert stub.increment(1) == 6  # resumed from the last checkpoint
+            stub.close()
+
+    def test_dead_kernel_removed_from_harness(self):
+        net = lan(3)
+        with HarnessDvm("heal3", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy(
+                "node0", CounterService, name="counter",
+                bindings=("local-instance", "sim"), restartable=True,
+            )
+            detector, failover = harness.enable_self_healing(observer="node2",
+                                                             suspect_after=1,
+                                                             evict_after=1)
+            failover.checkpoint()
+            net.host("node0").crash()
+            detector.tick()
+            assert "node0" not in harness.kernels
+            assert harness.dvm.nodes() == ["node1", "node2"]
+
+    def test_wall_clock_self_healing_threads(self):
+        """The same loop with detector + checkpointer on daemon threads."""
+        import time
+
+        net = lan(3)
+        with HarnessDvm("heal4", net) as harness:
+            harness.add_nodes("node0", "node1", "node2")
+            harness.deploy(
+                "node0", CounterService, name="counter",
+                bindings=("local-instance", "sim"), restartable=True,
+            )
+            harness.enable_self_healing(
+                observer="node2", suspect_after=1, evict_after=2,
+                heartbeat_interval_s=0.02, checkpoint_interval_s=0.02,
+                start_threads=True,
+            )
+            stub = harness.stub("node1", "counter", resilient=True)
+            stub.increment(3)
+            time.sleep(0.1)  # let at least one checkpoint land
+            net.host("node0").crash()
+            deadline = time.time() + 10.0
+            while "node0" in harness.dvm.nodes() and time.time() < deadline:
+                time.sleep(0.02)
+            assert stub.increment(1) >= 4  # recovered from some checkpoint
+            stub.close()

@@ -172,3 +172,110 @@ class TestTopologyBuilders:
         assert near.latency_s < far.latency_s
         # ring wrap-around: node5 and node0 are neighbours
         assert network.link_model("node5", "node0").latency_s == near.latency_s
+
+
+class TestFlakyLinks:
+    def test_request_phase_drop(self, net):
+        net.set_link_faults("a", "b", drop_rate=1.0, symmetric=False)
+        from repro.netsim.fabric import MessageDroppedError
+
+        with pytest.raises(MessageDroppedError) as info:
+            net.request("a", "b", "svc", TransportMessage("t", b"x"))
+        assert info.value.phase == "request"
+        assert (info.value.src, info.value.dst) == ("a", "b")
+
+    def test_response_phase_drop(self, net):
+        from repro.netsim.fabric import MessageDroppedError
+
+        calls = []
+        net.host("b").unbind("svc")
+        net.host("b").bind("svc", lambda m: (calls.append(1), echo(m))[1])
+        net.set_link_faults("b", "a", drop_rate=1.0, symmetric=False)
+        with pytest.raises(MessageDroppedError) as info:
+            net.request("a", "b", "svc", TransportMessage("t", b"x"))
+        assert info.value.phase == "response"
+        assert calls == [1]  # the handler DID run — the ambiguity retries must respect
+
+    def test_drop_is_a_transport_error(self):
+        from repro.netsim.fabric import MessageDroppedError
+
+        assert issubclass(MessageDroppedError, TransportError)
+
+    def test_duplication_runs_handler_twice(self, net):
+        calls = []
+        net.host("b").unbind("svc")
+        net.host("b").bind("svc", lambda m: (calls.append(1), echo(m))[1])
+        net.set_link_faults("a", "b", duplicate_rate=1.0, symmetric=False)
+        reply = net.request("a", "b", "svc", TransportMessage("t", b"x"))
+        assert reply.payload == b"x"
+        assert calls == [1, 1]
+
+    def test_duplicate_leg_charged(self, net):
+        net.set_link_faults("a", "b", duplicate_rate=1.0, symmetric=False)
+        net.reset_stats()
+        net.request("a", "b", "svc", TransportMessage("t", b"xyz"))
+        assert net.stats[("a", "b")].messages == 2  # original + duplicate
+        assert net.stats[("a", "b")].bytes == 6
+
+    def test_post_drops_too(self, net):
+        from repro.netsim.fabric import MessageDroppedError
+
+        net.set_link_faults("a", "b", drop_rate=1.0, symmetric=False)
+        with pytest.raises(MessageDroppedError):
+            net.post("a", "b", "svc", TransportMessage("t", b"x"))
+
+    def test_drop_pattern_deterministic_per_seed(self):
+        def pattern(seed: int) -> list[bool]:
+            network = VirtualNetwork(seed=seed)
+            for name in ("a", "b"):
+                network.add_host(name).bind("svc", echo)
+            network.set_default_faults(drop_rate=0.5)
+            outcomes = []
+            for _ in range(32):
+                try:
+                    network.request("a", "b", "svc", TransportMessage("t", b"x"))
+                    outcomes.append(True)
+                except TransportError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert pattern(9) == pattern(9)
+        assert pattern(9) != pattern(10)
+        assert False in pattern(9) and True in pattern(9)
+
+    def test_default_faults_leave_explicit_links_alone(self, net):
+        net.set_link(
+            "a", "b", LinkModel(latency_s=1e-6, bandwidth_Bps=1e9), symmetric=True
+        )
+        net.set_default_faults(drop_rate=1.0)
+        # a<->b has an explicit clean model; a->c uses the flaky default
+        net.request("a", "b", "svc", TransportMessage("t", b"x"))
+        from repro.netsim.fabric import MessageDroppedError
+
+        with pytest.raises(MessageDroppedError):
+            net.request("a", "c", "svc", TransportMessage("t", b"x"))
+
+
+class TestSimulatedTimeout:
+    def test_round_trip_exceeding_timeout_raises(self, net):
+        from repro.util.errors import HarnessTimeoutError
+
+        net.set_link("a", "b", LinkModel(latency_s=1.0, bandwidth_Bps=1e9))
+        with pytest.raises(HarnessTimeoutError):
+            net.request("a", "b", "svc", TransportMessage("t", b"x"), timeout=0.5)
+
+    def test_timeout_raised_after_dispatch(self, net):
+        # the destination did the work: real timeouts carry that ambiguity
+        from repro.util.errors import HarnessTimeoutError
+
+        calls = []
+        net.host("b").unbind("svc")
+        net.host("b").bind("svc", lambda m: (calls.append(1), echo(m))[1])
+        net.set_link("a", "b", LinkModel(latency_s=1.0, bandwidth_Bps=1e9))
+        with pytest.raises(HarnessTimeoutError):
+            net.request("a", "b", "svc", TransportMessage("t", b"x"), timeout=0.1)
+        assert calls == [1]
+
+    def test_fast_round_trip_within_timeout(self, net):
+        reply = net.request("a", "b", "svc", TransportMessage("t", b"x"), timeout=10.0)
+        assert reply.payload == b"x"

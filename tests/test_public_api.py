@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.runner",
     "repro.container",
     "repro.dvm",
+    "repro.recovery",
     "repro.core",
     "repro.plugins",
     "repro.tools",

@@ -80,3 +80,25 @@ class TestSimTransport:
         SimListener(net, "node0", "svc", echo)
         transport = SimTransport(net, "node0", "sim://node0/svc")
         assert transport.request(TransportMessage("t", b"me")).payload == b"ME"
+
+
+class TestSimulatedTimeoutEnforcement:
+    def test_timeout_enforced_against_simulated_time(self, net):
+        from repro.netsim.fabric import LinkModel
+        from repro.util.errors import HarnessTimeoutError
+
+        SimListener(net, "node1", "svc", echo)
+        net.set_link("node0", "node1", LinkModel(latency_s=1.0, bandwidth_Bps=1e9))
+        transport = SimTransport(net, "node0", "sim://node1/svc")
+        with pytest.raises(HarnessTimeoutError):
+            transport.request(TransportMessage("t", b"x"), timeout=0.5)
+        # a generous timeout passes — wall-clock never mattered
+        assert transport.request(TransportMessage("t", b"x"), timeout=10.0).payload == b"X"
+
+    def test_no_timeout_means_unbounded(self, net):
+        from repro.netsim.fabric import LinkModel
+
+        SimListener(net, "node1", "svc", echo)
+        net.set_link("node0", "node1", LinkModel(latency_s=60.0, bandwidth_Bps=1e9))
+        transport = SimTransport(net, "node0", "sim://node1/svc")
+        assert transport.request(TransportMessage("t", b"x"), timeout=None).payload == b"X"

@@ -205,3 +205,53 @@ class TestHttp:
             transport.close()
 
         run_all([lambda n=n: hammer(n) for n in range(6)])
+
+
+class TestTcpTimeoutPoisoning:
+    def test_timeout_poisons_connection(self):
+        from repro.util.errors import HarnessTimeoutError
+
+        release = threading.Event()
+
+        def slow_handler(message: TransportMessage) -> TransportMessage:
+            release.wait(5.0)
+            return TransportMessage(message.content_type, message.payload[::-1])
+
+        listener = TcpListener(slow_handler)
+        transport = TcpTransport(listener.url)
+        try:
+            with pytest.raises(HarnessTimeoutError):
+                transport.request(TransportMessage("t", b"x"), timeout=0.1)
+            # the socket is mid-frame: reuse must fail fast, not desynchronize
+            with pytest.raises(TransportClosedError):
+                transport.request(TransportMessage("t", b"y"))
+        finally:
+            release.set()
+            transport.close()
+            listener.close()
+
+    def test_fresh_connection_works_after_poisoning(self):
+        from repro.util.errors import HarnessTimeoutError
+
+        release = threading.Event()
+        slow = [True]
+
+        def handler(message: TransportMessage) -> TransportMessage:
+            if slow[0]:
+                release.wait(5.0)
+            return TransportMessage(message.content_type, message.payload[::-1])
+
+        listener = TcpListener(handler)
+        poisoned = TcpTransport(listener.url)
+        try:
+            with pytest.raises(HarnessTimeoutError):
+                poisoned.request(TransportMessage("t", b"x"), timeout=0.1)
+            slow[0] = False
+            release.set()
+            fresh = TcpTransport(listener.url)
+            assert fresh.request(TransportMessage("t", b"ab")).payload == b"ba"
+            fresh.close()
+        finally:
+            release.set()
+            poisoned.close()
+            listener.close()
