@@ -1,0 +1,220 @@
+"""C9 wire-path concurrency — multiplexed vs serialized XDR/TCP.
+
+The protocol-v2 wire path tags every frame with a correlation id so many
+in-flight requests share a socket, and the server offloads decode/dispatch
+to a pool instead of handling frames head-of-line.  This experiment
+measures what that buys: N client threads hammer ONE stub whose service op
+holds the connection for a small, GIL-releasing service time (modelling an
+I/O- or compute-bound component), once over the multiplexed transport and
+once over ``multiplex=False`` (one socket + serial lock — the protocol-v1
+behaviour, kept as the A/B baseline).
+
+Expected shape: serialized throughput is flat (~1/service_time) no matter
+how many client threads pile up, multiplexed throughput scales with
+concurrency until the server pool saturates, and at concurrency 1 the two
+are indistinguishable — the correlation header costs nanoseconds.
+
+Acceptance (asserted in ``test_report_c9``): multiplexed throughput at
+concurrency 8 is **>= 3x** serialized, and single-client p50 latency is
+within **10%** of the serialized baseline.
+
+Runs under pytest (``pytest benchmarks/bench_c9_concurrency.py``) and as a
+script (``python benchmarks/bench_c9_concurrency.py [--quick]`` — the CI
+smoke, exits nonzero if multiplexing does not beat the serialized
+baseline at concurrency 8).  Writes ``BENCH_c9.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.bindings.dispatcher import ObjectDispatcher
+from repro.bindings.server import BindingServer
+from repro.bindings.stubs import TransportStub
+from repro.encoding.registry import XdrMessageCodec
+from repro.transport.tcp import TcpTransport
+
+#: service time per call; time.sleep releases the GIL, so a concurrent
+#: server can overlap calls while a serialized wire path cannot
+SERVICE_TIME_S = 0.002
+
+#: REPRO_BENCH_PAYLOAD_N pins the argument size across before/after runs
+#: (same knob benchmarks/conftest.py exposes to fixture-based benchmarks)
+PAYLOAD_N = int(os.environ.get("REPRO_BENCH_PAYLOAD_N", 64))
+
+LEVELS = [1, 2, 4, 8, 16, 32]
+QUICK_LEVELS = [1, 8]
+
+RESULT_PATH = Path(__file__).with_name("BENCH_c9.json")
+
+
+def _print_table(title: str, header: list[str], rows: list[list]) -> None:
+    # local copy of benchmarks.conftest.print_table so the module also runs
+    # as a plain script (python benchmarks/bench_c9_concurrency.py)
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header))))
+    for row in rows:
+        print("  ".join(str(row[i]).ljust(widths[i]) for i in range(len(row))))
+
+
+class SlowService:
+    """A component whose operations take real (GIL-releasing) time."""
+
+    def work(self, data: str) -> int:
+        time.sleep(SERVICE_TIME_S)
+        return len(data)
+
+
+def _measure_level(port: int, concurrency: int, calls_per_thread: int, multiplex: bool) -> dict:
+    """Throughput + latency percentiles for one (transport mode, level)."""
+    transport = TcpTransport(f"tcp://127.0.0.1:{port}", multiplex=multiplex)
+    stub = TransportStub(("work",), "svc", XdrMessageCodec(), transport, "xdr")
+    payload = "x" * PAYLOAD_N
+    barrier = threading.Barrier(concurrency + 1)
+    latencies_s: list[list[float]] = [[] for _ in range(concurrency)]
+    errors: list[BaseException] = []
+
+    def worker(slot: int) -> None:
+        try:
+            barrier.wait()
+            for _ in range(calls_per_thread):
+                t0 = time.perf_counter()
+                assert stub.work(payload) == PAYLOAD_N
+                latencies_s[slot].append(time.perf_counter() - t0)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(concurrency)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed_s = time.perf_counter() - t0
+    stub.close()
+    if errors:
+        raise errors[0]
+
+    flat = sorted(x for per_thread in latencies_s for x in per_thread)
+    return {
+        "concurrency": concurrency,
+        "calls": concurrency * calls_per_thread,
+        "throughput_rps": round(concurrency * calls_per_thread / elapsed_s, 1),
+        "p50_ms": round(statistics.median(flat) * 1e3, 3),
+        "p99_ms": round(flat[min(len(flat) - 1, int(len(flat) * 0.99))] * 1e3, 3),
+    }
+
+
+def run_sweep(levels: list[int], calls_per_thread: int = 25) -> dict:
+    """The full A/B sweep; returns the machine-readable result document."""
+    dispatcher = ObjectDispatcher()
+    dispatcher.register("svc", SlowService())
+    server = BindingServer(dispatcher)
+    listener = server.expose_xdr_tcp()
+    try:
+        rows = []
+        for level in levels:
+            serialized = _measure_level(listener.port, level, calls_per_thread, multiplex=False)
+            multiplexed = _measure_level(listener.port, level, calls_per_thread, multiplex=True)
+            rows.append({"serialized": serialized, "multiplexed": multiplexed})
+    finally:
+        server.close()
+    return {
+        "experiment": "C9 wire-path concurrency (XDR/TCP)",
+        "service_time_ms": SERVICE_TIME_S * 1e3,
+        "payload_chars": PAYLOAD_N,
+        "calls_per_thread": calls_per_thread,
+        "levels": rows,
+    }
+
+
+def _speedup_at(result: dict, concurrency: int) -> float:
+    for row in result["levels"]:
+        if row["serialized"]["concurrency"] == concurrency:
+            return row["multiplexed"]["throughput_rps"] / row["serialized"]["throughput_rps"]
+    raise KeyError(f"no level {concurrency} in sweep")
+
+
+def _report(result: dict) -> None:
+    rows = []
+    for row in result["levels"]:
+        ser, mux = row["serialized"], row["multiplexed"]
+        rows.append([
+            ser["concurrency"],
+            f"{ser['throughput_rps']:.0f}", f"{mux['throughput_rps']:.0f}",
+            f"{mux['throughput_rps'] / ser['throughput_rps']:.2f}x",
+            f"{ser['p50_ms']:.2f}", f"{mux['p50_ms']:.2f}",
+            f"{mux['p99_ms']:.2f}",
+        ])
+    _print_table(
+        f"C9: one stub, N threads (service time {result['service_time_ms']:.1f} ms)",
+        ["threads", "ser rps", "mux rps", "speedup", "ser p50 ms", "mux p50 ms", "mux p99 ms"],
+        rows,
+    )
+
+
+def _write_json(result: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+# -- pytest entry point ----------------------------------------------------------------
+
+
+def test_report_c9_concurrency():
+    result = run_sweep(QUICK_LEVELS)
+    _report(result)
+    _write_json(result)
+
+    speedup = _speedup_at(result, 8)
+    assert speedup >= 3.0, (
+        f"multiplexed throughput at 8 threads is only {speedup:.2f}x serialized (need >= 3x)"
+    )
+
+    single = result["levels"][0]
+    assert single["serialized"]["concurrency"] == 1
+    ser_p50, mux_p50 = single["serialized"]["p50_ms"], single["multiplexed"]["p50_ms"]
+    assert mux_p50 <= ser_p50 * 1.10, (
+        f"single-client p50 regressed: {mux_p50:.3f} ms multiplexed "
+        f"vs {ser_p50:.3f} ms serialized (budget: +10%)"
+    )
+
+
+# -- script entry point ----------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: levels 1 and 8 only, fewer calls (used by CI)",
+    )
+    options = parser.parse_args(argv)
+
+    levels = QUICK_LEVELS if options.quick else LEVELS
+    calls = 15 if options.quick else 25
+    result = run_sweep(levels, calls_per_thread=calls)
+    _report(result)
+    _write_json(result)
+
+    speedup = _speedup_at(result, 8)
+    print(f"\nspeedup at concurrency 8: {speedup:.2f}x")
+    if speedup <= 1.0:
+        print("FAIL: multiplexed wire path is not faster than the serialized baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

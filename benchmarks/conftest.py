@@ -12,11 +12,27 @@ Every ``bench_*`` module reproduces one experiment from DESIGN.md's index
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.bindings.context import LOCAL_DIRECTORY
 from repro.transport.inproc import reset_inproc_namespace
+
+#: Default RNG seed; override with REPRO_BENCH_SEED for repeat-run variance
+#: studies without editing benchmark code.
+DEFAULT_SEED = 2002
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", DEFAULT_SEED))
+
+
+def payload_n(default: int) -> int:
+    """Benchmark payload size: REPRO_BENCH_PAYLOAD_N pins it across runs so
+    before/after numbers in EXPERIMENTS.md compare like with like."""
+    return int(os.environ.get("REPRO_BENCH_PAYLOAD_N", default))
 
 
 @pytest.fixture(autouse=True)
@@ -30,7 +46,7 @@ def _isolate_process_globals():
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(2002)
+    return np.random.default_rng(bench_seed())
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:

@@ -59,6 +59,7 @@ class DynamicStubFactory:
         policy: InvocationPolicy | None = None,
         events: EventBus | None = None,
         breakers: BreakerRegistry | None = None,
+        tcp_pool_size: int | None = None,
     ):
         self.context = context or ClientContext()
         self._codecs = codecs or default_registry
@@ -69,6 +70,9 @@ class DynamicStubFactory:
         self.policy = policy
         self.events = events
         self.breakers = breakers or BreakerRegistry()
+        # Channels per TCP peer for stubs this factory builds (None = the
+        # transport default, overridable via REPRO_TCP_POOL_SIZE).
+        self.tcp_pool_size = tcp_pool_size
 
     # -- public API -----------------------------------------------------------
 
@@ -250,7 +254,7 @@ class DynamicStubFactory:
                 raise BindingError(f"xdr port {port.name!r} lacks a harness:xdrAddress")
             codec = self._codecs.get("application/x-xdr")
             tcp_url = f"tcp://{address.host}:{address.port}"
-            transport = TcpTransport(tcp_url)
+            transport = TcpTransport(tcp_url, pool_size=self.tcp_pool_size)
             return transport_stub(
                 tcp_url, credentialed(address.target or target), codec, transport, "xdr"
             )

@@ -15,6 +15,7 @@ the failure.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Any, Callable
 
 from repro.bindings.stubs import ServiceStub
@@ -55,6 +56,12 @@ class ResilientStub(ServiceStub):
     namespace.  On a redial-worthy failure the inner stub is dropped and
     resolution is retried up to ``max_redials`` times with a jittered
     backoff — enough to ride out the detector→evict→failover window.
+
+    Safe for concurrent callers (the multiplexed TCP transport invites
+    sharing one stub across threads): the steady-state path reads the inner
+    stub without locking, while drop/re-resolve is serialized under a lock
+    and compares against the stub the caller actually failed on — a thread
+    that lost the race reuses the replacement instead of closing it.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class ResilientStub(ServiceStub):
         self._clock = clock or WallClock()
         self._events = events
         self._rng = rng if rng is not None else random.Random()
+        self._swap_lock = threading.Lock()
         self._inner = resolver()
         super().__init__(self._inner.operations, self._inner.target)
         self.protocol = f"resilient+{self._inner.protocol}"
@@ -86,14 +94,18 @@ class ResilientStub(ServiceStub):
     def _invoke(self, operation: str, args: tuple) -> Any:
         redials = 0
         while True:
-            if self._inner is None:
-                self._inner = self._resolve(operation, redials)
+            inner = self._inner
+            if inner is None:
+                with self._swap_lock:
+                    if self._inner is None:
+                        self._inner = self._resolve(operation, redials)
+                    inner = self._inner
             try:
-                return self._inner._invoke(operation, args)
+                return inner._invoke(operation, args)
             except redial_errors() as exc:
                 if redials >= self._max_redials:
                     raise
-                self._drop_inner()
+                self._drop_inner(inner)
                 if self._events is not None:
                     self._events.publish(
                         "invoke.redial",
@@ -126,13 +138,22 @@ class ResilientStub(ServiceStub):
         delay += self._rng.uniform(0.0, 0.1 * delay)
         self._clock.sleep(delay)
 
-    def _drop_inner(self) -> None:
-        if self._inner is not None:
-            try:
-                self._inner.close()
-            except Exception:
-                pass
+    def _drop_inner(self, failed: ServiceStub | None = None) -> None:
+        """Close and clear the inner stub.
+
+        With *failed* given, only drop if it is still the current inner —
+        a concurrent thread may already have swapped in a replacement, and
+        closing that out from under its users would poison their calls.
+        """
+        with self._swap_lock:
+            inner = self._inner
+            if inner is None or (failed is not None and inner is not failed):
+                return
             self._inner = None
+        try:
+            inner.close()
+        except Exception:
+            pass
 
     def close(self) -> None:
         self._drop_inner()

@@ -145,6 +145,9 @@ class TransportStub(ServiceStub):
         self._transport = transport
         self.protocol = protocol
         self._timeout = timeout
+        # per-operation marshalling plans: (content type, args -> payload),
+        # built lazily on first call (benign race: plans are equivalent)
+        self._plans: dict[str, tuple[str, Any]] = {}
         if policy is None:
             self._executor = None
         else:
@@ -154,9 +157,32 @@ class TransportStub(ServiceStub):
                 policy, target, breaker=breaker, events=events, clock=clock, rng=rng
             )
 
+    def _plan(self, operation: str) -> tuple[str, Any]:
+        """The cached marshalling plan for *operation*.
+
+        Codecs offering ``call_encoder`` (e.g. XDR) get their per-operation
+        constants — the encoded (target, operation) header — computed once
+        per (stub, operation) instead of per call; others fall back to the
+        generic ``encode_call`` path.
+        """
+        plan = self._plans.get(operation)
+        if plan is None:
+            make = getattr(self._codec, "call_encoder", None)
+            if make is not None:
+                encoder = make(self._target, operation)
+            else:
+                codec, target = self._codec, self._target
+
+                def encoder(args: tuple, _op: str = operation):
+                    return codec.encode_call(target, _op, args)
+
+            plan = (self._codec.content_type, encoder)
+            self._plans[operation] = plan
+        return plan
+
     def _invoke(self, operation: str, args: tuple) -> Any:
-        payload = self._codec.encode_call(self._target, operation, args)
-        request = TransportMessage(self._codec.content_type, payload)
+        content_type, encode = self._plan(operation)
+        request = TransportMessage(content_type, encode(args))
         if self._executor is None:
             response = self._transport.request(request, timeout=self._timeout)
         else:

@@ -31,6 +31,7 @@ from repro.netsim.fabric import VirtualNetwork
 from repro.util.errors import DvmError, MembershipError, ServiceNotFoundError
 from repro.util.events import EventBus
 from repro.util.ids import HarnessName
+from repro.util.ttl_cache import TtlCache
 from repro.wsdl.io import document_from_string, document_to_string
 from repro.wsdl.model import WsdlDocument
 
@@ -66,6 +67,7 @@ class DistributedVirtualMachine:
         network: VirtualNetwork,
         protocol_factory: Callable[[VirtualNetwork], DvmStateProtocol],
         events: EventBus | None = None,
+        lookup_cache_ttl_s: float = 2.0,
     ):
         self.name = name
         self.network = network
@@ -76,6 +78,14 @@ class DistributedVirtualMachine:
         self.root = HarnessName.root() / name
         self._lock = threading.RLock()
         self._nodes: dict[str, DvmNode] = {}
+        # Registry-lookup fast path: successful lookups (owner + parsed WSDL)
+        # are cached for a short TTL so a hot stub does not re-fetch and
+        # re-parse per call.  Any membership or component event flushes the
+        # cache — the TTL only bounds staleness for changes that produce no
+        # event.  ``lookup_cache_ttl_s=0`` disables caching entirely.
+        self._lookup_cache = TtlCache(lookup_cache_ttl_s)
+        self.events.subscribe("dvm.member", self._on_topology_event)
+        self.events.subscribe("dvm.component", self._on_topology_event)
 
     # -- membership -------------------------------------------------------------
 
@@ -254,15 +264,28 @@ class DistributedVirtualMachine:
 
     def _forget_component(self, host_name: str, service_name: str) -> None:
         self.protocol.update(host_name, f"{_COMPONENT_PREFIX}{service_name}", None)
+        # undeploy publishes no event, so the lookup cache is flushed here
+        self._lookup_cache.invalidate()
+
+    def _on_topology_event(self, event) -> None:
+        self._lookup_cache.invalidate()
 
     def lookup(self, from_node: str, service_name: str) -> tuple[str, WsdlDocument]:
         """Locate a component anywhere in the DVM: (owning node, WSDL)."""
+        key = (from_node, service_name)
+        hit, cached = self._lookup_cache.get(key)
+        if hit:
+            return cached
         record = self.protocol.get(from_node, f"{_COMPONENT_PREFIX}{service_name}")
         if not record:
+            # misses are never cached: a component published a moment later
+            # must become visible immediately (staged publication)
             raise ServiceNotFoundError(
                 f"no component {service_name!r} visible from {from_node} in DVM {self.name!r}"
             )
-        return record["node"], document_from_string(record["wsdl"])
+        result = (record["node"], document_from_string(record["wsdl"]))
+        self._lookup_cache.put(key, result)
+        return result
 
     def stub(
         self,

@@ -24,7 +24,17 @@ __all__ = ["MessageCodec", "CodecRegistry", "default_registry", "XdrMessageCodec
 
 
 class MessageCodec(Protocol):
-    """Encode/decode RPC calls and replies for one content type."""
+    """Encode/decode RPC calls and replies for one content type.
+
+    Payload arguments and return values are bytes-like: the zero-copy wire
+    path hands decoders ``memoryview`` slices of receive buffers, and
+    encoders may return views over internal buffers.
+
+    A codec may additionally offer ``call_encoder(target, operation)``
+    returning an ``args -> payload`` callable — a cached *marshalling plan*
+    that pre-computes everything constant per (target, operation).  Stubs
+    probe for it with ``getattr`` and fall back to :meth:`encode_call`.
+    """
 
     content_type: str
 
@@ -44,6 +54,16 @@ class XdrMessageCodec:
 
     def encode_call(self, target: str, operation: str, args: tuple | list) -> bytes:
         return xdr.pack_call(target, operation, args)
+
+    def call_encoder(self, target: str, operation: str):
+        """A cached marshalling plan: the (target, operation) header is
+        encoded once here, then only the arguments are packed per call."""
+        prefix = xdr.make_call_prefix(target, operation)
+
+        def encode(args: tuple | list, _prefix: bytes = prefix) -> memoryview:
+            return xdr.pack_call_from_prefix(_prefix, args)
+
+        return encode
 
     def decode_call(self, data: bytes) -> tuple[str, str, list]:
         return xdr.unpack_call(data)

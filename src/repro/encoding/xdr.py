@@ -34,6 +34,8 @@ __all__ = [
     "pack_value",
     "unpack_value",
     "pack_call",
+    "make_call_prefix",
+    "pack_call_from_prefix",
     "unpack_call",
     "pack_reply",
     "unpack_reply",
@@ -78,8 +80,16 @@ class XdrEncoder:
         self._buf = bytearray()
 
     def getvalue(self) -> bytes:
-        """The bytes encoded so far."""
+        """The bytes encoded so far (a copy; see :meth:`view`)."""
         return bytes(self._buf)
+
+    def view(self) -> memoryview:
+        """Zero-copy view of the encoded bytes.
+
+        Valid until the next ``pack_*`` call mutates the buffer — hand it
+        to a transport (which only reads it) rather than storing it.
+        """
+        return memoryview(self._buf)
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -204,16 +214,21 @@ class XdrDecoder:
     def unpack_double(self) -> float:
         return struct.unpack(">d", self._take(8))[0]
 
-    def unpack_opaque(self) -> bytes:
+    def unpack_opaque_view(self) -> memoryview:
+        """Zero-copy view of a variable-length opaque (shares the buffer)."""
         length = self.unpack_uint()
-        data = bytes(self._take(length))
+        data = self._take(length)
         pad = (4 - length % 4) % 4
         if pad:
             self._take(pad)
         return data
 
+    def unpack_opaque(self) -> bytes:
+        return bytes(self.unpack_opaque_view())
+
     def unpack_string(self) -> str:
-        return self.unpack_opaque().decode("utf-8")
+        # decodes straight off the buffer view: no intermediate bytes() copy
+        return str(self.unpack_opaque_view(), "utf-8")
 
     def unpack_double_array(self) -> np.ndarray:
         count = self.unpack_uint()
@@ -371,6 +386,35 @@ def pack_call(target: str, operation: str, args: tuple | list) -> bytes:
     for arg in args:
         _pack_tagged(enc, arg)
     return enc.getvalue()
+
+
+def make_call_prefix(target: str, operation: str) -> bytes:
+    """Pre-encode the constant head of a call message.
+
+    The (kind, target, operation) triple is identical for every invocation
+    of one operation through one stub; encoding it once and reusing it via
+    :func:`pack_call_from_prefix` is the cached *marshalling plan* the stub
+    layer keeps per operation.
+    """
+    enc = XdrEncoder()
+    enc.pack_int(_CALL)
+    enc.pack_string(target)
+    enc.pack_string(operation)
+    return enc.getvalue()
+
+
+def pack_call_from_prefix(prefix: bytes, args: tuple | list) -> memoryview:
+    """Encode a call from a :func:`make_call_prefix` head plus *args*.
+
+    Returns a zero-copy view of the encoder buffer (safe to hand to a
+    transport, which only reads it; every retry resends the same bytes).
+    """
+    enc = XdrEncoder()
+    enc._buf += prefix
+    enc.pack_uint(len(args))
+    for arg in args:
+        _pack_tagged(enc, arg)
+    return enc.view()
 
 
 def unpack_call(data: bytes) -> tuple[str, str, list]:

@@ -29,6 +29,9 @@ class SoapMessageCodec:
         return env.build_call_envelope(target, operation, args, self.array_mode)
 
     def decode_call(self, data: bytes) -> tuple[str, str, list]:
+        # the zero-copy TCP path hands memoryview payloads; XML parsing needs bytes
+        if not isinstance(data, (bytes, bytearray, str)):
+            data = bytes(data)
         return env.parse_call_envelope(data)
 
     def encode_reply(self, result: Any = None, fault: str | None = None) -> bytes:
@@ -37,6 +40,8 @@ class SoapMessageCodec:
         return env.build_reply_envelope(result, array_mode=self.array_mode)
 
     def decode_reply(self, data: bytes) -> Any:
+        if not isinstance(data, (bytes, bytearray, str)):
+            data = bytes(data)
         return env.parse_reply_envelope(data)
 
     @staticmethod

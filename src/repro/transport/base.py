@@ -21,10 +21,21 @@ __all__ = ["TransportMessage", "RequestHandler", "ClientTransport", "Listener", 
 
 @dataclass(frozen=True)
 class TransportMessage:
-    """An opaque payload plus the content type identifying its codec."""
+    """An opaque payload plus the content type identifying its codec.
+
+    ``payload`` is any bytes-like object: the zero-copy wire path hands
+    codecs ``memoryview`` slices of receive buffers and ships encoder
+    buffers without an intermediate ``bytes()`` copy.  Use
+    :meth:`payload_bytes` at the rare boundary that needs real ``bytes``.
+    """
 
     content_type: str
-    payload: bytes
+    payload: bytes | bytearray | memoryview
+
+    def payload_bytes(self) -> bytes:
+        """The payload as ``bytes`` (copies only when it isn't one already)."""
+        payload = self.payload
+        return payload if isinstance(payload, bytes) else bytes(payload)
 
 
 #: Server-side callback: request message in, response message out.

@@ -115,6 +115,28 @@ class HttpTransport:
         self._conn = _NoDelayHTTPConnection(host, port, timeout=connect_timeout)
         self._closed = False
 
+    #: Failures meaning the keep-alive connection went stale while idle —
+    #: the server closed it before (or instead of) answering, so no response
+    #: was received and one transparent retry on a fresh connection is safe.
+    #: (``RemoteDisconnected`` subclasses both ``BadStatusLine`` and
+    #: ``ConnectionResetError``; the tuple names the whole family.)
+    _STALE_ERRORS = (
+        http.client.BadStatusLine,
+        http.client.RemoteDisconnected,
+        ConnectionResetError,
+        BrokenPipeError,
+    )
+
+    def _round_trip(self, message: TransportMessage):
+        self._conn.request(
+            "POST",
+            self._path,
+            body=message.payload,
+            headers={"Content-Type": message.content_type},
+        )
+        response = self._conn.getresponse()
+        return response, response.read()
+
     def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
         with self._lock:
             if self._closed:
@@ -122,14 +144,18 @@ class HttpTransport:
             if timeout is not None:
                 self._conn.timeout = timeout
             try:
-                self._conn.request(
-                    "POST",
-                    self._path,
-                    body=message.payload,
-                    headers={"Content-Type": message.content_type},
-                )
-                response = self._conn.getresponse()
-                payload = response.read()
+                response, payload = self._round_trip(message)
+            except self._STALE_ERRORS:
+                # stale persistent connection: reconnect and retry once,
+                # instead of surfacing a transport fault to the policy layer
+                self._conn.close()
+                try:
+                    response, payload = self._round_trip(message)
+                except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                    self._conn.close()
+                    raise TransportError(
+                        f"http request to {self._url} failed: {exc}"
+                    ) from exc
             except (ConnectionError, http.client.HTTPException, OSError) as exc:
                 self._conn.close()
                 raise TransportError(f"http request to {self._url} failed: {exc}") from exc

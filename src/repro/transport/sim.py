@@ -39,7 +39,16 @@ class SimListener:
 
 
 class SimTransport:
-    """Client side: requests from ``src_host`` across the fabric."""
+    """Client side: requests from ``src_host`` across the fabric.
+
+    Concurrency: the fabric dispatches each request synchronously in the
+    caller's thread with no shared mutable per-call state here, so one
+    ``SimTransport`` (and hence one stub) may be hammered from many threads
+    at once — the sim analogue of the multiplexed TCP transport.  Payloads
+    may be ``bytes`` or ``memoryview`` (the fabric charges ``len(payload)``
+    either way); handlers needing ``bytes`` should call
+    :meth:`~repro.transport.base.TransportMessage.payload_bytes`.
+    """
 
     def __init__(self, network: VirtualNetwork, src_host: str, url: str):
         scheme, rest = parse_url(url)

@@ -1,105 +1,238 @@
 """Framed TCP transport — the XDR binding's "direct socket level connections".
 
-Wire format per message (both directions)::
+Wire format per message, protocol v2 (both directions)::
 
     uint32 BE  total frame length (excluding these 4 bytes)
+    uint64 BE  correlation id (echoed verbatim in the response frame)
     uint16 BE  content-type length |ct|
     |ct| bytes content type (ASCII)
     uint8      status (requests: 0; responses: 0 = ok, 1 = fault)
     payload    remaining bytes
 
-Connections are persistent: a client keeps one socket per server and
-serializes requests over it (Harness components are expected to open one
-channel per peer, matching the paper's point about minimizing "the number
-of entities that need to be traversed").
+The correlation id lets many in-flight requests share one socket: the
+client demultiplexes response frames back to their callers by id, so a
+slow request no longer blocks the requests behind it (no head-of-line
+blocking).  A :class:`TcpTransport` keeps a small bounded pool of such
+multiplexed channels per peer and picks the least-loaded one per call —
+Harness components still open a near-minimal "number of entities that
+need to be traversed" (one to a few sockets per peer), but concurrent
+callers are never serialized client-side.
+
+The frame path is zero-copy where it matters: writes are scatter-gather
+(``sendmsg`` of header + payload, no concatenation), reads use
+``recv_into`` on a single preallocated buffer per frame, and payloads
+are handed to codecs as ``memoryview`` slices of that buffer.
+
+A request that times out simply abandons its correlation id — the late
+reply, if it ever arrives, is demuxed to a missing id and dropped, so
+the connection stays healthy instead of being poisoned.  Only a peer
+that stalls *mid-frame* (framing can no longer be trusted) kills the
+channel; the pool then dials a fresh one for the next caller.
 """
 
 from __future__ import annotations
 
+import os
+import select
 import socket
 import socketserver
 import struct
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
 from repro.util.errors import HarnessTimeoutError, TransportClosedError, TransportError
 
-__all__ = ["TcpListener", "TcpTransport"]
+__all__ = ["TcpListener", "TcpTransport", "DEFAULT_POOL_SIZE", "PROTOCOL_VERSION"]
 
-_HEADER = struct.Struct(">I")
-_CT_LEN = struct.Struct(">H")
+PROTOCOL_VERSION = 2
+
+_HEADER = struct.Struct(">I")   # frame length
+_META = struct.Struct(">QH")    # correlation id, content-type length
+_MIN_BODY = _META.size + 1      # meta + status byte, empty content type
 
 STATUS_OK = 0
 STATUS_FAULT = 1
 
+#: Channels per peer a :class:`TcpTransport` may open (least-loaded pick).
+try:
+    DEFAULT_POOL_SIZE = max(1, int(os.environ.get("REPRO_TCP_POOL_SIZE", "2")))
+except ValueError:
+    DEFAULT_POOL_SIZE = 2
 
-def _write_frame(sock: socket.socket, message: TransportMessage, status: int = STATUS_OK) -> None:
-    ct = message.content_type.encode("ascii")
-    body = _CT_LEN.pack(len(ct)) + ct + bytes([status]) + message.payload
-    sock.sendall(_HEADER.pack(len(body)) + body)
+#: Budget for a peer that stalls mid-frame before the channel is poisoned.
+_FRAME_GRACE_S = 5.0
 
 
-def _read_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
+# -- frame primitives ---------------------------------------------------------
+
+
+def _send_buffers(sock: socket.socket, buffers, grace_s: float = _FRAME_GRACE_S) -> None:
+    """Write *buffers* fully, scatter-gather, without concatenating them.
+
+    Resumable across partial sends and across ``socket.timeout`` (the
+    socket's timeout is shared with a concurrent reader, so a send may see
+    a timeout that was sized for someone else's deadline); only *grace_s*
+    with zero forward progress raises.
+    """
+    views = []
+    for buf in buffers:
+        if len(buf):
+            view = memoryview(buf)
+            if not view.c_contiguous:  # e.g. a reversed slice; kernel needs contiguous
+                view = memoryview(bytes(view))
+            views.append(view)
+    use_sendmsg = hasattr(sock, "sendmsg")
+    last_progress = time.monotonic()
+    while views:
+        try:
+            sent = sock.sendmsg(views) if use_sendmsg else sock.send(views[0])
+        except InterruptedError:
+            continue
+        except socket.timeout:
+            if time.monotonic() - last_progress > grace_s:
+                raise
+            continue
+        if sent:
+            last_progress = time.monotonic()
+        while views and sent:
+            head = views[0]
+            if sent >= len(head):
+                sent -= len(head)
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
+
+
+def _frame_prefix(corr_id: int, content_type: str, status: int, payload_len: int) -> bytes:
+    ct = content_type.encode("ascii")
+    length = _META.size + len(ct) + 1 + payload_len
+    return _HEADER.pack(length) + _META.pack(corr_id, len(ct)) + ct + bytes((status,))
+
+
+def _write_frame(
+    sock: socket.socket, corr_id: int, message: TransportMessage, status: int = STATUS_OK
+) -> None:
+    payload = message.payload
+    prefix = _frame_prefix(corr_id, message.content_type, status, len(payload))
+    _send_buffers(sock, (prefix, payload))
+
+
+def _read_exact(sock: socket.socket, count: int) -> memoryview:
+    """Read exactly *count* bytes via ``recv_into`` on one preallocated buffer."""
+    buf = bytearray(count)
+    view = memoryview(buf)
+    got = 0
+    while got < count:
+        n = sock.recv_into(view[got:], count - got)
+        if not n:
             raise TransportClosedError("peer closed the connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        got += n
+    return view
 
 
-def _read_frame(sock: socket.socket) -> tuple[TransportMessage, int]:
-    header = _read_exact(sock, 4)
-    (length,) = _HEADER.unpack(header)
-    if length < 3:
+def _parse_body(body: memoryview) -> tuple[int, TransportMessage, int]:
+    corr_id, ct_len = _META.unpack_from(body)
+    ct_end = _META.size + ct_len
+    if ct_end + 1 > len(body):
+        raise TransportError("corrupt frame: content type overruns body")
+    content_type = str(body[_META.size:ct_end], "ascii")
+    status = body[ct_end]
+    return corr_id, TransportMessage(content_type, body[ct_end + 1:]), status
+
+
+def _read_frame(sock: socket.socket) -> tuple[int, TransportMessage, int]:
+    (length,) = _HEADER.unpack(_read_exact(sock, _HEADER.size))
+    if length < _MIN_BODY:
         raise TransportError(f"short frame: {length} bytes")
-    body = _read_exact(sock, length)
-    (ct_len,) = _CT_LEN.unpack(body[:2])
-    content_type = body[2 : 2 + ct_len].decode("ascii")
-    status = body[2 + ct_len]
-    payload = body[3 + ct_len :]
-    return TransportMessage(content_type, payload), status
+    return _parse_body(_read_exact(sock, length))
+
+
+# -- server side --------------------------------------------------------------
+
+
+def _respond(server: "_Server", sock: socket.socket, wlock: threading.Lock,
+             corr_id: int, message: TransportMessage) -> None:
+    try:
+        response = server.app_handler(message)
+        status = STATUS_OK
+    except Exception as exc:  # deliver faults instead of dropping the socket
+        response = TransportMessage("text/plain", str(exc).encode("utf-8"))
+        status = STATUS_FAULT
+    try:
+        with wlock:
+            _write_frame(sock, corr_id, response, status)
+    except (ConnectionError, OSError):
+        pass
 
 
 class _Handler(socketserver.BaseRequestHandler):
-    def handle(self) -> None:  # one connection, many frames
+    def handle(self) -> None:  # one connection, many (possibly pipelined) frames
         server: "_Server" = self.server  # type: ignore[assignment]
         sock: socket.socket = self.request
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        wlock = threading.Lock()  # response frames must not interleave
+        busy = [0]  # requests currently executing on the worker pool
+
+        def offloaded(corr_id: int, message: TransportMessage) -> None:
+            try:
+                _respond(server, sock, wlock, corr_id, message)
+            finally:
+                with wlock:
+                    busy[0] -= 1
+
         while True:
             try:
-                message, _status = _read_frame(sock)
-            except (TransportClosedError, ConnectionError, OSError):
+                corr_id, message, _status = _read_frame(sock)
+            except (TransportClosedError, TransportError, ConnectionError, OSError):
                 return
+            # Pipelined requests run concurrently on the worker pool; a lone
+            # request is answered inline, sparing it the thread-pool hop.
             try:
-                response = server.app_handler(message)
-                status = STATUS_OK
-            except Exception as exc:  # deliver faults instead of dropping the socket
-                response = TransportMessage("text/plain", str(exc).encode("utf-8"))
-                status = STATUS_FAULT
-            try:
-                _write_frame(sock, response, status)
-            except (ConnectionError, OSError):
+                more, _, _ = select.select([sock], [], [], 0)
+            except (OSError, ValueError):
                 return
+            with wlock:
+                inline = not more and not busy[0]
+                if not inline:
+                    busy[0] += 1
+            if inline:
+                _respond(server, sock, wlock, corr_id, message)
+            else:
+                try:
+                    server.executor.submit(offloaded, corr_id, message)
+                except RuntimeError:  # server shutting down
+                    return
 
 
 class _Server(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, app_handler: RequestHandler):
+    def __init__(self, address, app_handler: RequestHandler, workers: int = 32):
         super().__init__(address, _Handler)
         self.app_handler = app_handler
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="tcp-worker"
+        )
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.executor.shutdown(wait=False, cancel_futures=True)
 
 
 class TcpListener:
-    """A framed-TCP server endpoint; URL scheme ``tcp://host:port``."""
+    """A framed-TCP server endpoint; URL scheme ``tcp://host:port``.
 
-    def __init__(self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0):
-        self._server = _Server((host, port), handler)
+    ``workers`` bounds the shared pool that runs pipelined requests
+    concurrently (a lone request on a connection is served inline).
+    """
+
+    def __init__(self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 32):
+        self._server = _Server((host, port), handler, workers=workers)
         self._host, self._port = self._server.server_address[:2]
         self._thread = threading.Thread(
             target=self._server.serve_forever,
@@ -122,10 +255,241 @@ class TcpListener:
         self._server.server_close()
 
 
-class TcpTransport:
-    """Client side of the framed-TCP transport (persistent connection)."""
+# -- client side --------------------------------------------------------------
 
-    def __init__(self, url: str, connect_timeout: float = 5.0):
+
+class _Pending:
+    """One in-flight request awaiting its correlated reply."""
+
+    __slots__ = ("done", "message", "status", "error")
+
+    def __init__(self):
+        self.done = False
+        self.message: TransportMessage | None = None
+        self.status = STATUS_OK
+        self.error: Exception | None = None
+
+
+class _Channel:
+    """One multiplexed socket: many in-flight requests, demuxed by id.
+
+    There is no dedicated reader thread.  Callers take turns reading
+    (leader/follower): a lone request keeps the classic send-then-recv-on-
+    this-thread fast path — no extra context switch on the latency-critical
+    single-caller case — while under concurrency whichever caller holds the
+    read lease demultiplexes reply frames to the others by correlation id.
+    """
+
+    def __init__(self, url: str, sock: socket.socket):
+        self._url = url
+        self._sock = sock
+        self._cv = threading.Condition()
+        self._wlock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._next_id = 1
+        self._reading = False  # a leader currently owns recv
+        self._dead = False
+        self._closing = False
+        self._close_reason = "transport closed"
+        self._hdr = bytearray(_HEADER.size)  # reused by whoever leads
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def request(
+        self, message: TransportMessage, timeout: float | None
+    ) -> tuple[TransportMessage, int]:
+        corr_id, pending = self._register()
+        try:
+            payload = message.payload
+            prefix = _frame_prefix(corr_id, message.content_type, STATUS_OK, len(payload))
+            with self._wlock:
+                _send_buffers(self._sock, (prefix, payload))
+        except (socket.timeout, ConnectionError, OSError) as exc:
+            self._abandon(corr_id)
+            self._fail(f"connection to {self._url} lost: {exc}")
+            raise TransportClosedError(f"connection to {self._url} lost: {exc}") from exc
+        return self._await(corr_id, pending, timeout)
+
+    # -- demultiplexing ----------------------------------------------------
+
+    def _register(self) -> tuple[int, _Pending]:
+        with self._cv:
+            if self._dead or self._closing:
+                raise TransportClosedError(self._close_reason)
+            corr_id = self._next_id
+            self._next_id += 1
+            pending = _Pending()
+            self._pending[corr_id] = pending
+            return corr_id, pending
+
+    def _abandon(self, corr_id: int) -> None:
+        with self._cv:
+            self._pending.pop(corr_id, None)
+
+    def _await(
+        self, corr_id: int, pending: _Pending, timeout: float | None
+    ) -> tuple[TransportMessage, int]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            lead = False
+            with self._cv:
+                if pending.done:
+                    break
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # abandoning the id keeps the channel healthy: the
+                        # late reply is demuxed to a missing id and dropped
+                        self._pending.pop(corr_id, None)
+                        raise HarnessTimeoutError(f"request to {self._url} timed out")
+                if not self._reading:
+                    self._reading = True
+                    lead = True
+                else:
+                    self._cv.wait(remaining)
+                    continue
+            try:
+                self._lead(pending, deadline)
+            finally:
+                with self._cv:
+                    self._reading = False
+                    self._cv.notify_all()
+        if pending.error is not None:
+            raise pending.error
+        return pending.message, pending.status  # type: ignore[return-value]
+
+    def _lead(self, pending: _Pending, deadline: float | None) -> None:
+        """Read frames and dispatch them until *pending* is resolved.
+
+        Never raises: socket failures poison the channel (waking every
+        waiter with an error), a between-frames deadline simply returns so
+        :meth:`_await` can time the caller out and hand the lease over.
+        """
+        while not pending.done:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+            try:
+                frame = self._read_one(remaining)
+            except socket.timeout:
+                return  # deadline hit between frames; nothing was consumed
+            except (TransportClosedError, TransportError, ConnectionError, OSError) as exc:
+                self._fail(f"connection to {self._url} lost: {exc}")
+                return
+            except Exception as exc:  # defensive: never leave waiters hanging
+                self._fail(f"reader failed on {self._url}: {exc}")
+                return
+            self._dispatch(*frame)
+
+    def _read_one(self, remaining: float | None) -> tuple[int, TransportMessage, int]:
+        """Read one frame; ``recv_into`` preallocated buffers, zero joins.
+
+        The first header byte may wait up to *remaining* (a clean
+        ``socket.timeout`` there consumed nothing).  After that the peer
+        owes us a whole frame: each subsequent recv gets a grace budget,
+        and stalling mid-frame is a framing failure.
+        """
+        sock = self._sock
+        hdr = memoryview(self._hdr)
+        got = 0
+        sock.settimeout(remaining)
+        while got < _HEADER.size:
+            try:
+                n = sock.recv_into(hdr[got:], _HEADER.size - got)
+            except socket.timeout:
+                if got == 0:
+                    raise
+                raise TransportClosedError("peer stalled mid-frame") from None
+            if not n:
+                raise TransportClosedError("peer closed the connection")
+            if got == 0:
+                sock.settimeout(_FRAME_GRACE_S)
+            got += n
+        (length,) = _HEADER.unpack(self._hdr)
+        if length < _MIN_BODY:
+            raise TransportError(f"short frame: {length} bytes")
+        body = memoryview(bytearray(length))
+        got = 0
+        while got < length:
+            try:
+                n = sock.recv_into(body[got:], length - got)
+            except socket.timeout:
+                raise TransportClosedError("peer stalled mid-frame") from None
+            if not n:
+                raise TransportClosedError("peer closed the connection mid-frame")
+            got += n
+        return _parse_body(body)
+
+    def _dispatch(self, corr_id: int, message: TransportMessage, status: int) -> None:
+        with self._cv:
+            pending = self._pending.pop(corr_id, None)
+            if pending is None:
+                return  # late reply for a timed-out request: dropped
+            pending.message = message
+            pending.status = status
+            pending.done = True
+            self._cv.notify_all()
+
+    def _fail(self, reason: str) -> None:
+        with self._cv:
+            if not self._dead:
+                self._dead = True
+                self._close_reason = reason
+                for pending in self._pending.values():
+                    pending.error = TransportClosedError(reason)
+                    pending.done = True
+                self._pending.clear()
+                self._cv.notify_all()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self, drain_s: float = 1.0) -> None:
+        """Stop accepting requests, drain in-flight ones, then close."""
+        with self._cv:
+            if self._dead:
+                return
+            self._closing = True
+            deadline = time.monotonic() + max(0.0, drain_s)
+            while self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+        self._fail("transport closed")
+
+
+class TcpTransport:
+    """Client side of the framed-TCP transport.
+
+    Keeps a bounded pool of up to ``pool_size`` multiplexed channels to the
+    peer, dialed lazily and picked least-loaded per request, so concurrent
+    callers share sockets without head-of-line blocking.  ``close`` drains
+    in-flight requests gracefully before tearing channels down.
+
+    ``multiplex=False`` restores the protocol-v1 *behaviour* — one channel,
+    one request in flight at a time — and exists for A/B benchmarking the
+    serialized wire path (``benchmarks/bench_c9_concurrency.py``).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        connect_timeout: float = 5.0,
+        pool_size: int | None = None,
+        multiplex: bool = True,
+        drain_timeout: float = 1.0,
+    ):
         scheme, rest = parse_url(url)
         if scheme != "tcp":
             raise TransportError(f"not a tcp url: {url!r}")
@@ -135,46 +499,69 @@ class TcpTransport:
         except ValueError as exc:
             raise TransportError(f"bad tcp url (no port): {url!r}") from exc
         self._url = url
+        self._address = (host, port)
+        self._connect_timeout = connect_timeout
+        self._drain_timeout = drain_timeout
+        self._pool_size = max(1, pool_size if pool_size is not None else DEFAULT_POOL_SIZE)
+        if not multiplex:
+            self._pool_size = 1
+        self._serial_lock = None if multiplex else threading.Lock()
         self._lock = threading.Lock()
-        try:
-            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
-        except OSError as exc:
-            raise TransportError(f"cannot connect to {url}: {exc}") from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._channels: list[_Channel] = []
         self._closed = False
+        # dial eagerly so an unreachable peer fails at construction
+        self._channels.append(self._dial())
 
-    def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+    def _dial(self) -> _Channel:
+        try:
+            sock = socket.create_connection(self._address, timeout=self._connect_timeout)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {self._url}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        return _Channel(self._url, sock)
+
+    def _pick(self) -> _Channel:
         with self._lock:
             if self._closed:
                 raise TransportClosedError("transport closed")
-            self._sock.settimeout(timeout)
-            try:
-                _write_frame(self._sock, message)
-                response, status = _read_frame(self._sock)
-            except socket.timeout as exc:
-                # The socket is mid-frame: a later reply (or the unread tail
-                # of this one) would desynchronize the framing.  Poison the
-                # connection so reuse fails fast with TransportClosedError.
-                self._closed = True
-                try:
-                    self._sock.close()
-                except OSError:
-                    pass
-                raise HarnessTimeoutError(f"request to {self._url} timed out") from exc
-            except (ConnectionError, OSError) as exc:
-                self._closed = True
-                raise TransportClosedError(f"connection to {self._url} lost: {exc}") from exc
+            if any(channel.dead for channel in self._channels):
+                self._channels = [c for c in self._channels if not c.dead]
+            for channel in self._channels:
+                if channel.in_flight == 0:
+                    return channel
+            if len(self._channels) < self._pool_size:
+                channel = self._dial()
+                self._channels.append(channel)
+                return channel
+            if not self._channels:
+                channel = self._dial()
+                self._channels.append(channel)
+                return channel
+            return min(self._channels, key=lambda c: c.in_flight)
+
+    def request(self, message: TransportMessage, timeout: float | None = None) -> TransportMessage:
+        if self._closed:
+            raise TransportClosedError("transport closed")
+        if self._serial_lock is not None:
+            with self._serial_lock:  # protocol-v1 behaviour: one call at a time
+                response, status = self._pick().request(message, timeout)
+        else:
+            response, status = self._pick().request(message, timeout)
         if status == STATUS_FAULT:
             raise TransportError(
-                f"remote fault from {self._url}: {response.payload.decode('utf-8', 'replace')}"
+                f"remote fault from {self._url}: "
+                f"{bytes(response.payload).decode('utf-8', 'replace')}"
             )
         return response
 
     def close(self) -> None:
+        """Graceful drain: no new requests, in-flight ones get to finish."""
         with self._lock:
-            if not self._closed:
-                self._closed = True
-                try:
-                    self._sock.close()
-                except OSError:
-                    pass
+            if self._closed:
+                return
+            self._closed = True
+            channels = self._channels[:]
+            self._channels.clear()
+        for channel in channels:
+            channel.close(self._drain_timeout)

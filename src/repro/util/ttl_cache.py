@@ -1,0 +1,96 @@
+"""A small thread-safe TTL cache.
+
+Built for the DVM's registry-lookup fast path: lookups that hit the
+in-memory namespace are cheap, but every remote invocation funnels through
+``lookup → resolve → encode``, and under the multiplexed wire path that
+per-call bookkeeping is the new hot spot.  Entries expire after ``ttl_s``
+seconds and the whole cache can be invalidated cheaply when membership
+events say the world changed.
+
+The clock is injectable for tests; eviction is lazy (on access) plus a
+cheap size cap so an unbounded key space cannot grow the dict forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Hashable
+
+__all__ = ["TtlCache"]
+
+
+class TtlCache:
+    """Map with per-entry expiry and whole-cache invalidation.
+
+    ``get`` returns ``(hit, value)`` rather than using a sentinel so that
+    ``None`` is a cacheable value.  ``ttl_s <= 0`` disables the cache: every
+    ``get`` misses and ``put`` is a no-op, which lets callers keep one code
+    path and make caching a constructor knob.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float,
+        max_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._ttl_s = ttl_s
+        self._max_entries = max_entries
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[Hashable, tuple[float, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def ttl_s(self) -> float:
+        return self._ttl_s
+
+    @property
+    def enabled(self) -> bool:
+        return self._ttl_s > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """Return ``(True, value)`` on a live hit, else ``(False, None)``."""
+        if not self.enabled:
+            self.misses += 1
+            return (False, None)
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                expires_at, value = entry
+                if now < expires_at:
+                    self.hits += 1
+                    return (True, value)
+                del self._entries[key]
+            self.misses += 1
+            return (False, None)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled:
+            return
+        now = self._clock()
+        with self._lock:
+            if len(self._entries) >= self._max_entries and key not in self._entries:
+                # drop expired entries first; if none expired, drop oldest-expiry
+                expired = [k for k, (t, _) in self._entries.items() if t <= now]
+                for k in expired:
+                    del self._entries[k]
+                if len(self._entries) >= self._max_entries:
+                    victim = min(self._entries, key=lambda k: self._entries[k][0])
+                    del self._entries[victim]
+            self._entries[key] = (now + self._ttl_s, value)
+
+    def invalidate(self, key: Hashable | None = None) -> None:
+        """Drop one *key* (if given) or every entry."""
+        with self._lock:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)

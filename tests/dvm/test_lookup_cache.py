@@ -1,0 +1,82 @@
+"""The DVM's TTL'd registry-lookup cache and its invalidation rules."""
+
+import pytest
+
+from repro.dvm.machine import DistributedVirtualMachine
+from repro.dvm.state import FullSynchronyState
+from repro.netsim import lan
+from repro.plugins.services import CounterService, MatMul
+from repro.util.errors import ServiceNotFoundError
+
+
+@pytest.fixture
+def dvm():
+    net = lan(4)
+    with DistributedVirtualMachine("cachedvm", net, FullSynchronyState) as machine:
+        for i in range(3):
+            machine.add_node(f"node{i}")
+        yield machine
+
+
+class TestLookupCache:
+    def test_repeat_lookup_hits_cache(self, dvm):
+        dvm.deploy("node0", MatMul)
+        first = dvm.lookup("node1", "MatMul")
+        second = dvm.lookup("node1", "MatMul")
+        assert first == second
+        assert dvm._lookup_cache.hits >= 1
+        # cached WSDL is the very same parsed document — no re-parse per call
+        assert first[1] is second[1]
+
+    def test_miss_never_cached(self, dvm):
+        """Staged publication: a lookup miss must not mask a later deploy."""
+        with pytest.raises(ServiceNotFoundError):
+            dvm.lookup("node1", "MatMul")
+        dvm.deploy("node0", MatMul)
+        assert dvm.lookup("node1", "MatMul")[0] == "node0"
+
+    def test_undeploy_invalidates(self, dvm):
+        dvm.deploy("node0", MatMul)
+        dvm.lookup("node1", "MatMul")  # primes the cache
+        dvm.undeploy("node0", "MatMul")
+        with pytest.raises(ServiceNotFoundError):
+            dvm.lookup("node1", "MatMul")
+
+    def test_membership_event_invalidates(self, dvm):
+        dvm.deploy("node0", MatMul)
+        dvm.lookup("node1", "MatMul")
+        assert len(dvm._lookup_cache) == 1
+        dvm.add_node("node3")  # publishes dvm.member.joined
+        assert len(dvm._lookup_cache) == 0
+
+    def test_redeploy_elsewhere_visible_immediately(self, dvm):
+        """Failover shape: undeploy on one node, deploy on another."""
+        dvm.deploy("node0", CounterService)
+        assert dvm.lookup("node2", "CounterService")[0] == "node0"
+        dvm.undeploy("node0", "CounterService")
+        dvm.deploy("node1", CounterService)
+        assert dvm.lookup("node2", "CounterService")[0] == "node1"
+
+    def test_ttl_zero_disables(self):
+        net = lan(2)
+        with DistributedVirtualMachine(
+            "nocache", net, FullSynchronyState, lookup_cache_ttl_s=0
+        ) as machine:
+            machine.add_node("node0")
+            machine.add_node("node1")
+            machine.deploy("node0", MatMul)
+            machine.lookup("node1", "MatMul")
+            machine.lookup("node1", "MatMul")
+            assert machine._lookup_cache.hits == 0
+            assert len(machine._lookup_cache) == 0
+
+    def test_ttl_expiry_refreshes(self, dvm):
+        dvm.deploy("node0", MatMul)
+        dvm.lookup("node1", "MatMul")
+        # reach inside: force the clock past the TTL
+        cache = dvm._lookup_cache
+        with cache._lock:
+            cache._entries = {
+                k: (expires - 10_000.0, v) for k, (expires, v) in cache._entries.items()
+            }
+        assert dvm.lookup("node1", "MatMul")[0] == "node0"  # refetched, not stale

@@ -206,31 +206,44 @@ class TestHttp:
 
         run_all([lambda n=n: hammer(n) for n in range(6)])
 
+    def test_stale_keepalive_retried_once(self, server):
+        """A server that dropped the idle connection costs one transparent
+        reconnect, not a visible TransportError."""
+        import http.client
 
-class TestTcpTimeoutPoisoning:
-    def test_timeout_poisons_connection(self):
-        from repro.util.errors import HarnessTimeoutError
+        transport = HttpTransport(server.url)
+        assert transport.request(TransportMessage("t", b"warm")).payload == b"mraw"
+        real_round_trip = transport._round_trip
+        failures = iter([http.client.RemoteDisconnected("stale")])
 
-        release = threading.Event()
+        def flaky(message):
+            try:
+                raise next(failures)
+            except StopIteration:
+                return real_round_trip(message)
 
-        def slow_handler(message: TransportMessage) -> TransportMessage:
-            release.wait(5.0)
-            return TransportMessage(message.content_type, message.payload[::-1])
+        transport._round_trip = flaky
+        assert transport.request(TransportMessage("t", b"abc")).payload == b"cba"
+        transport.close()
 
-        listener = TcpListener(slow_handler)
-        transport = TcpTransport(listener.url)
-        try:
-            with pytest.raises(HarnessTimeoutError):
-                transport.request(TransportMessage("t", b"x"), timeout=0.1)
-            # the socket is mid-frame: reuse must fail fast, not desynchronize
-            with pytest.raises(TransportClosedError):
-                transport.request(TransportMessage("t", b"y"))
-        finally:
-            release.set()
-            transport.close()
-            listener.close()
+    def test_stale_keepalive_not_retried_twice(self, server):
+        import http.client
 
-    def test_fresh_connection_works_after_poisoning(self):
+        transport = HttpTransport(server.url)
+
+        def always_stale(message):
+            raise http.client.RemoteDisconnected("still stale")
+
+        transport._round_trip = always_stale
+        with pytest.raises(TransportError):
+            transport.request(TransportMessage("t", b"abc"))
+        transport.close()
+
+
+class TestTcpTimeout:
+    def test_timeout_leaves_connection_usable(self):
+        """With correlated frames a timeout abandons the id instead of
+        poisoning the socket: the late reply is dropped, not mis-delivered."""
         from repro.util.errors import HarnessTimeoutError
 
         release = threading.Event()
@@ -242,10 +255,36 @@ class TestTcpTimeoutPoisoning:
             return TransportMessage(message.content_type, message.payload[::-1])
 
         listener = TcpListener(handler)
-        poisoned = TcpTransport(listener.url)
+        transport = TcpTransport(listener.url)
         try:
             with pytest.raises(HarnessTimeoutError):
-                poisoned.request(TransportMessage("t", b"x"), timeout=0.1)
+                transport.request(TransportMessage("t", b"x"), timeout=0.1)
+            slow[0] = False
+            release.set()
+            # the same transport keeps working, and the answer belongs to
+            # THIS request (the slow request's late reply is discarded)
+            assert transport.request(TransportMessage("t", b"ab"), timeout=5.0).payload == b"ba"
+        finally:
+            release.set()
+            transport.close()
+            listener.close()
+
+    def test_fresh_connection_works_after_timeout(self):
+        from repro.util.errors import HarnessTimeoutError
+
+        release = threading.Event()
+        slow = [True]
+
+        def handler(message: TransportMessage) -> TransportMessage:
+            if slow[0]:
+                release.wait(5.0)
+            return TransportMessage(message.content_type, message.payload[::-1])
+
+        listener = TcpListener(handler)
+        timed_out = TcpTransport(listener.url)
+        try:
+            with pytest.raises(HarnessTimeoutError):
+                timed_out.request(TransportMessage("t", b"x"), timeout=0.1)
             slow[0] = False
             release.set()
             fresh = TcpTransport(listener.url)
@@ -253,5 +292,5 @@ class TestTcpTimeoutPoisoning:
             fresh.close()
         finally:
             release.set()
-            poisoned.close()
+            timed_out.close()
             listener.close()

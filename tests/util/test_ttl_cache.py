@@ -1,0 +1,75 @@
+"""TtlCache — expiry, invalidation, stats, and the disabled mode."""
+
+from repro.util.ttl_cache import TtlCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTtlCache:
+    def test_miss_then_hit(self):
+        cache = TtlCache(ttl_s=1.0)
+        assert cache.get("k") == (False, None)
+        cache.put("k", 42)
+        assert cache.get("k") == (True, 42)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_none_is_cacheable(self):
+        cache = TtlCache(ttl_s=1.0)
+        cache.put("k", None)
+        assert cache.get("k") == (True, None)
+
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = TtlCache(ttl_s=2.0, clock=clock)
+        cache.put("k", "v")
+        clock.now += 1.9
+        assert cache.get("k") == (True, "v")
+        clock.now += 0.2
+        assert cache.get("k") == (False, None)
+        assert len(cache) == 0  # expired entry was dropped on access
+
+    def test_invalidate_one_key(self):
+        cache = TtlCache(ttl_s=10.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert cache.get("a") == (False, None)
+        assert cache.get("b") == (True, 2)
+
+    def test_invalidate_all(self):
+        cache = TtlCache(ttl_s=10.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_zero_ttl_disables(self):
+        cache = TtlCache(ttl_s=0.0)
+        assert not cache.enabled
+        cache.put("k", 1)
+        assert cache.get("k") == (False, None)
+        assert len(cache) == 0
+
+    def test_max_entries_bounded(self):
+        clock = FakeClock()
+        cache = TtlCache(ttl_s=10.0, max_entries=4, clock=clock)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) <= 4
+        assert cache.get(9) == (True, 9)  # newest entry survives
+
+    def test_expired_evicted_before_live(self):
+        clock = FakeClock()
+        cache = TtlCache(ttl_s=5.0, max_entries=2, clock=clock)
+        cache.put("old", 1)
+        clock.now += 10  # "old" is now expired
+        cache.put("live", 2)
+        cache.put("new", 3)  # at capacity: must evict "old", not "live"
+        assert cache.get("live") == (True, 2)
+        assert cache.get("new") == (True, 3)
