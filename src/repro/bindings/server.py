@@ -8,6 +8,8 @@ service published with SOAP + XDR + local ports (as in Figure 8) is one
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.bindings.dispatcher import ObjectDispatcher
 from repro.encoding.registry import CodecRegistry, default_registry
 from repro.soap.codec import SoapMessageCodec
@@ -29,14 +31,23 @@ class BindingServer:
     def __init__(self, dispatcher: ObjectDispatcher, codecs: CodecRegistry | None = None):
         self.dispatcher = dispatcher
         self._codecs = codecs or default_registry
+        self._fault_codec = SoapMessageCodec()
         self._listeners: list = []
 
     # -- request pipeline ------------------------------------------------------
 
     def _handle(self, message: TransportMessage) -> TransportMessage:
-        """Decode → dispatch → encode, fault-mapping errors into the codec."""
-        codec = self._codecs.get(_normalize(message.content_type))
+        """Decode → dispatch → encode, fault-mapping errors into the codec.
+
+        The codec lookup itself runs under the fault mapping: an unknown or
+        malformed ``Content-Type`` answers with a SOAP fault from the default
+        codec instead of blowing up the transport (a 500 with an empty body
+        on HTTP, a raw fault frame on TCP), so callers always get a reply
+        they can decode.
+        """
+        codec = self._fault_codec
         try:
+            codec = self._codecs.get(_normalize(message.content_type))
             target, operation, args = codec.decode_call(message.payload)
             result = codec.encode_reply(self.dispatcher.invoke(target, operation, args))
         except Exception as exc:
@@ -85,11 +96,16 @@ class BindingServer:
         )
 
 
+@lru_cache(maxsize=256)
 def _normalize(content_type: str) -> str:
     """Map a full Content-Type header to a registered codec key.
 
     ``text/xml; charset=utf-8`` → ``text/xml``;
     ``text/xml; arrays=items`` keeps its array-mode parameter.
+
+    Memoized: clients send the same handful of header strings for the
+    lifetime of a connection, so the split/strip work is paid once per
+    distinct header rather than once per request.
     """
     parts = [p.strip() for p in content_type.split(";")]
     base = parts[0]

@@ -24,6 +24,7 @@ from repro.util.errors import EncodingError
 
 __all__ = [
     "encode_array_base64",
+    "encode_array_base64_bytes",
     "decode_array_base64",
     "encode_array_base64_pure",
     "decode_array_base64_pure",
@@ -44,13 +45,37 @@ XSD_TYPE_FOR_DTYPE = {
 }
 
 
+#: dtype name -> (native dtype, big-endian dtype); ``np.dtype(str)`` and
+#: ``newbyteorder`` cost enough to matter on the per-message hot path
+_DTYPE_PAIRS: dict[str, tuple[np.dtype, np.dtype]] = {}
+
+
+def _dtype_pair(dtype: str) -> tuple[np.dtype, np.dtype]:
+    pair = _DTYPE_PAIRS.get(dtype)
+    if pair is None:
+        native = np.dtype(dtype)
+        pair = _DTYPE_PAIRS[dtype] = (native, native.newbyteorder(">"))
+    return pair
+
+
 def encode_array_base64(values, dtype: str = "float64") -> str:
     """Encode a numeric sequence as base64 text of big-endian machine values."""
+    return encode_array_base64_bytes(values, dtype).decode("ascii")
+
+
+def encode_array_base64_bytes(values, dtype: str = "float64") -> bytes:
+    """Like :func:`encode_array_base64` but returns ASCII ``bytes``.
+
+    The big-endian conversion is the only copy: ``b64encode`` reads the
+    array buffer through ``memoryview`` (no ``tobytes()`` detour), and the
+    streaming envelope writer splices the result into its output buffer
+    without ever decoding to ``str``.
+    """
     try:
-        array = np.ascontiguousarray(values, dtype=np.dtype(dtype).newbyteorder(">"))
+        array = np.ascontiguousarray(values, dtype=_dtype_pair(dtype)[1])
     except (TypeError, ValueError) as exc:
         raise EncodingError(f"cannot encode as {dtype}: {exc}") from exc
-    return base64.b64encode(array.tobytes()).decode("ascii")
+    return base64.b64encode(memoryview(array).cast("B"))
 
 
 def decode_array_base64(text: str, dtype: str = "float64") -> np.ndarray:
@@ -59,12 +84,15 @@ def decode_array_base64(text: str, dtype: str = "float64") -> np.ndarray:
         raw = base64.b64decode(text.encode("ascii"), validate=True)
     except (binascii.Error, ValueError) as exc:
         raise EncodingError(f"invalid base64 payload: {exc}") from exc
-    dt = np.dtype(dtype)
+    try:
+        dt, dt_be = _dtype_pair(dtype)
+    except TypeError as exc:
+        raise EncodingError(f"unsupported dtype: {dtype}") from exc
     if len(raw) % dt.itemsize:
         raise EncodingError(
             f"payload length {len(raw)} not a multiple of {dt.itemsize} ({dtype})"
         )
-    return np.frombuffer(raw, dtype=dt.newbyteorder(">")).astype(dt, copy=True)
+    return np.frombuffer(raw, dtype=dt_be).astype(dt, copy=True)
 
 
 _STRUCT_FOR_DTYPE = {

@@ -28,6 +28,14 @@ class SoapMessageCodec:
     def encode_call(self, target: str, operation: str, args: tuple | list) -> bytes:
         return env.build_call_envelope(target, operation, args, self.array_mode)
 
+    def call_encoder(self, target: str, operation: str):
+        """A cached marshalling plan: every constant byte of the envelope
+        (XML declaration, xmlns block, operation tag with its ``target``
+        attribute) is rendered once; per call only the argument fragments
+        are written.  Stubs probe for this and wire it into their
+        per-operation plan exactly as they do for XDR."""
+        return env.call_encoder(target, operation, self.array_mode).encode
+
     def decode_call(self, data: bytes) -> tuple[str, str, list]:
         # the zero-copy TCP path hands memoryview payloads; XML parsing needs bytes
         if not isinstance(data, (bytes, bytearray, str)):
@@ -44,11 +52,18 @@ class SoapMessageCodec:
             data = bytes(data)
         return env.parse_reply_envelope(data)
 
-    @staticmethod
-    def fault_to_exception(data: bytes) -> SoapFaultError | None:
-        """Parse *data*; return the fault it carries, or None for a success reply."""
-        try:
-            env.parse_reply_envelope(data)
-            return None
-        except SoapFaultError as fault:
-            return fault
+    def decode_reply_ex(self, data: bytes) -> tuple[Any, SoapFaultError | None]:
+        """Decode a reply in a single parse, returning ``(result, fault)``.
+
+        Exactly one of the pair is meaningful.  Callers that want to inspect
+        a fault without unwinding (supervisors, retry policies) use this
+        instead of calling ``decode_reply`` under ``try`` and re-parsing.
+        """
+        if not isinstance(data, (bytes, bytearray, str)):
+            data = bytes(data)
+        return env.parse_reply_envelope_ex(data)
+
+    def fault_to_exception(self, data: bytes) -> SoapFaultError | None:
+        """Parse *data* once; return the fault it carries, or None for a
+        success reply."""
+        return self.decode_reply_ex(data)[1]

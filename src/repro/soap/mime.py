@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.soap.values import element_to_value, value_to_element
 from repro.util.errors import EncodingError, SoapFaultError
-from repro.xmlkit import NS_HARNESS, NS_SOAP_ENV, QName, XmlElement, parse, to_string
+from repro.xmlkit import NS_HARNESS, NS_SOAP_ENV, QName, XmlElement, parse, to_bytes
 
 __all__ = ["MimeMessageCodec", "MIME_CONTENT_TYPE"]
 
@@ -158,7 +158,7 @@ class MimeMessageCodec:
         attachments: list[tuple[str, bytes]] = []
         for i, arg in enumerate(args):
             _attach_value(call.element(f"arg{i}"), arg, attachments)
-        manifest = to_string(envelope, indent=False).encode("utf-8")
+        manifest = to_bytes(envelope, indent=False)
         return _pack_parts([("envelope", manifest)] + attachments)
 
     def decode_call(self, data: bytes) -> tuple[str, str, list]:
@@ -185,7 +185,7 @@ class MimeMessageCodec:
         else:
             reply = body.element(QName("", "Response"))
             _attach_value(reply.element("return"), result, attachments)
-        manifest = to_string(envelope, indent=False).encode("utf-8")
+        manifest = to_bytes(envelope, indent=False)
         return _pack_parts([("envelope", manifest)] + attachments)
 
     def decode_reply(self, data: bytes) -> Any:

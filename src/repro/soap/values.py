@@ -16,17 +16,37 @@ measures each.
 
 from __future__ import annotations
 
+import base64
 from typing import Any
+from xml.sax.saxutils import escape, quoteattr
 
 import numpy as np
 
-from repro.encoding.base64codec import decode_array_base64, encode_array_base64
-from repro.util.errors import EncodingError
+from repro.encoding.base64codec import (
+    decode_array_base64,
+    encode_array_base64,
+    encode_array_base64_bytes,
+)
+from repro.util.errors import EncodingError, XmlError
 from repro.xmlkit import NS_HARNESS, NS_SOAP_ENC, NS_XSD, NS_XSI, QName, XmlElement
 
-__all__ = ["value_to_element", "element_to_value", "ARRAY_MODES"]
+__all__ = [
+    "value_to_element",
+    "element_to_value",
+    "encode_value_into",
+    "ARRAY_MODES",
+    "NSF_XSI",
+    "NSF_HARNESS",
+    "NSF_SOAPENC",
+]
 
 ARRAY_MODES = ("base64", "items")
+
+#: Namespace-usage flags returned by :func:`encode_value_into`; the envelope
+#: template layer maps the union over all arguments to a cached xmlns block.
+NSF_XSI = 1
+NSF_HARNESS = 2
+NSF_SOAPENC = 4
 
 _XSI_TYPE = QName(NS_XSI, "type")
 _H_DTYPE = QName(NS_HARNESS, "dtype")
@@ -225,3 +245,275 @@ def element_to_value(element: XmlElement) -> Any:
         # Untyped: bare string content (lenient towards foreign SOAP stacks).
         return element.text
     raise EncodingError(f"unknown xsi:type {xsi_type!r}")
+
+
+# -- streaming fast path -----------------------------------------------------------
+#
+# The tree path above (value_to_element / element_to_value) is the reference
+# implementation; the functions below produce and consume byte-identical XML
+# without materialising any XmlElement.  Encoding appends fragments straight
+# to a caller-owned bytearray (base64 payloads never pass through ``str``);
+# decoding consumes expat events via ValueFrame (see soap.envelope).
+
+def encode_value_into(buf: bytearray, name: str, value: Any, array_mode: str, extra: str = "") -> int:
+    """Append ``<name …>…</name>`` to *buf*; return the NSF_* flags used.
+
+    *extra* is a pre-rendered attribute string spliced right after the tag
+    name (the Struct path uses it for ``key=…``), matching the tree writer's
+    attribute order.
+    """
+    if value is None:
+        buf += f'<{name}{extra} xsi:nil="true"/>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, bool):
+        word = "true" if value else "false"
+        buf += f'<{name}{extra} xsi:type="xsd:boolean">{word}</{name}>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, int):
+        buf += f'<{name}{extra} xsi:type="xsd:long">{value}</{name}>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, float):
+        buf += f'<{name}{extra} xsi:type="xsd:double">{float(value)!r}</{name}>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, str):
+        text = escape(_check_xml_text(value, "xsd:string value"))
+        if text:
+            buf += f'<{name}{extra} xsi:type="xsd:string">{text}</{name}>'.encode("utf-8")
+        else:
+            buf += f'<{name}{extra} xsi:type="xsd:string"/>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, (bytes, bytearray)):
+        encoded = base64.b64encode(value)
+        if encoded:
+            buf += f'<{name}{extra} xsi:type="xsd:base64Binary">'.encode("utf-8")
+            buf += encoded
+            buf += f'</{name}>'.encode("utf-8")
+        else:
+            buf += f'<{name}{extra} xsi:type="xsd:base64Binary"/>'.encode("utf-8")
+        return NSF_XSI
+    if isinstance(value, np.ndarray):
+        return _encode_ndarray_into(buf, name, value, array_mode, extra)
+    if isinstance(value, np.generic):
+        return encode_value_into(buf, name, value.item(), array_mode, extra)
+    if isinstance(value, (list, tuple)):
+        numeric = _as_numeric(value)
+        if numeric is not None:
+            return _encode_ndarray_into(buf, name, numeric, array_mode, extra)
+        buf += (
+            f'<{name}{extra} xsi:type="soapenc:Array"'
+            f' soapenc:arrayType="xsd:anyType[{len(value)}]">'
+        ).encode("utf-8")
+        mark = len(buf)
+        flags = NSF_XSI | NSF_SOAPENC
+        for item in value:
+            flags |= encode_value_into(buf, "item", item, array_mode)
+        if len(buf) == mark:
+            buf[mark - 1 :] = b"/>"
+        else:
+            buf += f'</{name}>'.encode("utf-8")
+        return flags
+    if isinstance(value, dict):
+        buf += f'<{name}{extra} xsi:type="harness:Struct">'.encode("utf-8")
+        mark = len(buf)
+        # "harness:Struct" is an attribute *value*: it never forces an
+        # xmlns:harness declaration (only harness-named attrs like
+        # harness:dtype do), so the mask stays xsi-only here.
+        flags = NSF_XSI
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError("SOAP struct keys must be strings")
+            key_attr = f" key={quoteattr(_check_xml_text(key, 'struct key'))}"
+            flags |= encode_value_into(buf, "entry", item, array_mode, key_attr)
+        if len(buf) == mark:
+            buf[mark - 1 :] = b"/>"
+        else:
+            buf += f'</{name}>'.encode("utf-8")
+        return flags
+    raise EncodingError(f"cannot SOAP-encode {type(value).__name__}")
+
+
+_X_XSI_TYPE = f"{NS_XSI}}}type"
+_X_XSI_NIL = f"{NS_XSI}}}nil"
+_X_H_DTYPE = f"{NS_HARNESS}}}dtype"
+_X_H_SHAPE = f"{NS_HARNESS}}}shape"
+
+
+def expat_attr(attrs: dict[str, str], exact: str, plain: str, local: str) -> str | None:
+    """The tree model's lenient attribute lookup over expat-shaped names.
+
+    Mirrors ``element.get(QName(ns, local)) or element.get(local)``: the
+    exact namespaced key wins unless absent/empty, then the unqualified
+    name, then any attribute with a matching local part.
+    """
+    value = attrs.get(exact)
+    if value:
+        return value
+    value = attrs.get(plain)
+    if value is not None:
+        return value
+    for key in attrs:
+        if key.rpartition("}")[2] == local:
+            return attrs[key]
+    return None
+
+
+class ValueFrame:
+    """One open element in the expat pull decoder.
+
+    Collects exactly what :func:`element_to_value` reads from a tree node —
+    the relevant attributes, the pre-child text, and per-child records —
+    so the value materialises the moment the element closes, with no
+    :class:`XmlElement` in between.  ``raw`` frames (typed-array items,
+    fault details) skip value decoding entirely; only their text is kept.
+    """
+
+    __slots__ = ("local", "attrs", "text", "children", "has_children", "raw", "raw_children")
+
+    def __init__(self, local: str, attrs: dict[str, str], raw: bool = False):
+        self.local = local
+        self.attrs = attrs
+        self.text: list[str] = []
+        self.children: list[tuple[str, str | None, Any, str]] = []
+        self.has_children = False
+        self.raw = raw
+        # typed arrays read their items' raw text; decoding each item as a
+        # value would double the text-conversion cost for nothing
+        self.raw_children = raw or bool(
+            attrs
+            and expat_attr(attrs, _X_H_DTYPE, "dtype", "dtype") is not None
+            and (expat_attr(attrs, _X_XSI_TYPE, "type", "type") or "").split(":", 1)[-1] == "Array"
+        )
+
+    def element_text(self) -> str:
+        """The tree model's ``.text``: pre-child text, stripped when the
+        element has children (that whitespace is indentation)."""
+        text = "".join(self.text)
+        return text.strip() if self.has_children else text
+
+    def close(self) -> tuple[str, str | None, Any, str]:
+        """Finish this frame into a ``(local, key, value, text)`` record."""
+        text = self.element_text()
+        key = expat_attr(self.attrs, "", "key", "key") if self.attrs else None
+        value = None if self.raw else self._decode(text)
+        return self.local, key, value, text
+
+    def _shape(self):
+        shape_attr = self.attrs.get(_X_H_SHAPE)
+        return tuple(int(d) for d in shape_attr.split()) if shape_attr is not None else None
+
+    def _decode(self, text: str) -> Any:
+        attrs = self.attrs
+        if not attrs:
+            # no attributes at all: can't be nil or typed — plain text value
+            return text
+        if attrs.get(_X_XSI_NIL) == "true" or expat_attr(attrs, "", "nil", "nil") == "true":
+            return None
+        xsi_type = expat_attr(attrs, _X_XSI_TYPE, "type", "type") or ""
+        local = xsi_type.split(":", 1)[-1]
+
+        if local == "boolean":
+            word = text.strip().lower()
+            if word not in _BOOL_WORDS:
+                raise EncodingError(f"invalid xsd:boolean text: {text!r}")
+            return _BOOL_WORDS[word]
+        if local in ("int", "long", "short", "byte", "unsignedInt", "unsignedLong", "integer"):
+            try:
+                return int(text.strip())
+            except ValueError as exc:
+                raise EncodingError(f"invalid integer text: {text!r}") from exc
+        if local in ("double", "float", "decimal"):
+            try:
+                return float(text.strip())
+            except ValueError as exc:
+                raise EncodingError(f"invalid float text: {text!r}") from exc
+        if local == "string":
+            return text
+        if local == "base64Binary":
+            dtype_attr = expat_attr(attrs, _X_H_DTYPE, "dtype", "dtype")
+            if dtype_attr is not None:
+                array = decode_array_base64(text.strip(), dtype_attr)
+                shape = self._shape()
+                if shape is not None:
+                    array = array.reshape(shape)
+                return array
+            try:
+                return base64.b64decode(text.strip().encode("ascii"), validate=True)
+            except Exception as exc:
+                raise EncodingError(f"invalid base64Binary: {exc}") from exc
+        if local == "Array":
+            items = [c for c in self.children if c[0] == "item"]
+            dtype_attr = expat_attr(attrs, _X_H_DTYPE, "dtype", "dtype")
+            if dtype_attr is not None:
+                dtype = np.dtype(dtype_attr)
+                if dtype.kind == "f":
+                    array = np.asarray([float(c[3]) for c in items], dtype=dtype)
+                else:
+                    array = np.asarray([int(c[3]) for c in items], dtype=dtype)
+                shape = self._shape()
+                if shape is not None:
+                    array = array.reshape(shape)
+                return array
+            return [c[2] for c in items]
+        if local == "Struct":
+            out: dict[str, Any] = {}
+            for child_local, key, value, _text in self.children:
+                if child_local != "entry":
+                    continue
+                if key is None:
+                    raise XmlError("<entry> missing required attribute 'key'")
+                out[key] = value
+            return out
+        if not xsi_type:
+            return text
+        raise EncodingError(f"unknown xsi:type {xsi_type!r}")
+
+
+#: dtype object -> dtype.name; ``np.dtype.name`` is a computed property
+#: expensive enough to show up on the per-call hot path
+_DTYPE_NAMES: dict = {}
+
+
+def _dtype_name(dtype) -> str:
+    name = _DTYPE_NAMES.get(dtype)
+    if name is None:
+        name = _DTYPE_NAMES[dtype] = dtype.name
+    return name
+
+
+def _encode_ndarray_into(buf: bytearray, name: str, array: np.ndarray, array_mode: str, extra: str) -> int:
+    array = np.asarray(array)
+    shape = " ".join(str(d) for d in array.shape)
+    dtype_name = _dtype_name(array.dtype)
+    if array_mode == "base64":
+        encoded = encode_array_base64_bytes(array.ravel(), dtype_name)
+        open_tag = (
+            f'<{name}{extra} xsi:type="xsd:base64Binary"'
+            f' harness:dtype="{dtype_name}" harness:shape="{shape}"'
+        )
+        if encoded:
+            buf += f"{open_tag}>".encode("utf-8")
+            buf += encoded
+            buf += f"</{name}>".encode("utf-8")
+        else:
+            buf += f"{open_tag}/>".encode("utf-8")
+        return NSF_XSI | NSF_HARNESS
+    flat = array.ravel()
+    xsd_type = _xsd_scalar_type(array.dtype)
+    open_tag = (
+        f'<{name}{extra} xsi:type="soapenc:Array"'
+        f' soapenc:arrayType="{xsd_type}[{flat.size}]"'
+        f' harness:dtype="{dtype_name}" harness:shape="{shape}"'
+    )
+    if array.dtype.kind == "f":
+        texts = [repr(float(v)) for v in flat]
+    elif array.dtype.kind in "iu":
+        texts = [str(int(v)) for v in flat]
+    else:
+        raise EncodingError(f"items mode cannot encode dtype {array.dtype}")
+    if texts:
+        item_open = f'<item xsi:type="{xsd_type}">'
+        middle = f"</item>{item_open}".join(texts)
+        buf += f"{open_tag}>{item_open}{middle}</item></{name}>".encode("utf-8")
+    else:
+        buf += f"{open_tag}/>".encode("utf-8")
+    return NSF_XSI | NSF_SOAPENC | NSF_HARNESS

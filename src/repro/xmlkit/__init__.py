@@ -15,7 +15,7 @@ from repro.xmlkit.qname import (
     QName,
 )
 from repro.xmlkit.query import XmlQuery, query, query_values
-from repro.xmlkit.serialize import canonicalize, parse, to_string
+from repro.xmlkit.serialize import canonicalize, parse, to_bytes, to_string
 
 __all__ = [
     "XmlElement",
@@ -35,5 +35,6 @@ __all__ = [
     "query_values",
     "canonicalize",
     "parse",
+    "to_bytes",
     "to_string",
 ]

@@ -7,6 +7,13 @@ the WSDL listings in the paper's Figures 7 and 8 are laid out.
 
 Parsing goes through ``xml.etree.ElementTree`` (expat) and converts into our
 parent-linked model.
+
+:func:`to_bytes` is the wire-path variant of :func:`to_string`: one pass
+over the tree into a flat chunk list, a single UTF-8 encode at the end, and
+a memoized namespace→prefix/declaration map keyed by the set of namespace
+URIs the tree uses — byte-identical output to
+``to_string(...).encode("utf-8")`` without the ``StringIO`` detour or a
+repeated prefix assignment for recurring document shapes.
 """
 
 from __future__ import annotations
@@ -19,18 +26,32 @@ from repro.util.errors import XmlError
 from repro.xmlkit.element import XmlElement
 from repro.xmlkit.qname import WELL_KNOWN_PREFIXES, QName
 
-__all__ = ["to_string", "parse", "canonicalize"]
+__all__ = ["to_string", "to_bytes", "parse", "canonicalize"]
 
 
-def _collect_namespaces(root: XmlElement) -> dict[str, str]:
-    """Map namespace URI -> prefix for every namespace in the tree."""
-    uris: list[str] = []
-    for node in root.iter():
-        if node.name.namespace and node.name.namespace not in uris:
-            uris.append(node.name.namespace)
-        for attr in node.attributes:
-            if attr.namespace and attr.namespace not in uris:
-                uris.append(attr.namespace)
+def to_string(root: XmlElement, indent: bool = True, xml_declaration: bool = True) -> str:
+    """Render the tree as a UTF-8 XML string with prefixes on the root."""
+    prefixes, decls = _prefixes_and_decls(root)
+    out: list[str] = []
+    if xml_declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+    _write_chunks(out, root, prefixes, decls, depth=0, indent=indent)
+    return "".join(out)
+
+
+#: Memoized (namespace-uri tuple) → (prefix map, rendered xmlns declarations).
+#: Document shapes repeat heavily on the wire paths (SOAP envelopes, WSDL
+#: manifests), so prefix assignment and declaration formatting are paid once
+#: per distinct namespace set rather than once per document.
+_NS_MEMO: dict[tuple[str, ...], tuple[dict[str, str], str]] = {}
+_NS_MEMO_LIMIT = 256
+
+
+def _prefixes_and_decls(root: XmlElement) -> tuple[dict[str, str], str]:
+    uris = tuple(_collect_uris(root))
+    memo = _NS_MEMO.get(uris)
+    if memo is not None:
+        return memo
     prefixes: dict[str, str] = {}
     auto = 0
     for uri in uris:
@@ -40,58 +61,73 @@ def _collect_namespaces(root: XmlElement) -> dict[str, str]:
         else:
             prefixes[uri] = f"ns{auto}"
             auto += 1
-    return prefixes
+    decls = "".join(
+        f' xmlns:{prefix}="{escape(uri)}"'
+        for uri, prefix in sorted(prefixes.items(), key=lambda kv: kv[1])
+    )
+    if len(_NS_MEMO) >= _NS_MEMO_LIMIT:
+        _NS_MEMO.clear()
+    _NS_MEMO[uris] = (prefixes, decls)
+    return prefixes, decls
 
 
-def to_string(root: XmlElement, indent: bool = True, xml_declaration: bool = True) -> str:
-    """Render the tree as a UTF-8 XML string with prefixes on the root."""
-    prefixes = _collect_namespaces(root)
-    out = io.StringIO()
+def _collect_uris(root: XmlElement) -> list[str]:
+    uris: list[str] = []
+    for node in root.iter():
+        if node.name.namespace and node.name.namespace not in uris:
+            uris.append(node.name.namespace)
+        for attr in node.attributes:
+            if attr.namespace and attr.namespace not in uris:
+                uris.append(attr.namespace)
+    return uris
+
+
+def to_bytes(root: XmlElement, indent: bool = False, xml_declaration: bool = True) -> bytes:
+    """Render the tree straight to UTF-8 bytes in a single pass.
+
+    Byte-identical to ``to_string(root, ...).encode("utf-8")``; used on the
+    wire paths where the intermediate ``str`` document is pure overhead.
+    """
+    prefixes, decls = _prefixes_and_decls(root)
+    out: list[str] = []
     if xml_declaration:
-        out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
-    _write(out, root, prefixes, declare_on_this=True, depth=0, indent=indent)
-    return out.getvalue()
+        out.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+    _write_chunks(out, root, prefixes, decls, depth=0, indent=indent)
+    return "".join(out).encode("utf-8")
 
 
-def _qname_text(name: QName, prefixes: dict[str, str]) -> str:
-    if not name.namespace:
-        return name.local
-    return f"{prefixes[name.namespace]}:{name.local}"
-
-
-def _write(
-    out: io.StringIO,
+def _write_chunks(
+    out: list[str],
     node: XmlElement,
     prefixes: dict[str, str],
-    declare_on_this: bool,
+    decls: str,
     depth: int,
     indent: bool,
 ) -> None:
     pad = "  " * depth if indent else ""
-    tag = _qname_text(node.name, prefixes)
-    out.write(f"{pad}<{tag}")
-    if declare_on_this:
-        for uri, prefix in sorted(prefixes.items(), key=lambda kv: kv[1]):
-            out.write(f' xmlns:{prefix}="{escape(uri)}"')
+    name = node.name
+    tag = f"{prefixes[name.namespace]}:{name.local}" if name.namespace else name.local
+    out.append(f"{pad}<{tag}")
+    if decls:
+        out.append(decls)
     for attr, value in node.attributes.items():
-        out.write(f" {_qname_text(attr, prefixes)}={quoteattr(value)}")
+        attr_text = (
+            f"{prefixes[attr.namespace]}:{attr.local}" if attr.namespace else attr.local
+        )
+        out.append(f" {attr_text}={quoteattr(value)}")
     if not node.children and not node.text:
-        out.write("/>")
-        if indent:
-            out.write("\n")
+        out.append("/>\n" if indent else "/>")
         return
-    out.write(">")
+    out.append(">")
     if node.text:
-        out.write(escape(node.text))
+        out.append(escape(node.text))
     if node.children:
         if indent:
-            out.write("\n")
+            out.append("\n")
         for child in node.children:
-            _write(out, child, prefixes, False, depth + 1, indent)
-        out.write(pad)
-    out.write(f"</{tag}>")
-    if indent:
-        out.write("\n")
+            _write_chunks(out, child, prefixes, "", depth + 1, indent)
+        out.append(pad)
+    out.append(f"</{tag}>\n" if indent else f"</{tag}>")
 
 
 def parse(text: str | bytes) -> XmlElement:

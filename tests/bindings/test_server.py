@@ -86,6 +86,41 @@ class TestMultiBindingExposure:
             codec.decode_reply(response.payload)
         client.close()
 
+    def test_unknown_content_type_answers_soap_fault(self, server):
+        """A bogus Content-Type must produce a decodable fault from the
+        default codec, not a listener-level error, and the connection must
+        stay usable."""
+        from repro.soap.codec import SoapMessageCodec
+
+        http = server.expose_soap_http()
+        client = HttpTransport(http.url)
+        codec = SoapMessageCodec()
+        response = client.request(TransportMessage(
+            "application/x-nonsense", codec.encode_call("Counter#0", "increment", (1,))
+        ))
+        assert response.content_type.startswith("text/xml")
+        fault = codec.fault_to_exception(bytes(response.payload))
+        assert fault is not None
+        assert "no codec" in fault.faultstring
+        # same connection, valid request: still served
+        response = client.request(TransportMessage(
+            "text/xml", codec.encode_call("Counter#0", "increment", (5,))
+        ))
+        assert codec.decode_reply(bytes(response.payload)) == 5
+        client.close()
+
+    def test_malformed_content_type_over_tcp_answers_soap_fault(self, server):
+        from repro.soap.codec import SoapMessageCodec
+        from repro.transport import TcpTransport
+
+        tcp = server.expose_xdr_tcp()
+        client = TcpTransport(tcp.url)
+        codec = SoapMessageCodec()
+        response = client.request(TransportMessage("garbage/; ;;", b"not xml"))
+        fault = codec.fault_to_exception(bytes(response.payload))
+        assert fault is not None
+        client.close()
+
     def test_inproc_exposure(self, server, rng):
         from repro.transport import InProcTransport
         from repro.encoding.registry import default_registry

@@ -1,0 +1,346 @@
+"""The streaming SOAP fast path against its tree-based reference.
+
+The template/expat implementation must be *byte-identical* on the wire and
+*value-identical* on decode to the original infoset implementation — these
+tests pin that contract, plus the fault/round-trip behaviour over every
+listener kind and template-cache isolation under concurrent stubs.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.soap import envelope as env
+from repro.soap.codec import SoapMessageCodec
+from repro.util.errors import EncodingError, SoapFaultError, XmlError
+
+NSENV = "http://schemas.xmlsoap.org/soap/envelope/"
+NSXSI = "http://www.w3.org/2001/XMLSchema-instance"
+
+VALUE_MATRIX = [
+    (),
+    (1, 2.5, "hi", True, False, None),
+    ("",),
+    (b"",),
+    (b"\x00\x01binary",),
+    ("unié <&> \"q'\"",),
+    ({"k1": [1, 2, 3], "nested": {"a": None, "b": 2.0}},),
+    ({},),
+    ([],),
+    ([1, 2, 3],),
+    ([1.5, 2.5],),
+    (["a", "b"],),
+    (np.arange(12, dtype=np.float64).reshape(3, 4),),
+    (np.array([], dtype=np.int32),),
+    (np.float32(1.5), np.int64(7)),
+    ((1, (2, 3)),),
+    ({"arr": np.arange(5, dtype=np.uint8)},),
+]
+
+
+def _norm(v):
+    if isinstance(v, np.ndarray):
+        return ("nd", v.dtype.name, v.shape, v.tolist())
+    if isinstance(v, (list, tuple)):
+        return [_norm(x) for x in v]
+    if isinstance(v, dict):
+        return {k: _norm(x) for k, x in v.items()}
+    return (type(v).__name__, v)
+
+
+class TestByteIdentity:
+    """Fast builders emit exactly the bytes the tree builders emit."""
+
+    @pytest.mark.parametrize("mode", ["base64", "items"])
+    @pytest.mark.parametrize("args", VALUE_MATRIX, ids=range(len(VALUE_MATRIX)))
+    def test_call_bytes_identical(self, mode, args):
+        fast = env.build_call_envelope("svc#1", "doIt", args, mode)
+        tree = env.build_call_envelope_tree("svc#1", "doIt", args, mode)
+        assert fast == tree
+
+    @pytest.mark.parametrize("mode", ["base64", "items"])
+    @pytest.mark.parametrize("args", VALUE_MATRIX, ids=range(len(VALUE_MATRIX)))
+    def test_reply_bytes_identical(self, mode, args):
+        value = args[0] if args else None
+        fast = env.build_reply_envelope(value, array_mode=mode)
+        tree = env.build_reply_envelope_tree(value, array_mode=mode)
+        assert fast == tree
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            ("soapenv:Server", "boom", "d<e"),
+            ("Client", "", ""),
+            ("x", "msg & more", ""),
+        ],
+    )
+    def test_fault_bytes_identical(self, fault):
+        assert env.build_fault_envelope(*fault) == env.build_fault_envelope_tree(*fault)
+
+    def test_quoted_target_attribute(self):
+        fast = env.build_call_envelope('a"b', "op", ())
+        assert fast == env.build_call_envelope_tree('a"b', "op", ())
+        assert b"target='a\"b'" in fast
+
+    def test_unknown_array_mode_rejected_once_args_present(self):
+        # zero args never touch the mode (matching the tree path), one does
+        env.build_call_envelope("t", "op", (), "bogus")
+        with pytest.raises(EncodingError, match="array mode"):
+            env.build_call_envelope("t", "op", (1,), "bogus")
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(EncodingError, match="cannot SOAP-encode"):
+            env.build_call_envelope("t", "op", (object(),))
+
+
+class TestPullDecoder:
+    """The expat decoder agrees with the tree parser — values and errors."""
+
+    @pytest.mark.parametrize("mode", ["base64", "items"])
+    @pytest.mark.parametrize("args", VALUE_MATRIX, ids=range(len(VALUE_MATRIX)))
+    def test_call_roundtrip_matches_tree(self, mode, args):
+        wire = env.build_call_envelope("svc#1", "doIt", args, mode)
+        fast = env.parse_call_envelope(wire)
+        tree = env.parse_call_envelope_tree(wire)
+        assert fast[:2] == tree[:2] == ("svc#1", "doIt")
+        assert [_norm(a) for a in fast[2]] == [_norm(a) for a in tree[2]]
+
+    def test_indented_foreign_envelope(self):
+        doc = (
+            f'<e:Envelope xmlns:e="{NSENV}">\n  <e:Header><x/></e:Header>\n'
+            f'  <e:Body>\n    <op target="t">\n'
+            f'      <arg0 xsi:type="xsd:long" xmlns:xsi="{NSXSI}">7</arg0>\n'
+            f"    </op>\n  </e:Body>\n</e:Envelope>"
+        ).encode()
+        assert env.parse_call_envelope(doc) == ("t", "op", [7])
+        assert env.parse_call_envelope(doc) == env.parse_call_envelope_tree(doc)
+
+    def test_default_namespace_envelope_falls_back_to_tree(self):
+        doc = (
+            f'<Envelope xmlns="{NSENV}"><Body><op target="t">'
+            f"<arg0>hi</arg0></op></Body></Envelope>"
+        ).encode()
+        assert env.parse_call_envelope(doc) == env.parse_call_envelope_tree(doc)
+
+    @pytest.mark.parametrize(
+        "doc,exc,match",
+        [
+            (b"<soapenv:Envelope", XmlError, "malformed XML"),
+            (b"<foo><Body/></foo>", EncodingError, "not a SOAP envelope"),
+            (
+                f'<e:Envelope xmlns:e="{NSENV}"><e:Header/></e:Envelope>'.encode(),
+                EncodingError,
+                "no <Body>",
+            ),
+            (
+                f'<e:Envelope xmlns:e="{NSENV}"><e:Body/></e:Envelope>'.encode(),
+                EncodingError,
+                "body is empty",
+            ),
+        ],
+    )
+    def test_error_paths_match_tree(self, doc, exc, match):
+        with pytest.raises(exc, match=match):
+            env.parse_call_envelope(doc)
+        with pytest.raises(exc, match=match):
+            env.parse_call_envelope_tree(doc)
+
+    def test_reply_missing_return(self):
+        doc = (
+            f'<e:Envelope xmlns:e="{NSENV}"><e:Body><R><x>5</x></R>'
+            f"</e:Body></e:Envelope>"
+        ).encode()
+        with pytest.raises(EncodingError, match="lacks a <return>"):
+            env.parse_reply_envelope(doc)
+
+    def test_struct_entry_missing_key(self):
+        doc = (
+            f'<e:Envelope xmlns:e="{NSENV}"><e:Body><R>'
+            f'<return xsi:type="harness:Struct" xmlns:xsi="{NSXSI}">'
+            f"<entry>5</entry></return></R></e:Body></e:Envelope>"
+        ).encode()
+        with pytest.raises(XmlError):
+            env.parse_reply_envelope(doc)
+
+    def test_unknown_xsi_type(self):
+        doc = (
+            f'<e:Envelope xmlns:e="{NSENV}"><e:Body><R>'
+            f'<return xsi:type="xsd:wat" xmlns:xsi="{NSXSI}">5</return>'
+            f"</R></e:Body></e:Envelope>"
+        ).encode()
+        with pytest.raises(EncodingError, match="unknown xsi:type"):
+            env.parse_reply_envelope(doc)
+
+    def test_fault_defaults_and_typed_faultcode(self):
+        bare = (
+            f'<e:Envelope xmlns:e="{NSENV}"><e:Body><e:Fault/></e:Body></e:Envelope>'
+        ).encode()
+        with pytest.raises(SoapFaultError) as info:
+            env.parse_reply_envelope(bare)
+        assert info.value.faultcode == "soapenv:Server"
+        assert info.value.faultstring == "unknown fault"
+
+        typed = (
+            f'<e:Envelope xmlns:e="{NSENV}"><e:Body><e:Fault>'
+            f'<faultcode xsi:type="xsd:string" xmlns:xsi="{NSXSI}">Client</faultcode>'
+            f"<faultstring>bad</faultstring><detail>why</detail>"
+            f"</e:Fault></e:Body></e:Envelope>"
+        ).encode()
+        with pytest.raises(SoapFaultError) as info:
+            env.parse_reply_envelope(typed)
+        assert (info.value.faultcode, info.value.faultstring, info.value.detail) == (
+            "Client", "bad", "why",
+        )
+
+    def test_input_type_flexibility(self):
+        wire = env.build_call_envelope("t", "op", (1, "x"))
+        expected = env.parse_call_envelope(wire)
+        assert env.parse_call_envelope(bytearray(wire)) == expected
+        assert env.parse_call_envelope(memoryview(wire)) == expected
+        assert env.parse_call_envelope(wire.decode("utf-8")) == expected
+
+
+class TestCrossModeDecoding:
+    """A decoder never needs to know which array mode the peer used."""
+
+    @pytest.mark.parametrize("encode_mode", ["base64", "items"])
+    @pytest.mark.parametrize("decode_mode", ["base64", "items"])
+    def test_items_and_base64_cross_decode(self, encode_mode, decode_mode, rng):
+        a = rng.random((4, 5))
+        encoder = SoapMessageCodec(encode_mode)
+        decoder = SoapMessageCodec(decode_mode)
+        target, op, args = decoder.decode_call(encoder.encode_call("M#0", "f", (a,)))
+        assert (target, op) == ("M#0", "f")
+        assert np.allclose(args[0], a)
+        assert args[0].shape == a.shape
+        back = decoder.decode_reply(encoder.encode_reply(a))
+        assert np.allclose(back, a)
+
+
+class TestSingleParseFaultApi:
+    def test_decode_reply_ex_success(self):
+        codec = SoapMessageCodec()
+        result, fault = codec.decode_reply_ex(codec.encode_reply([1, 2, 3]))
+        assert np.array_equal(result, [1, 2, 3])
+        assert fault is None
+
+    def test_decode_reply_ex_fault(self):
+        codec = SoapMessageCodec()
+        result, fault = codec.decode_reply_ex(codec.encode_reply(fault="kaput"))
+        assert result is None
+        assert isinstance(fault, SoapFaultError)
+        assert fault.faultstring == "kaput"
+
+    def test_fault_to_exception_single_parse(self):
+        codec = SoapMessageCodec()
+        assert codec.fault_to_exception(codec.encode_reply(0)) is None
+        fault = codec.fault_to_exception(codec.encode_reply(fault="f"))
+        assert isinstance(fault, SoapFaultError)
+
+
+class TestStubWiring:
+    """SOAP codecs now expose ``call_encoder`` — stubs pick it up like XDR."""
+
+    def test_codec_call_encoder_matches_encode_call(self, rng):
+        codec = SoapMessageCodec()
+        a = rng.random(16)
+        encoder = codec.call_encoder("M#0", "multiply")
+        assert bytes(encoder((a, a))) == codec.encode_call("M#0", "multiply", (a, a))
+
+    def test_stub_plan_uses_template(self):
+        from repro.bindings.stubs import TransportStub
+
+        codec = SoapMessageCodec()
+
+        class _NullTransport:
+            def request(self, message, timeout=None):
+                raise AssertionError("not used")
+
+        stub = TransportStub(("op",), "T#1", codec, _NullTransport(), "soap")
+        content_type, encoder = stub._plan("op")
+        assert content_type == codec.content_type
+        assert encoder((5,)) == codec.encode_call("T#1", "op", (5,))
+
+    def test_template_cache_concurrent_stubs_no_bleed(self):
+        """Many threads on distinct (target, operation) pairs: every envelope
+        must carry exactly its own target/operation/args."""
+        errors = []
+
+        def worker(idx):
+            target, op = f"svc#{idx}", f"op{idx}"
+            try:
+                for i in range(200):
+                    wire = env.build_call_envelope(target, op, (i, f"p{idx}"))
+                    t, o, args = env.parse_call_envelope(wire)
+                    if (t, o, args) != (target, op, [i, f"p{idx}"]):
+                        errors.append((idx, i, t, o, args))
+                        return
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append((idx, repr(exc)))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestFaultsOverEveryListener:
+    """A dispatch error comes back as a decodable SOAP fault on each binding."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.bindings.dispatcher import ObjectDispatcher
+        from repro.bindings.server import BindingServer
+        from repro.plugins.services import CounterService
+
+        dispatcher = ObjectDispatcher()
+        dispatcher.register("Counter#0", CounterService())
+        server = BindingServer(dispatcher)
+        yield server
+        server.close()
+
+    def _assert_fault_roundtrip(self, transport, content_type="text/xml"):
+        from repro.transport import TransportMessage
+
+        codec = SoapMessageCodec()
+        response = transport.request(
+            TransportMessage(content_type, codec.encode_call("Ghost#9", "op", ()))
+        )
+        fault = codec.fault_to_exception(bytes(response.payload))
+        assert isinstance(fault, SoapFaultError)
+        assert "Ghost#9" in fault.faultstring
+        # the listener stays usable for a real call afterwards
+        response = transport.request(
+            TransportMessage(content_type, codec.encode_call("Counter#0", "increment", (2,)))
+        )
+        assert codec.decode_reply(bytes(response.payload)) == 2
+
+    def test_fault_over_http(self, server):
+        from repro.transport import HttpTransport
+
+        listener = server.expose_soap_http()
+        client = HttpTransport(listener.url)
+        try:
+            self._assert_fault_roundtrip(client)
+        finally:
+            client.close()
+
+    def test_fault_over_tcp(self, server):
+        from repro.transport import TcpTransport
+
+        listener = server.expose_xdr_tcp()
+        client = TcpTransport(listener.url)
+        try:
+            self._assert_fault_roundtrip(client)
+        finally:
+            client.close()
+
+    def test_fault_over_inproc(self, server):
+        from repro.transport import InProcTransport
+
+        listener = server.expose_inproc("fault-ep")
+        client = InProcTransport(listener.url)
+        self._assert_fault_roundtrip(client)
