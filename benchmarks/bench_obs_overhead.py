@@ -1,0 +1,271 @@
+"""Observability overhead — tracing on vs off, same wire, same service.
+
+Every instrumented hot path is gated on one module attribute
+(``repro.obs.trace.ENABLED``), so the disabled cost is a single dict lookup
+per call.  This experiment measures the *enabled* cost: full trace
+propagation (context create/child, wire encode/decode on every hop) plus
+four histogram observations and a recorded span per call, A/B'd against
+the identical stack with tracing off.
+
+Shapes match the repo's standing experiments:
+
+* **C1 shape** — SOAP over loopback HTTP, 16 384 float64 elements in
+  call and reply (the C1 encoding experiment's scientific-array row);
+* **C9 shape** — XDR over multiplexed TCP, 2 ms GIL-releasing service
+  time (the C9b concurrency experiment's per-call shape);
+* **micro** — a bare scalar echo over XDR/TCP.  *Informational only*:
+  the fixed per-call tracing cost against the smallest possible call is
+  the worst case by construction and is recorded, not gated.
+
+Methodology: individual *calls* run in (off, on) pairs — not round-grained
+arms, because loopback p50 drifts by hundreds of microseconds over
+seconds, swamping any coarse A/B.  Pair order is counterbalanced
+(odd-numbered pairs run traced-first) to cancel positional bias, the
+overhead estimate is the **median of per-pair deltas** over the median
+untraced latency (the pair delta cancels drift that a ratio of independent
+medians cannot), and the gate reads the median across rounds so one noisy
+round cannot flip it.  Caveat recorded in EXPERIMENTS.md: on a single-CPU
+host every instrumented instruction is serial with the caller and runs
+cache-cold after the service sleep, so these numbers are a *ceiling* on
+the overhead a multi-core deployment would see.
+
+Acceptance (asserted in ``test_report_obs_overhead``): tracing enabled
+costs **<= 3%** p50 on the C1 and C9 shapes.
+
+Runs under pytest (``pytest benchmarks/bench_obs_overhead.py``) and as a
+script (``python benchmarks/bench_obs_overhead.py [--quick]`` — the CI
+smoke).  Writes ``BENCH_obs.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bindings.dispatcher import ObjectDispatcher
+from repro.bindings.server import BindingServer
+from repro.bindings.stubs import TransportStub
+from repro.encoding.registry import default_registry
+from repro.obs import metrics, trace
+from repro.transport.http import HttpTransport
+from repro.transport.tcp import TcpTransport
+
+ROUNDS = 6
+QUICK_ROUNDS = 3
+
+#: (off, on) pairs per round, per shape.  Both gated shapes ride ~70-120 us
+#: budgets while their per-pair deltas swing by hundreds of microseconds
+#: (C1 is 4 ms of allocation-heavy CPU per call; C9 wakes cache-cold after
+#: its 2 ms sleep), so the medians need deep sampling to converge.
+PAIRS = {"c1": 100, "c9": 150, "micro": 250}
+QUICK_PAIRS = {"c1": 30, "c9": 60, "micro": 80}
+
+ELEMENTS = 16384  # C1 shape: float64 elements in call and reply
+SERVICE_TIME_S = 0.002  # C9 shape: GIL-releasing service time
+
+OVERHEAD_BUDGET_PCT = 3.0
+
+RESULT_PATH = Path(__file__).with_name("BENCH_obs.json")
+
+
+def _print_table(title: str, header: list[str], rows: list[list]) -> None:
+    # local copy of benchmarks.conftest.print_table so the module also runs
+    # as a plain script
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(header[i]).ljust(widths[i]) for i in range(len(header))))
+    for row in rows:
+        print("  ".join(str(row[i]).ljust(widths[i]) for i in range(len(row))))
+
+
+class ShapeService:
+    def echo(self, text: str) -> str:
+        return text
+
+    def roundtrip(self, values: list) -> list:
+        return values
+
+    def work(self, tag: str) -> str:
+        time.sleep(SERVICE_TIME_S)  # releases the GIL, like real I/O-bound work
+        return tag
+
+
+def _round_stats_us(call, pairs: int) -> tuple[float, float]:
+    """One round: *pairs* counterbalanced (untraced, traced) call pairs.
+
+    Returns (median per-pair delta, median untraced latency) in
+    microseconds.  Odd pairs run traced-first so a systematic cost of
+    "being the second call" cancels instead of biasing one arm.
+    """
+    perf = time.perf_counter
+    deltas, offs = [], []
+    for i in range(pairs):
+        traced_first = bool(i & 1)
+        trace.enable(traced_first)
+        t0 = perf()
+        call()
+        first = perf() - t0
+        trace.enable(not traced_first)
+        t0 = perf()
+        call()
+        second = perf() - t0
+        on, off = (first, second) if traced_first else (second, first)
+        deltas.append(on - off)
+        offs.append(off)
+    trace.enable(False)
+    return statistics.median(deltas) * 1e6, statistics.median(offs) * 1e6
+
+
+def _measure_shape(call, rounds: int, pairs: int) -> dict:
+    """Pair-interleaved A/B against one live call shape."""
+    trace.enable(False)
+    round_deltas, round_offs = [], []
+    try:
+        _round_stats_us(call, max(pairs // 4, 5))  # warm-up: connections, plans
+        for _ in range(rounds):
+            delta, off = _round_stats_us(call, pairs)
+            round_deltas.append(delta)
+            round_offs.append(off)
+            trace.flush()  # drain async bookkeeping between rounds
+    finally:
+        trace.enable(False)
+        trace.flush()
+    delta_p50 = statistics.median(round_deltas)
+    off_p50 = statistics.median(round_offs)
+    return {
+        "rounds": rounds,
+        "pairs_per_round": pairs,
+        "off_p50_us": round(off_p50, 2),
+        "on_delta_p50_us": round(delta_p50, 2),
+        "overhead_pct": round(delta_p50 / off_p50 * 100.0, 2),
+        "round_delta_us": [round(d, 2) for d in round_deltas],
+        "round_off_us": [round(m, 2) for m in round_offs],
+    }
+
+
+def run_sweep(rounds: int = ROUNDS, pairs: dict | None = None) -> dict:
+    """A/B all three shapes; returns the machine-readable result document."""
+    pairs = pairs or PAIRS
+    dispatcher = ObjectDispatcher()
+    dispatcher.register("shape", ShapeService())
+    server = BindingServer(dispatcher)
+    http = server.expose_soap_http()
+    tcp = server.expose_xdr_tcp()
+    operations = ("echo", "roundtrip", "work")
+    values = [float(i) for i in range(ELEMENTS)]
+    shapes = {}
+    try:
+        with TransportStub(
+            operations, "shape", default_registry.get("text/xml"),
+            HttpTransport(http.url), "soap",
+        ) as soap_stub:
+            shapes["c1_soap_http_16kxf64"] = _measure_shape(
+                lambda: soap_stub.roundtrip(values), rounds, pairs["c1"]
+            )
+        with TransportStub(
+            operations, "shape", default_registry.get("application/x-xdr"),
+            TcpTransport(tcp.url), "xdr",
+        ) as xdr_stub:
+            shapes["c9_xdr_tcp_2ms"] = _measure_shape(
+                lambda: xdr_stub.work("xyzzy"), rounds, pairs["c9"]
+            )
+            micro = _measure_shape(
+                lambda: xdr_stub.echo("xyzzy"), rounds, pairs["micro"]
+            )
+            micro["informational"] = True  # worst case by construction, not gated
+            shapes["micro_xdr_tcp_echo"] = micro
+    finally:
+        server.close()
+        trace.flush()
+        metrics.registry.reset()
+        trace.recorder.clear()
+    return {
+        "experiment": "observability overhead (tracing on vs off)",
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "gated_shapes": ["c1_soap_http_16kxf64", "c9_xdr_tcp_2ms"],
+        "disabled_cost": "one module attribute read per instrumented site",
+        "shapes": shapes,
+    }
+
+
+def _report(result: dict) -> None:
+    rows = [
+        [
+            name,
+            f"{shape['off_p50_us']:.1f}",
+            f"{shape['on_delta_p50_us']:+.1f}",
+            f"{shape['overhead_pct']:+.2f}%",
+            "no (info)" if shape.get("informational") else "<= 3%",
+        ]
+        for name, shape in result["shapes"].items()
+    ]
+    _print_table(
+        "observability overhead (p50 per call)",
+        ["shape", "off p50 us", "traced delta us", "overhead", "gated"],
+        rows,
+    )
+
+
+def _write_json(result: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def _gate(result: dict, budget_pct: float = OVERHEAD_BUDGET_PCT) -> list[str]:
+    """Budget violations on the gated shapes (empty means pass)."""
+    failures = []
+    for name in result["gated_shapes"]:
+        overhead = result["shapes"][name]["overhead_pct"]
+        if overhead > budget_pct:
+            failures.append(
+                f"{name}: tracing costs {overhead:+.2f}% p50 "
+                f"(budget {budget_pct}%)"
+            )
+    return failures
+
+
+# -- pytest entry point ----------------------------------------------------------------
+
+
+def test_report_obs_overhead():
+    result = run_sweep()
+    _report(result)
+    _write_json(result)
+    assert not _gate(result), _gate(result)
+
+
+# -- script entry point ----------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: fewer rounds and calls (used by CI)",
+    )
+    options = parser.parse_args(argv)
+
+    rounds = QUICK_ROUNDS if options.quick else ROUNDS
+    pairs = QUICK_PAIRS if options.quick else PAIRS
+    result = run_sweep(rounds, pairs)
+    _report(result)
+    _write_json(result)
+
+    # quick mode is a smoke (does the A/B run, is the overhead sane?) and
+    # samples too shallowly to hold the experiment budget on a noisy shared
+    # runner — it gates at twice the budget; full runs enforce it exactly
+    budget = OVERHEAD_BUDGET_PCT * 2 if options.quick else OVERHEAD_BUDGET_PCT
+    failures = _gate(result, budget)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

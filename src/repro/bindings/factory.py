@@ -60,16 +60,19 @@ class DynamicStubFactory:
         events: EventBus | None = None,
         breakers: BreakerRegistry | None = None,
         tcp_pool_size: int | None = None,
+        clock=None,
     ):
         self.context = context or ClientContext()
         self._codecs = codecs or default_registry
         # Default invocation policy applied to every network stub this
         # factory manufactures (None = raw, unretried invocations).  The
         # breaker registry is shared across stubs so every stub to the same
-        # address trips / heals one circuit.
+        # address trips / heals one circuit.  ``clock`` makes retry backoff
+        # and breaker cooldowns test-drivable (None = wall clock).
         self.policy = policy
         self.events = events
-        self.breakers = breakers or BreakerRegistry()
+        self.clock = clock
+        self.breakers = breakers or BreakerRegistry(clock=clock)
         # Channels per TCP peer for stubs this factory builds (None = the
         # transport default, overridable via REPRO_TCP_POOL_SIZE).
         self.tcp_pool_size = tcp_pool_size
@@ -199,7 +202,7 @@ class DynamicStubFactory:
             )
             return TransportStub(
                 operations, dispatch_target, codec, transport, tag, timeout,
-                policy=policy, events=self.events, breaker=breaker,
+                policy=policy, events=self.events, breaker=breaker, clock=self.clock,
             )
 
         def credentialed(dispatch_target: str) -> str:

@@ -31,6 +31,7 @@ import random
 import threading
 from dataclasses import dataclass
 
+from repro.obs import metrics as _metrics
 from repro.util.clock import Clock, WallClock
 from repro.util.errors import CircuitOpenError, HarnessTimeoutError
 from repro.util.events import EventBus
@@ -95,6 +96,11 @@ class InvocationPolicy:
 #: Conservative default used when a caller asks for "a" policy: three
 #: attempts, 50 ms base backoff, breaker after five consecutive failures.
 DEFAULT_POLICY = InvocationPolicy()
+
+_RETRIES = _metrics.registry.counter("invoke.retries")
+_BREAKER_OPENED = _metrics.registry.counter("invoke.breaker.opened")
+_BREAKER_RECLOSED = _metrics.registry.counter("invoke.breaker.reclosed")
+_BREAKER_REJECTED = _metrics.registry.counter("invoke.breaker.rejected")
 
 
 def backoff_schedule(
@@ -260,6 +266,7 @@ class PolicyExecutor:
         """
         breaker = self.breaker
         if breaker is not None and not breaker.allow():
+            _BREAKER_REJECTED.inc()
             raise CircuitOpenError(
                 f"circuit for {self.target!r} is open "
                 f"(cooldown {self.policy.breaker_cooldown_s}s)"
@@ -306,8 +313,10 @@ class PolicyExecutor:
                     source=self.target,
                 )
             self.clock.sleep(delay)
+            _RETRIES.inc()
             attempt += 1
             if self.breaker is not None and not self.breaker.allow():
+                _BREAKER_REJECTED.inc()
                 raise CircuitOpenError(
                     f"circuit for {self.target!r} is open "
                     f"(cooldown {policy.breaker_cooldown_s}s)"
@@ -322,6 +331,7 @@ class PolicyExecutor:
             return result
 
     def _publish_close(self, operation: str) -> None:
+        _BREAKER_RECLOSED.inc()
         if self.events is not None:
             self.events.publish(
                 "invoke.breaker.close",
@@ -339,6 +349,7 @@ class PolicyExecutor:
 
     def _record_failure(self, operation: str, exc: Exception) -> None:
         if self.breaker is not None and self.breaker.record_failure():
+            _BREAKER_OPENED.inc()
             if self.events is not None:
                 self.events.publish(
                     "invoke.breaker.open",

@@ -8,10 +8,13 @@ service published with SOAP + XDR + local ports (as in Figure 8) is one
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 from repro.bindings.dispatcher import ObjectDispatcher
 from repro.encoding.registry import CodecRegistry, default_registry
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.soap.codec import SoapMessageCodec
 from repro.transport.base import TransportMessage
 from repro.transport.http import HttpListener
@@ -23,6 +26,23 @@ from repro.wsdl.extensions import SoapAddressExt, XdrAddressExt
 from repro.wsdl.model import WsdlPort
 
 __all__ = ["BindingServer"]
+
+_REQUESTS = _metrics.registry.counter("server.requests")
+_FAULTS = _metrics.registry.counter("server.faults")
+_HANDLE_US = _metrics.registry.histogram("server.handle_us")
+
+
+def _finish_span(operation, cell, status, elapsed_us):
+    """Record the server span — runs on the obs finisher thread, so it
+    takes its arguments as a tuple rather than a per-request closure."""
+    ctx = cell.get()
+    _HANDLE_US.observe(elapsed_us)
+    _trace.recorder.record(
+        _trace.Span(
+            "server:" + operation, ctx.trace_id, ctx.span_id,
+            ctx.parent_id, status, {"handle": elapsed_us},
+        )
+    )
 
 
 class BindingServer:
@@ -45,14 +65,62 @@ class BindingServer:
         on HTTP, a raw fault frame on TCP), so callers always get a reply
         they can decode.
         """
+        if _trace.ENABLED:
+            return self._handle_traced(message)
+        _REQUESTS.inc()
         codec = self._fault_codec
         try:
             codec = self._codecs.get(_normalize(message.content_type))
             target, operation, args = codec.decode_call(message.payload)
             result = codec.encode_reply(self.dispatcher.invoke(target, operation, args))
         except Exception as exc:
+            _FAULTS.inc()
             result = codec.encode_reply(fault=f"{type(exc).__name__}: {exc}")
         return TransportMessage(codec.content_type, result)
+
+    def _handle_traced(self, message: TransportMessage) -> TransportMessage:
+        """``_handle`` with a server span.
+
+        The incoming context may already be active (TCP frames and HTTP
+        headers are decoded by the transport layer); for SOAP over any
+        transport that didn't, fall back to extracting the envelope's
+        ``<harness:trace>`` header block here.
+        """
+        _REQUESTS.inc()
+        incoming = _trace.peek()
+        if incoming is None and message.content_type.startswith("text/xml"):
+            try:
+                incoming = _trace.extract_soap(bytes(message.payload))
+            except _trace.TraceWireError:
+                incoming = None
+        # the server's own context is minted lazily: a service that never
+        # reads it costs nothing here, and the deferred finalizer below
+        # shares the same memoized ids if it does
+        cell = _trace.LazyChild(incoming)
+        token = _trace.activate(cell)
+        status = "ok"
+        operation = "?"
+        codec = self._fault_codec
+        t0 = time.perf_counter()
+        try:
+            try:
+                codec = self._codecs.get(_normalize(message.content_type))
+                target, operation, args = codec.decode_call(message.payload)
+                result = codec.encode_reply(
+                    self.dispatcher.invoke(target, operation, args)
+                )
+            except Exception as exc:
+                status = "fault"
+                _FAULTS.inc()
+                result = codec.encode_reply(fault=f"{type(exc).__name__}: {exc}")
+            return TransportMessage(codec.content_type, result)
+        finally:
+            _trace.deactivate(token)
+            elapsed_us = (time.perf_counter() - t0) * 1e6
+            # the reply is not on the wire yet — everything below this
+            # point is serialized into the caller's latency, so span
+            # finalization goes to the finisher thread
+            _trace.finisher.submit(_finish_span, (operation, cell, status, elapsed_us))
 
     # -- exposure --------------------------------------------------------------
 

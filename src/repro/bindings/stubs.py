@@ -21,9 +21,12 @@ the service:
 from __future__ import annotations
 
 import importlib
+import time
 from typing import Any
 
 from repro.encoding.registry import MessageCodec
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.transport.base import ClientTransport, TransportMessage
 from repro.util.errors import BindingError, EncodingError, SoapFaultError
 
@@ -53,6 +56,25 @@ def load_type(type_name: str) -> type:
     if not isinstance(obj, type):
         raise BindingError(f"{type_name!r} is not a class")
     return obj
+
+
+def _finish_client_span(obs, span_name, ctx, status, t0, t1, t2, t3, end):
+    """Client span + metric bookkeeping, run on the obs finisher thread
+    (args as a tuple: no per-call closure)."""
+    calls, faults, phases, _names = obs
+    encode_us = ((t1 or end) - t0) * 1e6
+    transit_us = ((t2 or end) - (t1 or end)) * 1e6
+    decode_us = ((t3 or end) - (t2 or end)) * 1e6
+    calls.inc()
+    if status != "ok":
+        faults.inc()
+    phases.observe(encode_us, transit_us, decode_us, (end - t0) * 1e6)
+    _trace.recorder.record(
+        _trace.Span(
+            span_name, ctx.trace_id, ctx.span_id, ctx.parent_id, status,
+            {"encode": encode_us, "transit": transit_us, "decode": decode_us},
+        )
+    )
 
 
 class ServiceStub:
@@ -148,6 +170,9 @@ class TransportStub(ServiceStub):
         # per-operation marshalling plans: (content type, args -> payload),
         # built lazily on first call (benign race: plans are equivalent)
         self._plans: dict[str, tuple[str, Any]] = {}
+        # observability instruments, resolved on the first *traced* call so
+        # untraced stubs never touch the registry
+        self._obs = None
         if policy is None:
             self._executor = None
         else:
@@ -181,6 +206,8 @@ class TransportStub(ServiceStub):
         return plan
 
     def _invoke(self, operation: str, args: tuple) -> Any:
+        if _trace.ENABLED:
+            return self._invoke_traced(operation, args)
         content_type, encode = self._plan(operation)
         request = TransportMessage(content_type, encode(args))
         if self._executor is None:
@@ -199,6 +226,79 @@ class TransportStub(ServiceStub):
             raise
         except Exception as exc:
             raise BindingError(f"cannot decode reply for {operation!r}: {exc}") from exc
+
+    def _instruments(self):
+        obs = self._obs
+        if obs is None:
+            base = f"stub.{self.protocol}"
+            obs = self._obs = (
+                _metrics.registry.counter(f"{base}.calls"),
+                _metrics.registry.counter(f"{base}.faults"),
+                # one grouped update per call instead of four separate
+                # histogram observes on the post-reply (cache-cold) path
+                _metrics.registry.histogram_group(
+                    (
+                        f"{base}.encode_us",
+                        f"{base}.transit_us",
+                        f"{base}.decode_us",
+                        f"{base}.total_us",
+                    )
+                ),
+                {},  # per-operation client span names
+            )
+        return obs
+
+    def _invoke_traced(self, operation: str, args: tuple) -> Any:
+        """The instrumented twin of ``_invoke``: a client span with
+        encode/transit/decode timing, each phase observed into its
+        histogram exactly once per call (so counts equal call counts)."""
+        names = self._instruments()[3]
+        span_name = names.get(operation)
+        if span_name is None:
+            span_name = names[operation] = f"client:{self.protocol}:{operation}"
+        parent = _trace.current()
+        ctx = parent.child() if parent is not None else _trace.new_trace()
+        token = _trace.activate(ctx)  # before encode: SOAP splice reads it
+        status = "error"
+        t1 = t2 = t3 = None
+        perf = time.perf_counter
+        t0 = perf()
+        try:
+            content_type, encode = self._plan(operation)
+            request = TransportMessage(content_type, encode(args))
+            t1 = perf()
+            if self._executor is None:
+                response = self._transport.request(request, timeout=self._timeout)
+            else:
+                response = self._executor.call(
+                    self._transport.request,
+                    request,
+                    operation,
+                    base_timeout=self._timeout,
+                )
+            t2 = perf()
+            try:
+                result = self._codec.decode_reply(response.payload)
+            except (SoapFaultError, EncodingError):
+                status = "fault"
+                raise
+            except Exception as exc:
+                raise BindingError(
+                    f"cannot decode reply for {operation!r}: {exc}"
+                ) from exc
+            t3 = perf()
+            status = "ok"
+            return result
+        finally:
+            _trace.deactivate(token)
+            end = t3 if t3 is not None else perf()
+            # this runs at the coldest instant of the call — right after
+            # the transit wait — so even the timing arithmetic moves to
+            # the finisher thread; the hot path pays one append
+            _trace.finisher.submit(
+                _finish_client_span,
+                (self._obs, span_name, ctx, status, t0, t1, t2, t3, end),
+            )
 
     def close(self) -> None:
         self._transport.close()

@@ -49,6 +49,7 @@ class HarnessDvm:
         coherency: str = "full-synchrony",
         neighborhood_radius: int = 2,
         events: EventBus | None = None,
+        clock=None,
     ):
         if coherency not in COHERENCY_SCHEMES:
             raise DvmError(
@@ -64,7 +65,9 @@ class HarnessDvm:
         self.name = name
         self.network = network
         self.events = events or EventBus()
-        self.dvm = DistributedVirtualMachine(name, network, factory, events=self.events)
+        self.dvm = DistributedVirtualMachine(
+            name, network, factory, events=self.events, clock=clock
+        )
         self.kernels: dict[str, HarnessKernel] = {}
         self.detector = None  # set by enable_self_healing
         self.failover = None
@@ -124,6 +127,9 @@ class HarnessDvm:
             host: kernel.plugins() for host, kernel in self.kernels.items()
         }
         return status
+
+    def metrics_snapshot(self, prefix: str = "") -> dict:
+        return self.dvm.metrics_snapshot(prefix)
 
     def move(self, service_name: str, to_node: str) -> ComponentHandle:
         from repro.core.migration import move_component

@@ -26,6 +26,7 @@ import enum
 import threading
 
 from repro.netsim.fabric import VirtualNetwork
+from repro.obs import metrics as _metrics
 from repro.transport.base import TransportMessage
 from repro.util.errors import DvmError, TransportError
 
@@ -33,6 +34,11 @@ __all__ = ["NodeHealth", "FailureDetector", "PING_ENDPOINT", "bind_ping_endpoint
 
 PING_ENDPOINT = "dvm-ping"
 _CT = "application/x-harness-ping"
+
+_MISSES = _metrics.registry.counter("dvm.detector.misses")
+_SUSPECTED = _metrics.registry.counter("dvm.detector.suspected")
+_EVICTED = _metrics.registry.counter("dvm.detector.evicted")
+_RECOVERED = _metrics.registry.counter("dvm.detector.recovered")
 
 
 def bind_ping_endpoint(network: VirtualNetwork, host_name: str) -> None:
@@ -118,14 +124,17 @@ class FailureDetector:
             if self._ping(observer, member):
                 if self._misses.pop(member, 0) and self._health.get(member):
                     self._health[member] = NodeHealth.ALIVE
+                    _RECOVERED.inc()
                     self.dvm.events.publish(
                         "dvm.member.recovered", member, source=self.dvm.name
                     )
                 continue
             misses = self._misses.get(member, 0) + 1
             self._misses[member] = misses
+            _MISSES.inc()
             if misses >= self.evict_after:
                 self._health[member] = NodeHealth.DEAD
+                _EVICTED.inc()
                 self.dvm.evict_node(member, by=observer)
                 self._misses.pop(member, None)
                 evicted.append(member)
@@ -133,6 +142,7 @@ class FailureDetector:
                 self._health.get(member) is not NodeHealth.SUSPECTED
             ):
                 self._health[member] = NodeHealth.SUSPECTED
+                _SUSPECTED.inc()
                 self.dvm.events.publish(
                     "dvm.member.suspected",
                     {"node": member, "misses": misses},

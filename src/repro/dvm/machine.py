@@ -28,6 +28,9 @@ from repro.container.container import ComponentContainer, LightweightContainer
 from repro.dvm.failure import PING_ENDPOINT, bind_ping_endpoint
 from repro.dvm.state import DvmStateProtocol
 from repro.netsim.fabric import VirtualNetwork
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.util.clock import Clock
 from repro.util.errors import DvmError, MembershipError, ServiceNotFoundError
 from repro.util.events import EventBus
 from repro.util.ids import HarnessName
@@ -39,6 +42,9 @@ __all__ = ["DvmNode", "DistributedVirtualMachine"]
 
 _MEMBER_PREFIX = "member/"
 _COMPONENT_PREFIX = "component/"
+
+_LOOKUP_HITS = _metrics.registry.counter("dvm.lookup.hits")
+_LOOKUP_MISSES = _metrics.registry.counter("dvm.lookup.misses")
 
 
 @dataclass
@@ -68,10 +74,12 @@ class DistributedVirtualMachine:
         protocol_factory: Callable[[VirtualNetwork], DvmStateProtocol],
         events: EventBus | None = None,
         lookup_cache_ttl_s: float = 2.0,
+        clock: Clock | None = None,
     ):
         self.name = name
         self.network = network
         self.events = events or EventBus()
+        self.clock = clock  # threaded through to stub policies (None = wall clock)
         self.protocol = protocol_factory(network)
         if self.protocol.members:
             raise DvmError("protocol_factory must return a protocol with no members")
@@ -275,7 +283,9 @@ class DistributedVirtualMachine:
         key = (from_node, service_name)
         hit, cached = self._lookup_cache.get(key)
         if hit:
+            _LOOKUP_HITS.inc()
             return cached
+        _LOOKUP_MISSES.inc()
         record = self.protocol.get(from_node, f"{_COMPONENT_PREFIX}{service_name}")
         if not record:
             # misses are never cached: a component published a moment later
@@ -318,7 +328,9 @@ class DistributedVirtualMachine:
         context = ClientContext(
             container_uri=container_uri, host=from_node, network=self.network
         )
-        factory = DynamicStubFactory(context, policy=policy, events=self.events)
+        factory = DynamicStubFactory(
+            context, policy=policy, events=self.events, clock=self.clock
+        )
         return factory.create(document, prefer=prefer)
 
     def component_index(self, from_node: str) -> dict[str, str]:
@@ -343,6 +355,28 @@ class DistributedVirtualMachine:
             "scheme": self.protocol.scheme,
             "members": self.members_seen_by(from_node),
             "components": self.component_index(from_node),
+        }
+
+    def metrics_snapshot(self, prefix: str = "") -> dict:
+        """The DVM's observability state: registry snapshot plus DVM-level
+        cache/bus statistics.  Exposed over RPC by ``MetricsService`` (the
+        XDR codec carries the nested dicts natively) and by the console's
+        ``metrics`` command.
+        """
+        return {
+            "dvm": self.name,
+            "scheme": self.protocol.scheme,
+            "nodes": self.nodes(),
+            "tracing": _trace.ENABLED,
+            "lookup_cache": {
+                "hits": self._lookup_cache.hits,
+                "misses": self._lookup_cache.misses,
+            },
+            "events": {
+                "published": self.events.published,
+                "delivered": self.events.delivered,
+            },
+            "metrics": _metrics.registry.snapshot(prefix),
         }
 
     def close(self) -> None:

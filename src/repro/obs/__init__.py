@@ -1,0 +1,55 @@
+"""Observability: process-wide metrics and cross-transport trace propagation.
+
+The paper's DVM spreads one logical invocation over containers, codecs, and
+transports; this package makes that path *visible* without changing it:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  lock-striped counters, gauges, and fixed-bucket histograms, exported as a
+  plain-dict snapshot (the ``metrics`` console command and the
+  ``dvm.metrics_snapshot()`` RPC are views over it).
+* :mod:`repro.obs.trace` — a :class:`TraceContext` (trace id, span id,
+  baggage) carried across every transport: a flag-extended block on TCP
+  protocol-v2 frames, an ``X-Repro-Trace`` header on HTTP, a SOAP header
+  block on envelopes, and plain contextvar flow for the in-process and
+  simulated transports.
+
+Tracing is off by default and costs one module-attribute check per call
+when disabled (``benchmarks/bench_obs_overhead.py`` keeps both numbers
+honest).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from repro.obs.trace import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    TraceWireError,
+    activate,
+    current,
+    deactivate,
+    enable,
+    enabled,
+    new_trace,
+    recorder,
+    use,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "TraceWireError",
+    "activate",
+    "current",
+    "deactivate",
+    "enable",
+    "enabled",
+    "new_trace",
+    "recorder",
+    "use",
+]

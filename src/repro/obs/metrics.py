@@ -1,0 +1,448 @@
+"""Process-wide metrics: lock-striped counters, gauges, histograms.
+
+Instruments live in a :class:`MetricsRegistry` keyed by dotted name
+(``stub.xdr.transit_us``, ``tcp.client.channels`` — DESIGN.md §10 has the
+naming scheme).  The module-level :data:`registry` is the process default
+every instrumented layer reports into; tests and the benchmark A/B call
+:meth:`MetricsRegistry.reset`, which zeroes instruments *in place* so
+references cached on hot paths stay valid.
+
+Counters and histograms are striped over a small set of independently
+locked cells indexed by thread id, so concurrent writers on different
+threads rarely contend; reads merge the stripes.  Gauges are single-cell
+(they record levels, not rates, and are updated at pool/lifecycle events
+rather than per call).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from threading import get_ident
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramGroup",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS_US",
+    "registry",
+]
+
+_STRIPES = 8  # power of two: thread id -> stripe by mask
+_MASK = _STRIPES - 1
+
+#: Default histogram bounds, in microseconds: a 1-2.5-5 ladder from 5 µs to
+#: 1 s.  Everything above the last bound lands in the implicit +inf bucket.
+DEFAULT_BUCKETS_US = (
+    5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+)
+
+
+class _Cell:
+    """One stripe: a lock and the state it guards."""
+
+    __slots__ = ("lock", "value")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.value = 0
+
+
+class Counter:
+    """A monotonically increasing count, striped across threads."""
+
+    __slots__ = ("name", "_cells")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells = tuple(_Cell() for _ in range(_STRIPES))
+
+    def inc(self, n: int = 1) -> None:
+        # manual acquire/release rather than ``with``: nothing between
+        # them can raise, and this runs 2-3x on every traced call
+        cell = self._cells[get_ident() & _MASK]
+        lock = cell.lock
+        lock.acquire()
+        cell.value += n
+        lock.release()
+
+    def value(self) -> int:
+        total = 0
+        for cell in self._cells:
+            with cell.lock:
+                total += cell.value
+        return total
+
+    def reset(self) -> None:
+        for cell in self._cells:
+            with cell.lock:
+                cell.value = 0
+
+    def export(self):
+        return {"type": "counter", "value": self.value()}
+
+
+class Gauge:
+    """A level that can go up and down (pool sizes, in-flight counts)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def export(self):
+        return {"type": "gauge", "value": self.value()}
+
+
+class _HistCell:
+    """One histogram stripe: bucket counts plus running sum/min/max."""
+
+    __slots__ = ("lock", "counts", "count", "total", "min", "max")
+
+    def __init__(self, n_buckets: int):
+        self.lock = threading.Lock()
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def zero(self) -> None:
+        self.counts = [0] * len(self.counts)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds + implicit +inf), striped.
+
+    ``observe`` is the hot path: one ``bisect`` and one short lock hold on
+    this thread's stripe.  Percentiles are estimated at snapshot time by
+    linear interpolation inside the winning bucket — good to a bucket
+    width, which is what fixed buckets buy.
+    """
+
+    __slots__ = ("name", "bounds", "_cells")
+
+    def __init__(self, name: str, bounds=DEFAULT_BUCKETS_US):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        n = len(self.bounds) + 1  # + the +inf bucket
+        self._cells = tuple(_HistCell(n) for _ in range(_STRIPES))
+
+    def observe(self, value: float) -> None:
+        # bisect before taking the lock (it is the only call that can
+        # raise on a bad value); manual acquire/release because the
+        # guarded body is straight-line arithmetic and ``observe`` runs
+        # five times per traced call
+        index = bisect_left(self.bounds, value)
+        cell = self._cells[get_ident() & _MASK]
+        lock = cell.lock
+        lock.acquire()
+        cell.counts[index] += 1
+        cell.count += 1
+        cell.total += value
+        if value < cell.min:
+            cell.min = value
+        if value > cell.max:
+            cell.max = value
+        lock.release()
+
+    def _merge(self):
+        counts = [0] * (len(self.bounds) + 1)
+        count, total = 0, 0.0
+        lo, hi = math.inf, -math.inf
+        for cell in self._cells:
+            with cell.lock:
+                for i, c in enumerate(cell.counts):
+                    counts[i] += c
+                count += cell.count
+                total += cell.total
+                lo = min(lo, cell.min)
+                hi = max(hi, cell.max)
+        return counts, count, total, lo, hi
+
+    @property
+    def count(self) -> int:
+        return self._merge()[1]
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at quantile *p* in [0, 1] (0.0 when empty)."""
+        counts, count, _total, lo, hi = self._merge()
+        return self._percentile_from(counts, count, lo, hi, p)
+
+    def _percentile_from(self, counts, count, lo, hi, p: float) -> float:
+        if not count:
+            return 0.0
+        rank = max(1, math.ceil(p * count))
+        seen = 0
+        for i, c in enumerate(counts):
+            if not c:
+                continue
+            if seen + c >= rank:
+                upper = self.bounds[i] if i < len(self.bounds) else hi
+                lower = self.bounds[i - 1] if i > 0 else min(lo, upper)
+                lower = min(lower, upper)
+                return lower + (upper - lower) * ((rank - seen) / c)
+            seen += c
+        return hi  # unreachable unless counts drifted mid-merge
+
+    def reset(self) -> None:
+        for cell in self._cells:
+            with cell.lock:
+                cell.zero()
+
+    def export(self):
+        counts, count, total, lo, hi = self._merge()
+        return {
+            "type": "histogram",
+            "count": count,
+            "sum": round(total, 3),
+            "min": round(lo, 3) if count else 0.0,
+            "max": round(hi, 3) if count else 0.0,
+            "p50": round(self._percentile_from(counts, count, lo, hi, 0.50), 3),
+            "p99": round(self._percentile_from(counts, count, lo, hi, 0.99), 3),
+            "buckets": {
+                **{str(b): counts[i] for i, b in enumerate(self.bounds)},
+                "+inf": counts[-1],
+            },
+        }
+
+
+class _GroupCell:
+    """One group stripe: a lock plus every member series it guards."""
+
+    __slots__ = ("lock", "counts", "count", "total", "min", "max")
+
+    def __init__(self, k: int, n_buckets: int):
+        self.lock = threading.Lock()
+        self.counts = [[0] * n_buckets for _ in range(k)]
+        self.count = [0] * k
+        self.total = [0.0] * k
+        self.min = [math.inf] * k
+        self.max = [-math.inf] * k
+
+
+class HistogramGroup:
+    """Several same-bounds histograms observed together in one update.
+
+    A traced call times multiple phases and records them all at its end —
+    on the coldest stretch of the whole call path, right after a blocking
+    wait.  Observing k separate :class:`Histogram` objects there costs k
+    thread-id hashes, k lock rounds, and touches k disjoint object graphs;
+    the group keeps every member's series in one striped cell, so
+    :meth:`observe` is one hash, one lock, and a few adjacent lists.
+
+    Members are full read-API histograms (count / percentile / export /
+    reset) registered under their own names — snapshots cannot tell the
+    difference.
+    """
+
+    __slots__ = ("names", "bounds", "_cells", "members")
+
+    def __init__(self, names, bounds=DEFAULT_BUCKETS_US):
+        self.names = tuple(names)
+        if not self.names:
+            raise ValueError("histogram group needs at least one member")
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        k, n = len(self.names), len(self.bounds) + 1
+        self._cells = tuple(_GroupCell(k, n) for _ in range(_STRIPES))
+        self.members = tuple(
+            _GroupHistogram(self, i, name) for i, name in enumerate(self.names)
+        )
+
+    def observe(self, *values: float) -> None:
+        """One observation per member, in declaration order."""
+        bounds = self.bounds
+        indexes = [bisect_left(bounds, v) for v in values]  # may raise: pre-lock
+        cell = self._cells[get_ident() & _MASK]
+        lock = cell.lock
+        lock.acquire()
+        counts, count, total = cell.counts, cell.count, cell.total
+        low, high = cell.min, cell.max
+        i = 0
+        for v in values:
+            counts[i][indexes[i]] += 1
+            count[i] += 1
+            total[i] += v
+            if v < low[i]:
+                low[i] = v
+            if v > high[i]:
+                high[i] = v
+            i += 1
+        lock.release()
+
+    def _observe_one(self, index: int, value: float) -> None:
+        bucket = bisect_left(self.bounds, value)
+        cell = self._cells[get_ident() & _MASK]
+        lock = cell.lock
+        lock.acquire()
+        cell.counts[index][bucket] += 1
+        cell.count[index] += 1
+        cell.total[index] += value
+        if value < cell.min[index]:
+            cell.min[index] = value
+        if value > cell.max[index]:
+            cell.max[index] = value
+        lock.release()
+
+    def _merge_one(self, index: int):
+        counts = [0] * (len(self.bounds) + 1)
+        count, total = 0, 0.0
+        lo, hi = math.inf, -math.inf
+        for cell in self._cells:
+            with cell.lock:
+                for i, c in enumerate(cell.counts[index]):
+                    counts[i] += c
+                count += cell.count[index]
+                total += cell.total[index]
+                lo = min(lo, cell.min[index])
+                hi = max(hi, cell.max[index])
+        return counts, count, total, lo, hi
+
+    def _reset_one(self, index: int) -> None:
+        n = len(self.bounds) + 1
+        for cell in self._cells:
+            with cell.lock:
+                cell.counts[index] = [0] * n
+                cell.count[index] = 0
+                cell.total[index] = 0.0
+                cell.min[index] = math.inf
+                cell.max[index] = -math.inf
+
+
+class _GroupHistogram(Histogram):
+    """One member series of a :class:`HistogramGroup`.
+
+    Subclasses :class:`Histogram` for its read API (count, percentiles,
+    export all route through ``_merge``) but stores nothing itself — the
+    series lives in the group's striped cells.
+    """
+
+    __slots__ = ("_group", "_index")
+
+    def __init__(self, group: HistogramGroup, index: int, name: str):
+        self._group = group
+        self._index = index
+        self.name = name
+        self.bounds = group.bounds
+        self._cells = ()  # storage lives in the group
+
+    def observe(self, value: float) -> None:
+        self._group._observe_one(self._index, value)
+
+    def _merge(self):
+        return self._group._merge_one(self._index)
+
+    def reset(self) -> None:
+        self._group._reset_one(self._index)
+
+
+class MetricsRegistry:
+    """Name → instrument table; instruments are created on first use.
+
+    Asking for an existing name with a mismatched kind raises — metric
+    names are a schema, and silent kind changes would corrupt snapshots.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._groups: dict[tuple[str, ...], HistogramGroup] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS_US) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def histogram_group(self, names, bounds=DEFAULT_BUCKETS_US) -> HistogramGroup:
+        """The :class:`HistogramGroup` for *names* (created on first use);
+        each member is registered under its own name and appears in
+        snapshots as an ordinary histogram."""
+        names = tuple(names)
+        with self._lock:
+            group = self._groups.get(names)
+            if group is None:
+                for name in names:
+                    if name in self._metrics:
+                        raise TypeError(
+                            f"metric {name!r} already registered outside the group"
+                        )
+                group = HistogramGroup(names, bounds)
+                for member in group.members:
+                    self._metrics[member.name] = member
+                self._groups[names] = group
+        return group
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """Every instrument (optionally name-filtered) as plain dicts."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {
+            name: metric.export()
+            for name, metric in metrics
+            if name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* (cached references stay valid)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+#: The process-wide default registry all instrumented layers report into.
+registry = MetricsRegistry()

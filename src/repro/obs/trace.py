@@ -1,0 +1,666 @@
+"""Trace contexts propagated across every Harness transport.
+
+A :class:`TraceContext` is (trace id, span id, parent span id, baggage):
+the trace id names one end-to-end invocation no matter how many hops it
+takes, span ids name the hops, and baggage is a small set of key/value
+pairs that travels with the call.  Ids are 64-bit, written as 16 lowercase
+hex digits.
+
+Three wire forms carry the same context (property-tested to agree):
+
+* **binary** (:func:`to_bytes` / :func:`from_bytes`) — ``"RT" | version |
+  trace | span | parent | n | (klen k vlen v)*``, attached to TCP
+  protocol-v2 frames behind a status-byte flag;
+* **text** (:func:`to_header` / :func:`from_header`) —
+  ``trace-span-parent[;k=v,…]`` with percent-encoded baggage, carried in
+  the ``X-Repro-Trace`` HTTP header;
+* **SOAP** (:func:`splice_soap` / :func:`extract_soap`) — a
+  ``<soapenv:Header><harness:trace …>`` block spliced ahead of the Body
+  (the streaming envelope reader skips Header subtrees, so call parsing is
+  unaffected).
+
+The in-process and simulated transports need no wire form: invocation is
+synchronous in the caller's thread, so the contextvar flows by itself.
+
+Tracing is globally off by default.  Hot paths read the module attribute
+:data:`ENABLED` — one dict lookup — and do nothing else when it is false.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import struct
+import threading
+from collections import deque
+from time import monotonic as _monotonic, sleep as _sleep
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import NamedTuple
+from urllib.parse import quote, unquote
+
+__all__ = [
+    "TraceContext",
+    "TraceWireError",
+    "Span",
+    "SpanRecorder",
+    "recorder",
+    "new_trace",
+    "current",
+    "activate",
+    "activate_wire",
+    "peek",
+    "LazyChild",
+    "deactivate",
+    "use",
+    "finisher",
+    "flush",
+    "enable",
+    "enabled",
+    "to_bytes",
+    "from_bytes",
+    "to_header",
+    "from_header",
+    "soap_header_block",
+    "splice_soap",
+    "extract_soap",
+    "TRACE_HEADER",
+    "SOAP_MARKER",
+]
+
+#: HTTP request header carrying the text wire form.
+TRACE_HEADER = "X-Repro-Trace"
+
+_ZERO = "0" * 16
+_HEX16 = re.compile(r"[0-9a-f]{16}$")
+
+
+class TraceWireError(ValueError):
+    """A wire form that is truncated, corrupt, or not a trace at all."""
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of one distributed invocation."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    baggage: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        for name in ("trace_id", "span_id"):
+            value = getattr(self, name)
+            if not _HEX16.fullmatch(value):
+                raise TraceWireError(f"{name} must be 16 hex digits, got {value!r}")
+        if self.trace_id == _ZERO:
+            raise TraceWireError("trace_id must be nonzero")
+        if self.parent_id and not _HEX16.fullmatch(self.parent_id):
+            raise TraceWireError(f"parent_id must be 16 hex digits, got {self.parent_id!r}")
+
+    def child(self) -> "TraceContext":
+        """A new span in the same trace, parented to this one."""
+        return _make(self.trace_id, _new_id(), self.span_id, self.baggage)
+
+    def with_baggage(self, key: str, value: str) -> "TraceContext":
+        kept = tuple((k, v) for k, v in self.baggage if k != key)
+        return TraceContext(
+            self.trace_id, self.span_id, self.parent_id, kept + ((key, value),)
+        )
+
+    def bag(self, key: str, default: str | None = None) -> str | None:
+        for k, v in self.baggage:
+            if k == key:
+                return v
+        return default
+
+
+# Ids need uniqueness, not unpredictability: a process-local PRNG seeded
+# from the OS avoids a syscall per id (three per traced call adds up).
+# getrandbits on a shared Random is a single C call, atomic under the GIL.
+_id_source = random.Random(os.urandom(16))
+
+
+def _new_id() -> str:
+    value = 0
+    while not value:
+        value = _id_source.getrandbits(64)
+    return f"{value:016x}"
+
+
+_setattr = object.__setattr__
+
+
+def _make(trace_id: str, span_id: str, parent_id: str,
+          baggage: tuple[tuple[str, str], ...]) -> TraceContext:
+    """Trusted constructor for fields already known to be well-formed
+    (freshly minted ids, or ids a wire parser regex just matched): skips
+    the dataclass ``__init__`` and its validation.  Hot-path only —
+    anything user-supplied goes through :class:`TraceContext` proper."""
+    ctx = object.__new__(TraceContext)
+    _setattr(ctx, "trace_id", trace_id)
+    _setattr(ctx, "span_id", span_id)
+    _setattr(ctx, "parent_id", parent_id)
+    _setattr(ctx, "baggage", baggage)
+    return ctx
+
+
+def new_trace(baggage: tuple[tuple[str, str], ...] = ()) -> TraceContext:
+    """A fresh root context (its span has no parent)."""
+    if baggage:
+        return TraceContext(_new_id(), _new_id(), "", tuple(baggage))
+    # both ids from one 128-bit draw and one hex render — half the C calls
+    # of two _new_id()s on the per-call root-minting path
+    while True:
+        text = f"{_id_source.getrandbits(128):032x}"
+        trace_id, span_id = text[:16], text[16:]
+        if trace_id != _ZERO and span_id != _ZERO:
+            return _make(trace_id, span_id, "", ())
+
+
+# -- current-context management (contextvar: per-thread, per-task) ---------------
+
+_current: ContextVar[TraceContext | None] = ContextVar("repro-trace", default=None)
+
+#: Global tracing switch.  Instrumented hot paths read this attribute and
+#: skip all trace work when false; flip it with :func:`enable`.
+ENABLED = False
+
+
+def enable(on: bool = True) -> None:
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def current() -> TraceContext | None:
+    ctx = _current.get()
+    if ctx is None or ctx.__class__ is TraceContext:
+        return ctx
+    return ctx.get()  # a lazy cell: materialize on first read
+
+
+def activate(ctx):
+    """Install *ctx* (a :class:`TraceContext`, a lazy cell, or None) as the
+    current context; returns the reset token."""
+    return _current.set(ctx)
+
+
+class _LazyWire:
+    """Wire bytes a transport stashed un-parsed.
+
+    Decoding the block and minting ids is bookkeeping the caller should
+    not wait on: the cell defers the parse until somebody actually reads
+    the context (a service calling :func:`current`) or the deferred server
+    span is finalized.  A mangled block materializes as None — same
+    outcome as the eager path, decided later.
+    """
+
+    __slots__ = ("raw", "parse", "value", "done")
+
+    def __init__(self, raw, parse):
+        self.raw = raw
+        self.parse = parse
+        self.value: TraceContext | None = None
+        self.done = False
+
+    def get(self) -> TraceContext | None:
+        if not self.done:
+            self.done = True
+            try:
+                self.value = self.parse(self.raw)
+            except TraceWireError:  # a mangled block means "no context"
+                self.value = None
+        return self.value
+
+
+class LazyChild:
+    """The server-side span context, minted on first use.
+
+    *source* is whatever the transport activated: a real
+    :class:`TraceContext`, an un-parsed :class:`_LazyWire`, or None.  The
+    child (or fresh root) is memoized so the service's view and the
+    deferred span finalizer always agree on ids.
+    """
+
+    __slots__ = ("source", "value")
+
+    def __init__(self, source):
+        self.source = source
+        self.value: TraceContext | None = None
+
+    def get(self) -> TraceContext:
+        value = self.value
+        if value is None:
+            incoming = self.source
+            if incoming is not None and incoming.__class__ is not TraceContext:
+                if (
+                    incoming.__class__ is _LazyWire
+                    and not incoming.done
+                    and incoming.parse is from_bytes
+                ):
+                    # nobody materialized the parent: decode the fixed head
+                    # and mint the child in one step, skipping the
+                    # intermediate context object entirely
+                    value = _child_from_wire(incoming.raw)
+                    if value is not None:
+                        self.value = value
+                        return value
+                incoming = incoming.get()
+            value = incoming.child() if incoming is not None else new_trace()
+            self.value = value
+        return value
+
+
+def activate_wire(raw, parse):
+    """Install *raw* wire bytes as the current context without parsing
+    them; *parse* runs only if the context is actually read."""
+    return _current.set(_LazyWire(raw, parse))
+
+
+def peek():
+    """The raw current value — a :class:`TraceContext`, an un-materialized
+    lazy cell, or None — without forcing a parse."""
+    return _current.get()
+
+
+def deactivate(token) -> None:
+    _current.reset(token)
+
+
+@contextmanager
+def use(ctx: TraceContext | None):
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+# -- asynchronous bookkeeping (span finalization off the critical path) ----------
+#
+# Span finalization — minting ids, observing histograms, recording the
+# span — runs at the worst possible instants: on the server between the
+# service returning and the reply write, and on the client just after
+# the reply arrives, when the CPU is cache-cold (and mid frequency-ramp)
+# from the transit wait.  Both sides therefore hand the work to one
+# daemon thread: the hot path pays a deque append and an event set, and
+# the drain runs while the caller is off in its *next* blocking wait —
+# time the CPU would otherwise spend idle.  Readers that need a
+# consistent view (console reports, tests, snapshots over RPC) call
+# :func:`flush` first.
+
+
+class _AsyncFinisher:
+    """Single daemon thread draining ``(fn, args)`` bookkeeping items.
+
+    ``submit`` is the per-call hot path and is nothing but a
+    ``deque.append`` (atomic under the GIL) — deliberately NOT an event
+    set, because waking a parked thread is a futex syscall plus a
+    scheduler pass, which costs more on the caller than the bookkeeping
+    it displaces.  Instead the worker self-wakes on a short tick and
+    drains whatever accumulated; that tick parks in the kernel, so its
+    cost lands on idle time, not on any caller.  :meth:`flush` forces an
+    immediate drain for readers that need a consistent view.
+
+    The worker starts lazily on the first submission and never dies; a
+    finalizer that raises is dropped (bookkeeping must not take the
+    process down).
+    """
+
+    __slots__ = ("_queue", "_event", "_thread", "_start_lock", "_busy")
+
+    #: Worker tick: the latency ceiling for a span/metric becoming
+    #: visible without an explicit flush.
+    _TICK_S = 0.005
+
+    def __init__(self):
+        self._queue = deque()
+        self._event = threading.Event()
+        self._thread = None
+        self._start_lock = threading.Lock()
+        self._busy = False
+
+    def submit(self, fn, args=()) -> None:
+        self._queue.append((fn, args))
+        if self._thread is None:
+            self._start()
+
+    def _start(self) -> None:
+        with self._start_lock:
+            if self._thread is None:
+                thread = threading.Thread(
+                    target=self._run, name="repro-obs-finisher", daemon=True
+                )
+                self._thread = thread
+                thread.start()
+
+    def _run(self) -> None:
+        queue, event = self._queue, self._event
+        while True:
+            event.wait(self._TICK_S)
+            event.clear()
+            self._busy = True
+            while queue:
+                try:
+                    fn, args = queue.popleft()
+                except IndexError:
+                    break
+                try:
+                    fn(*args)
+                except Exception:  # noqa: BLE001 — bookkeeping never propagates
+                    pass
+            self._busy = False
+
+    def drained(self) -> bool:
+        return not self._queue and not self._busy
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until every submitted finalizer has run (or *timeout*)."""
+        if self.drained():
+            return True
+        deadline = _monotonic() + timeout
+        while not self.drained():
+            self._event.set()  # cut the worker's tick short
+            if _monotonic() >= deadline:
+                return False
+            _sleep(0.0005)
+        return True
+
+
+finisher = _AsyncFinisher()
+
+
+def flush(timeout: float = 5.0) -> bool:
+    """Wait for all pending span/metric bookkeeping to land."""
+    return finisher.flush(timeout)
+
+
+# -- binary wire form (TCP frames) -----------------------------------------------
+
+_MAGIC = b"RT"
+_VERSION = 1
+_FIXED = struct.Struct(">2sBQQQB")  # magic, version, trace, span, parent, n items
+_KLEN = struct.Struct(">H")
+
+
+def to_bytes(ctx: TraceContext) -> bytes:
+    if not ctx.baggage:  # the overwhelmingly common frame: no list, no join
+        return _FIXED.pack(
+            _MAGIC,
+            _VERSION,
+            int(ctx.trace_id, 16),
+            int(ctx.span_id, 16),
+            int(ctx.parent_id, 16) if ctx.parent_id else 0,
+            0,
+        )
+    if len(ctx.baggage) > 255:
+        raise TraceWireError("baggage too large for the wire (max 255 items)")
+    parts = [
+        _FIXED.pack(
+            _MAGIC,
+            _VERSION,
+            int(ctx.trace_id, 16),
+            int(ctx.span_id, 16),
+            int(ctx.parent_id, 16) if ctx.parent_id else 0,
+            len(ctx.baggage),
+        )
+    ]
+    for key, value in ctx.baggage:
+        k, v = key.encode("utf-8"), value.encode("utf-8")
+        if len(k) > 0xFFFF or len(v) > 0xFFFF:
+            raise TraceWireError("baggage item too large for the wire")
+        parts.append(_KLEN.pack(len(k)) + k + _KLEN.pack(len(v)) + v)
+    return b"".join(parts)
+
+
+def from_bytes(data: bytes | bytearray | memoryview) -> TraceContext:
+    data = bytes(data)
+    if len(data) < _FIXED.size:
+        raise TraceWireError(f"trace block truncated: {len(data)} bytes")
+    magic, version, trace, span, parent, n = _FIXED.unpack_from(data)
+    if magic != _MAGIC:
+        raise TraceWireError(f"not a trace block (magic {magic!r})")
+    if version != _VERSION:
+        raise TraceWireError(f"unknown trace block version {version}")
+    if not trace or not span:
+        raise TraceWireError("trace and span ids must be nonzero")
+    offset = _FIXED.size
+    baggage = []
+    for _ in range(n):
+        key, offset = _take(data, offset)
+        value, offset = _take(data, offset)
+        baggage.append((key, value))
+    if offset != len(data):
+        raise TraceWireError(f"{len(data) - offset} trailing bytes after trace block")
+    return _make(
+        f"{trace:016x}", f"{span:016x}", f"{parent:016x}" if parent else "",
+        tuple(baggage),
+    )
+
+
+def _child_from_wire(raw) -> TraceContext | None:
+    """The server child for a baggage-free binary block, minted without
+    materializing the parent context.  None means "take the general
+    path": baggage present, or the block is suspect."""
+    if len(raw) != _FIXED.size:
+        return None
+    magic, version, trace, span, _parent, n = _FIXED.unpack(
+        raw if isinstance(raw, bytes) else bytes(raw)
+    )
+    if magic != _MAGIC or version != _VERSION or n or not trace or not span:
+        return None
+    return _make(f"{trace:016x}", _new_id(), f"{span:016x}", ())
+
+
+def _take(data: bytes, offset: int) -> tuple[str, int]:
+    if offset + _KLEN.size > len(data):
+        raise TraceWireError("trace block truncated inside baggage")
+    (length,) = _KLEN.unpack_from(data, offset)
+    offset += _KLEN.size
+    if offset + length > len(data):
+        raise TraceWireError("trace block truncated inside baggage item")
+    try:
+        text = data[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceWireError(f"baggage is not UTF-8: {exc}") from None
+    return text, offset + length
+
+
+# -- text wire form (HTTP header) ------------------------------------------------
+
+_HEADER_RE = re.compile(r"([0-9a-f]{16})-([0-9a-f]{16})-([0-9a-f]{16})$")
+
+
+def to_header(ctx: TraceContext) -> str:
+    text = f"{ctx.trace_id}-{ctx.span_id}-{ctx.parent_id or _ZERO}"
+    if ctx.baggage:
+        items = ",".join(
+            f"{quote(k, safe='')}={quote(v, safe='')}" for k, v in ctx.baggage
+        )
+        text = f"{text};{items}"
+    return text
+
+
+def from_header(text: str) -> TraceContext:
+    ids, sep, tail = text.partition(";")
+    match = _HEADER_RE.fullmatch(ids)
+    if match is None:
+        raise TraceWireError(f"malformed trace header: {text[:80]!r}")
+    baggage = []
+    if sep:
+        if not tail:
+            raise TraceWireError("empty baggage section in trace header")
+        for item in tail.split(","):
+            # empty keys are legal (percent-encoding of "" is ""), so only
+            # the separator is mandatory
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise TraceWireError(f"malformed baggage item {item!r}")
+            try:
+                baggage.append((unquote(key, errors="strict"), unquote(value, errors="strict")))
+            except UnicodeDecodeError as exc:
+                raise TraceWireError(f"baggage is not UTF-8: {exc}") from None
+    trace, span, parent = match.groups()
+    if trace == _ZERO:
+        raise TraceWireError("trace_id must be nonzero")
+    return _make(trace, span, "" if parent == _ZERO else parent, tuple(baggage))
+
+
+# -- SOAP wire form (envelope header block) --------------------------------------
+
+# NS_HARNESS from repro.xmlkit, inlined as bytes: obs sits below the soap
+# layer and must not import it (soap.codec imports obs for the splice).
+_NS = b"http://harness.mathcs.emory.edu/wsdl/harness/"
+
+#: Cheap containment probe: only payloads carrying this marker are parsed.
+SOAP_MARKER = b"<harness:trace"
+
+_SOAP_TRACE_RE = re.compile(
+    rb'<harness:trace xmlns:harness="[^"]+" '
+    rb'id="([0-9a-f]{16})" span="([0-9a-f]{16})" parent="([0-9a-f]{16})">'
+    rb'((?:<harness:bag key="[^"<>]*">[^<]*</harness:bag>)*)'
+    rb"</harness:trace>"
+)
+_BAG_RE = re.compile(rb'<harness:bag key="([^"<>]*)">([^<]*)</harness:bag>')
+_BODY_OPEN = b"<soapenv:Body>"
+
+
+def soap_header_block(ctx: TraceContext) -> bytes:
+    """The self-contained ``<soapenv:Header>…`` bytes for *ctx*.
+
+    Keys and values are percent-encoded (as in the HTTP form), so the block
+    is always XML-safe ASCII regardless of what the baggage holds.
+    """
+    bags = b"".join(
+        b'<harness:bag key="%s">%s</harness:bag>'
+        % (quote(k, safe="").encode("ascii"), quote(v, safe="").encode("ascii"))
+        for k, v in ctx.baggage
+    )
+    return (
+        b'<soapenv:Header><harness:trace xmlns:harness="%s" '
+        b'id="%s" span="%s" parent="%s">%s</harness:trace></soapenv:Header>'
+        % (
+            _NS,
+            ctx.trace_id.encode("ascii"),
+            ctx.span_id.encode("ascii"),
+            (ctx.parent_id or _ZERO).encode("ascii"),
+            bags,
+        )
+    )
+
+
+def splice_soap(envelope: bytes, ctx: TraceContext) -> bytes:
+    """Insert the trace header block ahead of ``<soapenv:Body>``.
+
+    Envelopes without a recognizable Body (foreign XML) pass through
+    unchanged — tracing never breaks a payload it does not understand.
+    """
+    if not isinstance(envelope, (bytes, bytearray)):
+        envelope = bytes(envelope)
+    index = envelope.find(_BODY_OPEN)
+    if index < 0:
+        return bytes(envelope)
+    return b"%s%s%s" % (envelope[:index], soap_header_block(ctx), envelope[index:])
+
+
+def extract_soap(data: bytes | bytearray | memoryview) -> TraceContext | None:
+    """The context carried in a SOAP payload, or None when it carries none.
+
+    A payload *containing* the trace marker but failing to parse raises
+    :class:`TraceWireError` — a mangled header must not be silently read as
+    "no trace".
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
+    if SOAP_MARKER not in data:
+        return None
+    match = _SOAP_TRACE_RE.search(data)
+    if match is None:
+        raise TraceWireError("malformed harness:trace SOAP header block")
+    trace, span, parent, bags = match.groups()
+    baggage = []
+    for key, value in _BAG_RE.findall(bags):
+        try:
+            baggage.append(
+                (
+                    unquote(key.decode("ascii"), errors="strict"),
+                    unquote(value.decode("ascii"), errors="strict"),
+                )
+            )
+        except UnicodeDecodeError as exc:
+            raise TraceWireError(f"baggage is not UTF-8: {exc}") from None
+    parent_text = parent.decode("ascii")
+    trace_text = trace.decode("ascii")
+    if trace_text == _ZERO:
+        raise TraceWireError("trace_id must be nonzero")
+    return _make(
+        trace_text,
+        span.decode("ascii"),
+        "" if parent_text == _ZERO else parent_text,
+        tuple(baggage),
+    )
+
+
+# -- span recording --------------------------------------------------------------
+
+
+class Span(NamedTuple):
+    """One finished, timed hop (client or server side of a call).
+
+    A NamedTuple, not a dataclass: spans are minted on every traced call,
+    and tuple construction is the cheapest object creation Python offers.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    status: str = "ok"
+    timings_us: dict = {}
+
+    def describe(self) -> str:
+        timings = " ".join(f"{k}={v:.0f}us" for k, v in self.timings_us.items())
+        return f"{self.name} [{self.status}] trace={self.trace_id} span={self.span_id} {timings}".rstrip()
+
+
+class SpanRecorder:
+    """Bounded in-memory ring of finished spans (newest kept).
+
+    ``record`` is lock-free: ``deque.append`` with a maxlen is atomic in
+    CPython, and record sits on every traced call's finish path.  Readers
+    (cold path) retry the snapshot if a concurrent append moves the ring
+    under them.
+    """
+
+    def __init__(self, capacity: int = 512):
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def record(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def _snapshot(self) -> list[Span]:
+        while True:
+            try:
+                return list(self._spans)
+            except RuntimeError:  # deque mutated during iteration
+                continue
+
+    def last(self, n: int = 10) -> list[Span]:
+        """The most recent *n* spans, newest first."""
+        return self._snapshot()[::-1][: max(0, n)]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+#: Process-wide recorder the instrumented stubs/servers report into.
+recorder = SpanRecorder()

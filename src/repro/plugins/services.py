@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.util.errors import HarnessError
 
-__all__ = ["WSTime", "MatMul", "LinearAlgebraService", "CounterService"]
+__all__ = ["WSTime", "MatMul", "LinearAlgebraService", "CounterService", "MetricsService"]
 
 
 class WSTime:
@@ -120,3 +120,33 @@ class CounterService:
     def value(self) -> int:
         """The running total."""
         return self._count
+
+
+class MetricsService:
+    """Observability as a deployable component: metric snapshots over RPC.
+
+    Deploy one per node (or DVM) and any client can pull the process's
+    metrics through the same bindings as every other service — the XDR
+    codec carries the nested snapshot dicts natively, SOAP via its struct
+    mapping.  An optional ``snapshot_fn`` (e.g. a bound
+    ``DistributedVirtualMachine.metrics_snapshot``) replaces the default
+    registry-only view.
+    """
+
+    def __init__(self, snapshot_fn=None) -> None:
+        self._snapshot_fn = snapshot_fn
+
+    def snapshot(self, prefix: str = "") -> dict:
+        """All instruments whose names start with *prefix*."""
+        from repro.obs import trace as _trace
+
+        _trace.flush()  # land in-flight bookkeeping so counts are exact
+        if self._snapshot_fn is not None:
+            return self._snapshot_fn(prefix)
+        from repro.obs import metrics as _metrics
+
+        return {"metrics": _metrics.registry.snapshot(prefix)}
+
+    def names(self, prefix: str = "") -> list:
+        """Just the instrument names (cheap remote discovery)."""
+        return sorted(self.snapshot(prefix).get("metrics", {}))

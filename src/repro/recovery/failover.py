@@ -32,10 +32,15 @@ import threading
 from typing import Callable
 
 from repro.core.migration import deserialize_component, serialize_component
+from repro.obs import metrics as _metrics
 from repro.util.errors import RecoveryError
 from repro.util.events import Event
 
 __all__ = ["CheckpointStore", "FailoverManager", "least_loaded_node"]
+
+_CHECKPOINTS = _metrics.registry.counter("recovery.checkpoints")
+_FAILOVERS = _metrics.registry.counter("recovery.failovers")
+_FAILOVER_FAILURES = _metrics.registry.counter("recovery.failover_failures")
 
 
 class CheckpointStore:
@@ -130,6 +135,7 @@ class FailoverManager:
                     self.dvm.network.charge(host, self.home, len(blob))
                 self.store.put(handle.name, host, blob)
                 count += 1
+                _CHECKPOINTS.inc()
                 self.dvm.events.publish(
                     "recovery.checkpoint",
                     {"service": handle.name, "node": host, "bytes": len(blob)},
@@ -150,6 +156,7 @@ class FailoverManager:
         target = self.placement(self.dvm, record)
         checkpoint = self.store.get(service)
         if target is None or checkpoint is None:
+            _FAILOVER_FAILURES.inc()
             self.dvm.events.publish(
                 "recovery.failover.failed",
                 {
@@ -170,6 +177,7 @@ class FailoverManager:
                 target, instance, name=service, bindings=bindings, restartable=True
             )
         except Exception as exc:
+            _FAILOVER_FAILURES.inc()
             self.dvm.events.publish(
                 "recovery.failover.failed",
                 {"service": service, "from": dead_node, "reason": str(exc)},
@@ -186,6 +194,7 @@ class FailoverManager:
         }
         with self._lock:
             self.recovered.append(done)
+        _FAILOVERS.inc()
         self.dvm.events.publish("recovery.failover", done, source=self.dvm.name)
 
     # -- lifecycle -----------------------------------------------------------------

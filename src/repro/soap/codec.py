@@ -4,10 +4,24 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import trace as _trace
 from repro.soap import envelope as env
 from repro.util.errors import SoapFaultError
 
 __all__ = ["SoapMessageCodec"]
+
+
+def _with_trace(payload: bytes) -> bytes:
+    """Splice the current trace context into *payload* as a SOAP Header.
+
+    A no-op (and a single global read) when tracing is disabled, so the
+    cached-template fast path keeps its byte-identical output.
+    """
+    if _trace.ENABLED:
+        ctx = _trace.current()
+        if ctx is not None:
+            return _trace.splice_soap(payload, ctx)
+    return payload
 
 
 class SoapMessageCodec:
@@ -26,7 +40,7 @@ class SoapMessageCodec:
         )
 
     def encode_call(self, target: str, operation: str, args: tuple | list) -> bytes:
-        return env.build_call_envelope(target, operation, args, self.array_mode)
+        return _with_trace(env.build_call_envelope(target, operation, args, self.array_mode))
 
     def call_encoder(self, target: str, operation: str):
         """A cached marshalling plan: every constant byte of the envelope
@@ -34,7 +48,19 @@ class SoapMessageCodec:
         attribute) is rendered once; per call only the argument fragments
         are written.  Stubs probe for this and wire it into their
         per-operation plan exactly as they do for XDR."""
-        return env.call_encoder(target, operation, self.array_mode).encode
+        encode = env.call_encoder(target, operation, self.array_mode).encode
+
+        def encode_with_trace(args):
+            # the trace header rides the encoder's own join — splicing it
+            # into the finished envelope would re-copy the whole payload
+            # (tens of microseconds on a 16k-element array)
+            if _trace.ENABLED:
+                ctx = _trace.current()
+                if ctx is not None:
+                    return encode(args, _trace.soap_header_block(ctx))
+            return encode(args)
+
+        return encode_with_trace
 
     def decode_call(self, data: bytes) -> tuple[str, str, list]:
         # the zero-copy TCP path hands memoryview payloads; XML parsing needs bytes

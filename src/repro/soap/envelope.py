@@ -89,6 +89,7 @@ _NS_DECLS = (
 )
 
 _HEADS: dict[int, bytes] = {}
+_PRE_HEADS: dict[int, bytes] = {}
 
 
 def _head(mask: int) -> bytes:
@@ -103,6 +104,17 @@ def _head(mask: int) -> bytes:
         head = _XML_DECL + f"<soapenv:Envelope{decls}>".encode("ascii") + _BODY_OPEN
         _HEADS[mask] = head
     return head
+
+
+def _head_pre(mask: int) -> bytes:
+    """:func:`_head` minus the Body open tag, so a caller can drop a
+    ``<soapenv:Header>`` block between the two without re-copying the
+    finished envelope (splicing a header into a large array payload
+    costs a full memcpy of the envelope; building it in place is free)."""
+    pre = _PRE_HEADS.get(mask)
+    if pre is None:
+        pre = _PRE_HEADS[mask] = _head(mask)[: -len(_BODY_OPEN)]
+    return pre
 
 
 _ARG_NAMES = tuple(f"arg{i}" for i in range(64))
@@ -131,7 +143,10 @@ class CallEncoder:
         self._close = f"</{operation}>".encode("utf-8")
         self._array_mode = array_mode
 
-    def encode(self, args: tuple | list) -> bytes:
+    def encode(self, args: tuple | list, header: bytes = b"") -> bytes:
+        """Render one call; *header* (a finished ``<soapenv:Header>…``
+        block) is stitched in ahead of the Body during the single join,
+        byte-identical to splicing it afterwards but without the copy."""
         body = bytearray()
         mask = 0
         if args:
@@ -139,6 +154,11 @@ class CallEncoder:
                 raise EncodingError(f"unknown array mode {self._array_mode!r}")
             for i, arg in enumerate(args):
                 mask |= encode_value_into(body, _arg_name(i), arg, self._array_mode)
+        if header:
+            open_ = self._open if body else self._selfclose
+            return b"".join(
+                (_head_pre(mask), header, _BODY_OPEN, open_, body, self._close if body else b"", _TAIL)
+            )
         if body:
             return b"".join((_head(mask), self._open, body, self._close, _TAIL))
         return b"".join((_head(mask), self._selfclose, _TAIL))

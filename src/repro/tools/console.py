@@ -187,6 +187,47 @@ class HarnessConsole(cmd.Cmd):
             f"{self.network.simulated_time * 1e3:.2f} ms simulated"
         )
 
+    def do_metrics(self, arg: str) -> None:
+        """metrics [PREFIX] — the observability snapshot (optionally only
+        instruments whose names start with PREFIX)."""
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        obs_trace.flush()  # land any in-flight bookkeeping before reading
+        prefix = arg.strip()
+        if self.harness is not None:
+            snapshot = self.harness.metrics_snapshot(prefix)
+        else:
+            snapshot = {"metrics": obs_metrics.registry.snapshot(prefix)}
+        self._say(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+
+    def do_trace(self, arg: str) -> None:
+        """trace on|off|status|last [N] — control tracing / show recent spans."""
+        from repro.obs import trace as obs_trace
+
+        parts = shlex.split(arg) or ["status"]
+        verb = parts[0]
+        if verb == "on":
+            obs_trace.enable(True)
+            self._say("tracing enabled")
+        elif verb == "off":
+            obs_trace.enable(False)
+            self._say("tracing disabled")
+        elif verb == "status":
+            obs_trace.flush()
+            state = "enabled" if obs_trace.ENABLED else "disabled"
+            self._say(f"tracing {state}; {len(obs_trace.recorder)} spans recorded")
+        elif verb == "last":
+            count = int(parts[1]) if len(parts) > 1 else 10
+            obs_trace.flush()
+            spans = obs_trace.recorder.last(count)
+            if not spans:
+                self._say("(no spans recorded)")
+            for span in spans:
+                self._say(span.describe())
+        else:
+            self._say("usage: trace on|off|status|last [N]")
+
     # -- invocation ---------------------------------------------------------------------------
 
     def do_call(self, arg: str) -> None:

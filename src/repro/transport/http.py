@@ -15,6 +15,7 @@ import http.client
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import trace as _trace
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
 from repro.util.errors import TransportClosedError, TransportError
 
@@ -47,17 +48,29 @@ class _SoapHttpHandler(BaseHTTPRequestHandler):
         payload = self.rfile.read(length)
         content_type = self.headers.get("Content-Type", "application/octet-stream")
         message = TransportMessage(content_type, payload)
+        token = None
+        if _trace.ENABLED:
+            header = self.headers.get(_trace.TRACE_HEADER)
+            if header:
+                try:
+                    token = _trace.activate(_trace.from_header(header))
+                except _trace.TraceWireError:
+                    token = None  # a mangled header must not fail the request
         try:
             response = server.app_handler(message)
             status = 200
         except Exception as exc:
             response = TransportMessage("text/plain", str(exc).encode("utf-8"))
             status = 500
+        finally:
+            if token is not None:
+                _trace.deactivate(token)
         self.send_response(status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.payload)))
         self.end_headers()
         self.wfile.write(response.payload)
+        self.wfile.flush()
 
 
 class _Server(ThreadingHTTPServer):
@@ -128,12 +141,12 @@ class HttpTransport:
     )
 
     def _round_trip(self, message: TransportMessage):
-        self._conn.request(
-            "POST",
-            self._path,
-            body=message.payload,
-            headers={"Content-Type": message.content_type},
-        )
+        headers = {"Content-Type": message.content_type}
+        if _trace.ENABLED:
+            ctx = _trace.current()
+            if ctx is not None:
+                headers[_trace.TRACE_HEADER] = _trace.to_header(ctx)
+        self._conn.request("POST", self._path, body=message.payload, headers=headers)
         response = self._conn.getresponse()
         return response, response.read()
 

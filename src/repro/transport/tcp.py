@@ -41,6 +41,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
 from repro.util.errors import HarnessTimeoutError, TransportClosedError, TransportError
 
@@ -54,6 +56,21 @@ _MIN_BODY = _META.size + 1      # meta + status byte, empty content type
 
 STATUS_OK = 0
 STATUS_FAULT = 1
+
+#: Status-byte flag marking a frame that carries a trace block between the
+#: status byte and the payload (uint16 BE block length, then the block —
+#: see :mod:`repro.obs.trace`).  Pre-observability peers never set it, so
+#: plain v2 frames remain valid; decoders strip it before acting on status.
+TRACE_FLAG = 0x80
+_TLEN = struct.Struct(">H")
+
+# Pool and demux accounting (process-wide; DESIGN.md §10 names them).
+_DIALS = _metrics.registry.counter("tcp.client.dials")
+_CHANNELS = _metrics.registry.gauge("tcp.client.channels")
+_CHANNEL_FAILURES = _metrics.registry.counter("tcp.client.channel_failures")
+_LATE_DROPS = _metrics.registry.counter("tcp.client.late_drops")
+_SERVED_INLINE = _metrics.registry.counter("tcp.server.inline")
+_SERVED_OFFLOADED = _metrics.registry.counter("tcp.server.offloaded")
 
 #: Channels per peer a :class:`TcpTransport` may open (least-loaded pick).
 try:
@@ -106,8 +123,17 @@ def _send_buffers(sock: socket.socket, buffers, grace_s: float = _FRAME_GRACE_S)
                 sent = 0
 
 
-def _frame_prefix(corr_id: int, content_type: str, status: int, payload_len: int) -> bytes:
+def _frame_prefix(
+    corr_id: int, content_type: str, status: int, payload_len: int, trace: bytes = b""
+) -> bytes:
     ct = content_type.encode("ascii")
+    if trace:
+        status |= TRACE_FLAG
+        length = _META.size + len(ct) + 1 + _TLEN.size + len(trace) + payload_len
+        return (
+            _HEADER.pack(length) + _META.pack(corr_id, len(ct)) + ct
+            + bytes((status,)) + _TLEN.pack(len(trace)) + trace
+        )
     length = _META.size + len(ct) + 1 + payload_len
     return _HEADER.pack(length) + _META.pack(corr_id, len(ct)) + ct + bytes((status,))
 
@@ -133,17 +159,29 @@ def _read_exact(sock: socket.socket, count: int) -> memoryview:
     return view
 
 
-def _parse_body(body: memoryview) -> tuple[int, TransportMessage, int]:
+def _parse_body(body: memoryview) -> tuple[int, TransportMessage, int, bytes | None]:
     corr_id, ct_len = _META.unpack_from(body)
     ct_end = _META.size + ct_len
     if ct_end + 1 > len(body):
         raise TransportError("corrupt frame: content type overruns body")
     content_type = str(body[_META.size:ct_end], "ascii")
     status = body[ct_end]
-    return corr_id, TransportMessage(content_type, body[ct_end + 1:]), status
+    payload_start = ct_end + 1
+    trace: bytes | None = None
+    if status & TRACE_FLAG:
+        status &= ~TRACE_FLAG
+        if payload_start + _TLEN.size > len(body):
+            raise TransportError("corrupt frame: trace block length overruns body")
+        (trace_len,) = _TLEN.unpack_from(body, payload_start)
+        payload_start += _TLEN.size
+        if payload_start + trace_len > len(body):
+            raise TransportError("corrupt frame: trace block overruns body")
+        trace = bytes(body[payload_start:payload_start + trace_len])
+        payload_start += trace_len
+    return corr_id, TransportMessage(content_type, body[payload_start:]), status, trace
 
 
-def _read_frame(sock: socket.socket) -> tuple[int, TransportMessage, int]:
+def _read_frame(sock: socket.socket) -> tuple[int, TransportMessage, int, bytes | None]:
     (length,) = _HEADER.unpack(_read_exact(sock, _HEADER.size))
     if length < _MIN_BODY:
         raise TransportError(f"short frame: {length} bytes")
@@ -154,13 +192,23 @@ def _read_frame(sock: socket.socket) -> tuple[int, TransportMessage, int]:
 
 
 def _respond(server: "_Server", sock: socket.socket, wlock: threading.Lock,
-             corr_id: int, message: TransportMessage) -> None:
+             corr_id: int, message: TransportMessage, trace: bytes | None = None) -> None:
+    token = None
+    if _trace.ENABLED and trace is not None:
+        # stash the block un-parsed: it is decoded only if the service
+        # reads its context (or when the server span finalizes on the
+        # finisher thread), and a mangled block materializes as "no
+        # context" then
+        token = _trace.activate_wire(trace, _trace.from_bytes)
     try:
         response = server.app_handler(message)
         status = STATUS_OK
     except Exception as exc:  # deliver faults instead of dropping the socket
         response = TransportMessage("text/plain", str(exc).encode("utf-8"))
         status = STATUS_FAULT
+    finally:
+        if token is not None:
+            _trace.deactivate(token)
     try:
         with wlock:
             _write_frame(sock, corr_id, response, status)
@@ -176,16 +224,16 @@ class _Handler(socketserver.BaseRequestHandler):
         wlock = threading.Lock()  # response frames must not interleave
         busy = [0]  # requests currently executing on the worker pool
 
-        def offloaded(corr_id: int, message: TransportMessage) -> None:
+        def offloaded(corr_id: int, message: TransportMessage, trace: bytes | None) -> None:
             try:
-                _respond(server, sock, wlock, corr_id, message)
+                _respond(server, sock, wlock, corr_id, message, trace)
             finally:
                 with wlock:
                     busy[0] -= 1
 
         while True:
             try:
-                corr_id, message, _status = _read_frame(sock)
+                corr_id, message, _status, trace = _read_frame(sock)
             except (TransportClosedError, TransportError, ConnectionError, OSError):
                 return
             # Pipelined requests run concurrently on the worker pool; a lone
@@ -199,10 +247,12 @@ class _Handler(socketserver.BaseRequestHandler):
                 if not inline:
                     busy[0] += 1
             if inline:
-                _respond(server, sock, wlock, corr_id, message)
+                _SERVED_INLINE.inc()
+                _respond(server, sock, wlock, corr_id, message, trace)
             else:
+                _SERVED_OFFLOADED.inc()
                 try:
-                    server.executor.submit(offloaded, corr_id, message)
+                    server.executor.submit(offloaded, corr_id, message, trace)
                 except RuntimeError:  # server shutting down
                     return
 
@@ -306,8 +356,15 @@ class _Channel:
     ) -> tuple[TransportMessage, int]:
         corr_id, pending = self._register()
         try:
+            trace = b""
+            if _trace.ENABLED:
+                ctx = _trace.current()
+                if ctx is not None:
+                    trace = _trace.to_bytes(ctx)
             payload = message.payload
-            prefix = _frame_prefix(corr_id, message.content_type, STATUS_OK, len(payload))
+            prefix = _frame_prefix(
+                corr_id, message.content_type, STATUS_OK, len(payload), trace
+            )
             with self._wlock:
                 _send_buffers(self._sock, (prefix, payload))
         except (socket.timeout, ConnectionError, OSError) as exc:
@@ -390,7 +447,9 @@ class _Channel:
                 return
             self._dispatch(*frame)
 
-    def _read_one(self, remaining: float | None) -> tuple[int, TransportMessage, int]:
+    def _read_one(
+        self, remaining: float | None
+    ) -> tuple[int, TransportMessage, int, bytes | None]:
         """Read one frame; ``recv_into`` preallocated buffers, zero joins.
 
         The first header byte may wait up to *remaining* (a clean
@@ -429,10 +488,14 @@ class _Channel:
             got += n
         return _parse_body(body)
 
-    def _dispatch(self, corr_id: int, message: TransportMessage, status: int) -> None:
+    def _dispatch(
+        self, corr_id: int, message: TransportMessage, status: int,
+        trace: bytes | None = None,
+    ) -> None:
         with self._cv:
             pending = self._pending.pop(corr_id, None)
             if pending is None:
+                _LATE_DROPS.inc()
                 return  # late reply for a timed-out request: dropped
             pending.message = message
             pending.status = status
@@ -444,6 +507,9 @@ class _Channel:
             if not self._dead:
                 self._dead = True
                 self._close_reason = reason
+                _CHANNELS.dec()
+                if not self._closing:
+                    _CHANNEL_FAILURES.inc()
                 for pending in self._pending.values():
                     pending.error = TransportClosedError(reason)
                     pending.done = True
@@ -519,6 +585,8 @@ class TcpTransport:
             raise TransportError(f"cannot connect to {self._url}: {exc}") from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(None)
+        _DIALS.inc()
+        _CHANNELS.inc()
         return _Channel(self._url, sock)
 
     def _pick(self) -> _Channel:

@@ -70,7 +70,19 @@ class EventBus:
         return sub
 
     def publish(self, topic: str, payload: Any = None, source: str = "", **attributes) -> int:
-        """Publish an event; returns the number of handlers that received it."""
+        """Publish an event; returns the number of handlers that received it.
+
+        When tracing is active, the current trace/span ids are stamped into
+        the event attributes (span links), so bus traffic triggered inside a
+        traced call can be correlated with it afterwards.
+        """
+        from repro.obs import trace as _trace  # late: events sits below obs consumers
+
+        if _trace.ENABLED:
+            ctx = _trace.current()
+            if ctx is not None:
+                attributes.setdefault("trace_id", ctx.trace_id)
+                attributes.setdefault("span_id", ctx.span_id)
         event = Event(topic=topic, payload=payload, source=source, attributes=attributes)
         with self._lock:
             targets = [

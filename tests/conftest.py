@@ -11,12 +11,19 @@ from repro.transport.inproc import reset_inproc_namespace
 
 @pytest.fixture(autouse=True)
 def _isolate_process_globals():
-    """Each test starts with empty inproc and container directories."""
+    """Each test starts with empty inproc and container directories, and
+    observability state (tracing switch, span ring, metric values) never
+    leaks across tests."""
+    from repro.obs import metrics, trace
+
     reset_inproc_namespace()
     LOCAL_DIRECTORY.clear()
     yield
     reset_inproc_namespace()
     LOCAL_DIRECTORY.clear()
+    trace.enable(False)
+    trace.recorder.clear()
+    metrics.registry.reset()
 
 
 @pytest.fixture

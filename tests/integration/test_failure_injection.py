@@ -223,11 +223,15 @@ class TestLossyLinks:
 
 class TestCircuitBreaking:
     def test_breaker_fails_fast_on_dead_host_and_recovers(self):
+        """Breaker cooldown on a virtual clock: the test advances time
+        explicitly instead of really sleeping past the cooldown."""
         from repro.bindings.policy import InvocationPolicy
+        from repro.util.clock import VirtualClock
         from repro.util.errors import CircuitOpenError
 
+        clock = VirtualClock()
         net = lan(2)
-        with HarnessDvm("breaker1", net) as harness:
+        with HarnessDvm("breaker1", net, clock=clock) as harness:
             harness.add_nodes("node0", "node1")
             harness.deploy("node1", CounterService, bindings=("sim",))
             policy = InvocationPolicy(
@@ -241,9 +245,7 @@ class TestCircuitBreaking:
             with pytest.raises(CircuitOpenError):  # breaker open: no fabric traffic
                 stub.increment(1)
             net.host("node1").restart()
-            import time
-
-            time.sleep(0.06)  # cooldown elapses; half-open probe succeeds
+            clock.advance(0.06)  # cooldown elapses; half-open probe succeeds
             assert stub.increment(1) == 1
             stub.close()
 
@@ -321,28 +323,43 @@ class TestSelfHealing:
             assert "node0" not in harness.kernels
             assert harness.dvm.nodes() == ["node1", "node2"]
 
-    def test_wall_clock_self_healing_threads(self):
-        """The same loop with detector + checkpointer on daemon threads."""
-        import time
+    def test_periodic_self_healing_on_virtual_clock(self):
+        """The same periodic loop the daemon threads run, driven by a
+        virtual clock: each callback reschedules itself at its interval, the
+        test advances time, and the outcome is exact — no real sleeping, no
+        wall-clock polling loops, no flaky deadlines."""
+        from repro.util.clock import VirtualClock
 
+        clock = VirtualClock()
         net = lan(3)
-        with HarnessDvm("heal4", net) as harness:
+        with HarnessDvm("heal4", net, clock=clock) as harness:
             harness.add_nodes("node0", "node1", "node2")
             harness.deploy(
                 "node0", CounterService, name="counter",
                 bindings=("local-instance", "sim"), restartable=True,
             )
-            harness.enable_self_healing(
+            detector, failover = harness.enable_self_healing(
                 observer="node2", suspect_after=1, evict_after=2,
                 heartbeat_interval_s=0.02, checkpoint_interval_s=0.02,
-                start_threads=True,
             )
+
+            def tick_loop() -> None:
+                detector.tick()
+                clock.call_at(clock.now() + detector.interval_s, tick_loop)
+
+            def checkpoint_loop() -> None:
+                failover.checkpoint()
+                clock.call_at(clock.now() + failover.interval_s, checkpoint_loop)
+
+            clock.call_at(detector.interval_s, tick_loop)
+            clock.call_at(failover.interval_s, checkpoint_loop)
+
             stub = harness.stub("node1", "counter", resilient=True)
             stub.increment(3)
-            time.sleep(0.1)  # let at least one checkpoint land
+            clock.advance(0.05)  # ≥ one checkpoint lands, at count 3
             net.host("node0").crash()
-            deadline = time.time() + 10.0
-            while "node0" in harness.dvm.nodes() and time.time() < deadline:
-                time.sleep(0.02)
-            assert stub.increment(1) >= 4  # recovered from some checkpoint
+            clock.advance(0.06)  # two missed heartbeats: suspected, then dead
+            assert "node0" not in harness.dvm.nodes()
+            # recovered from the checkpoint taken at exactly 3
+            assert stub.increment(1) == 4
             stub.close()

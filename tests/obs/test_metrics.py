@@ -1,0 +1,157 @@
+"""Unit tests for the lock-striped metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("t.count")
+        assert c.value() == 0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_reset_zeroes_in_place(self):
+        c = Counter("t.count")
+        c.inc(7)
+        c.reset()
+        assert c.value() == 0
+        c.inc()
+        assert c.value() == 1
+
+    def test_concurrent_increments_are_exact(self):
+        c = Counter("t.count")
+        per_thread = 2_000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8 * per_thread
+
+    def test_export(self):
+        c = Counter("t.count")
+        c.inc(3)
+        assert c.export() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("t.level")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value() == 7
+
+    def test_export_and_reset(self):
+        g = Gauge("t.level")
+        g.set(3.5)
+        assert g.export() == {"type": "gauge", "value": 3.5}
+        g.reset()
+        assert g.value() == 0.0
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        h = Histogram("t.lat")
+        for v in (3, 30, 300, 3000):
+            h.observe(v)
+        export = h.export()
+        assert export["count"] == 4
+        assert export["sum"] == pytest.approx(3333)
+        assert export["min"] == 3
+        assert export["max"] == 3000
+
+    def test_bucket_assignment(self):
+        h = Histogram("t.lat", bounds=(10, 100))
+        h.observe(5)       # <= 10
+        h.observe(10)      # <= 10 (bounds are upper-inclusive via bisect_left)
+        h.observe(50)      # <= 100
+        h.observe(1_000)   # +inf
+        buckets = h.export()["buckets"]
+        assert buckets == {"10": 2, "100": 1, "+inf": 1}
+
+    def test_percentile_interpolates(self):
+        h = Histogram("t.lat", bounds=(10, 100, 1000))
+        for _ in range(100):
+            h.observe(50)
+        # every observation sits in the (10, 100] bucket
+        assert 10 <= h.percentile(0.5) <= 100
+        assert 10 <= h.percentile(0.99) <= 100
+
+    def test_empty_percentile_is_zero(self):
+        h = Histogram("t.lat")
+        assert h.percentile(0.5) == 0.0
+        assert h.export()["count"] == 0
+
+    def test_values_above_last_bound_land_in_inf(self):
+        h = Histogram("t.lat")
+        h.observe(10 * DEFAULT_BUCKETS_US[-1])
+        assert h.export()["buckets"]["+inf"] == 1
+
+    def test_concurrent_observations_are_exact(self):
+        h = Histogram("t.lat")
+        per_thread = 1_000
+
+        def worker(seed):
+            for i in range(per_thread):
+                h.observe((seed * 37 + i) % 5_000)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 8 * per_thread
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            Histogram("t.lat", bounds=())
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+        assert len(r) == 2
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_snapshot_prefix_filter(self):
+        r = MetricsRegistry()
+        r.counter("tcp.client.dials").inc()
+        r.counter("server.requests").inc(2)
+        snap = r.snapshot("tcp.")
+        assert list(snap) == ["tcp.client.dials"]
+        assert snap["tcp.client.dials"]["value"] == 1
+        assert len(r.snapshot()) == 2
+
+    def test_reset_keeps_cached_references_live(self):
+        r = MetricsRegistry()
+        c = r.counter("kept")
+        c.inc(5)
+        r.reset()
+        assert c.value() == 0
+        c.inc()
+        # the registry still sees the same (zeroed then bumped) instrument
+        assert r.snapshot()["kept"]["value"] == 1

@@ -1,0 +1,168 @@
+"""Unit tests for trace contexts, their three wire forms, and the recorder."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import Span, TraceContext, TraceWireError
+
+
+def ctx_with_baggage() -> TraceContext:
+    return trace.new_trace().child().with_baggage("tenant", "acme").with_baggage(
+        "note", "a=b;c,d %"
+    )
+
+
+class TestContext:
+    def test_new_trace_is_rooted(self):
+        ctx = trace.new_trace()
+        assert ctx.parent_id == ""
+        assert len(ctx.trace_id) == 16
+        assert ctx.trace_id != ctx.span_id
+
+    def test_child_keeps_trace_and_parents_to_span(self):
+        parent = trace.new_trace()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_baggage_round_trip_and_override(self):
+        ctx = trace.new_trace().with_baggage("k", "1").with_baggage("k", "2")
+        assert ctx.bag("k") == "2"
+        assert ctx.bag("missing", "d") == "d"
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(TraceWireError):
+            TraceContext("nothex", "0" * 15 + "1")
+        with pytest.raises(TraceWireError):
+            TraceContext("0" * 16, "f" * 16)  # zero trace id
+        with pytest.raises(TraceWireError):
+            TraceContext("f" * 16, "a" * 16, parent_id="bad")
+
+
+class TestBinaryForm:
+    def test_round_trip(self):
+        ctx = ctx_with_baggage()
+        assert trace.from_bytes(trace.to_bytes(ctx)) == ctx
+
+    def test_round_trip_without_parent_or_baggage(self):
+        ctx = trace.new_trace()
+        assert trace.from_bytes(trace.to_bytes(ctx)) == ctx
+
+    def test_truncation_rejected(self):
+        blob = trace.to_bytes(ctx_with_baggage())
+        for cut in (0, 1, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(TraceWireError):
+                trace.from_bytes(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = trace.to_bytes(trace.new_trace())
+        with pytest.raises(TraceWireError):
+            trace.from_bytes(blob + b"x")
+
+    def test_wrong_magic_and_version_rejected(self):
+        blob = trace.to_bytes(trace.new_trace())
+        with pytest.raises(TraceWireError):
+            trace.from_bytes(b"XX" + blob[2:])
+        with pytest.raises(TraceWireError):
+            trace.from_bytes(blob[:2] + b"\x63" + blob[3:])
+
+
+class TestHeaderForm:
+    def test_round_trip(self):
+        ctx = ctx_with_baggage()
+        assert trace.from_header(trace.to_header(ctx)) == ctx
+
+    def test_rootless_parent_encodes_as_zero(self):
+        ctx = trace.new_trace()
+        header = trace.to_header(ctx)
+        assert header.endswith("-" + "0" * 16)
+        assert trace.from_header(header) == ctx
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "zz",
+            "deadbeef-cafe",                      # wrong widths
+            "g" * 16 + "-" + "a" * 16 + "-" + "0" * 16,  # non-hex
+            ("a" * 16 + "-") * 2 + "0" * 16 + ";",       # empty baggage section
+            ("a" * 16 + "-") * 2 + "0" * 16 + ";novalue",
+        ],
+    )
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(TraceWireError):
+            trace.from_header(bad)
+
+
+class TestSoapForm:
+    def test_splice_and_extract(self):
+        from repro.soap.envelope import build_call_envelope
+
+        envelope = build_call_envelope("Svc", "op", [1.5, "x"], "base64")
+        ctx = ctx_with_baggage()
+        spliced = trace.splice_soap(envelope, ctx)
+        assert trace.extract_soap(spliced) == ctx
+        # the envelope still parses as the same call
+        from repro.soap.envelope import parse_call_envelope
+
+        assert parse_call_envelope(spliced)[:2] == ("Svc", "op")
+
+    def test_no_marker_means_none(self):
+        assert trace.extract_soap(b"<soapenv:Envelope/>") is None
+
+    def test_payload_without_body_passes_through(self):
+        ctx = trace.new_trace()
+        assert trace.splice_soap(b"<foreign/>", ctx) == b"<foreign/>"
+
+    def test_mangled_block_raises(self):
+        envelope = trace.splice_soap(
+            b'<soapenv:Envelope><soapenv:Body></soapenv:Body></soapenv:Envelope>',
+            trace.new_trace(),
+        )
+        broken = envelope.replace(b'id="', b'id="zz', 1)
+        with pytest.raises(TraceWireError):
+            trace.extract_soap(broken)
+
+
+class TestCurrentContext:
+    def test_activate_deactivate(self):
+        assert trace.current() is None
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        assert trace.current() is ctx
+        trace.deactivate(token)
+        assert trace.current() is None
+
+    def test_use_is_scoped(self):
+        ctx = trace.new_trace()
+        with trace.use(ctx):
+            assert trace.current() is ctx
+        assert trace.current() is None
+
+    def test_enable_flag(self):
+        assert trace.enabled() is False
+        trace.enable(True)
+        assert trace.ENABLED is True
+        trace.enable(False)
+        assert trace.enabled() is False
+
+
+class TestRecorder:
+    def _span(self, i: int) -> Span:
+        return Span(f"s{i}", "a" * 16, f"{i:016x}" if i else "1" * 16)
+
+    def test_last_is_newest_first_and_bounded(self):
+        rec = trace.SpanRecorder(capacity=3)
+        for i in range(1, 6):
+            rec.record(self._span(i))
+        assert len(rec) == 3
+        assert [s.name for s in rec.last(10)] == ["s5", "s4", "s3"]
+        assert [s.name for s in rec.last(1)] == ["s5"]
+
+    def test_describe_mentions_ids_and_timings(self):
+        span = Span("client:xdr:op", "a" * 16, "b" * 16, timings_us={"transit": 12.0})
+        text = span.describe()
+        assert "client:xdr:op" in text
+        assert "a" * 16 in text
+        assert "transit=12us" in text

@@ -1,0 +1,136 @@
+"""Property tests: the three trace wire forms are lossless and agree.
+
+The tentpole claim is one consistent trace context regardless of carrier:
+any context pushed through the binary (TCP), text (HTTP header), and SOAP
+(envelope header block) forms must decode back to the *same* context, and
+corrupted carriers must raise :class:`TraceWireError`, never decode to a
+different context.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import trace
+from repro.obs.trace import TraceContext, TraceWireError
+from repro.soap.envelope import build_call_envelope, parse_call_envelope
+
+# -- strategies ---------------------------------------------------------------
+
+hex_id = st.integers(min_value=1, max_value=2**64 - 1).map(lambda v: f"{v:016x}")
+
+# Baggage text is arbitrary unicode minus surrogates: every form
+# percent-encodes (text/SOAP) or length-prefixes UTF-8 (binary).
+bag_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30
+)
+
+contexts = st.builds(
+    TraceContext,
+    trace_id=hex_id,
+    span_id=hex_id,
+    parent_id=st.one_of(st.just(""), hex_id),
+    baggage=st.lists(st.tuples(bag_text, bag_text), max_size=4).map(tuple),
+)
+
+
+# -- round trips --------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(contexts)
+def test_binary_round_trip(ctx):
+    assert trace.from_bytes(trace.to_bytes(ctx)) == ctx
+
+
+@settings(max_examples=150, deadline=None)
+@given(contexts)
+def test_header_round_trip(ctx):
+    assert trace.from_header(trace.to_header(ctx)) == ctx
+
+
+@settings(max_examples=100, deadline=None)
+@given(contexts)
+def test_soap_round_trip_inside_real_envelope(ctx):
+    envelope = build_call_envelope("Svc", "op", [1.0, "payload"], "base64")
+    spliced = trace.splice_soap(envelope, ctx)
+    assert trace.extract_soap(spliced) == ctx
+    # splicing must not disturb the call the envelope carries
+    target, operation, args = parse_call_envelope(spliced)
+    assert (target, operation) == ("Svc", "op")
+    assert args[1] == "payload"
+
+
+@settings(max_examples=100, deadline=None)
+@given(contexts)
+def test_all_three_forms_agree(ctx):
+    """binary ⇄ header ⇄ SOAP: every decode yields the same context."""
+    via_binary = trace.from_bytes(trace.to_bytes(ctx))
+    via_header = trace.from_header(trace.to_header(ctx))
+    via_soap = trace.extract_soap(
+        trace.splice_soap(build_call_envelope("S", "o", [], "base64"), ctx)
+    )
+    assert via_binary == via_header == via_soap == ctx
+
+
+# -- rejection ----------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(contexts, st.integers(min_value=0))
+def test_binary_prefixes_rejected(ctx, cut):
+    blob = trace.to_bytes(ctx)
+    cut %= len(blob)  # every strict prefix
+    with pytest.raises(TraceWireError):
+        trace.from_bytes(blob[:cut])
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=64))
+def test_binary_garbage_never_decodes_silently(blob):
+    """Random bytes either raise or round-trip to themselves (a valid block)."""
+    try:
+        ctx = trace.from_bytes(blob)
+    except TraceWireError:
+        return
+    assert trace.to_bytes(ctx) == blob
+
+
+def test_seeded_random_header_garbage_rejected():
+    rng = random.Random(20260805)
+    alphabet = "0123456789abcdefg-;=,% "
+    rejected = 0
+    for _ in range(500):
+        text = "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 60)))
+        try:
+            ctx = trace.from_header(text)
+        except TraceWireError:
+            rejected += 1
+        else:
+            # the rare accidental valid header must re-encode to match
+            assert trace.to_header(ctx).startswith(text[:49])
+    assert rejected > 450  # almost everything random is garbage
+
+
+def test_seeded_random_bitflips_in_binary_form_detected():
+    rng = random.Random(98127)
+    ctx = trace.new_trace().child().with_baggage("k", "v")
+    blob = bytearray(trace.to_bytes(ctx))
+    flips_that_matter = 0
+    for _ in range(300):
+        index = rng.randrange(len(blob))
+        bit = 1 << rng.randrange(8)
+        mutated = bytearray(blob)
+        mutated[index] ^= bit
+        try:
+            decoded = trace.from_bytes(bytes(mutated))
+        except TraceWireError:
+            flips_that_matter += 1
+        else:
+            # a flip inside an id/baggage byte yields a *different* context,
+            # never a silent equal one
+            if decoded != ctx:
+                flips_that_matter += 1
+    assert flips_that_matter == 300

@@ -121,6 +121,63 @@ class TestDeploymentAndCalls:
         assert "messages" in text and "simulated" in text
 
 
+class TestObservabilityCommands:
+    def test_metrics_without_dvm_is_bare_registry(self, console):
+        from repro.obs import metrics
+
+        shell, out = console
+        metrics.registry.counter("console.demo").inc(2)
+        text = run(shell, out, "metrics console.")
+        assert '"console.demo"' in text
+        assert '"value": 2' in text
+
+    def test_metrics_snapshot_reflects_console_driven_calls(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 1", "dvm demo", "add node0",
+            "deploy node0 repro.plugins.services:CounterService",
+            "call node0 CounterService increment 5",
+            "metrics dvm.lookup",
+        )
+        assert '"dvm": "demo"' in text
+        assert '"dvm.lookup.misses"' in text
+        # the call above resolved the service once: at least one lookup miss
+        assert '"tracing": false' in text
+
+    def test_trace_toggle_and_status(self, console):
+        from repro.obs import trace
+
+        shell, out = console
+        text = run(shell, out, "trace status", "trace on", "trace status",
+                   "trace off", "trace status")
+        assert "tracing disabled" in text
+        assert "tracing enabled" in text
+        assert trace.ENABLED is False  # left off at the end
+
+    def test_trace_last_shows_spans_from_traced_calls(self, console):
+        shell, out = console
+        text = run(
+            shell, out,
+            "network 2", "dvm demo", "add node0", "add node1",
+            "deploy node1 repro.plugins.services:CounterService",
+            "trace on",
+            # cross-node: the call rides the sim transport, so the
+            # instrumented TransportStub records a client span
+            "call node0 CounterService increment 7",
+            "trace last 5",
+            "trace off",
+        )
+        assert "client:sim:increment" in text
+        assert "trace=" in text and "span=" in text
+
+    def test_trace_last_empty_and_usage(self, console):
+        shell, out = console
+        text = run(shell, out, "trace last", "trace sideways")
+        assert "(no spans recorded)" in text
+        assert "usage: trace" in text
+
+
 class TestErrorHandling:
     def test_harness_errors_reported_not_raised(self, console):
         shell, out = console
