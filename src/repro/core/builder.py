@@ -50,6 +50,7 @@ class HarnessDvm:
         neighborhood_radius: int = 2,
         events: EventBus | None = None,
         clock=None,
+        lookup_cache_ttl_s: float = 2.0,
     ):
         if coherency not in COHERENCY_SCHEMES:
             raise DvmError(
@@ -66,7 +67,12 @@ class HarnessDvm:
         self.network = network
         self.events = events or EventBus()
         self.dvm = DistributedVirtualMachine(
-            name, network, factory, events=self.events, clock=clock
+            name,
+            network,
+            factory,
+            events=self.events,
+            clock=clock,
+            lookup_cache_ttl_s=lookup_cache_ttl_s,
         )
         self.kernels: dict[str, HarnessKernel] = {}
         self.detector = None  # set by enable_self_healing

@@ -23,6 +23,7 @@ daemon thread for wall-clock deployments.
 from __future__ import annotations
 
 import enum
+import random
 import threading
 
 from repro.netsim.fabric import VirtualNetwork
@@ -69,6 +70,12 @@ class FailureDetector:
     misses mark it DEAD and trigger eviction.  The *observer* defaults to
     the first enrolled node and falls over to the next alive member if the
     observer itself dies.
+
+    In wall-clock mode (:meth:`start`) each round waits ``interval_s``
+    scaled by a uniformly drawn ±``jitter`` factor, so a fleet of detectors
+    never phase-locks its ping bursts onto the fabric.  The jitter stream is
+    seeded (``seed``) and therefore reproducible: :meth:`next_interval`
+    yields the exact same schedule for the same seed.
     """
 
     def __init__(
@@ -78,14 +85,20 @@ class FailureDetector:
         suspect_after: int = 2,
         evict_after: int = 3,
         interval_s: float = 0.5,
+        jitter: float = 0.1,
+        seed: int | None = None,
     ):
         if suspect_after < 1 or evict_after < suspect_after:
             raise DvmError("need 1 <= suspect_after <= evict_after")
+        if not 0.0 <= jitter < 1.0:
+            raise DvmError("need 0 <= jitter < 1")
         self.dvm = dvm
         self.observer = observer
         self.suspect_after = suspect_after
         self.evict_after = evict_after
         self.interval_s = interval_s
+        self.jitter = jitter
+        self._rng = random.Random(seed)
         self._misses: dict[str, int] = {}
         self._health: dict[str, NodeHealth] = {}
         self._thread: threading.Thread | None = None
@@ -122,7 +135,10 @@ class FailureDetector:
             if member == observer:
                 continue
             if self._ping(observer, member):
-                if self._misses.pop(member, 0) and self._health.get(member):
+                self._misses.pop(member, None)
+                # full rehabilitation: a suspected member that answers, or a
+                # previously-evicted one that re-enrolled, is ALIVE again
+                if self._health.get(member, NodeHealth.ALIVE) is not NodeHealth.ALIVE:
                     self._health[member] = NodeHealth.ALIVE
                     _RECOVERED.inc()
                     self.dvm.events.publish(
@@ -164,14 +180,21 @@ class FailureDetector:
 
     # -- wall-clock mode -----------------------------------------------------------
 
+    def next_interval(self) -> float:
+        """The next heartbeat wait: ``interval_s`` ± ``jitter`` (seeded)."""
+        if self.jitter == 0.0:
+            return self.interval_s
+        return self.interval_s * (1.0 + self._rng.uniform(-self.jitter, self.jitter))
+
     def start(self) -> None:
-        """Run ticks every ``interval_s`` seconds on a daemon thread."""
+        """Run ticks roughly every ``interval_s`` seconds on a daemon thread,
+        each wait independently jittered (see :meth:`next_interval`)."""
         if self._thread is not None:
             return
         self._stop.clear()
 
         def loop() -> None:
-            while not self._stop.wait(self.interval_s):
+            while not self._stop.wait(self.next_interval()):
                 try:
                     self.tick()
                 except Exception:

@@ -90,8 +90,13 @@ class DistributedVirtualMachine:
         # are cached for a short TTL so a hot stub does not re-fetch and
         # re-parse per call.  Any membership or component event flushes the
         # cache — the TTL only bounds staleness for changes that produce no
-        # event.  ``lookup_cache_ttl_s=0`` disables caching entirely.
-        self._lookup_cache = TtlCache(lookup_cache_ttl_s)
+        # event.  ``lookup_cache_ttl_s=0`` disables caching entirely.  On a
+        # virtual clock the cache ages in simulated time, keeping scenario
+        # runs free of wall-clock nondeterminism.
+        if clock is not None:
+            self._lookup_cache = TtlCache(lookup_cache_ttl_s, clock=clock.now)
+        else:
+            self._lookup_cache = TtlCache(lookup_cache_ttl_s)
         self.events.subscribe("dvm.member", self._on_topology_event)
         self.events.subscribe("dvm.component", self._on_topology_event)
 
@@ -319,6 +324,7 @@ class DistributedVirtualMachine:
         if resilient:
             return ResilientStub(
                 lambda: self.stub(from_node, service_name, prefer=prefer, policy=policy),
+                clock=self.clock,
                 events=self.events,
             )
         owner, document = self.lookup(from_node, service_name)

@@ -87,7 +87,11 @@ class _StateNode:
         self.store: dict[str, StateEntry] = {}
         self.lock = threading.RLock()
         self._protocol = protocol
-        protocol.network.host(host_name).bind(_ENDPOINT, self._serve)
+        host = protocol.network.host(host_name)
+        # a node re-enrolled after eviction replaces its stale handler
+        # (remove_member leaves the endpoint bound, see its docstring)
+        host.unbind(_ENDPOINT)
+        host.bind(_ENDPOINT, self._serve)
 
     def apply(self, entry: StateEntry) -> bool:
         """Merge an entry; True when it superseded the stored one."""

@@ -82,6 +82,13 @@ class DistributedLookup:
 
     # -- shared plumbing -----------------------------------------------------
 
+    def _node(self, host_name: str) -> _LookupNode:
+        """The lookup node on *host_name*, or a typed fault — never KeyError."""
+        try:
+            return self.nodes[host_name]
+        except KeyError:
+            raise RegistryError(f"unknown lookup host {host_name!r}") from None
+
     def _send_wsdl(self, src: str, dst: str, document: WsdlDocument) -> None:
         payload = document_to_string(document, indent=False).encode("utf-8")
         self.network.request(src, dst, self.endpoint, TransportMessage(_WSDL_CT, payload))
@@ -110,9 +117,11 @@ class CentralizedLookup(DistributedLookup):
         self.registry_host = registry_host
 
     def register(self, host_name: str, document: WsdlDocument) -> None:
+        self._node(host_name)  # typed fault for unknown hosts
         self._send_wsdl(host_name, self.registry_host, document)
 
     def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
+        self._node(host_name)
         return self._query(host_name, self.registry_host, expression)
 
 
@@ -125,13 +134,13 @@ class DecentralizedLookup(DistributedLookup):
     """
 
     def register(self, host_name: str, document: WsdlDocument) -> None:
-        self.nodes[host_name].registry.register(document)  # zero messages
+        self._node(host_name).registry.register(document)  # zero messages
 
     def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
         results: list[WsdlDocument] = []
         seen: set[str] = set()
         # local check first (free), then flood every reachable peer
-        for match in self.nodes[host_name].registry.find(expression):
+        for match in self._node(host_name).registry.find(expression):
             results.append(match.document)
             seen.add(match.name)
         for peer in self.nodes:
@@ -164,6 +173,7 @@ class NeighborhoodLookup(DistributedLookup):
         self._ring = sorted(self.nodes)
 
     def _neighbors(self, host_name: str) -> list[str]:
+        self._node(host_name)  # typed fault for unknown hosts
         index = self._ring.index(host_name)
         return [
             self._ring[(index + step) % len(self._ring)]
@@ -172,7 +182,7 @@ class NeighborhoodLookup(DistributedLookup):
         ]
 
     def register(self, host_name: str, document: WsdlDocument) -> None:
-        self.nodes[host_name].registry.register(document)
+        self._node(host_name).registry.register(document)
         for neighbor in self._neighbors(host_name):
             try:
                 self._send_wsdl(host_name, neighbor, document)
@@ -182,7 +192,7 @@ class NeighborhoodLookup(DistributedLookup):
     def discover(self, host_name: str, expression: str) -> list[WsdlDocument]:
         results: list[WsdlDocument] = []
         seen: set[str] = set()
-        for match in self.nodes[host_name].registry.find(expression):
+        for match in self._node(host_name).registry.find(expression):
             seen.add(match.name)
             results.append(match.document)
         neighborhood = self._neighbors(host_name)

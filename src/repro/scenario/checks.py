@@ -1,0 +1,335 @@
+"""Invariant checkers: the pass criteria of a chaos scenario.
+
+A manifest's ``checks`` list names entries from this registry; after the
+fault script and workload finish, the runner evaluates each against the
+final state — the workload's :class:`~repro.scenario.workload.WorkloadStats`,
+the :class:`~repro.scenario.events.EventLog` audit trail, and the live
+runtime (detector statuses, DVM membership).  Every checker yields a
+:class:`CheckResult` with a human-readable detail string; a scenario passes
+iff every check passes.
+
+Vocabulary:
+
+``no_lost_calls``
+    Every accepted call resolved with an outcome; none vanished.  The
+    expected count is derived from the manifest (ticks × calls_per_tick).
+``min_success_rate``
+    Overall workload success rate ≥ ``ratio``.
+``typed_faults_only``
+    No untyped exception escaped a call; optionally restrict the allowed
+    ``HarnessError`` class names via ``allowed``.
+``p99_under`` / ``max_call_s``
+    Simulated-latency bounds: p99 of successful calls, and the worst single
+    call (graceful degradation = typed rejects, never hangs).
+``failover_within``
+    Every completed failover landed within ``deadline_s`` of the victim
+    node first being suspected.
+``event_count`` / ``no_event``
+    Audit-trail shape: a topic (prefix) occurred between ``min`` and
+    ``max`` times, or not at all.
+``final_members``
+    DVM membership at the end equals ``expect`` exactly.
+``detector_converged``
+    No member is still SUSPECTED once the script has played out.
+``final_call``
+    One last invocation must succeed, optionally matching ``expect`` or
+    ``expect_min`` — proves end-to-end liveness (and, for a failed-over
+    counter, restored state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.util.errors import HarnessError, ScenarioError
+
+__all__ = ["CheckResult", "CheckContext", "known_checks", "run_checks"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant check."""
+
+    check: str
+    passed: bool
+    detail: str
+    params: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "passed": self.passed,
+            "detail": self.detail,
+            "params": dict(self.params),
+        }
+
+
+@dataclass
+class CheckContext:
+    """Everything a checker may inspect after the run."""
+
+    manifest: object  # ScenarioManifest
+    runtime: object  # ScenarioRuntime
+    stats: object  # WorkloadStats (empty when the manifest has no workload)
+    log: object  # EventLog
+
+
+_CHECKS: dict[str, Callable[[CheckContext, Mapping], CheckResult]] = {}
+
+
+def _check(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        _CHECKS[name] = fn
+        return fn
+
+    return register
+
+
+def known_checks() -> frozenset[str]:
+    """The registered checker names (manifest validation uses this)."""
+    return frozenset(_CHECKS)
+
+
+def run_checks(ctx: CheckContext) -> list[CheckResult]:
+    """Evaluate every check the manifest declares, in declaration order."""
+    results = []
+    for spec in ctx.manifest.checks:
+        fn = _CHECKS.get(spec.check)
+        if fn is None:  # parse_manifest validated; guard against drift
+            raise ScenarioError(f"unknown check {spec.check!r}")
+        try:
+            result = fn(ctx, spec.params)
+        except Exception as exc:
+            result = CheckResult(
+                spec.check,
+                False,
+                f"checker crashed: {type(exc).__name__}: {exc}",
+                dict(spec.params),
+            )
+        results.append(result)
+    return results
+
+
+# -- workload invariants --------------------------------------------------------
+
+
+@_check("no_lost_calls")
+def _no_lost_calls(ctx: CheckContext, params: Mapping) -> CheckResult:
+    stats = ctx.stats
+    expected = 0
+    if ctx.manifest.workload is not None:
+        expected = ctx.manifest.n_ticks * ctx.manifest.workload.calls_per_tick
+    unresolved = sum(1 for r in stats.records if not r.ok and r.error is None)
+    passed = stats.issued == expected and unresolved == 0
+    return CheckResult(
+        "no_lost_calls",
+        passed,
+        f"issued={stats.issued} expected={expected} unresolved={unresolved}",
+        dict(params),
+    )
+
+
+@_check("min_success_rate")
+def _min_success_rate(ctx: CheckContext, params: Mapping) -> CheckResult:
+    ratio = float(params["ratio"])
+    rate = ctx.stats.success_rate
+    return CheckResult(
+        "min_success_rate",
+        rate >= ratio,
+        f"success_rate={rate:.4f} (ok={ctx.stats.ok}/{ctx.stats.issued}) bound={ratio}",
+        dict(params),
+    )
+
+
+@_check("typed_faults_only")
+def _typed_faults_only(ctx: CheckContext, params: Mapping) -> CheckResult:
+    untyped = ctx.stats.untyped_failures()
+    if untyped:
+        sample = sorted({r.error for r in untyped if r.error})[:5]
+        return CheckResult(
+            "typed_faults_only",
+            False,
+            f"{len(untyped)} untyped failure(s): {sample}",
+            dict(params),
+        )
+    allowed = params.get("allowed")
+    if allowed is not None:
+        seen = set(ctx.stats.error_counts())
+        extra = sorted(seen - set(allowed))
+        if extra:
+            return CheckResult(
+                "typed_faults_only",
+                False,
+                f"disallowed fault types: {extra} (allowed: {sorted(allowed)})",
+                dict(params),
+            )
+    return CheckResult(
+        "typed_faults_only",
+        True,
+        f"all failures typed ({ctx.stats.failed} total: {ctx.stats.error_counts()})",
+        dict(params),
+    )
+
+
+@_check("p99_under")
+def _p99_under(ctx: CheckContext, params: Mapping) -> CheckResult:
+    bound = float(params["bound_s"])
+    ok_only = bool(params.get("ok_only", True))
+    p99 = ctx.stats.percentile(99, ok_only=ok_only)
+    return CheckResult(
+        "p99_under",
+        p99 <= bound,
+        f"p99={p99:.6f}s bound={bound}s (ok_only={ok_only})",
+        dict(params),
+    )
+
+
+@_check("max_call_s")
+def _max_call_s(ctx: CheckContext, params: Mapping) -> CheckResult:
+    bound = float(params["bound_s"])
+    worst = ctx.stats.max_latency()
+    return CheckResult(
+        "max_call_s",
+        worst <= bound,
+        f"max_call={worst:.6f}s bound={bound}s over {ctx.stats.issued} calls",
+        dict(params),
+    )
+
+
+# -- audit-trail invariants -----------------------------------------------------
+
+
+@_check("failover_within")
+def _failover_within(ctx: CheckContext, params: Mapping) -> CheckResult:
+    deadline = float(params["deadline_s"])
+    suspects: dict[str, list[float]] = {}
+    for rec in ctx.log.records("dvm.member.suspected"):
+        node = (rec.get("payload") or {}).get("node", "")
+        suspects.setdefault(node, []).append(rec["t"])
+    failovers = ctx.log.records("recovery.failover")
+    failovers = [r for r in failovers if r["topic"] == "recovery.failover"]
+    if not failovers:
+        return CheckResult(
+            "failover_within", False, "no recovery.failover event occurred", dict(params)
+        )
+    worst = 0.0
+    for rec in failovers:
+        victim = (rec.get("payload") or {}).get("from", "")
+        onset = [t for t in suspects.get(victim, []) if t <= rec["t"]]
+        if onset:
+            worst = max(worst, rec["t"] - max(onset))
+    return CheckResult(
+        "failover_within",
+        worst <= deadline,
+        f"{len(failovers)} failover(s), worst suspicion→failover {worst:.3f}s "
+        f"(deadline {deadline}s)",
+        dict(params),
+    )
+
+
+@_check("event_count")
+def _event_count(ctx: CheckContext, params: Mapping) -> CheckResult:
+    topic = str(params["topic"])
+    lo = int(params.get("min", 0))
+    hi = params.get("max")
+    count = len(ctx.log.records(topic))
+    passed = count >= lo and (hi is None or count <= int(hi))
+    return CheckResult(
+        "event_count",
+        passed,
+        f"{count} event(s) under {topic!r} (min={lo}, max={hi})",
+        dict(params),
+    )
+
+
+@_check("no_event")
+def _no_event(ctx: CheckContext, params: Mapping) -> CheckResult:
+    topic = str(params["topic"])
+    count = len(ctx.log.records(topic))
+    return CheckResult(
+        "no_event", count == 0, f"{count} event(s) under {topic!r}", dict(params)
+    )
+
+
+# -- end-state invariants -------------------------------------------------------
+
+
+@_check("final_members")
+def _final_members(ctx: CheckContext, params: Mapping) -> CheckResult:
+    expect = sorted(params["expect"])
+    actual = sorted(ctx.runtime.harness.dvm.nodes())
+    return CheckResult(
+        "final_members",
+        actual == expect,
+        f"members={actual} expected={expect}",
+        dict(params),
+    )
+
+
+@_check("detector_converged")
+def _detector_converged(ctx: CheckContext, params: Mapping) -> CheckResult:
+    detector = ctx.runtime.harness.detector
+    if detector is None:
+        return CheckResult(
+            "detector_converged", False, "self-healing not enabled", dict(params)
+        )
+    statuses = {m: h.value for m, h in detector.statuses().items()}
+    members = set(ctx.runtime.harness.dvm.nodes())
+    unsettled = {m: s for m, s in statuses.items() if m in members and s != "alive"}
+    return CheckResult(
+        "detector_converged",
+        not unsettled,
+        f"unsettled={unsettled}" if unsettled else f"all {len(members)} members alive",
+        dict(params),
+    )
+
+
+@_check("final_call")
+def _final_call(ctx: CheckContext, params: Mapping) -> CheckResult:
+    workload = ctx.manifest.workload
+    service = params.get("service") or (workload.service if workload else None)
+    node = params.get("node") or (workload.from_nodes[0] if workload else None)
+    if not service or not node:
+        raise ScenarioError("final_call needs 'service'/'node' without a workload")
+    if node not in ctx.runtime.harness.dvm.nodes():
+        live = sorted(ctx.runtime.harness.dvm.nodes())
+        if not live:
+            return CheckResult(
+                "final_call", False, "no live node to call from", dict(params)
+            )
+        node = live[0]
+    op = str(params["op"])
+    args = list(params.get("args", ()))
+    try:
+        stub = ctx.runtime.harness.stub(node, service)
+        try:
+            value = stub.invoke(op, *args)
+        finally:
+            close = getattr(stub, "close", None)
+            if close:
+                close()
+    except HarnessError as exc:
+        return CheckResult(
+            "final_call",
+            False,
+            f"{op}{tuple(args)} raised {type(exc).__name__}: {exc}",
+            dict(params),
+        )
+    if "expect" in params and value != params["expect"]:
+        return CheckResult(
+            "final_call",
+            False,
+            f"{op} returned {value!r}, expected {params['expect']!r}",
+            dict(params),
+        )
+    if "expect_min" in params and not (
+        isinstance(value, (int, float)) and value >= params["expect_min"]
+    ):
+        return CheckResult(
+            "final_call",
+            False,
+            f"{op} returned {value!r}, expected >= {params['expect_min']}",
+            dict(params),
+        )
+    return CheckResult("final_call", True, f"{op} returned {value!r}", dict(params))

@@ -1,0 +1,163 @@
+"""The ``events.jsonl`` audit trail of a scenario run.
+
+Every event that crosses the DVM's :class:`~repro.util.events.EventBus`
+during a scenario — fault injections (``scenario.fault``), detector
+transitions (``dvm.member.suspected``/``dead``/``recovered``), circuit
+breaker flips (``invoke.breaker.*``), retries, checkpoint and failover
+progress (``recovery.*``), workload tick summaries — lands here as one
+JSON line, stamped with the *simulated* time it was delivered at.
+
+Reproducibility contract: re-running the same manifest with the same seed
+yields **byte-identical** canonical lines.  Two things make that hold:
+
+* the log carries no wall-clock timestamps at all (wall timing lives in the
+  separate ``result.json`` artifact), and
+* payloads are *scrubbed* — process-lifetime identifiers (``instance_id``,
+  ``trace_id``, ``span_id``) are dropped and non-JSON values are reduced to
+  their stable ``name`` attribute or class name, so a handle deployed as
+  ``h-17`` in one run and ``h-412`` in the next serializes identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.util.clock import Clock
+from repro.util.events import Event, EventBus, Subscription
+
+__all__ = ["EventLog", "scrub"]
+
+#: payload keys whose values are process-lifetime ids, not run facts
+_VOLATILE_KEYS = frozenset({"instance_id", "trace_id", "span_id"})
+
+#: instance tags like ``counter#c-17`` embed a process-lifetime counter
+#: (:func:`repro.util.ids.new_id`) inside strings — normalize the numeric
+#: suffix away so stub targets serialize identically across runs
+_ID_TAG = re.compile(r"#([A-Za-z]+)-\d+")
+
+_MAX_DEPTH = 8
+
+
+def scrub(value: Any, _depth: int = 0) -> Any:
+    """Reduce *value* to deterministic, JSON-serializable form.
+
+    Mappings and sequences recurse (volatile keys dropped, depth-capped);
+    strings lose embedded instance-tag counters (``#c-17`` → ``#c``); other
+    primitives pass through; anything else collapses to its ``name``
+    attribute when that is a string, else its class name — stable across
+    runs where a ``repr`` (object addresses, fresh ids) is not.
+    """
+    if isinstance(value, str):
+        return _ID_TAG.sub(r"#\1", value)
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    if _depth >= _MAX_DEPTH:
+        return "..."
+    if isinstance(value, dict):
+        return {
+            str(k): scrub(v, _depth + 1)
+            for k, v in value.items()
+            if str(k) not in _VOLATILE_KEYS
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [scrub(v, _depth + 1) for v in items]
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return f"<{len(value)} bytes>"
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return f"<{type(value).__name__} {name}>"
+    return f"<{type(value).__name__}>"
+
+
+class EventLog:
+    """Append-only, deterministic JSONL trail of one scenario run.
+
+    Attach it to a bus with :meth:`attach` (it subscribes to every topic)
+    and/or write entries directly with :meth:`record`.  The canonical byte
+    form — what :meth:`sha256` hashes and :meth:`write_jsonl` writes — is
+    one compact, key-sorted JSON object per line::
+
+        {"payload":...,"seq":12,"source":"dvm","t":4.5,"topic":"dvm.member.dead"}
+    """
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        self._subscription: Subscription | None = None
+
+    # -- collection ---------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> Subscription:
+        """Subscribe to every topic on *bus*; returns the subscription."""
+        self._subscription = bus.subscribe("", self._on_event)
+        return self._subscription
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def _on_event(self, event: Event) -> None:
+        self.record(event.topic, event.payload, source=event.source)
+
+    def record(self, topic: str, payload: Any = None, source: str = "") -> dict:
+        """Append one entry, stamped with the current simulated time."""
+        with self._lock:
+            entry = {
+                "seq": len(self._records),
+                "t": round(self._clock.now(), 9),
+                "topic": topic,
+                "source": scrub(source),
+                "payload": scrub(payload),
+            }
+            self._records.append(entry)
+            return entry
+
+    # -- reading ------------------------------------------------------------
+
+    def records(self, topic_prefix: str = "") -> list[dict]:
+        """All entries (optionally only topics under *topic_prefix*)."""
+        with self._lock:
+            records = list(self._records)
+        if not topic_prefix:
+            return records
+        return [
+            r
+            for r in records
+            if r["topic"] == topic_prefix or r["topic"].startswith(topic_prefix + ".")
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- canonical byte form ------------------------------------------------
+
+    def canonical_lines(self) -> list[bytes]:
+        """The trail as compact, key-sorted JSON lines (no trailing \\n)."""
+        return [
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+            for record in self.records()
+        ]
+
+    def sha256(self) -> str:
+        """Hex digest over the canonical lines — the reproducibility anchor."""
+        digest = hashlib.sha256()
+        for line in self.canonical_lines():
+            digest.update(line)
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the canonical trail to *path* (creating parent dirs)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"".join(line + b"\n" for line in self.canonical_lines()))
+        return path

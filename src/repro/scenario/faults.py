@@ -1,0 +1,157 @@
+"""The fault-script vocabulary: named actions applied to a running scenario.
+
+Each action is a small function taking the live
+:class:`~repro.scenario.runner.ScenarioRuntime` plus the manifest's
+parameter mapping.  The runner publishes every application as a
+``scenario.fault`` event *before* applying it, so the audit trail shows the
+injection and its consequences (detector transitions, breaker flips,
+failovers) as one correlated sequence.
+
+Vocabulary:
+
+``kill``
+    Crash a host: every message to it raises ``HostDownError``.
+``restart``
+    Bring a crashed host back; with ``rejoin`` (default true) an evicted
+    node is re-enrolled into the DVM with a fresh kernel.
+``partition`` / ``heal``
+    Split the fabric into named groups / remove all partitions.
+``link_faults`` / ``default_faults``
+    Make one link (or every defaulted link) lossy: drop/duplicate/jitter.
+``slow_link`` / ``slow_node``
+    Degrade latency/bandwidth of one link, or of every link touching a
+    node — the *slow consumer* shape.
+``blackhole`` / ``unblackhole``
+    Silently drop all traffic to and from a node while it stays "up" —
+    unlike ``kill`` there is no crisp connection-refused signal, which is
+    what exercises timeout paths and registry-blackhole lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Mapping
+
+from repro.util.errors import ScenarioError
+
+__all__ = ["apply_fault", "fault_handler", "FAULT_HANDLERS"]
+
+FAULT_HANDLERS: dict[str, Callable] = {}
+
+
+def fault_handler(name: str) -> Callable:
+    """Register an action implementation under *name*."""
+
+    def register(fn: Callable) -> Callable:
+        FAULT_HANDLERS[name] = fn
+        return fn
+
+    return register
+
+
+def apply_fault(runtime, action: str, params: Mapping) -> None:
+    """Apply *action* to *runtime*; unknown actions are typed errors."""
+    handler = FAULT_HANDLERS.get(action)
+    if handler is None:
+        raise ScenarioError(f"unknown fault action {action!r}")
+    handler(runtime, dict(params))
+
+
+@fault_handler("kill")
+def _kill(runtime, params: Mapping) -> None:
+    runtime.network.host(params["node"]).crash()
+
+
+@fault_handler("restart")
+def _restart(runtime, params: Mapping) -> None:
+    node = params["node"]
+    runtime.network.host(node).restart()
+    if params.get("rejoin", True):
+        runtime.rejoin(node)
+
+
+@fault_handler("partition")
+def _partition(runtime, params: Mapping) -> None:
+    groups = params.get("groups")
+    if not groups:
+        raise ScenarioError("partition fault needs non-empty 'groups'")
+    runtime.network.partition(*[set(group) for group in groups])
+
+
+@fault_handler("heal")
+def _heal(runtime, params: Mapping) -> None:
+    runtime.network.heal()
+
+
+@fault_handler("link_faults")
+def _link_faults(runtime, params: Mapping) -> None:
+    runtime.network.set_link_faults(
+        params["src"],
+        params["dst"],
+        drop_rate=float(params.get("drop_rate", 0.0)),
+        duplicate_rate=float(params.get("duplicate_rate", 0.0)),
+        jitter_s=float(params.get("jitter_s", 0.0)),
+        symmetric=bool(params.get("symmetric", True)),
+    )
+
+
+@fault_handler("default_faults")
+def _default_faults(runtime, params: Mapping) -> None:
+    runtime.network.set_default_faults(
+        drop_rate=float(params.get("drop_rate", 0.0)),
+        duplicate_rate=float(params.get("duplicate_rate", 0.0)),
+        jitter_s=float(params.get("jitter_s", 0.0)),
+    )
+
+
+def _degrade(runtime, src: str, dst: str, params: Mapping, symmetric: bool) -> None:
+    pairs = ((src, dst), (dst, src)) if symmetric else ((src, dst),)
+    for a, b in pairs:
+        model = runtime.network.link_model(a, b)
+        runtime.network.set_link(
+            a,
+            b,
+            replace(
+                model,
+                latency_s=float(params.get("latency_s", model.latency_s)),
+                bandwidth_Bps=float(params.get("bandwidth_Bps", model.bandwidth_Bps)),
+            ),
+            symmetric=False,
+        )
+
+
+@fault_handler("slow_link")
+def _slow_link(runtime, params: Mapping) -> None:
+    _degrade(
+        runtime,
+        params["src"],
+        params["dst"],
+        params,
+        symmetric=bool(params.get("symmetric", True)),
+    )
+
+
+@fault_handler("slow_node")
+def _slow_node(runtime, params: Mapping) -> None:
+    node = params["node"]
+    for host in runtime.network.hosts():
+        if host.name != node:
+            _degrade(runtime, host.name, node, params, symmetric=True)
+
+
+@fault_handler("blackhole")
+def _blackhole(runtime, params: Mapping) -> None:
+    _set_blackhole(runtime, params["node"], drop_rate=1.0)
+
+
+@fault_handler("unblackhole")
+def _unblackhole(runtime, params: Mapping) -> None:
+    _set_blackhole(runtime, params["node"], drop_rate=0.0)
+
+
+def _set_blackhole(runtime, node: str, drop_rate: float) -> None:
+    for host in runtime.network.hosts():
+        if host.name != node:
+            runtime.network.set_link_faults(
+                host.name, node, drop_rate=drop_rate, symmetric=True
+            )

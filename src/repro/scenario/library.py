@@ -1,0 +1,107 @@
+"""The shipped scenario library: named manifests bundled with the package.
+
+Every ``*.json`` file in ``repro/scenario/manifests/`` is a ready-to-run
+chaos scenario (its stem is its name).  :func:`run_all` is the soak
+entrypoint — it runs any subset of the library and, with
+``verify_determinism=True``, re-runs each manifest under the same seed and
+compares audit-trail digests, turning "same seed ⇒ byte-identical
+``events.jsonl``" from a promise into a checked invariant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenario.manifest import ScenarioManifest, load_manifest
+from repro.scenario.runner import ScenarioResult, run_scenario
+from repro.util.errors import ScenarioError
+
+__all__ = [
+    "MANIFEST_DIR",
+    "scenario_names",
+    "manifest_path",
+    "load_scenario",
+    "verify_reproducible",
+    "run_all",
+]
+
+#: where the bundled manifests live
+MANIFEST_DIR = Path(__file__).resolve().parent / "manifests"
+
+
+def scenario_names() -> list[str]:
+    """The bundled scenario names, sorted."""
+    return sorted(path.stem for path in MANIFEST_DIR.glob("*.json"))
+
+
+def manifest_path(name: str) -> Path:
+    """Filesystem path of a bundled manifest; typed error when unknown."""
+    path = MANIFEST_DIR / f"{name}.json"
+    if not path.is_file():
+        raise ScenarioError(
+            f"no bundled scenario {name!r} (available: {scenario_names()})"
+        )
+    return path
+
+
+def load_scenario(name: str) -> ScenarioManifest:
+    """Load and validate one bundled scenario by name."""
+    return load_manifest(manifest_path(name))
+
+
+def verify_reproducible(
+    manifest: ScenarioManifest | str, seed: int | None = None
+) -> tuple[bool, str, str]:
+    """Run a scenario twice under one seed; returns (identical, sha1, sha2)."""
+    if isinstance(manifest, str):
+        manifest = load_scenario(manifest)
+    first = run_scenario(manifest, seed=seed)
+    second = run_scenario(manifest, seed=seed)
+    return first.events_sha256 == second.events_sha256, first.events_sha256, second.events_sha256
+
+
+def run_all(
+    names: list[str] | None = None,
+    out_root: str | Path | None = None,
+    seed: int | None = None,
+    verify_determinism: bool = False,
+    log=None,
+) -> list[ScenarioResult]:
+    """Run bundled scenarios (all by default); the soak workhorse.
+
+    With *out_root* each scenario writes its artifacts to
+    ``<out_root>/<name>/``.  With ``verify_determinism=True`` every scenario
+    is executed a second time and a digest mismatch marks the run failed by
+    appending a synthetic failed check.  *log*, when given, is called with
+    one progress line per scenario.
+    """
+    from repro.scenario.checks import CheckResult
+
+    results: list[ScenarioResult] = []
+    for name in names if names is not None else scenario_names():
+        manifest = load_scenario(name)
+        out_dir = Path(out_root) / name if out_root is not None else None
+        result = run_scenario(manifest, out_dir=out_dir, seed=seed)
+        if verify_determinism:
+            rerun = run_scenario(manifest, seed=seed)
+            if rerun.events_sha256 != result.events_sha256:
+                from dataclasses import replace
+
+                mismatch = CheckResult(
+                    "reproducible_events",
+                    False,
+                    f"events.jsonl digests differ across same-seed runs: "
+                    f"{result.events_sha256[:12]} != {rerun.events_sha256[:12]}",
+                )
+                result = replace(
+                    result, passed=False, checks=result.checks + (mismatch,)
+                )
+        results.append(result)
+        if log is not None:
+            verdict = "PASS" if result.passed else "FAIL"
+            log(
+                f"{verdict} {name}: {sum(c.passed for c in result.checks)}"
+                f"/{len(result.checks)} checks, {result.n_events} events, "
+                f"{result.wall_s:.2f}s"
+            )
+    return results

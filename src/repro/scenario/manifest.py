@@ -1,0 +1,442 @@
+"""Declarative fault-scenario manifests.
+
+A manifest is one JSON (or YAML, when PyYAML happens to be installed)
+document that declares everything a chaos run needs:
+
+* a **topology** — which :mod:`repro.netsim.topology` builder to use and how
+  many hosts it gets;
+* the **services** deployed on it and whether they are ``restartable``;
+* a **workload mix** — which operations are fired at which service, from
+  which nodes, at what per-tick rate, under which invocation policy;
+* a timed **fault script** — ``kill node1 @ t=2s``, ``partition A/B @ 4s``,
+  ``heal @ 6s``, jitter bursts, lossy links, slow consumers, blackholes;
+* **pass criteria** expressed as named invariant checkers (see
+  :mod:`repro.scenario.checks`).
+
+Parsing is strict: unknown keys, unknown fault actions, and unknown check
+names are :class:`~repro.util.errors.ScenarioError`\\ s at load time, not
+silent no-ops at t=8s of a soak run.  Every field that feeds a random
+decision is seeded from the manifest's single ``seed``, which is what makes
+a re-run byte-identical (see DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.util.errors import ScenarioError
+
+__all__ = [
+    "ScenarioManifest",
+    "TopologySpec",
+    "DvmSpec",
+    "ServiceSpec",
+    "SelfHealingSpec",
+    "OpSpec",
+    "WorkloadSpec",
+    "FaultAction",
+    "CheckSpec",
+    "parse_manifest",
+    "load_manifest",
+    "TOPOLOGY_KINDS",
+]
+
+TOPOLOGY_KINDS = ("lan", "wan", "two_clusters", "mesh")
+
+#: actions the fault interpreter understands (see :mod:`repro.scenario.faults`)
+_FAULT_ACTIONS = frozenset(
+    {
+        "kill",
+        "restart",
+        "partition",
+        "heal",
+        "link_faults",
+        "default_faults",
+        "slow_link",
+        "slow_node",
+        "blackhole",
+        "unblackhole",
+    }
+)
+
+#: invocation-policy keys a manifest may set (mirrors ``InvocationPolicy``)
+_POLICY_KEYS = frozenset(
+    {
+        "max_attempts",
+        "backoff_base_s",
+        "backoff_multiplier",
+        "backoff_max_s",
+        "jitter",
+        "deadline_s",
+        "idempotent",
+        "breaker_threshold",
+        "breaker_cooldown_s",
+    }
+)
+
+
+def _strict(mapping: Mapping, where: str, required: tuple, optional: tuple) -> None:
+    """Reject unknown or missing keys — manifest typos must fail loudly."""
+    if not isinstance(mapping, Mapping):
+        raise ScenarioError(f"{where} must be a mapping, got {type(mapping).__name__}")
+    unknown = set(mapping) - set(required) - set(optional)
+    if unknown:
+        raise ScenarioError(f"{where}: unknown keys {sorted(unknown)}")
+    missing = set(required) - set(mapping)
+    if missing:
+        raise ScenarioError(f"{where}: missing required keys {sorted(missing)}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which netsim topology builder to run and its shape parameters."""
+
+    kind: str = "lan"
+    hosts: int = 3
+    neighborhood: int = 2  # mesh only
+    per_cluster: int = 2  # two_clusters only
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TopologySpec":
+        _strict(data, "topology", (), ("kind", "hosts", "neighborhood", "per_cluster"))
+        spec = cls(
+            kind=data.get("kind", "lan"),
+            hosts=int(data.get("hosts", 3)),
+            neighborhood=int(data.get("neighborhood", 2)),
+            per_cluster=int(data.get("per_cluster", 2)),
+        )
+        if spec.kind not in TOPOLOGY_KINDS:
+            raise ScenarioError(
+                f"topology: unknown kind {spec.kind!r} (choose from {TOPOLOGY_KINDS})"
+            )
+        if spec.kind == "two_clusters":
+            if spec.per_cluster < 1:
+                raise ScenarioError("topology: per_cluster must be >= 1")
+        elif spec.hosts < 1:
+            raise ScenarioError("topology: hosts must be >= 1")
+        return spec
+
+
+@dataclass(frozen=True)
+class DvmSpec:
+    """DVM construction knobs: coherency scheme and lookup-cache TTL."""
+
+    coherency: str = "full-synchrony"
+    neighborhood_radius: int = 2
+    lookup_cache_ttl_s: float = 2.0
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DvmSpec":
+        _strict(data, "dvm", (), ("coherency", "neighborhood_radius", "lookup_cache_ttl_s"))
+        spec = cls(
+            coherency=data.get("coherency", "full-synchrony"),
+            neighborhood_radius=int(data.get("neighborhood_radius", 2)),
+            lookup_cache_ttl_s=float(data.get("lookup_cache_ttl_s", 2.0)),
+        )
+        if spec.coherency not in ("full-synchrony", "decentralized", "neighborhood"):
+            raise ScenarioError(f"dvm: unknown coherency scheme {spec.coherency!r}")
+        return spec
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One component deployment: import path, home node, restartability."""
+
+    name: str
+    type: str  # ``pkg.module:Class``
+    node: str
+    restartable: bool = False
+    bindings: tuple[str, ...] = ("local-instance", "sim")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceSpec":
+        _strict(data, "service", ("name", "type", "node"), ("restartable", "bindings"))
+        if ":" not in data["type"]:
+            raise ScenarioError(f"service {data['name']!r}: type must be 'pkg.module:Class'")
+        return cls(
+            name=str(data["name"]),
+            type=str(data["type"]),
+            node=str(data["node"]),
+            restartable=bool(data.get("restartable", False)),
+            bindings=tuple(data.get("bindings", ("local-instance", "sim"))),
+        )
+
+
+@dataclass(frozen=True)
+class SelfHealingSpec:
+    """Detector/failover configuration, cadenced in ticks for determinism."""
+
+    enabled: bool = True
+    observer: str | None = None
+    suspect_after: int = 2
+    evict_after: int = 3
+    heartbeat_every_ticks: int = 1
+    checkpoint_every_ticks: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SelfHealingSpec":
+        _strict(
+            data,
+            "self_healing",
+            (),
+            (
+                "enabled",
+                "observer",
+                "suspect_after",
+                "evict_after",
+                "heartbeat_every_ticks",
+                "checkpoint_every_ticks",
+            ),
+        )
+        spec = cls(
+            enabled=bool(data.get("enabled", True)),
+            observer=data.get("observer"),
+            suspect_after=int(data.get("suspect_after", 2)),
+            evict_after=int(data.get("evict_after", 3)),
+            heartbeat_every_ticks=int(data.get("heartbeat_every_ticks", 1)),
+            checkpoint_every_ticks=int(data.get("checkpoint_every_ticks", 1)),
+        )
+        if spec.heartbeat_every_ticks < 1 or spec.checkpoint_every_ticks < 1:
+            raise ScenarioError("self_healing: cadences must be >= 1 tick")
+        return spec
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One entry of the workload mix: operation, args, relative weight."""
+
+    op: str
+    args: tuple = ()
+    weight: float = 1.0
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OpSpec":
+        _strict(data, "workload op", ("op",), ("args", "weight"))
+        weight = float(data.get("weight", 1.0))
+        if weight <= 0:
+            raise ScenarioError(f"workload op {data['op']!r}: weight must be > 0")
+        return cls(op=str(data["op"]), args=tuple(data.get("args", ())), weight=weight)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The traffic a scenario drives while faults play out.
+
+    ``mode="rpc"`` invokes operations on a stub; ``mode="lookup"`` performs
+    DVM namespace lookups (``ops`` are ignored) — the thundering-herd shape.
+    ``policy`` holds raw :class:`~repro.bindings.policy.InvocationPolicy`
+    kwargs; ``jitter`` defaults to 0.0 here (not the library default) so the
+    retry schedule never consults an unseeded RNG.
+    """
+
+    service: str
+    from_nodes: tuple[str, ...]
+    calls_per_tick: int = 1
+    mode: str = "rpc"
+    ops: tuple[OpSpec, ...] = ()
+    resilient: bool = False
+    policy: Mapping[str, Any] | None = None
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        _strict(
+            data,
+            "workload",
+            ("service", "from_nodes"),
+            ("calls_per_tick", "mode", "ops", "resilient", "policy"),
+        )
+        mode = data.get("mode", "rpc")
+        if mode not in ("rpc", "lookup"):
+            raise ScenarioError(f"workload: unknown mode {mode!r}")
+        ops = tuple(OpSpec.from_dict(op) for op in data.get("ops", ()))
+        if mode == "rpc" and not ops:
+            raise ScenarioError("workload: rpc mode needs at least one op")
+        policy = data.get("policy")
+        if policy is not None:
+            _strict(policy, "workload policy", (), tuple(_POLICY_KEYS))
+            policy = dict(policy)
+            policy.setdefault("jitter", 0.0)  # keep retry schedules seeded-deterministic
+        spec = cls(
+            service=str(data["service"]),
+            from_nodes=tuple(str(n) for n in data["from_nodes"]),
+            calls_per_tick=int(data.get("calls_per_tick", 1)),
+            mode=mode,
+            ops=ops,
+            resilient=bool(data.get("resilient", False)),
+            policy=policy,
+        )
+        if not spec.from_nodes:
+            raise ScenarioError("workload: from_nodes must not be empty")
+        if spec.calls_per_tick < 1:
+            raise ScenarioError("workload: calls_per_tick must be >= 1")
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed entry of the fault script: do *action* at *at* seconds."""
+
+    at: float
+    action: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultAction":
+        if not isinstance(data, Mapping) or "at" not in data or "action" not in data:
+            raise ScenarioError(f"fault entries need 'at' and 'action': {data!r}")
+        action = str(data["action"])
+        if action not in _FAULT_ACTIONS:
+            raise ScenarioError(
+                f"unknown fault action {action!r} (choose from {sorted(_FAULT_ACTIONS)})"
+            )
+        at = float(data["at"])
+        if at < 0:
+            raise ScenarioError(f"fault {action!r}: 'at' must be >= 0")
+        params = {k: v for k, v in data.items() if k not in ("at", "action")}
+        return cls(at=at, action=action, params=params)
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One named invariant checker plus its parameters."""
+
+    check: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CheckSpec":
+        if not isinstance(data, Mapping) or "check" not in data:
+            raise ScenarioError(f"check entries need a 'check' name: {data!r}")
+        # the name itself is validated against the checker registry at
+        # manifest validation time (checks.py owns the vocabulary)
+        params = {k: v for k, v in data.items() if k != "check"}
+        return cls(check=str(data["check"]), params=params)
+
+
+@dataclass(frozen=True)
+class ScenarioManifest:
+    """A fully parsed, validated chaos scenario."""
+
+    name: str
+    description: str = ""
+    claim: str = ""
+    seed: int = 0
+    duration_s: float = 10.0
+    tick_s: float = 0.5
+    settle_ticks: int = 0
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    dvm: DvmSpec = field(default_factory=DvmSpec)
+    services: tuple[ServiceSpec, ...] = ()
+    self_healing: SelfHealingSpec = field(default_factory=SelfHealingSpec)
+    workload: WorkloadSpec | None = None
+    faults: tuple[FaultAction, ...] = ()
+    checks: tuple[CheckSpec, ...] = ()
+
+    @property
+    def n_ticks(self) -> int:
+        """Timeline length in ticks (duration rounded to whole ticks)."""
+        return max(1, round(self.duration_s / self.tick_s))
+
+    def with_seed(self, seed: int) -> "ScenarioManifest":
+        """A copy of this manifest running under a different seed."""
+        from dataclasses import replace
+
+        return replace(self, seed=int(seed))
+
+
+def parse_manifest(data: Mapping) -> ScenarioManifest:
+    """Build a validated :class:`ScenarioManifest` from a plain mapping."""
+    _strict(
+        data,
+        "manifest",
+        ("name",),
+        (
+            "description",
+            "claim",
+            "seed",
+            "duration_s",
+            "tick_s",
+            "settle_ticks",
+            "topology",
+            "dvm",
+            "services",
+            "self_healing",
+            "workload",
+            "faults",
+            "checks",
+        ),
+    )
+    manifest = ScenarioManifest(
+        name=str(data["name"]),
+        description=str(data.get("description", "")),
+        claim=str(data.get("claim", "")),
+        seed=int(data.get("seed", 0)),
+        duration_s=float(data.get("duration_s", 10.0)),
+        tick_s=float(data.get("tick_s", 0.5)),
+        settle_ticks=int(data.get("settle_ticks", 0)),
+        topology=TopologySpec.from_dict(data.get("topology", {})),
+        dvm=DvmSpec.from_dict(data.get("dvm", {})),
+        services=tuple(ServiceSpec.from_dict(s) for s in data.get("services", ())),
+        self_healing=SelfHealingSpec.from_dict(data.get("self_healing", {})),
+        workload=(
+            WorkloadSpec.from_dict(data["workload"]) if data.get("workload") else None
+        ),
+        faults=tuple(
+            sorted(
+                (FaultAction.from_dict(f) for f in data.get("faults", ())),
+                key=lambda f: f.at,
+            )
+        ),
+        checks=tuple(CheckSpec.from_dict(c) for c in data.get("checks", ())),
+    )
+    if manifest.duration_s <= 0 or manifest.tick_s <= 0:
+        raise ScenarioError("duration_s and tick_s must be positive")
+    if manifest.settle_ticks < 0:
+        raise ScenarioError("settle_ticks must be >= 0")
+    for fault in manifest.faults:
+        if fault.at > manifest.duration_s:
+            raise ScenarioError(
+                f"fault {fault.action!r} at t={fault.at}s lands after "
+                f"duration {manifest.duration_s}s"
+            )
+    # the checker vocabulary lives in checks.py; validate names eagerly so a
+    # typo'd manifest fails at load time rather than after the run
+    from repro.scenario.checks import known_checks
+
+    vocabulary = known_checks()
+    for check in manifest.checks:
+        if check.check not in vocabulary:
+            raise ScenarioError(
+                f"unknown check {check.check!r} (choose from {sorted(vocabulary)})"
+            )
+    return manifest
+
+
+def load_manifest(path: str | Path) -> ScenarioManifest:
+    """Load a manifest from a ``.json`` (or ``.yaml``/``.yml``) file.
+
+    YAML support is gated on PyYAML being importable — the library itself
+    never depends on it; JSON is the canonical interchange format.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml  # type: ignore[import-untyped]
+        except ImportError:
+            raise ScenarioError(
+                f"{path.name}: YAML manifests need PyYAML installed; "
+                "re-export the manifest as JSON"
+            ) from None
+        data = yaml.safe_load(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path.name}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{path.name}: manifest must be a mapping")
+    return parse_manifest(data)

@@ -1,0 +1,280 @@
+"""The scenario runner: play a fault script against a live deployment.
+
+:func:`run_scenario` builds the manifest's world — seeded netsim topology,
+DVM with the chosen coherency scheme, deployed services, failure detector
+and failover manager — then walks a tick-driven timeline:
+
+1. advance the clock to the tick's nominal time;
+2. checkpoint restartable components (on the manifest's cadence);
+3. run one failure-detector heartbeat round (on its cadence);
+4. apply every fault whose scripted time has come (each announced as a
+   ``scenario.fault`` event *before* it lands, so the audit trail shows the
+   injection and its consequences in causal order);
+5. fire the workload's calls for this tick.
+
+Everything rides the scenario's single :class:`~repro.util.clock.VirtualClock`
+(the default), so the entire run is deterministic and takes milliseconds of
+wall time; ``wall=True`` swaps in the real clock for soak-style runs.  The
+collected :class:`~repro.scenario.events.EventLog` plus the evaluated
+:mod:`~repro.scenario.checks` become the run's artifacts: ``events.jsonl``
+(byte-identical across same-seed re-runs) and ``result.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bindings.stubs import load_type
+from repro.core.builder import HarnessDvm
+from repro.netsim import topology as _topology
+from repro.scenario.checks import CheckContext, run_checks
+from repro.scenario.events import EventLog, scrub
+from repro.scenario.faults import apply_fault
+from repro.scenario.manifest import ScenarioManifest, load_manifest
+from repro.scenario.workload import WorkloadDriver, WorkloadStats
+from repro.util.clock import VirtualClock, WallClock
+from repro.util.errors import ScenarioError
+from repro.util.events import EventBus
+from repro.util.ids import reset_ids
+
+__all__ = ["ScenarioRuntime", "ScenarioResult", "run_scenario"]
+
+
+def _build_network(manifest: ScenarioManifest):
+    topo = manifest.topology
+    if topo.kind == "lan":
+        return _topology.lan(topo.hosts, seed=manifest.seed)
+    if topo.kind == "wan":
+        return _topology.wan(topo.hosts, seed=manifest.seed)
+    if topo.kind == "two_clusters":
+        return _topology.two_clusters(topo.per_cluster, seed=manifest.seed)
+    if topo.kind == "mesh":
+        return _topology.mesh_neighborhoods(
+            topo.hosts, topo.neighborhood, seed=manifest.seed
+        )
+    raise ScenarioError(f"unknown topology kind {topo.kind!r}")  # pragma: no cover
+
+
+class ScenarioRuntime:
+    """The live world a scenario manipulates.
+
+    Fault handlers and checkers reach the fabric (``network``), the
+    deployment (``harness``), and the timeline (``clock``) through this
+    object; :meth:`rejoin` is the restart-fault hook that re-enrolls an
+    evicted node with a fresh kernel.
+    """
+
+    def __init__(self, manifest: ScenarioManifest, wall: bool = False):
+        # id strings leak their decimal width into wire payload sizes, so
+        # same-seed runs in one process diverge by sub-microsecond simulated
+        # transfer costs unless the counter restarts with the world
+        reset_ids()
+        self.manifest = manifest
+        self.virtual = not wall
+        self.clock = VirtualClock() if self.virtual else WallClock()
+        self.network = _build_network(manifest)
+        self.events = EventBus()
+        self.log = EventLog(self.clock)
+        self.log.attach(self.events)  # before construction: joins/deploys recorded
+        self.harness = HarnessDvm(
+            manifest.name,
+            self.network,
+            coherency=manifest.dvm.coherency,
+            neighborhood_radius=manifest.dvm.neighborhood_radius,
+            events=self.events,
+            clock=self.clock,
+            lookup_cache_ttl_s=manifest.dvm.lookup_cache_ttl_s,
+        )
+        for host in sorted(h.name for h in self.network.hosts()):
+            self.harness.add_node(host)
+        for service in manifest.services:
+            self.harness.deploy(
+                service.node,
+                load_type(service.type),
+                name=service.name,
+                bindings=service.bindings,
+                restartable=service.restartable,
+            )
+        healing = manifest.self_healing
+        if healing.enabled:
+            self.harness.enable_self_healing(
+                observer=healing.observer,
+                suspect_after=healing.suspect_after,
+                evict_after=healing.evict_after,
+                heartbeat_interval_s=healing.heartbeat_every_ticks * manifest.tick_s,
+                checkpoint_interval_s=healing.checkpoint_every_ticks * manifest.tick_s,
+                start_threads=False,
+            )
+
+    def rejoin(self, node: str) -> None:
+        """Re-enroll a restarted host that was evicted while down."""
+        if node not in self.harness.dvm.nodes():
+            self.harness.add_node(node)
+
+    def advance_to(self, target: float) -> None:
+        """Catch the clock up to *target* (never moves it backwards)."""
+        delta = target - self.clock.now()
+        if delta > 0:
+            self.clock.sleep(delta)
+
+    def credit(self, delta: float) -> None:
+        """Account simulated network time spent by a call as clock time."""
+        if self.virtual and delta > 0:
+            self.clock.advance(delta)
+
+    def close(self) -> None:
+        self.log.detach()
+        self.harness.close()
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything a scenario run produced, JSON-ready via :meth:`as_dict`."""
+
+    name: str
+    seed: int
+    passed: bool
+    checks: tuple = ()
+    workload: dict = field(default_factory=dict)
+    events_sha256: str = ""
+    n_events: int = 0
+    final_members: tuple = ()
+    wall_s: float = 0.0
+    events_path: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "passed": self.passed,
+            "checks": [c.as_dict() for c in self.checks],
+            "workload": dict(self.workload),
+            "events_sha256": self.events_sha256,
+            "n_events": self.n_events,
+            "final_members": list(self.final_members),
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+def run_scenario(
+    manifest: ScenarioManifest | str | Path,
+    out_dir: str | Path | None = None,
+    seed: int | None = None,
+    wall: bool = False,
+) -> ScenarioResult:
+    """Execute one manifest end to end and return its :class:`ScenarioResult`.
+
+    *manifest* may be a parsed :class:`~repro.scenario.manifest.ScenarioManifest`
+    or a path to one.  *seed* overrides the manifest's seed; *out_dir*, when
+    given, receives ``events.jsonl`` and ``result.json``.
+    """
+    if isinstance(manifest, (str, Path)):
+        manifest = load_manifest(manifest)
+    if seed is not None:
+        manifest = manifest.with_seed(seed)
+    started = time.monotonic()
+    runtime = ScenarioRuntime(manifest, wall=wall)
+    tick = manifest.tick_s
+    t0 = manifest.settle_ticks * tick
+    pending_faults = list(manifest.faults)
+    driver = None
+    try:
+        runtime.events.publish(
+            "scenario.start",
+            {
+                "name": manifest.name,
+                "seed": manifest.seed,
+                "ticks": manifest.n_ticks,
+                "tick_s": tick,
+                "topology": manifest.topology.kind,
+                "coherency": manifest.dvm.coherency,
+            },
+            source="scenario",
+        )
+        if manifest.workload is not None:
+            driver = WorkloadDriver(
+                runtime, manifest.workload, random.Random(f"{manifest.seed}:workload")
+            )
+
+        def maintenance(global_tick: int) -> None:
+            healing = manifest.self_healing
+            if not healing.enabled:
+                return
+            if global_tick % healing.checkpoint_every_ticks == 0:
+                runtime.harness.failover.checkpoint()
+            if global_tick % healing.heartbeat_every_ticks == 0:
+                runtime.harness.detector.tick()
+
+        for i in range(manifest.settle_ticks):
+            runtime.advance_to((i + 1) * tick)
+            maintenance(i)
+
+        def apply_due(now_scripted: float) -> None:
+            while pending_faults and pending_faults[0].at <= now_scripted:
+                fault = pending_faults.pop(0)
+                runtime.events.publish(
+                    "scenario.fault",
+                    {"at": fault.at, "action": fault.action, "params": scrub(fault.params)},
+                    source="scenario",
+                )
+                apply_fault(runtime, fault.action, fault.params)
+
+        for i in range(manifest.n_ticks):
+            runtime.advance_to(t0 + i * tick)
+            maintenance(manifest.settle_ticks + i)
+            apply_due(i * tick)
+            if driver is not None:
+                summary = driver.step()
+                summary["tick"] = i
+                runtime.events.publish(
+                    "scenario.workload.tick", summary, source="scenario"
+                )
+        apply_due(manifest.duration_s)  # script entries timed at/after the last tick
+
+        stats = driver.stats if driver is not None else WorkloadStats()
+        checks = run_checks(
+            CheckContext(manifest=manifest, runtime=runtime, stats=stats, log=runtime.log)
+        )
+        passed = all(c.passed for c in checks)
+        runtime.events.publish(
+            "scenario.end",
+            {
+                "passed": passed,
+                "checks": {c.check: c.passed for c in checks},
+                "issued": stats.issued,
+                "ok": stats.ok,
+            },
+            source="scenario",
+        )
+        events_path: str | None = None
+        if out_dir is not None:
+            out = Path(out_dir)
+            events_path = str(runtime.log.write_jsonl(out / "events.jsonl"))
+        result = ScenarioResult(
+            name=manifest.name,
+            seed=manifest.seed,
+            passed=passed,
+            checks=tuple(checks),
+            workload=stats.summary(),
+            events_sha256=runtime.log.sha256(),
+            n_events=len(runtime.log),
+            final_members=tuple(runtime.harness.dvm.nodes()),
+            wall_s=time.monotonic() - started,
+            events_path=events_path,
+        )
+        if out_dir is not None:
+            path = Path(out_dir) / "result.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        return result
+    finally:
+        if driver is not None:
+            driver.close()
+        runtime.close()

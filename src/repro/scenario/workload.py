@@ -1,0 +1,238 @@
+"""Deterministic workload driver for scenario runs.
+
+Fires a declared mix of operations at a deployed service, records every
+call's outcome, and keeps the run's two clocks in sync: each call advances
+the scenario's :class:`~repro.util.clock.VirtualClock` by the simulated
+network time the call consumed, so invocation-policy deadlines, breaker
+cooldowns, and the audit trail's timestamps all live on one timeline.
+
+Outcome accounting distinguishes the cases the invariant checkers care
+about:
+
+* **ok** — the call returned a result;
+* **typed failure** — the call raised a :class:`~repro.util.errors.HarnessError`
+  subclass (a *graceful* reject: timeout, open breaker, host down, dropped
+  message, service not found);
+* **untyped failure** — anything else escaped, which the
+  ``typed_faults_only`` checker treats as a defect.
+
+Every call resolves — the simulated fabric is synchronous — so "no hang"
+is expressed as a bound on per-call simulated latency (``max_call_s``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bindings.policy import InvocationPolicy
+from repro.bindings.resilient import ResilientStub
+from repro.scenario.manifest import OpSpec, WorkloadSpec
+from repro.util.errors import HarnessError
+
+__all__ = ["CallRecord", "WorkloadStats", "WorkloadDriver"]
+
+#: special op name: perform a DVM namespace lookup instead of an invocation
+LOOKUP_OP = "__lookup__"
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One workload call: when it started, how it ended, what it cost."""
+
+    op: str
+    t: float  # simulated start time
+    ok: bool
+    error: str | None  # exception class name for failures
+    typed: bool  # failure was a HarnessError subclass (ok calls: True)
+    latency_s: float  # simulated seconds the call consumed
+
+
+class WorkloadStats:
+    """Aggregated view over the run's :class:`CallRecord` list."""
+
+    def __init__(self):
+        self.records: list[CallRecord] = []
+
+    def add(self, record: CallRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def issued(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def failed(self) -> int:
+        return self.issued - self.ok
+
+    @property
+    def success_rate(self) -> float:
+        return self.ok / self.issued if self.issued else 1.0
+
+    def error_counts(self) -> dict[str, int]:
+        """Failure histogram by exception class name (sorted keys)."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            if not r.ok and r.error:
+                counts[r.error] = counts.get(r.error, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def untyped_failures(self) -> list[CallRecord]:
+        return [r for r in self.records if not r.ok and not r.typed]
+
+    def latencies(self, ok_only: bool = True) -> list[float]:
+        return [r.latency_s for r in self.records if r.ok or not ok_only]
+
+    def percentile(self, p: float, ok_only: bool = True) -> float:
+        """Simulated-latency percentile (0 when nothing qualifies)."""
+        values = sorted(self.latencies(ok_only=ok_only))
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, max(0, round(p / 100.0 * (len(values) - 1))))
+        return values[index]
+
+    def max_latency(self) -> float:
+        return max((r.latency_s for r in self.records), default=0.0)
+
+    def summary(self) -> dict:
+        """JSON-ready digest for ``result.json``."""
+        return {
+            "issued": self.issued,
+            "ok": self.ok,
+            "failed": self.failed,
+            "success_rate": round(self.success_rate, 6),
+            "errors": self.error_counts(),
+            "untyped_failures": len(self.untyped_failures()),
+            "latency_s": {
+                "p50": round(self.percentile(50), 9),
+                "p95": round(self.percentile(95), 9),
+                "p99": round(self.percentile(99), 9),
+                "max": round(self.max_latency(), 9),
+            },
+        }
+
+
+class WorkloadDriver:
+    """Issues the manifest's call mix, one tick at a time.
+
+    Stubs are built lazily and cached per caller node; ``resilient=True``
+    wraps each in a :class:`~repro.bindings.resilient.ResilientStub` wired
+    to the scenario clock and a seeded RNG so redial backoff is simulated
+    time, not wall sleeps.  Op choice is a seeded weighted draw — the same
+    seed replays the same call sequence.
+    """
+
+    def __init__(self, runtime, spec: WorkloadSpec, rng: random.Random):
+        self._runtime = runtime
+        self._spec = spec
+        self._rng = rng
+        self._stubs: dict[str, object] = {}
+        self._policy = InvocationPolicy(**spec.policy) if spec.policy else None
+        self._cumulative: list[tuple[float, OpSpec]] = []
+        total = 0.0
+        for op in spec.ops:
+            total += op.weight
+            self._cumulative.append((total, op))
+        self._total_weight = total
+        self.stats = WorkloadStats()
+        self._call_index = 0
+
+    # -- stub management ----------------------------------------------------
+
+    def _stub(self, node: str):
+        stub = self._stubs.get(node)
+        if stub is None:
+            harness = self._runtime.harness
+            if self._spec.resilient:
+                service = self._spec.service
+                # a tight redial budget keeps a failed call from burning
+                # whole seconds of simulated time on backoff sleeps, which
+                # would smear the scenario timeline past its tick schedule
+                stub = ResilientStub(
+                    lambda n=node: harness.dvm.stub(n, service, policy=self._policy),
+                    max_redials=2,
+                    redial_backoff_s=0.02,
+                    clock=self._runtime.clock,
+                    events=harness.events,
+                    rng=random.Random(self._rng.getrandbits(32)),
+                )
+            else:
+                stub = harness.stub(node, self._spec.service, policy=self._policy)
+            self._stubs[node] = stub
+        return stub
+
+    def _drop_stub(self, node: str) -> None:
+        stub = self._stubs.pop(node, None)
+        if stub is not None:
+            try:
+                stub.close()
+            except Exception:
+                pass
+
+    def _choose_op(self) -> OpSpec:
+        point = self._rng.random() * self._total_weight
+        for bound, op in self._cumulative:
+            if point < bound:
+                return op
+        return self._cumulative[-1][1]
+
+    # -- one tick of traffic ------------------------------------------------
+
+    def step(self) -> dict:
+        """Issue ``calls_per_tick`` calls; returns the tick's summary."""
+        issued = ok = 0
+        errors: dict[str, int] = {}
+        for _ in range(self._spec.calls_per_tick):
+            node = self._spec.from_nodes[self._call_index % len(self._spec.from_nodes)]
+            self._call_index += 1
+            record = self._one_call(node)
+            self.stats.add(record)
+            issued += 1
+            if record.ok:
+                ok += 1
+            elif record.error:
+                errors[record.error] = errors.get(record.error, 0) + 1
+        return {"issued": issued, "ok": ok, "errors": dict(sorted(errors.items()))}
+
+    def _one_call(self, node: str) -> CallRecord:
+        runtime = self._runtime
+        start = runtime.clock.now()
+        sim_before = runtime.network.simulated_time
+        op_name = LOOKUP_OP if self._spec.mode == "lookup" else None
+        error: str | None = None
+        typed = True
+        ok = False
+        try:
+            if self._spec.mode == "lookup":
+                runtime.harness.lookup(node, self._spec.service)
+            else:
+                op = self._choose_op()
+                op_name = op.op
+                stub = self._stub(node)
+                stub.invoke(op.op, *op.args)
+            ok = True
+        except HarnessError as exc:
+            error = type(exc).__name__
+        except Exception as exc:  # untyped escape: a defect the checkers flag
+            error = type(exc).__name__
+            typed = False
+        # keep the scenario timeline honest: the call's simulated network
+        # cost becomes clock time, so policies and the audit trail agree
+        runtime.credit(runtime.network.simulated_time - sim_before)
+        latency = runtime.clock.now() - start
+        return CallRecord(
+            op=op_name or "?",
+            t=round(start, 9),
+            ok=ok,
+            error=error,
+            typed=typed,
+            latency_s=round(latency, 9),
+        )
+
+    def close(self) -> None:
+        for node in list(self._stubs):
+            self._drop_stub(node)

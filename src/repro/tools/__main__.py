@@ -6,10 +6,15 @@ Usage::
                                    [--name NAME] [--namespace URN]
     python -m repro.tools servicegen pkg.module:Class [--class-name NAME]
     python -m repro.tools query    FILE.wsdl EXPRESSION
+    python -m repro.tools scenario list
+    python -m repro.tools scenario run NAME [NAME ...] [--seed N] [--out DIR]
+    python -m repro.tools scenario soak [--out DIR] [--seed N]
 
 Mirrors the IBM Web Services Toolkit commands the paper leans on
 ("the wsdlgen tool", "executing the servicegen tool") plus a query
-command exposing the registry's XML query engine for ad-hoc use.
+command exposing the registry's XML query engine for ad-hoc use, and
+the chaos-scenario runner (:mod:`repro.scenario`) for CI smoke and
+nightly soak runs.
 """
 
 from __future__ import annotations
@@ -71,6 +76,52 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result(result) -> None:
+    for check in result.checks:
+        mark = "PASS" if check.passed else "FAIL"
+        print(f"  {mark} {check.check}: {check.detail}")
+    verdict = "passed" if result.passed else "FAILED"
+    print(
+        f"{result.name}: {verdict} (seed {result.seed}, {result.n_events} events, "
+        f"wall {result.wall_s:.2f}s, sha256 {result.events_sha256[:12]})"
+    )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import library, run_scenario
+
+    if args.action == "list":
+        for name in library.scenario_names():
+            manifest = library.load_scenario(name)
+            blurb = manifest.description.split(". ")[0].rstrip(".")
+            print(f"{name:26s} {blurb}")
+        return 0
+
+    if args.action == "run":
+        names = args.names or library.scenario_names()
+        failed = 0
+        for name in names:
+            out_dir = f"{args.out}/{name}" if args.out else None
+            result = run_scenario(
+                library.manifest_path(name), out_dir=out_dir, seed=args.seed
+            )
+            _print_result(result)
+            failed += not result.passed
+        return 1 if failed else 0
+
+    # soak: the full library, every run replayed to prove the trail is
+    # byte-identical — the nightly job uploads the events.jsonl artifacts
+    results = library.run_all(
+        out_root=args.out, seed=args.seed, verify_determinism=True, log=print
+    )
+    failed = [r.name for r in results if not r.passed]
+    print(f"soak: {len(results) - len(failed)}/{len(results)} scenarios passed")
+    if failed:
+        print("failed: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.tools")
     commands = parser.add_subparsers(dest="command", required=True)
@@ -92,6 +143,20 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("file")
     query.add_argument("expression")
     query.set_defaults(fn=_cmd_query)
+
+    scenario = commands.add_parser("scenario", help="run bundled chaos scenarios")
+    actions = scenario.add_subparsers(dest="action", required=True)
+    actions.add_parser("list", help="name every bundled scenario")
+    run = actions.add_parser("run", help="run one or more scenarios")
+    run.add_argument("names", nargs="*", help="scenario names (default: all)")
+    run.add_argument("--seed", type=int, default=None, help="override manifest seeds")
+    run.add_argument("--out", default=None, help="write events.jsonl/result.json here")
+    soak = actions.add_parser(
+        "soak", help="full library + determinism verification (nightly job)"
+    )
+    soak.add_argument("--seed", type=int, default=None)
+    soak.add_argument("--out", default=None)
+    scenario.set_defaults(fn=_cmd_scenario)
 
     args = parser.parse_args(argv)
     return args.fn(args)

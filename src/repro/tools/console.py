@@ -260,6 +260,37 @@ class HarnessConsole(cmd.Cmd):
         handle = harness.move(parts[0], parts[1])
         self._say(f"{handle.name} now lives on {parts[1]}")
 
+    # -- chaos scenarios ------------------------------------------------------------------------
+
+    def do_scenario(self, arg: str) -> None:
+        """scenario list | scenario run NAME [SEED] — packaged chaos scenarios.
+
+        ``list`` names every manifest shipped with :mod:`repro.scenario`;
+        ``run`` plays one on the fake clock and prints its check verdicts.
+        """
+        from repro.scenario import library, run_scenario
+
+        parts = shlex.split(arg)
+        if not parts or parts[0] == "list":
+            for name in library.scenario_names():
+                manifest = library.load_scenario(name)
+                blurb = manifest.description.split(". ")[0].rstrip(".")
+                self._say(f"{name:26s} {blurb}")
+            return
+        if parts[0] != "run" or len(parts) < 2:
+            self._say("usage: scenario list | scenario run NAME [SEED]")
+            return
+        seed = int(parts[2]) if len(parts) > 2 else None
+        result = run_scenario(library.manifest_path(parts[1]), seed=seed)
+        for check in result.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            self._say(f"  {mark} {check.check}: {check.detail}")
+        verdict = "passed" if result.passed else "FAILED"
+        self._say(
+            f"{result.name} {verdict} (seed {result.seed}, "
+            f"{result.n_events} events, sha256 {result.events_sha256[:12]}…)"
+        )
+
     # -- exit -------------------------------------------------------------------------------------
 
     def do_quit(self, arg: str) -> bool:

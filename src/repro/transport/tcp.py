@@ -28,6 +28,15 @@ reply, if it ever arrives, is demuxed to a missing id and dropped, so
 the connection stays healthy instead of being poisoned.  Only a peer
 that stalls *mid-frame* (framing can no longer be trusted) kills the
 channel; the pool then dials a fresh one for the next caller.
+
+Pending entries are additionally bounded by a deadline sweep: a peer
+that dies *without* closing the socket (kill -9, cable pull, silent
+black hole) leaves the connection open and never answers, so a caller
+with ``timeout=None`` — and its correlation-id table entry — would
+otherwise wait forever.  Every entry carries an expiry
+(``pending_max_s`` after registration, env ``REPRO_TCP_PENDING_MAX_S``)
+and whichever caller holds the read lease sweeps expired entries,
+failing them with :class:`~repro.util.errors.HarnessTimeoutError`.
 """
 
 from __future__ import annotations
@@ -46,7 +55,13 @@ from repro.obs import trace as _trace
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
 from repro.util.errors import HarnessTimeoutError, TransportClosedError, TransportError
 
-__all__ = ["TcpListener", "TcpTransport", "DEFAULT_POOL_SIZE", "PROTOCOL_VERSION"]
+__all__ = [
+    "TcpListener",
+    "TcpTransport",
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_PENDING_MAX_S",
+    "PROTOCOL_VERSION",
+]
 
 PROTOCOL_VERSION = 2
 
@@ -69,6 +84,7 @@ _DIALS = _metrics.registry.counter("tcp.client.dials")
 _CHANNELS = _metrics.registry.gauge("tcp.client.channels")
 _CHANNEL_FAILURES = _metrics.registry.counter("tcp.client.channel_failures")
 _LATE_DROPS = _metrics.registry.counter("tcp.client.late_drops")
+_SWEPT = _metrics.registry.counter("tcp.client.swept")
 _SERVED_INLINE = _metrics.registry.counter("tcp.server.inline")
 _SERVED_OFFLOADED = _metrics.registry.counter("tcp.server.offloaded")
 
@@ -80,6 +96,14 @@ except ValueError:
 
 #: Budget for a peer that stalls mid-frame before the channel is poisoned.
 _FRAME_GRACE_S = 5.0
+
+#: Ceiling on how long a pending reply may sit unanswered before the sweep
+#: fails it with :class:`HarnessTimeoutError` — the bound on correlation-id
+#: table growth when a peer dies without closing the socket.  ``0`` disables.
+try:
+    DEFAULT_PENDING_MAX_S = max(0.0, float(os.environ.get("REPRO_TCP_PENDING_MAX_S", "60")))
+except ValueError:
+    DEFAULT_PENDING_MAX_S = 60.0
 
 
 # -- frame primitives ---------------------------------------------------------
@@ -311,13 +335,14 @@ class TcpListener:
 class _Pending:
     """One in-flight request awaiting its correlated reply."""
 
-    __slots__ = ("done", "message", "status", "error")
+    __slots__ = ("done", "message", "status", "error", "expires_at")
 
-    def __init__(self):
+    def __init__(self, expires_at: float | None = None):
         self.done = False
         self.message: TransportMessage | None = None
         self.status = STATUS_OK
         self.error: Exception | None = None
+        self.expires_at = expires_at  # monotonic deadline for the sweep
 
 
 class _Channel:
@@ -330,9 +355,10 @@ class _Channel:
     read lease demultiplexes reply frames to the others by correlation id.
     """
 
-    def __init__(self, url: str, sock: socket.socket):
+    def __init__(self, url: str, sock: socket.socket, pending_max_s: float = 0.0):
         self._url = url
         self._sock = sock
+        self._pending_max_s = max(0.0, pending_max_s)
         self._cv = threading.Condition()
         self._wlock = threading.Lock()
         self._pending: dict[int, _Pending] = {}
@@ -381,7 +407,10 @@ class _Channel:
                 raise TransportClosedError(self._close_reason)
             corr_id = self._next_id
             self._next_id += 1
-            pending = _Pending()
+            expires_at = None
+            if self._pending_max_s > 0:
+                expires_at = time.monotonic() + self._pending_max_s
+            pending = _Pending(expires_at)
             self._pending[corr_id] = pending
             return corr_id, pending
 
@@ -422,23 +451,69 @@ class _Channel:
             raise pending.error
         return pending.message, pending.status  # type: ignore[return-value]
 
+    def _sweep_expired(self, now: float) -> None:
+        """Fail every pending entry whose expiry has passed.
+
+        This is the bound on correlation-id table growth when the peer dies
+        without closing the socket: the entry is removed and its caller is
+        woken with :class:`HarnessTimeoutError` instead of waiting forever.
+        """
+        with self._cv:
+            expired = [
+                corr_id
+                for corr_id, p in self._pending.items()
+                if p.expires_at is not None and p.expires_at <= now
+            ]
+            for corr_id in expired:
+                entry = self._pending.pop(corr_id)
+                entry.error = HarnessTimeoutError(
+                    f"request to {self._url} unanswered after "
+                    f"{self._pending_max_s}s; pending entry swept"
+                )
+                entry.done = True
+                _SWEPT.inc()
+            if expired:
+                self._cv.notify_all()
+
+    def _earliest_expiry(self) -> float | None:
+        with self._cv:
+            return min(
+                (p.expires_at for p in self._pending.values() if p.expires_at is not None),
+                default=None,
+            )
+
     def _lead(self, pending: _Pending, deadline: float | None) -> None:
         """Read frames and dispatch them until *pending* is resolved.
 
         Never raises: socket failures poison the channel (waking every
         waiter with an error), a between-frames deadline simply returns so
         :meth:`_await` can time the caller out and hand the lease over.
+        Each read waits at most until the caller's deadline *or* the
+        earliest pending expiry, whichever comes first, so the sweep runs
+        even when every caller passed ``timeout=None``.
         """
         while not pending.done:
+            now = time.monotonic()
+            self._sweep_expired(now)
+            if pending.done:  # our own entry may have just been swept
+                return
             remaining = None
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - now
                 if remaining <= 0:
                     return
+            bound = remaining
+            expiry = self._earliest_expiry()
+            if expiry is not None:
+                # floor > 0: settimeout(0) would flip the socket non-blocking
+                until_sweep = max(1e-4, expiry - now)
+                bound = until_sweep if bound is None else min(bound, until_sweep)
             try:
-                frame = self._read_one(remaining)
+                frame = self._read_one(bound)
             except socket.timeout:
-                return  # deadline hit between frames; nothing was consumed
+                if deadline is not None and time.monotonic() >= deadline:
+                    return  # caller's deadline hit; _await raises for it
+                continue  # sweep horizon reached: expire entries, keep reading
             except (TransportClosedError, TransportError, ConnectionError, OSError) as exc:
                 self._fail(f"connection to {self._url} lost: {exc}")
                 return
@@ -543,6 +618,14 @@ class TcpTransport:
     callers share sockets without head-of-line blocking.  ``close`` drains
     in-flight requests gracefully before tearing channels down.
 
+    ``pending_max_s`` caps how long any correlation-id entry may wait for
+    its reply (default :data:`DEFAULT_PENDING_MAX_S`, env
+    ``REPRO_TCP_PENDING_MAX_S``); a peer that dies without closing the
+    socket therefore fails waiting callers with
+    :class:`~repro.util.errors.HarnessTimeoutError` instead of leaking
+    entries and hanging ``timeout=None`` callers forever.  ``0`` disables
+    the sweep.
+
     ``multiplex=False`` restores the protocol-v1 *behaviour* — one channel,
     one request in flight at a time — and exists for A/B benchmarking the
     serialized wire path (``benchmarks/bench_c9_concurrency.py``).
@@ -555,6 +638,7 @@ class TcpTransport:
         pool_size: int | None = None,
         multiplex: bool = True,
         drain_timeout: float = 1.0,
+        pending_max_s: float | None = None,
     ):
         scheme, rest = parse_url(url)
         if scheme != "tcp":
@@ -568,6 +652,9 @@ class TcpTransport:
         self._address = (host, port)
         self._connect_timeout = connect_timeout
         self._drain_timeout = drain_timeout
+        self._pending_max_s = max(
+            0.0, DEFAULT_PENDING_MAX_S if pending_max_s is None else pending_max_s
+        )
         self._pool_size = max(1, pool_size if pool_size is not None else DEFAULT_POOL_SIZE)
         if not multiplex:
             self._pool_size = 1
@@ -587,7 +674,7 @@ class TcpTransport:
         sock.settimeout(None)
         _DIALS.inc()
         _CHANNELS.inc()
-        return _Channel(self._url, sock)
+        return _Channel(self._url, sock, pending_max_s=self._pending_max_s)
 
     def _pick(self) -> _Channel:
         with self._lock:

@@ -37,6 +37,7 @@ __all__ = [
     "HarnessTimeoutError",
     "MigrationError",
     "RecoveryError",
+    "ScenarioError",
 ]
 
 
@@ -149,3 +150,7 @@ class MigrationError(HarnessError):
 
 class RecoveryError(HarnessError):
     """The failover/checkpoint machinery was misused or cannot proceed."""
+
+
+class ScenarioError(HarnessError):
+    """A chaos-scenario manifest is invalid or a scenario run was misused."""

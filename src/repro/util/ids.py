@@ -17,7 +17,7 @@ from typing import Iterable
 
 from repro.util.errors import HarnessError
 
-__all__ = ["new_id", "new_uuid_key", "HarnessName", "NameClashError"]
+__all__ = ["new_id", "new_uuid_key", "reset_ids", "HarnessName", "NameClashError"]
 
 _counter = itertools.count(1)
 _counter_lock = threading.Lock()
@@ -32,6 +32,20 @@ def new_id(prefix: str = "h") -> str:
     """
     with _counter_lock:
         return f"{prefix}-{next(_counter)}"
+
+
+def reset_ids(start: int = 1) -> None:
+    """Rewind the :func:`new_id` counter (deterministic-replay support).
+
+    The decimal width of an id leaks into wire payload sizes (ids are
+    embedded in component records), so two otherwise-identical runs in one
+    process accrue different simulated transfer costs unless the counter is
+    rewound between them.  Only call this between fully torn-down runs —
+    uniqueness guarantees restart from *start*.
+    """
+    global _counter
+    with _counter_lock:
+        _counter = itertools.count(start)
 
 
 def new_uuid_key(prefix: str = "uuid") -> str:

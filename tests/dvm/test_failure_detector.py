@@ -139,3 +139,46 @@ class TestWallClockMode:
             assert detector._thread is not None
         assert detector._thread is None
         dvm.close()
+
+
+class TestHeartbeatJitter:
+    def test_invalid_jitter_rejected(self):
+        _net, dvm = make_dvm(2)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, jitter=-0.1)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, jitter=1.0)
+        dvm.close()
+
+    def test_intervals_stay_within_jitter_band(self):
+        _net, dvm = make_dvm(2)
+        detector = FailureDetector(dvm, interval_s=0.5, jitter=0.1, seed=99)
+        intervals = [detector.next_interval() for _ in range(200)]
+        assert all(0.45 <= i <= 0.55 for i in intervals)
+        # jitter actually spreads the schedule — not a constant stream
+        assert len({round(i, 9) for i in intervals}) > 100
+        dvm.close()
+
+    def test_same_seed_same_schedule(self):
+        _net, dvm = make_dvm(2)
+        a = FailureDetector(dvm, interval_s=0.5, jitter=0.1, seed=42)
+        b = FailureDetector(dvm, interval_s=0.5, jitter=0.1, seed=42)
+        assert [a.next_interval() for _ in range(50)] == [
+            b.next_interval() for _ in range(50)
+        ]
+        dvm.close()
+
+    def test_different_seeds_diverge(self):
+        _net, dvm = make_dvm(2)
+        a = FailureDetector(dvm, interval_s=0.5, jitter=0.1, seed=1)
+        b = FailureDetector(dvm, interval_s=0.5, jitter=0.1, seed=2)
+        assert [a.next_interval() for _ in range(20)] != [
+            b.next_interval() for _ in range(20)
+        ]
+        dvm.close()
+
+    def test_zero_jitter_is_exact(self):
+        _net, dvm = make_dvm(2)
+        detector = FailureDetector(dvm, interval_s=0.25, jitter=0.0)
+        assert [detector.next_interval() for _ in range(10)] == [0.25] * 10
+        dvm.close()

@@ -138,3 +138,75 @@ class TestNeighborhood:
         net = lan(4)
         lookup = NeighborhoodLookup(net, replication=1)
         assert lookup.discover("node0", QUERY) == []
+
+
+class TestNodeLoss:
+    """Lookups while members are dying: answer from a replica or raise a
+    typed fault — never a bare KeyError, never a hang (the simulated fabric
+    is synchronous, so "no hang" here means every path terminates with a
+    result or a :class:`~repro.util.errors.HarnessError`)."""
+
+    def test_neighborhood_replica_answers_after_owner_dies(self):
+        net = lan(5)
+        lookup = NeighborhoodLookup(net, replication=2)
+        lookup.register("node0", matmul_doc())  # replicas on node1, node2
+        net.host("node0").crash()
+        found = lookup.discover("node1", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_neighborhood_register_survives_dead_replica(self):
+        net = lan(5)
+        lookup = NeighborhoodLookup(net, replication=2)
+        net.host("node1").crash()  # one of node0's replicas is already gone
+        lookup.register("node0", matmul_doc())  # must not raise
+        # the surviving replica (node2) still answers its neighbourhood
+        found = lookup.discover("node3", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_neighborhood_flood_skips_dead_members(self):
+        net = lan(8)
+        lookup = NeighborhoodLookup(net, replication=1)
+        lookup.register("node0", matmul_doc())
+        net.host("node2").crash()
+        net.host("node6").crash()
+        # node4 is far from node0's replica: neighbourhood miss -> flood,
+        # which must step over the two dead hosts and still find the entry
+        found = lookup.discover("node4", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_decentralized_flood_with_majority_down(self):
+        net = lan(5)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node1", matmul_doc())
+        for dead in ("node2", "node3", "node4"):
+            net.host(dead).crash()
+        found = lookup.discover("node0", QUERY)
+        assert [d.name for d in found] == ["MatMul"]
+
+    def test_decentralized_entry_on_dead_host_vanishes_quietly(self):
+        net = lan(4)
+        lookup = DecentralizedLookup(net)
+        lookup.register("node1", matmul_doc())
+        net.host("node1").crash()
+        assert lookup.discover("node0", QUERY) == []
+
+    def test_centralized_down_registry_is_a_typed_fault(self):
+        from repro.util.errors import HarnessError
+
+        net = lan(3)
+        lookup = CentralizedLookup(net, "node0")
+        net.host("node0").crash()
+        with pytest.raises(HarnessError):
+            lookup.discover("node1", QUERY)
+
+    def test_unknown_host_raises_registry_error_not_keyerror(self):
+        # fresh fabric per scheme: each binds the "lookup" endpoint
+        for lookup in (
+            CentralizedLookup(lan(3), "node0"),
+            DecentralizedLookup(lan(3)),
+            NeighborhoodLookup(lan(3), replication=1),
+        ):
+            with pytest.raises(RegistryError):
+                lookup.register("ghost", matmul_doc())
+            with pytest.raises(RegistryError):
+                lookup.discover("ghost", QUERY)

@@ -1,0 +1,74 @@
+"""The bundled manifest library: all parse, fast ones run, digests repeat."""
+
+import pytest
+
+from repro.scenario import library
+from repro.util.errors import ScenarioError
+
+#: fast subset used where running the whole library would be wasteful
+SMOKE = ["partition-heal", "rolling-restart", "slow-consumer"]
+
+
+class TestCatalog:
+    def test_ships_at_least_ten_scenarios(self):
+        assert len(library.scenario_names()) >= 10
+
+    def test_every_manifest_parses_and_declares_checks(self):
+        for name in library.scenario_names():
+            manifest = library.load_scenario(name)
+            assert manifest.name == name, f"{name}: manifest name mismatch"
+            assert manifest.checks, f"{name}: scenario without pass criteria"
+            assert manifest.claim, f"{name}: scenario without a paper claim"
+
+    def test_unknown_name_is_typed(self):
+        with pytest.raises(ScenarioError, match="no bundled scenario"):
+            library.manifest_path("does-not-exist")
+
+    def test_saturation_scenario_demonstrates_graceful_degradation(self):
+        # the acceptance scenario: typed rejects under pressure, p99 bounded
+        manifest = library.load_scenario("saturation-degradation")
+        names = {c.check for c in manifest.checks}
+        assert {"typed_faults_only", "p99_under", "max_call_s"} <= names
+
+
+class TestExecution:
+    def test_smoke_subset_passes(self):
+        results = library.run_all(SMOKE)
+        assert [r.name for r in results] == SMOKE
+        for result in results:
+            failed = [c for c in result.checks if not c.passed]
+            assert result.passed, f"{result.name}: {[c.detail for c in failed]}"
+
+    def test_verify_reproducible(self):
+        identical, sha1, sha2 = library.verify_reproducible("partition-heal")
+        assert identical and sha1 == sha2
+
+    def test_run_all_detects_determinism_breaks(self, monkeypatch):
+        # sabotage the second run via seed-dependent drift: patch run_scenario
+        # to salt the digest on every other call
+        calls = {"n": 0}
+        real = library.run_scenario
+
+        def flaky(manifest, out_dir=None, seed=None):
+            result = real(manifest, out_dir=out_dir, seed=seed)
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                from dataclasses import replace
+
+                result = replace(result, events_sha256="0" * 64)
+            return result
+
+        monkeypatch.setattr(library, "run_scenario", flaky)
+        results = library.run_all(["partition-heal"], verify_determinism=True)
+        assert not results[0].passed
+        assert results[0].checks[-1].check == "reproducible_events"
+
+    def test_run_all_writes_artifacts(self, tmp_path):
+        library.run_all(["partition-heal"], out_root=tmp_path)
+        assert (tmp_path / "partition-heal" / "events.jsonl").is_file()
+        assert (tmp_path / "partition-heal" / "result.json").is_file()
+
+    def test_progress_log_lines(self):
+        lines = []
+        library.run_all(["slow-consumer"], log=lines.append)
+        assert len(lines) == 1 and lines[0].startswith("PASS slow-consumer")

@@ -1,0 +1,128 @@
+"""Manifest parsing: strict schema, typed failures, seeded copies."""
+
+import pytest
+
+from repro.scenario.manifest import (
+    ScenarioManifest,
+    load_manifest,
+    parse_manifest,
+)
+from repro.util.errors import ScenarioError
+
+
+def minimal(**overrides) -> dict:
+    data = {
+        "name": "t",
+        "seed": 3,
+        "duration_s": 2.0,
+        "tick_s": 0.5,
+        "topology": {"kind": "lan", "hosts": 3},
+        "services": [
+            {
+                "name": "counter",
+                "type": "repro.plugins.services:CounterService",
+                "node": "node0",
+            }
+        ],
+        "workload": {
+            "service": "counter",
+            "from_nodes": ["node1"],
+            "ops": [{"op": "increment", "args": [1]}],
+        },
+        "faults": [{"at": 1.0, "action": "kill", "node": "node2"}],
+        "checks": [{"check": "no_lost_calls"}],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParsing:
+    def test_minimal_manifest_parses(self):
+        manifest = parse_manifest(minimal())
+        assert isinstance(manifest, ScenarioManifest)
+        assert manifest.n_ticks == 4
+        assert manifest.services[0].bindings == ("local-instance", "sim")
+        assert manifest.faults[0].params == {"node": "node2"}
+        assert manifest.checks[0].check == "no_lost_calls"
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            parse_manifest(minimal(surprise=True))
+
+    def test_unknown_fault_action_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault action"):
+            parse_manifest(
+                minimal(faults=[{"at": 1.0, "action": "meteor", "node": "node0"}])
+            )
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown check"):
+            parse_manifest(minimal(checks=[{"check": "vibes_good"}]))
+
+    def test_fault_after_duration_rejected(self):
+        with pytest.raises(ScenarioError, match="lands after"):
+            parse_manifest(minimal(faults=[{"at": 99.0, "action": "heal"}]))
+
+    def test_faults_sorted_by_time(self):
+        manifest = parse_manifest(
+            minimal(
+                faults=[
+                    {"at": 1.5, "action": "heal"},
+                    {"at": 0.5, "action": "kill", "node": "node2"},
+                ]
+            )
+        )
+        assert [f.at for f in manifest.faults] == [0.5, 1.5]
+
+    def test_rpc_workload_needs_ops(self):
+        workload = {"service": "counter", "from_nodes": ["node1"]}
+        with pytest.raises(ScenarioError, match="at least one op"):
+            parse_manifest(minimal(workload=workload))
+
+    def test_lookup_mode_needs_no_ops(self):
+        workload = {"service": "counter", "from_nodes": ["node1"], "mode": "lookup"}
+        manifest = parse_manifest(minimal(workload=workload))
+        assert manifest.workload.mode == "lookup"
+
+    def test_policy_jitter_defaults_to_zero(self):
+        workload = minimal()["workload"]
+        workload["policy"] = {"max_attempts": 3}
+        manifest = parse_manifest(minimal(workload=workload))
+        assert manifest.workload.policy["jitter"] == 0.0
+
+    def test_unknown_policy_key_rejected(self):
+        workload = minimal()["workload"]
+        workload["policy"] = {"warp_factor": 9}
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            parse_manifest(minimal(workload=workload))
+
+    def test_bad_topology_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown kind"):
+            parse_manifest(minimal(topology={"kind": "torus"}))
+
+    def test_with_seed_is_a_copy(self):
+        manifest = parse_manifest(minimal())
+        reseeded = manifest.with_seed(99)
+        assert reseeded.seed == 99 and manifest.seed == 3
+        assert reseeded.name == manifest.name
+
+
+class TestLoading:
+    def test_load_json_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(minimal()))
+        assert load_manifest(path).name == "t"
+
+    def test_invalid_json_is_typed(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_manifest(path)
+
+    def test_non_mapping_is_typed(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ScenarioError, match="must be a mapping"):
+            load_manifest(path)

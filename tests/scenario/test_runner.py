@@ -1,0 +1,151 @@
+"""End-to-end scenario runs: timeline, audit trail, artifacts, determinism."""
+
+import json
+
+import pytest
+
+from repro.scenario.events import EventLog, scrub
+from repro.scenario.manifest import parse_manifest
+from repro.scenario.runner import run_scenario
+from repro.util.clock import VirtualClock
+
+
+def tiny_manifest(**overrides) -> dict:
+    data = {
+        "name": "tiny",
+        "seed": 5,
+        "duration_s": 3.0,
+        "tick_s": 0.5,
+        "topology": {"kind": "lan", "hosts": 3},
+        "services": [
+            {
+                "name": "counter",
+                "type": "repro.plugins.services:CounterService",
+                "node": "node2",
+                "restartable": True,
+            }
+        ],
+        "self_healing": {"observer": "node0", "suspect_after": 1, "evict_after": 2},
+        "workload": {
+            "service": "counter",
+            "from_nodes": ["node1"],
+            "calls_per_tick": 1,
+            "resilient": True,
+            "ops": [{"op": "increment", "args": [1], "weight": 1}],
+        },
+        "faults": [{"at": 1.0, "action": "kill", "node": "node2"}],
+        "checks": [
+            {"check": "no_lost_calls"},
+            {"check": "typed_faults_only"},
+            {"check": "event_count", "topic": "recovery.failover", "min": 1},
+            {"check": "final_call", "op": "value", "expect_min": 1},
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestRun:
+    def test_kill_triggers_failover_and_passes(self):
+        result = run_scenario(parse_manifest(tiny_manifest()))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        assert result.n_events > 10
+        assert "node2" not in result.final_members
+
+    def test_trail_brackets_the_run(self):
+        # reach inside via artifacts: first line is scenario.start, last is
+        # scenario.end, and the injected fault appears before its eviction
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as out:
+            run_scenario(parse_manifest(tiny_manifest()), out_dir=out)
+            lines = [
+                json.loads(line)
+                for line in (open(f"{out}/events.jsonl", encoding="utf-8"))
+            ]
+        topics = [line["topic"] for line in lines]
+        # construction events (joins, deploys) precede scenario.start by
+        # design — the log attaches before the world is built
+        assert lines[0]["topic"].startswith("dvm.")
+        assert "scenario.start" in topics
+        assert lines[-1]["topic"] == "scenario.end"
+        assert topics.index("scenario.start") < topics.index("scenario.fault")
+        assert topics.index("scenario.fault") < topics.index("dvm.member.dead")
+        # timestamps are monotone simulated seconds
+        stamps = [line["t"] for line in lines]
+        assert stamps == sorted(stamps)
+
+    def test_artifacts_written(self, tmp_path):
+        result = run_scenario(parse_manifest(tiny_manifest()), out_dir=tmp_path)
+        saved = json.loads((tmp_path / "result.json").read_text())
+        assert saved["name"] == "tiny"
+        assert saved["events_sha256"] == result.events_sha256
+        assert saved["passed"] is True
+        assert (tmp_path / "events.jsonl").stat().st_size > 0
+
+    def test_same_seed_byte_identical(self, tmp_path):
+        manifest = parse_manifest(tiny_manifest())
+        first = run_scenario(manifest, out_dir=tmp_path / "a")
+        second = run_scenario(manifest, out_dir=tmp_path / "b")
+        assert first.events_sha256 == second.events_sha256
+        assert (tmp_path / "a" / "events.jsonl").read_bytes() == (
+            tmp_path / "b" / "events.jsonl"
+        ).read_bytes()
+
+    def test_different_seed_diverges(self):
+        manifest = parse_manifest(tiny_manifest())
+        first = run_scenario(manifest)
+        second = run_scenario(manifest, seed=1234)
+        assert second.seed == 1234
+        assert first.events_sha256 != second.events_sha256
+
+    def test_failing_check_fails_the_run(self):
+        data = tiny_manifest(
+            checks=[{"check": "min_success_rate", "ratio": 1.0}]
+        )
+        result = run_scenario(parse_manifest(data))
+        assert not result.passed  # the kill makes some calls fail
+        assert result.checks[0].check == "min_success_rate"
+
+    def test_manifest_path_accepted(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(tiny_manifest()))
+        assert run_scenario(path).name == "tiny"
+
+
+class TestScrub:
+    def test_volatile_keys_dropped(self):
+        cleaned = scrub({"node": "n1", "instance_id": "c-17", "trace_id": "x"})
+        assert cleaned == {"node": "n1"}
+
+    def test_instance_tags_normalized_in_strings(self):
+        assert scrub("stub for counter#c-17 on node1") == "stub for counter#c on node1"
+
+    def test_nested_structures(self):
+        cleaned = scrub({"a": [{"span_id": 1, "keep": "#x-9"}], "b": (1, 2)})
+        assert cleaned == {"a": [{"keep": "#x"}], "b": [1, 2]}
+
+    def test_bytes_reduced_to_length(self):
+        assert scrub(b"\x00" * 40) == "<40 bytes>"
+
+    def test_objects_reduced_to_name(self):
+        class Thing:
+            name = "steady"
+
+        assert scrub(Thing()) == "<Thing steady>"
+
+
+class TestEventLog:
+    def test_prefix_filtering(self):
+        log = EventLog(VirtualClock())
+        log.record("dvm.member.dead", "n1")
+        log.record("dvm.membership", "x")
+        log.record("recovery.failover", {})
+        assert len(log.records("dvm.member")) == 1  # exact-prefix, dot-aware
+        assert len(log.records()) == 3
+
+    def test_sha_changes_with_content(self):
+        a, b = EventLog(VirtualClock()), EventLog(VirtualClock())
+        a.record("t", 1)
+        b.record("t", 2)
+        assert a.sha256() != b.sha256()

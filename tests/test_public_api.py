@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.recovery",
     "repro.core",
     "repro.plugins",
+    "repro.scenario",
     "repro.tools",
 ]
 

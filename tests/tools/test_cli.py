@@ -51,6 +51,51 @@ class TestQueryCommand:
         assert capsys.readouterr().out.strip() == "MatMulPortType"
 
 
+class TestScenarioCommand:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "partition-heal" in out and "saturation-degradation" in out
+
+    def test_run_one_with_artifacts(self, tmp_path, capsys):
+        assert main(
+            ["scenario", "run", "partition-heal", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "partition-heal: passed" in out
+        assert (tmp_path / "partition-heal" / "events.jsonl").is_file()
+        assert (tmp_path / "partition-heal" / "result.json").is_file()
+
+    def test_run_multiple_names(self, capsys):
+        assert main(["scenario", "run", "slow-consumer", "rolling-restart"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-consumer: passed" in out
+        assert "rolling-restart: passed" in out
+
+    def test_seed_override_reported(self, capsys):
+        assert main(
+            ["scenario", "run", "partition-heal", "--seed", "31337"]
+        ) == 0
+        assert "seed 31337" in capsys.readouterr().out
+
+    def test_failing_check_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        # a seed the manifests were not tuned for can legitimately fail a
+        # check; instead force failure deterministically through a manifest
+        # whose expectation is impossible
+        import json
+
+        from repro.scenario import library
+
+        data = json.loads(library.manifest_path("partition-heal").read_text())
+        data["checks"] = [{"check": "event_count", "topic": "never.seen", "min": 1}]
+        bad = tmp_path / "manifests" / "impossible.json"
+        bad.parent.mkdir()
+        bad.write_text(json.dumps(data))
+        monkeypatch.setattr(library, "MANIFEST_DIR", bad.parent)
+        assert main(["scenario", "run", "impossible"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
 class TestSubprocessInvocation:
     def test_module_entry_point(self):
         result = subprocess.run(

@@ -204,3 +204,40 @@ class TestErrorHandling:
         run(shell, out, "network 1", "dvm demo", "add node0")
         assert shell.onecmd("quit") is True
         assert shell.harness is None
+
+
+class TestScenarioVerb:
+    def test_list_names_every_bundled_scenario(self, console):
+        shell, out = console
+        text = run(shell, out, "scenario list")
+        from repro.scenario import library
+
+        for name in library.scenario_names():
+            assert name in text
+
+    def test_run_prints_check_verdicts(self, console):
+        shell, out = console
+        text = run(shell, out, "scenario run partition-heal")
+        assert "PASS no_lost_calls" in text
+        assert "partition-heal passed" in text
+
+    def test_run_needs_no_prebuilt_dvm(self, console):
+        shell, out = console  # scenarios build their own world
+        assert shell.harness is None
+        run(shell, out, "scenario run slow-consumer")
+        assert shell.harness is None
+
+    def test_seed_override(self, console):
+        shell, out = console
+        text = run(shell, out, "scenario run partition-heal 424242")
+        assert "seed 424242" in text
+
+    def test_unknown_scenario_is_reported(self, console):
+        shell, out = console
+        text = run(shell, out, "scenario run no-such-thing")
+        assert "error:" in text
+
+    def test_usage(self, console):
+        shell, out = console
+        text = run(shell, out, "scenario bogus")
+        assert "usage: scenario" in text
