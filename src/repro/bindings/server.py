@@ -34,9 +34,16 @@ _HANDLE_US = _metrics.registry.histogram("server.handle_us")
 
 def _finish_span(operation, cell, status, elapsed_us):
     """Record the server span — runs on the obs finisher thread, so it
-    takes its arguments as a tuple rather than a per-request closure."""
+    takes its arguments as a tuple rather than a per-request closure.
+    The span's context is re-activated around the histogram observe: the
+    finisher thread has no contextvar of its own, and exemplar capture
+    (DESIGN.md §12) reads the *current* context to tag outliers."""
     ctx = cell.get()
-    _HANDLE_US.observe(elapsed_us)
+    token = _trace.activate(ctx)
+    try:
+        _HANDLE_US.observe(elapsed_us)
+    finally:
+        _trace.deactivate(token)
     _trace.recorder.record(
         _trace.Span(
             "server:" + operation, ctx.trace_id, ctx.span_id,
@@ -91,8 +98,8 @@ class BindingServer:
         if incoming is None and message.content_type.startswith("text/xml"):
             try:
                 incoming = _trace.extract_soap(bytes(message.payload))
-            except _trace.TraceWireError:
-                incoming = None
+            except Exception:  # noqa: BLE001 — a mangled trace block must
+                incoming = None  # never fail the request; fresh context instead
         # the server's own context is minted lazily: a service that never
         # reads it costs nothing here, and the deferred finalizer below
         # shares the same memoized ids if it does
@@ -124,9 +131,19 @@ class BindingServer:
 
     # -- exposure --------------------------------------------------------------
 
-    def expose_soap_http(self, host: str = "127.0.0.1", port: int = 0) -> HttpListener:
-        """Serve SOAP 1.1 over HTTP; returns the live listener."""
+    def expose_soap_http(
+        self, host: str = "127.0.0.1", port: int = 0, metrics_path: str = "/metrics"
+    ) -> HttpListener:
+        """Serve SOAP 1.1 over HTTP; returns the live listener.
+
+        The listener also answers ``GET /metrics`` with the process
+        registry in Prometheus text exposition (``metrics_path=""``
+        disables it); hook a cluster collector's view in with
+        ``listener.add_get_route``.
+        """
         listener = HttpListener(self._handle, host, port)
+        if metrics_path:
+            listener.add_get_route(metrics_path, _prometheus_page)
         self._listeners.append(listener)
         return listener
 
@@ -162,6 +179,16 @@ class BindingServer:
         return WsdlPort(
             port_name, binding_name, (XdrAddressExt(host, int(port_text), target),)
         )
+
+
+def _prometheus_page() -> tuple[str, bytes]:
+    """The default ``GET /metrics`` route: this process's registry in
+    Prometheus text exposition (no node label — one process, one target)."""
+    from repro.obs.cluster import prometheus_text
+
+    _trace.flush()  # land in-flight bookkeeping so the scrape is consistent
+    text = prometheus_text({"": _metrics.registry.snapshot()})
+    return "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8")
 
 
 @lru_cache(maxsize=256)

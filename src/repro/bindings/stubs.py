@@ -60,7 +60,10 @@ def load_type(type_name: str) -> type:
 
 def _finish_client_span(obs, span_name, ctx, status, t0, t1, t2, t3, end):
     """Client span + metric bookkeeping, run on the obs finisher thread
-    (args as a tuple: no per-call closure)."""
+    (args as a tuple: no per-call closure).  The call's context is
+    re-activated around the phase observes — the finisher thread carries
+    no contextvar, and histogram exemplar capture tags outliers with the
+    *current* trace id."""
     calls, faults, phases, _names = obs
     encode_us = ((t1 or end) - t0) * 1e6
     transit_us = ((t2 or end) - (t1 or end)) * 1e6
@@ -68,7 +71,11 @@ def _finish_client_span(obs, span_name, ctx, status, t0, t1, t2, t3, end):
     calls.inc()
     if status != "ok":
         faults.inc()
-    phases.observe(encode_us, transit_us, decode_us, (end - t0) * 1e6)
+    token = _trace.activate(ctx)
+    try:
+        phases.observe(encode_us, transit_us, decode_us, (end - t0) * 1e6)
+    finally:
+        _trace.deactivate(token)
     _trace.recorder.record(
         _trace.Span(
             span_name, ctx.trace_id, ctx.span_id, ctx.parent_id, status,

@@ -112,6 +112,16 @@ class FailureDetector:
     def statuses(self) -> dict[str, NodeHealth]:
         return {m: self.health(m) for m in self.dvm.nodes()}
 
+    def contactable(self, member: str) -> bool:
+        """Whether *member* may be sent a non-heartbeat request.
+
+        SUSPECTED members are still contacted (they may merely be slow and
+        a successful call rehabilitates nothing the detector tracks), DEAD
+        ones are not — the cluster metrics collector uses this to avoid
+        hanging a pull on a corpse and marks the node STALE instead.
+        """
+        return self.health(member) is not NodeHealth.DEAD
+
     # -- one heartbeat round -------------------------------------------------------
 
     def _pick_observer(self) -> str | None:

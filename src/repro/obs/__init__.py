@@ -16,9 +16,35 @@ transports; this package makes that path *visible* without changing it:
 Tracing is off by default and costs one module-attribute check per call
 when disabled (``benchmarks/bench_obs_overhead.py`` keeps both numbers
 honest).
+
+Built on those two, the cluster plane (DESIGN.md §12):
+
+* :mod:`repro.obs.cluster` — a :class:`ClusterCollector` pulling per-node
+  snapshots over RPC with typed staleness markers, an exact bucket merge,
+  and Prometheus text exposition;
+* :mod:`repro.obs.slo` — declarative SLO specs evaluated as multi-window
+  error-budget burn rates over merged snapshots;
+* :mod:`repro.obs.recorder` — a :class:`FlightRecorder` ring of recent
+  spans/metric deltas/events, dumped when something breaks.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from repro.obs.cluster import (
+    ClusterCollector,
+    NodeSnapshot,
+    NodeStatus,
+    merge_metrics,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_from_counts,
+    registry,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import BurnSeries, SloEngine, SloSpec
 from repro.obs.trace import (
     Span,
     SpanRecorder,
@@ -35,10 +61,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BurnSeries",
+    "ClusterCollector",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NodeSnapshot",
+    "NodeStatus",
+    "SloEngine",
+    "SloSpec",
+    "merge_metrics",
+    "percentile_from_counts",
+    "prometheus_text",
     "registry",
     "Span",
     "SpanRecorder",

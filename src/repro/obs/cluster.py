@@ -1,0 +1,469 @@
+"""Cluster-level observability: pull, merge, and export per-node metrics.
+
+The process-local :mod:`repro.obs.metrics` registry answers "what has this
+node seen"; this module answers "what has the *DVM* seen".  A
+:class:`ClusterCollector` pulls per-node snapshots — over the same RPC
+bindings as any other service call, via each node's deployed
+``MetricsService`` — and tolerates the fleet being a fleet:
+
+* a member the failure detector has declared DEAD is **not contacted**
+  (no pull may hang on a corpse) and is marked :attr:`NodeStatus.STALE`;
+* a member whose pull raises (partition, dropped message, kill) is
+  marked :attr:`NodeStatus.UNREACHABLE`;
+* a node no longer in the membership is marked :attr:`NodeStatus.EVICTED`.
+
+In every non-FRESH case the collector *retains the node's last good
+snapshot* with its age, so the merged view degrades to "slightly old"
+instead of "suddenly smaller" — a typed staleness marker, never a silent
+gap.
+
+:func:`merge_metrics` folds the per-node snapshots into one cluster view:
+counters and gauges sum with per-node breakdowns, histograms sum their
+buckets (same-bounds required) and recompute quantiles through the shared
+:func:`~repro.obs.metrics.percentile_from_counts`, so a merged p99 is
+exactly what a single histogram holding every node's observations would
+report.  :func:`prometheus_text` renders any per-node view in the
+Prometheus text exposition format (served on the HTTP binding under
+``/metrics``), and :func:`render_top` is the console ``top`` verb's table.
+
+Caveat for the simulated single-process fabric: every node's default
+``MetricsService`` reads the one process-global registry, so per-node
+snapshots coincide and a merged counter is N× the process value.  Real
+deployments (one process per node) and the tests (per-node ``snapshot_fn``
+registries) see genuinely distinct snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.obs.metrics import percentile_from_counts
+from repro.util.clock import WallClock
+from repro.util.errors import HarnessError
+
+__all__ = [
+    "NodeStatus",
+    "NodeSnapshot",
+    "ClusterCollector",
+    "deploy_metrics_services",
+    "merge_metrics",
+    "prometheus_text",
+    "render_top",
+    "METRICS_SERVICE_PREFIX",
+]
+
+#: Per-node metrics components are deployed as ``metrics-<node>``.
+METRICS_SERVICE_PREFIX = "metrics-"
+
+
+class NodeStatus(enum.Enum):
+    """Typed staleness marker for one node's slice of the cluster view."""
+
+    FRESH = "fresh"              # pulled this round
+    STALE = "stale"              # detector says not-alive; pull skipped
+    UNREACHABLE = "unreachable"  # pull attempted and failed
+    EVICTED = "evicted"          # no longer a member; last snapshot retained
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One node's contribution to a collection round."""
+
+    node: str
+    status: NodeStatus
+    metrics: Mapping      # last successfully pulled snapshot ({} if never)
+    taken_at: float       # clock time of that pull (-1.0 = never pulled)
+    age_s: float          # now - taken_at at collection time (inf if never)
+    error: str = ""
+
+    @property
+    def fresh(self) -> bool:
+        return self.status is NodeStatus.FRESH
+
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "status": self.status.value,
+            "taken_at": round(self.taken_at, 9),
+            "age_s": round(self.age_s, 9) if math.isfinite(self.age_s) else "inf",
+            "error": self.error,
+            "metrics": dict(self.metrics),
+        }
+
+
+class ClusterCollector:
+    """Pulls per-node metric snapshots and remembers the last good one.
+
+    Pluggable by construction — *nodes* yields the current membership,
+    *pull* fetches one node's snapshot (raising :class:`HarnessError` on
+    failure), *liveness* (optional) veto-gates the pull — so tests drive
+    it with plain callables and :meth:`for_dvm` wires it to a live DVM's
+    stub RPC + failure detector.
+    """
+
+    def __init__(
+        self,
+        nodes: Callable[[], list],
+        pull: Callable[[str], Mapping],
+        liveness: Callable[[str], bool] | None = None,
+        clock=None,
+    ):
+        self._nodes = nodes
+        self._pull = pull
+        self._liveness = liveness
+        self._clock = clock if clock is not None else WallClock()
+        self._lock = threading.Lock()
+        self._last: dict[str, tuple[float, Mapping]] = {}
+
+    @classmethod
+    def for_dvm(
+        cls,
+        dvm,
+        from_node: str,
+        detector=None,
+        clock=None,
+        prefix: str = "",
+        service_prefix: str = METRICS_SERVICE_PREFIX,
+    ) -> "ClusterCollector":
+        """A collector pulling each member's ``metrics-<node>`` service
+        through *dvm*'s ordinary stub RPC, observed from *from_node*.
+        A *detector* (:class:`~repro.dvm.failure.FailureDetector`) gates
+        pulls on its liveness verdicts.  *dvm* may be the raw
+        :class:`~repro.dvm.machine.DistributedVirtualMachine` or a
+        :class:`~repro.core.builder.HarnessDvm` wrapping one."""
+        if not callable(getattr(dvm, "nodes", None)):
+            dvm = dvm.dvm  # HarnessDvm facade -> the machine underneath
+
+        def pull(node: str) -> Mapping:
+            stub = dvm.stub(from_node, service_prefix + node)
+            try:
+                snap = stub.invoke("snapshot", prefix)
+            finally:
+                close = getattr(stub, "close", None)
+                if close:
+                    close()
+            if isinstance(snap, Mapping):
+                inner = snap.get("metrics")
+                return inner if isinstance(inner, Mapping) else snap
+            return {}
+
+        liveness = detector.contactable if detector is not None else None
+        return cls(dvm.nodes, pull, liveness=liveness, clock=clock)
+
+    def collect(self) -> dict[str, NodeSnapshot]:
+        """One collection round over every known node (sorted by name).
+
+        Nodes seen in any earlier round stay in the result after eviction,
+        carrying their final snapshot; the caller decides whether to keep
+        counting them (the merge does, under their EVICTED marker).
+        """
+        members = set(self._nodes())
+        now = self._clock.now()
+        snapshots: dict[str, NodeSnapshot] = {}
+        with self._lock:
+            for node in sorted(members | set(self._last)):
+                if node not in members:
+                    snapshots[node] = self._marked(
+                        node, NodeStatus.EVICTED, now, "no longer a DVM member"
+                    )
+                elif self._liveness is not None and not self._liveness(node):
+                    snapshots[node] = self._marked(
+                        node, NodeStatus.STALE, now, "failure detector: not alive"
+                    )
+                else:
+                    try:
+                        metrics = self._pull(node)
+                    except HarnessError as exc:
+                        snapshots[node] = self._marked(
+                            node,
+                            NodeStatus.UNREACHABLE,
+                            now,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    else:
+                        self._last[node] = (now, metrics)
+                        snapshots[node] = NodeSnapshot(
+                            node, NodeStatus.FRESH, metrics, now, 0.0
+                        )
+        return snapshots
+
+    def _marked(self, node: str, status: NodeStatus, now: float, error: str) -> NodeSnapshot:
+        taken_at, metrics = self._last.get(node, (-1.0, {}))
+        age = (now - taken_at) if taken_at >= 0 else math.inf
+        return NodeSnapshot(node, status, metrics, taken_at, age, error)
+
+    def cluster_snapshot(self) -> dict:
+        """One JSON-ready document: per-node slices plus the merged view."""
+        snapshots = self.collect()
+        return {
+            "nodes": {n: s.as_dict() for n, s in snapshots.items()},
+            "merged": merge_metrics(
+                {n: s.metrics for n, s in snapshots.items() if s.metrics}
+            ),
+        }
+
+    def as_prometheus(self) -> str:
+        """This round's per-node view in Prometheus text exposition."""
+        snapshots = self.collect()
+        return prometheus_text(
+            {n: s.metrics for n, s in snapshots.items()},
+            statuses={n: s.status for n, s in snapshots.items()},
+        )
+
+
+def deploy_metrics_services(harness, registries: Mapping | None = None) -> list[str]:
+    """Deploy a ``metrics-<node>`` :class:`MetricsService` on every member
+    that lacks one (idempotent); returns the service names deployed now.
+
+    *registries*, when given, maps node name → a per-node snapshot source
+    (a :class:`~repro.obs.metrics.MetricsRegistry` or a ``snapshot_fn``
+    callable) so each node reports its own registry instead of the shared
+    process default — how the tests model one-process-per-node reality.
+    """
+    from repro.plugins.services import MetricsService
+
+    nodes = harness.dvm.nodes()
+    if not nodes:
+        return []
+    index = harness.dvm.component_index(nodes[0])
+    deployed = []
+    for node in nodes:
+        name = METRICS_SERVICE_PREFIX + node
+        if name in index:
+            continue
+        snapshot_fn = None
+        source = (registries or {}).get(node)
+        if source is not None:
+            if callable(source):
+                snapshot_fn = source
+            else:
+                snapshot_fn = lambda prefix="", _r=source: {"metrics": _r.snapshot(prefix)}
+        harness.deploy(node, MetricsService(snapshot_fn=snapshot_fn), name=name)
+        deployed.append(name)
+    return deployed
+
+
+# -- merging ---------------------------------------------------------------------
+
+
+def merge_metrics(per_node: Mapping[str, Mapping]) -> dict:
+    """Fold per-node registry snapshots into one cluster-wide view.
+
+    Counters and gauges sum across nodes (with a ``nodes`` breakdown);
+    histograms sum their buckets — which requires identical bucket bounds,
+    a schema property, so a mismatch raises — and recompute p50/p99 from
+    the summed counts with the same interpolation every node used, making
+    the merged quantile exact with respect to the merged buckets.
+    """
+    grouped: dict[str, dict] = {}
+    for node in sorted(per_node):
+        for name, data in per_node[node].items():
+            kind = data.get("type")
+            slot = grouped.get(name)
+            if slot is None:
+                slot = grouped[name] = {"type": kind, "nodes": {}}
+            elif slot["type"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is {slot['type']!r} on one node "
+                    f"but {kind!r} on {node!r}"
+                )
+            slot["nodes"][node] = data
+    merged: dict[str, dict] = {}
+    for name in sorted(grouped):
+        slot = grouped[name]
+        kind, series = slot["type"], slot["nodes"]
+        if kind == "counter":
+            merged[name] = {
+                "type": "counter",
+                "value": sum(int(d["value"]) for d in series.values()),
+                "nodes": {n: int(d["value"]) for n, d in series.items()},
+            }
+        elif kind == "gauge":
+            merged[name] = {
+                "type": "gauge",
+                "value": sum(float(d["value"]) for d in series.values()),
+                "nodes": {n: float(d["value"]) for n, d in series.items()},
+            }
+        elif kind == "histogram":
+            merged[name] = _merge_histograms(name, series)
+        else:  # unknown kinds pass through per node, never silently dropped
+            merged[name] = {"type": kind, "nodes": {n: dict(d) for n, d in series.items()}}
+    return merged
+
+
+def _merge_histograms(name: str, series: Mapping[str, Mapping]) -> dict:
+    keys: list[str] | None = None
+    bounds: tuple | None = None
+    counts: list[int] = []
+    count, total = 0, 0.0
+    lo, hi = math.inf, -math.inf
+    exemplars: dict[str, dict] = {}
+    nodes: dict[str, dict] = {}
+    for node, data in series.items():
+        buckets = data["buckets"]
+        node_keys = sorted((k for k in buckets if k != "+inf"), key=float)
+        node_bounds = tuple(float(k) for k in node_keys)
+        if bounds is None:
+            keys, bounds = node_keys, node_bounds
+            counts = [0] * (len(bounds) + 1)
+        elif node_bounds != bounds:
+            raise ValueError(f"histogram {name!r} bucket bounds differ across nodes")
+        for i, key in enumerate(node_keys):
+            counts[i] += int(buckets[key])
+        counts[-1] += int(buckets.get("+inf", 0))
+        node_count = int(data["count"])
+        count += node_count
+        total += float(data["sum"])
+        if node_count:
+            lo = min(lo, float(data["min"]))
+            hi = max(hi, float(data["max"]))
+        nodes[node] = {"count": node_count, "p99": data.get("p99", 0.0)}
+        for bucket_key, exemplar in (data.get("exemplars") or {}).items():
+            kept = exemplars.get(bucket_key)
+            if kept is None or exemplar["value"] > kept["value"]:
+                exemplars[bucket_key] = {**exemplar, "node": node}
+    data = {
+        "type": "histogram",
+        "count": count,
+        "sum": round(total, 3),
+        "min": round(lo, 3) if count else 0.0,
+        "max": round(hi, 3) if count else 0.0,
+        "p50": round(percentile_from_counts(bounds or (), counts, count, lo, hi, 0.50), 3),
+        "p99": round(percentile_from_counts(bounds or (), counts, count, lo, hi, 0.99), 3),
+        "buckets": {**{k: counts[i] for i, k in enumerate(keys or [])}, "+inf": counts[-1] if counts else 0},
+        "nodes": nodes,
+    }
+    if exemplars:
+        data["exemplars"] = exemplars
+    return data
+
+
+# -- exports ---------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def prometheus_text(
+    per_node: Mapping[str, Mapping],
+    statuses: Mapping[str, NodeStatus] | None = None,
+    namespace: str = "repro",
+) -> str:
+    """Render per-node snapshots in the Prometheus text exposition format.
+
+    *per_node* maps node name → metrics snapshot; the empty-string node
+    name renders without a ``node`` label (the single-process ``/metrics``
+    endpoint).  Counter series get the ``_total`` suffix, histograms the
+    cumulative ``_bucket{le=…}`` / ``_sum`` / ``_count`` triple; dotted
+    metric names sanitize to underscores under the ``repro_`` namespace.
+    """
+    lines: list[str] = []
+    if statuses:
+        up_name = f"{namespace}_node_up"
+        lines.append(f"# TYPE {up_name} gauge")
+        for node in sorted(statuses):
+            status = statuses[node]
+            up = 1 if status is NodeStatus.FRESH else 0
+            lines.append(
+                f'{up_name}{{node="{node}",status="{status.value}"}} {up}'
+            )
+    by_name: dict[str, list] = {}
+    for node in sorted(per_node):
+        for metric_name, data in per_node[node].items():
+            by_name.setdefault(metric_name, []).append((node, data))
+    for metric_name in sorted(by_name):
+        series = by_name[metric_name]
+        kind = series[0][1].get("type")
+        prom = _sanitize(f"{namespace}_{metric_name}")
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            for node, data in series:
+                lines.append(f"{prom}_total{_label(node)} {data['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            for node, data in series:
+                lines.append(f"{prom}{_label(node)} {data['value']}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            for node, data in series:
+                buckets = data["buckets"]
+                cumulative = 0
+                for key in sorted((k for k in buckets if k != "+inf"), key=float):
+                    cumulative += int(buckets[key])
+                    lines.append(f"{prom}_bucket{_label(node, le=key)} {cumulative}")
+                cumulative += int(buckets.get("+inf", 0))
+                lines.append(f'{prom}_bucket{_label(node, le="+Inf")} {cumulative}')
+                lines.append(f"{prom}_sum{_label(node)} {data['sum']}")
+                lines.append(f"{prom}_count{_label(node)} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _label(node: str, le: str | None = None) -> str:
+    parts = []
+    if node:
+        parts.append(f'node="{node}"')
+    if le is not None:
+        parts.append(f'le="{le}"')
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def render_top(snapshots: Mapping[str, NodeSnapshot]) -> str:
+    """The console ``top`` table: one row per node plus the merged total.
+
+    Leads with the fleet's request-path health (server requests/faults and
+    handle-time p99 where instrumented) and falls back to instrument
+    counts, so the table is useful before any traffic has flowed.
+    """
+    rows: list[list[str]] = []
+
+    def metric_cell(metrics: Mapping, name: str, field: str = "value") -> str:
+        data = metrics.get(name)
+        if not isinstance(data, Mapping) or field not in data:
+            return "-"
+        value = data[field]
+        return f"{value:.0f}" if isinstance(value, float) else str(value)
+
+    for node in sorted(snapshots):
+        snap = snapshots[node]
+        age = "now" if snap.age_s == 0.0 else (
+            f"{snap.age_s:.1f}s" if math.isfinite(snap.age_s) else "never"
+        )
+        rows.append(
+            [
+                node,
+                snap.status.value,
+                age,
+                str(len(snap.metrics)),
+                metric_cell(snap.metrics, "server.requests"),
+                metric_cell(snap.metrics, "server.faults"),
+                metric_cell(snap.metrics, "server.handle_us", "p99"),
+            ]
+        )
+    merged = merge_metrics({n: s.metrics for n, s in snapshots.items() if s.metrics})
+    rows.append(
+        [
+            "MERGED",
+            f"{sum(1 for s in snapshots.values() if s.fresh)}/{len(snapshots)} fresh",
+            "",
+            str(len(merged)),
+            metric_cell(merged, "server.requests"),
+            metric_cell(merged, "server.faults"),
+            metric_cell(merged, "server.handle_us", "p99"),
+        ]
+    )
+    header = ["node", "status", "age", "instruments", "requests", "faults", "handle p99 us"]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    out = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+    for row in rows:
+        out.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(out)

@@ -12,6 +12,11 @@ locked cells indexed by thread id, so concurrent writers on different
 threads rarely contend; reads merge the stripes.  Gauges are single-cell
 (they record levels, not rates, and are updated at pool/lifecycle events
 rather than per call).
+
+When tracing is enabled, histograms also capture **exemplars**: the
+(trace id, value) of observations that land in a bucket above every
+bucket seen so far, so a fat tail in a snapshot links directly to a
+dumpable trace (DESIGN.md §12 has the capture rules).
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ import threading
 from bisect import bisect_left
 from threading import get_ident
 
+import repro.obs.trace as _trace
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -28,6 +35,7 @@ __all__ = [
     "HistogramGroup",
     "MetricsRegistry",
     "DEFAULT_BUCKETS_US",
+    "percentile_from_counts",
     "registry",
 ]
 
@@ -40,6 +48,33 @@ DEFAULT_BUCKETS_US = (
     5, 10, 25, 50, 100, 250, 500,
     1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
 )
+
+
+def percentile_from_counts(bounds, counts, count, lo, hi, p: float) -> float:
+    """Linear-interpolated quantile over fixed-bucket counts.
+
+    *bounds* are the finite upper bounds, *counts* has one extra entry for
+    the implicit +inf bucket, *lo*/*hi* are the observed min/max.  This is
+    the single quantile definition for the whole observability stack:
+    :class:`Histogram` snapshots use it directly, and the cluster merge
+    (:mod:`repro.obs.cluster`) reuses it over summed per-node buckets so a
+    merged p99 is bit-identical to what one histogram holding every
+    observation would report.
+    """
+    if not count:
+        return 0.0
+    rank = max(1, math.ceil(p * count))
+    seen = 0
+    for i, c in enumerate(counts):
+        if not c:
+            continue
+        if seen + c >= rank:
+            upper = bounds[i] if i < len(bounds) else hi
+            lower = bounds[i - 1] if i > 0 else min(lo, upper)
+            lower = min(lower, upper)
+            return lower + (upper - lower) * ((rank - seen) / c)
+        seen += c
+    return hi  # unreachable unless counts drifted mid-merge
 
 
 class _Cell:
@@ -147,9 +182,16 @@ class Histogram:
     this thread's stripe.  Percentiles are estimated at snapshot time by
     linear interpolation inside the winning bucket — good to a bucket
     width, which is what fixed buckets buy.
+
+    With tracing enabled, an observation landing in a bucket strictly
+    above every previously-exemplified bucket captures the current trace
+    id as that bucket's **exemplar** — a rising high-water ladder, so the
+    capture cost is a handful of events per histogram lifetime, and the
+    check itself is one attribute read and one compare per observe (and
+    only the compare when tracing is off).
     """
 
-    __slots__ = ("name", "bounds", "_cells")
+    __slots__ = ("name", "bounds", "_cells", "exemplars", "_exemplar_high")
 
     def __init__(self, name: str, bounds=DEFAULT_BUCKETS_US):
         self.name = name
@@ -158,6 +200,8 @@ class Histogram:
             raise ValueError("histogram needs at least one bucket bound")
         n = len(self.bounds) + 1  # + the +inf bucket
         self._cells = tuple(_HistCell(n) for _ in range(_STRIPES))
+        self.exemplars: dict[int, tuple[str, float]] = {}
+        self._exemplar_high = -1
 
     def observe(self, value: float) -> None:
         # bisect before taking the lock (it is the only call that can
@@ -165,6 +209,8 @@ class Histogram:
         # guarded body is straight-line arithmetic and ``observe`` runs
         # five times per traced call
         index = bisect_left(self.bounds, value)
+        if _trace.ENABLED and index > self._exemplar_high:
+            self._note_exemplar(index, value)
         cell = self._cells[get_ident() & _MASK]
         lock = cell.lock
         lock.acquire()
@@ -176,6 +222,21 @@ class Histogram:
         if value > cell.max:
             cell.max = value
         lock.release()
+
+    def _note_exemplar(self, index: int, value: float) -> None:
+        """Capture the current trace id for a bucket-crossing outlier.
+
+        Unlocked on purpose: dict stores are GIL-atomic, and a lost race
+        merely keeps a different (equally valid) exemplar.  Observations
+        on threads without an active context (e.g. a finalizer that did
+        not re-activate its span) are skipped without raising the ladder,
+        so a later attributable outlier can still claim the bucket.
+        """
+        ctx = _trace.current()
+        if ctx is None:
+            return
+        self._exemplar_high = index
+        self.exemplars[index] = (ctx.trace_id, value)
 
     def _merge(self):
         counts = [0] * (len(self.bounds) + 1)
@@ -198,44 +259,43 @@ class Histogram:
     def percentile(self, p: float) -> float:
         """Estimated value at quantile *p* in [0, 1] (0.0 when empty)."""
         counts, count, _total, lo, hi = self._merge()
-        return self._percentile_from(counts, count, lo, hi, p)
+        return percentile_from_counts(self.bounds, counts, count, lo, hi, p)
 
     def _percentile_from(self, counts, count, lo, hi, p: float) -> float:
-        if not count:
-            return 0.0
-        rank = max(1, math.ceil(p * count))
-        seen = 0
-        for i, c in enumerate(counts):
-            if not c:
-                continue
-            if seen + c >= rank:
-                upper = self.bounds[i] if i < len(self.bounds) else hi
-                lower = self.bounds[i - 1] if i > 0 else min(lo, upper)
-                lower = min(lower, upper)
-                return lower + (upper - lower) * ((rank - seen) / c)
-            seen += c
-        return hi  # unreachable unless counts drifted mid-merge
+        return percentile_from_counts(self.bounds, counts, count, lo, hi, p)
 
     def reset(self) -> None:
         for cell in self._cells:
             with cell.lock:
                 cell.zero()
+        self.exemplars.clear()
+        self._exemplar_high = -1
 
     def export(self):
         counts, count, total, lo, hi = self._merge()
-        return {
+        bounds = self.bounds
+        data = {
             "type": "histogram",
             "count": count,
             "sum": round(total, 3),
             "min": round(lo, 3) if count else 0.0,
             "max": round(hi, 3) if count else 0.0,
-            "p50": round(self._percentile_from(counts, count, lo, hi, 0.50), 3),
-            "p99": round(self._percentile_from(counts, count, lo, hi, 0.99), 3),
+            "p50": round(percentile_from_counts(bounds, counts, count, lo, hi, 0.50), 3),
+            "p99": round(percentile_from_counts(bounds, counts, count, lo, hi, 0.99), 3),
             "buckets": {
-                **{str(b): counts[i] for i, b in enumerate(self.bounds)},
+                **{str(b): counts[i] for i, b in enumerate(bounds)},
                 "+inf": counts[-1],
             },
         }
+        if self.exemplars:
+            data["exemplars"] = {
+                (str(bounds[i]) if i < len(bounds) else "+inf"): {
+                    "trace_id": trace_id,
+                    "value": round(value, 3),
+                }
+                for i, (trace_id, value) in sorted(dict(self.exemplars).items())
+            }
+        return data
 
 
 class _GroupCell:
@@ -286,6 +346,12 @@ class HistogramGroup:
         """One observation per member, in declaration order."""
         bounds = self.bounds
         indexes = [bisect_left(bounds, v) for v in values]  # may raise: pre-lock
+        if _trace.ENABLED:
+            members = self.members
+            for j, index in enumerate(indexes):
+                member = members[j]
+                if index > member._exemplar_high:
+                    member._note_exemplar(index, values[j])
         cell = self._cells[get_ident() & _MASK]
         lock = cell.lock
         lock.acquire()
@@ -305,6 +371,10 @@ class HistogramGroup:
 
     def _observe_one(self, index: int, value: float) -> None:
         bucket = bisect_left(self.bounds, value)
+        if _trace.ENABLED:
+            member = self.members[index]
+            if bucket > member._exemplar_high:
+                member._note_exemplar(bucket, value)
         cell = self._cells[get_ident() & _MASK]
         lock = cell.lock
         lock.acquire()
@@ -358,6 +428,8 @@ class _GroupHistogram(Histogram):
         self.name = name
         self.bounds = group.bounds
         self._cells = ()  # storage lives in the group
+        self.exemplars = {}
+        self._exemplar_high = -1
 
     def observe(self, value: float) -> None:
         self._group._observe_one(self._index, value)
@@ -367,6 +439,8 @@ class _GroupHistogram(Histogram):
 
     def reset(self) -> None:
         self._group._reset_one(self._index)
+        self.exemplars.clear()
+        self._exemplar_high = -1
 
 
 class MetricsRegistry:

@@ -1,0 +1,146 @@
+"""The flight recorder: a bounded ring of recent observability moments.
+
+When something breaks — a circuit breaker opens, a node is evicted, a
+scenario invariant fails — the metrics say *that* it broke and the trace
+recorder says *where one call went*, but neither says what the node was
+doing in the seconds before.  The :class:`FlightRecorder` does: a
+fixed-size, lock-cheap ring (``deque.append`` with a maxlen is atomic
+under the GIL, same discipline as :class:`~repro.obs.trace.SpanRecorder`)
+holding the most recent spans, metric deltas, and lifecycle events, dumped
+to ``flight-<node>.jsonl`` the moment a trigger fires.
+
+Entries are ``{"t": …, "kind": "event" | "span" | "metrics" | "note",
+"data": …}``.  Feeds:
+
+* :meth:`attach` taps an :class:`~repro.util.events.EventBus` (every
+  published event, cheap because scenario buses are not hot paths);
+* :meth:`tap_spans` installs itself as a
+  :class:`~repro.obs.trace.SpanRecorder` tee;
+* :meth:`record_metrics` takes per-interval counter deltas (the scenario
+  runner samples a few key counters each tick).
+
+Dump triggers are the caller's policy; :meth:`should_dump` provides the
+debounce (one dump per trigger key per recorder lifetime) so an
+oscillating breaker cannot flood the artifact directory.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.util.clock import WallClock
+
+__all__ = ["FlightRecorder", "dump_label"]
+
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9._-]+")
+
+
+def dump_label(text: str) -> str:
+    """A filename-safe label for a dump trigger subject.
+
+    Strips per-run volatile instance tags (``counter#c-3`` → ``counter``)
+    so the label — which lands in deterministic audit events — is stable
+    across same-seed runs.
+    """
+    base = text.split("#", 1)[0] if "#" in text else text
+    return _LABEL_RE.sub("-", base).strip("-") or "unknown"
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans / metric deltas / lifecycle events."""
+
+    def __init__(self, capacity: int = 256, clock=None, node: str = ""):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.node = node
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._clock = clock if clock is not None else WallClock()
+        self._subscriptions: list = []
+        self._dumped: set[str] = set()
+
+    # -- feeds -----------------------------------------------------------------
+
+    def note(self, kind: str, data) -> None:
+        self._ring.append(
+            {"t": round(self._clock.now(), 9), "kind": kind, "data": data}
+        )
+
+    def record_event(self, event) -> None:
+        """Ring one :class:`~repro.util.events.Event`."""
+        self.note(
+            "event",
+            {"topic": event.topic, "payload": event.payload, "source": event.source},
+        )
+
+    def record_span(self, span) -> None:
+        """Ring one finished :class:`~repro.obs.trace.Span`."""
+        self.note(
+            "span",
+            {
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "status": span.status,
+                "timings_us": dict(span.timings_us),
+            },
+        )
+
+    def record_metrics(self, deltas: Mapping) -> None:
+        """Ring an interval's counter deltas ({name: delta}, zeros omitted
+        by the caller)."""
+        self.note("metrics", dict(deltas))
+
+    def attach(self, bus, topic: str = "") -> None:
+        """Tap *bus* (every topic by default); detach via :meth:`close`."""
+        self._subscriptions.append(bus.subscribe(topic, self.record_event))
+
+    def tap_spans(self, recorder) -> None:
+        """Install as *recorder*'s tee (replacing any previous tap)."""
+        recorder.tee = self.record_span
+
+    # -- reading / dumping -----------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """The ring's current contents, oldest first."""
+        while True:
+            try:
+                return list(self._ring)
+            except RuntimeError:  # deque mutated during iteration
+                continue
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def should_dump(self, key: str) -> bool:
+        """Debounce: True exactly once per *key* per recorder lifetime."""
+        if key in self._dumped:
+            return False
+        self._dumped.add(key)
+        return True
+
+    def dump(
+        self,
+        path: str | Path,
+        transform: Callable[[dict], dict] | None = None,
+    ) -> int:
+        """Write the ring to *path* as JSONL (oldest first); returns the
+        entry count.  *transform* maps each entry before writing (the
+        scenario runner scrubs volatile ids with it)."""
+        entries = self.snapshot()
+        if transform is not None:
+            entries = [transform(e) for e in entries]
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        return len(entries)
+
+    def close(self) -> None:
+        for sub in self._subscriptions:
+            sub.cancel()
+        self._subscriptions.clear()

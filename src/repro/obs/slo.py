@@ -1,0 +1,209 @@
+"""Declarative SLOs evaluated as multi-window error-budget burn rates.
+
+An :class:`SloSpec` names an objective (e.g. 99% of calls succeed, or 99%
+of calls finish under 5 ms) and the metrics that measure it; a
+:class:`BurnSeries` accumulates cumulative (time, bad, total) samples and
+answers "how fast is the error budget burning over the trailing window?".
+The **burn rate** is the standard SRE normalization::
+
+    burn(window) = error_rate_over_window / (1 - objective)
+
+so burn 1× means "exactly on budget", 10× means "the whole budget gone in
+a tenth of the period".  Evaluating the same series over *several*
+windows is what makes the signal usable: a short window alone pages on
+blips, a long window alone pages late.  A condition holds only when every
+configured window agrees (the classic multi-window AND), which is also
+the semantics of the chaos harness's ``slo_burn_under`` checker — a
+scenario fails its SLO only if the budget burned too fast at *every*
+configured horizon, so a fault injection may spike the short window while
+the run as a whole stays inside budget.
+
+Specs read the *merged* cluster snapshots (:mod:`repro.obs.cluster`):
+availability from a bad/total counter pair, latency from a histogram and
+a threshold (an observation is bad when its bucket's upper bound exceeds
+the threshold — conservative for the straddling bucket).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["SloSpec", "BurnSeries", "SloEngine", "SloVerdict"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective and where its numbers come from.
+
+    *kind* is ``availability`` (counter pair: *bad_metric* over
+    *total_metric*) or ``latency`` (*histogram* plus *threshold_us*).
+    *windows_s* are the trailing horizons burn is evaluated over.
+    """
+
+    name: str
+    objective: float
+    kind: str = "availability"
+    total_metric: str = ""
+    bad_metric: str = ""
+    histogram: str = ""
+    threshold_us: float = 0.0
+    windows_s: tuple = (5.0, 60.0)
+
+    def __post_init__(self):
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {self.objective}")
+        if self.kind == "availability":
+            if not self.total_metric or not self.bad_metric:
+                raise ValueError(
+                    f"availability SLO {self.name!r} needs total_metric and bad_metric"
+                )
+        elif self.kind == "latency":
+            if not self.histogram or self.threshold_us <= 0:
+                raise ValueError(
+                    f"latency SLO {self.name!r} needs histogram and threshold_us > 0"
+                )
+        else:
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not self.windows_s:
+            raise ValueError(f"SLO {self.name!r} needs at least one window")
+
+    def extract(self, metrics: Mapping) -> tuple[int, int]:
+        """(bad, total) cumulative counts from one merged snapshot.
+
+        Missing metrics read as (0, 0) — before traffic flows there is no
+        budget to burn.
+        """
+        if self.kind == "availability":
+            total = _counter_value(metrics, self.total_metric)
+            bad = _counter_value(metrics, self.bad_metric)
+            return min(bad, total), total
+        data = metrics.get(self.histogram)
+        if not isinstance(data, Mapping) or data.get("type") != "histogram":
+            return 0, 0
+        buckets = data.get("buckets", {})
+        total = int(data.get("count", 0))
+        good = sum(
+            int(count)
+            for key, count in buckets.items()
+            if key != "+inf" and float(key) <= self.threshold_us
+        )
+        return max(0, total - good), total
+
+
+def _counter_value(metrics: Mapping, name: str) -> int:
+    data = metrics.get(name)
+    if isinstance(data, Mapping) and "value" in data:
+        return int(data["value"])
+    return 0
+
+
+class BurnSeries:
+    """Cumulative (t, bad, total) samples and trailing-window burn rates.
+
+    ``observe`` requires monotonically non-decreasing time and counts —
+    the inputs are cumulative counters, so a decrease means the source
+    reset and the series restarts from that sample.
+    """
+
+    def __init__(self, objective: float):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.objective = objective
+        self._t: list[float] = []
+        self._bad: list[int] = []
+        self._total: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def observe(self, t: float, bad: int, total: int) -> None:
+        if self._t and (t < self._t[-1] or total < self._total[-1] or bad < self._bad[-1]):
+            # source reset (node restart, registry reset): start over
+            self._t, self._bad, self._total = [], [], []
+        self._t.append(float(t))
+        self._bad.append(int(bad))
+        self._total.append(int(total))
+
+    def _at_or_before(self, t: float) -> int:
+        """Index of the last sample with time <= t, or -1 (series origin)."""
+        return bisect.bisect_right(self._t, t) - 1
+
+    def burn_rate(self, window_s: float, at: float | None = None) -> float:
+        """Budget burn over the window ending at *at* (default: last sample).
+
+        The window difference reads the latest sample at or before each
+        edge; a window opening before the first sample reads the implicit
+        (0, 0) origin.  No traffic in the window burns nothing.
+        """
+        if not self._t:
+            return 0.0
+        end = self._at_or_before(self._t[-1] if at is None else at)
+        if end < 0:
+            return 0.0
+        start = self._at_or_before(self._t[end] - window_s)
+        bad0, total0 = (self._bad[start], self._total[start]) if start >= 0 else (0, 0)
+        d_total = self._total[end] - total0
+        if d_total <= 0:
+            return 0.0
+        d_bad = self._bad[end] - bad0
+        return (d_bad / d_total) / (1.0 - self.objective)
+
+    def max_burn(self, window_s: float) -> float:
+        """The worst trailing-window burn over the whole series (the
+        sliding window evaluated at every sample point)."""
+        return max(
+            (self.burn_rate(window_s, at=t) for t in self._t), default=0.0
+        )
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """One spec's evaluation: worst burn per window, and the verdict."""
+
+    name: str
+    ok: bool
+    burn: float  # the multi-window AND bound: min over windows of max burn
+    windows: dict = field(default_factory=dict)  # window_s -> max burn
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "burn": round(self.burn, 6),
+            "windows": {str(w): round(b, 6) for w, b in self.windows.items()},
+        }
+
+
+class SloEngine:
+    """Feeds merged snapshots into one :class:`BurnSeries` per spec."""
+
+    def __init__(self, specs):
+        self.specs = tuple(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self._series = {s.name: BurnSeries(s.objective) for s in self.specs}
+
+    def observe(self, t: float, metrics: Mapping) -> None:
+        """Sample every spec's (bad, total) from one merged snapshot."""
+        for spec in self.specs:
+            bad, total = spec.extract(metrics)
+            self._series[spec.name].observe(t, bad, total)
+
+    def series(self, name: str) -> BurnSeries:
+        return self._series[name]
+
+    def evaluate(self, max_burn: float = 1.0) -> list[SloVerdict]:
+        """Verdicts under the multi-window AND: a spec violates only when
+        every configured window's worst burn exceeds *max_burn*."""
+        verdicts = []
+        for spec in self.specs:
+            series = self._series[spec.name]
+            windows = {w: series.max_burn(w) for w in spec.windows_s}
+            bound = min(windows.values()) if windows else 0.0
+            verdicts.append(
+                SloVerdict(spec.name, bound <= max_burn, bound, windows)
+            )
+        return verdicts

@@ -28,6 +28,7 @@ Tracing is globally off by default.  Hot paths read the module attribute
 
 from __future__ import annotations
 
+import atexit
 import os
 import random
 import re
@@ -214,8 +215,8 @@ class _LazyWire:
             self.done = True
             try:
                 self.value = self.parse(self.raw)
-            except TraceWireError:  # a mangled block means "no context"
-                self.value = None
+            except Exception:  # any mangled block means "no context" — a
+                self.value = None  # corrupt frame must never fail the call
         return self.value
 
 
@@ -308,12 +309,18 @@ class _AsyncFinisher:
     cost lands on idle time, not on any caller.  :meth:`flush` forces an
     immediate drain for readers that need a consistent view.
 
-    The worker starts lazily on the first submission and never dies; a
-    finalizer that raises is dropped (bookkeeping must not take the
-    process down).
+    The worker starts lazily on the first submission; a finalizer that
+    raises is dropped (bookkeeping must not take the process down).  The
+    first start registers an ``atexit`` hook that joins the worker after
+    a final drain, so a short-lived CLI run (``scenario run``, a one-shot
+    console script) does not lose the tail spans still sitting in the
+    queue when the interpreter exits.  After the worker has exited —
+    shutdown, or an interpreter already tearing down — :meth:`flush`
+    drains the queue inline on the caller's thread instead of waiting
+    forever on a dead worker.
     """
 
-    __slots__ = ("_queue", "_event", "_thread", "_start_lock", "_busy")
+    __slots__ = ("_queue", "_event", "_thread", "_start_lock", "_busy", "_stopping")
 
     #: Worker tick: the latency ceiling for a span/metric becoming
     #: visible without an explicit flush.
@@ -325,6 +332,7 @@ class _AsyncFinisher:
         self._thread = None
         self._start_lock = threading.Lock()
         self._busy = False
+        self._stopping = False
 
     def submit(self, fn, args=()) -> None:
         self._queue.append((fn, args))
@@ -339,6 +347,7 @@ class _AsyncFinisher:
                 )
                 self._thread = thread
                 thread.start()
+                atexit.register(self.shutdown)
 
     def _run(self) -> None:
         queue, event = self._queue, self._event
@@ -356,17 +365,52 @@ class _AsyncFinisher:
                 except Exception:  # noqa: BLE001 — bookkeeping never propagates
                     pass
             self._busy = False
+            if self._stopping and not queue:
+                return
+
+    def _drain_inline(self) -> None:
+        """Run queued finalizers on the calling thread (no worker left)."""
+        queue = self._queue
+        while queue:
+            try:
+                fn, args = queue.popleft()
+            except IndexError:
+                break
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 — bookkeeping never propagates
+                pass
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the worker after a final drain (idempotent; atexit hook)."""
+        thread = self._thread
+        self._stopping = True
+        if thread is not None and thread.is_alive():
+            self._event.set()
+            thread.join(timeout)
+        self._drain_inline()  # anything submitted after the worker left
 
     def drained(self) -> bool:
         return not self._queue and not self._busy
 
     def flush(self, timeout: float = 5.0) -> bool:
-        """Block until every submitted finalizer has run (or *timeout*)."""
+        """Block until every submitted finalizer has run (or *timeout*).
+
+        Safe at any lifecycle point: with the worker gone (post-shutdown,
+        interpreter exit) the queue is drained inline instead.
+        """
         if self.drained():
             return True
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            self._drain_inline()
+            return self.drained()
         deadline = _monotonic() + timeout
         while not self.drained():
             self._event.set()  # cut the worker's tick short
+            if not thread.is_alive():
+                self._drain_inline()
+                return self.drained()
             if _monotonic() >= deadline:
                 return False
             _sleep(0.0005)
@@ -636,13 +680,24 @@ class SpanRecorder:
     CPython, and record sits on every traced call's finish path.  Readers
     (cold path) retry the snapshot if a concurrent append moves the ring
     under them.
+
+    ``tee``, when set, is called with every recorded span — the flight
+    recorder's tap (:mod:`repro.obs.recorder`).  Unset it costs one
+    attribute read per record; a tee that raises is dropped.
     """
 
     def __init__(self, capacity: int = 512):
         self._spans: deque[Span] = deque(maxlen=capacity)
+        self.tee = None
 
     def record(self, span: Span) -> None:
         self._spans.append(span)
+        tee = self.tee
+        if tee is not None:
+            try:
+                tee(span)
+            except Exception:  # noqa: BLE001 — a tap must not break recording
+                pass
 
     def _snapshot(self) -> list[Span]:
         while True:

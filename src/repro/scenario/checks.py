@@ -21,6 +21,13 @@ Vocabulary:
 ``p99_under`` / ``max_call_s``
     Simulated-latency bounds: p99 of successful calls, and the worst single
     call (graceful degradation = typed rejects, never hangs).
+``slo_burn_under``
+    Error-budget burn (:mod:`repro.obs.slo`): with objective ``objective``
+    (e.g. 0.95 success), the worst trailing-window burn rate must stay at
+    or under ``max_burn`` budgets — under the multi-window AND, so the
+    check fails only when *every* configured window burned too fast.
+    ``windows_s`` defaults to [5, 20] ticks; ``latency_threshold_s`` also
+    counts slow-but-successful calls as bad.
 ``failover_within``
     Every completed failover landed within ``deadline_s`` of the victim
     node first being suspected.
@@ -181,6 +188,39 @@ def _p99_under(ctx: CheckContext, params: Mapping) -> CheckResult:
         "p99_under",
         p99 <= bound,
         f"p99={p99:.6f}s bound={bound}s (ok_only={ok_only})",
+        dict(params),
+    )
+
+
+@_check("slo_burn_under")
+def _slo_burn_under(ctx: CheckContext, params: Mapping) -> CheckResult:
+    from repro.obs.slo import BurnSeries
+
+    objective = float(params["objective"])
+    limit = float(params["max_burn"])
+    tick = ctx.manifest.tick_s
+    windows = [float(w) for w in params.get("windows_s", (5 * tick, 20 * tick))]
+    threshold = params.get("latency_threshold_s")
+    series = BurnSeries(objective)
+    bad = total = 0
+    for record in sorted(ctx.stats.records, key=lambda r: (r.t, r.latency_s)):
+        total += 1
+        if not record.ok or (
+            threshold is not None and record.latency_s > float(threshold)
+        ):
+            bad += 1
+        series.observe(record.t + record.latency_s, bad, total)
+    worst = {w: series.max_burn(w) for w in windows}
+    # multi-window AND: the budget is violated only when every window
+    # burned past the limit, so the binding bound is the minimum
+    bound = min(worst.values()) if worst else 0.0
+    per_window = ", ".join(f"{w:g}s={b:.2f}x" for w, b in sorted(worst.items()))
+    return CheckResult(
+        "slo_burn_under",
+        bound <= limit,
+        f"worst burn per window [{per_window}], co-exceedance bound "
+        f"{bound:.2f}x (limit {limit:g}x, objective {objective:g}, "
+        f"{bad}/{total} bad)",
         dict(params),
     )
 

@@ -31,6 +31,8 @@ from pathlib import Path
 from repro.bindings.stubs import load_type
 from repro.core.builder import HarnessDvm
 from repro.netsim import topology as _topology
+from repro.obs import metrics as _metrics
+from repro.obs.recorder import FlightRecorder, dump_label
 from repro.scenario.checks import CheckContext, run_checks
 from repro.scenario.events import EventLog, scrub
 from repro.scenario.faults import apply_fault
@@ -42,6 +44,19 @@ from repro.util.events import EventBus
 from repro.util.ids import reset_ids
 
 __all__ = ["ScenarioRuntime", "ScenarioResult", "run_scenario"]
+
+#: Counters sampled into the flight recorder each tick (as deltas).
+_FLIGHT_COUNTERS = (
+    "server.requests",
+    "server.faults",
+    "dvm.detector.misses",
+    "dvm.detector.suspected",
+    "dvm.detector.evicted",
+    "invoke.breaker.opened",
+)
+
+#: Bus topics whose first occurrence (per subject) dumps the flight ring.
+FLIGHT_TRIGGERS = ("invoke.breaker.open", "dvm.member.dead")
 
 
 def _build_network(manifest: ScenarioManifest):
@@ -80,6 +95,13 @@ class ScenarioRuntime:
         self.events = EventBus()
         self.log = EventLog(self.clock)
         self.log.attach(self.events)  # before construction: joins/deploys recorded
+        # the black box: recent events + per-tick metric deltas, dumped by
+        # run_scenario when a breaker opens, a node dies, or a check fails
+        self.flight = FlightRecorder(capacity=256, clock=self.clock, node=manifest.name)
+        self.flight.attach(self.events)
+        self._flight_prev: dict[str, int] = {
+            name: _metrics.registry.counter(name).value() for name in _FLIGHT_COUNTERS
+        }
         self.harness = HarnessDvm(
             manifest.name,
             self.network,
@@ -126,7 +148,23 @@ class ScenarioRuntime:
         if self.virtual and delta > 0:
             self.clock.advance(delta)
 
+    def sample_flight_metrics(self) -> dict:
+        """This tick's deltas of the flight-recorder counter set (nonzero
+        only), ringed so a dump shows what the rates were doing just
+        before the trigger."""
+        deltas = {}
+        for name in _FLIGHT_COUNTERS:
+            value = _metrics.registry.counter(name).value()
+            delta = value - self._flight_prev.get(name, 0)
+            self._flight_prev[name] = value
+            if delta:
+                deltas[name] = delta
+        if deltas:
+            self.flight.record_metrics(deltas)
+        return deltas
+
     def close(self) -> None:
+        self.flight.close()
         self.log.detach()
         self.harness.close()
 
@@ -182,7 +220,32 @@ def run_scenario(
     t0 = manifest.settle_ticks * tick
     pending_faults = list(manifest.faults)
     driver = None
+    trigger_subs = []
+
+    def flight_dump(trigger: str, label: str) -> None:
+        """Publish the (deterministic) dump announcement; write the actual
+        ring file only when the run has an output directory.  The event is
+        unconditional so same-seed runs with and without ``out_dir`` hash
+        identically — the soak harness's determinism check depends on it."""
+        filename = f"flight-{label}.jsonl"
+        if out_dir is not None:
+            runtime.flight.dump(Path(out_dir) / filename, transform=scrub)
+        runtime.events.publish(
+            "obs.flight.dumped",
+            {"trigger": trigger, "node": label, "file": filename},
+            source="obs",
+        )
+
+    def on_trigger(event) -> None:
+        payload = event.payload if isinstance(event.payload, dict) else {}
+        subject = payload.get("node") or payload.get("target") or "unknown"
+        label = dump_label(str(subject))
+        if runtime.flight.should_dump(f"{event.topic}:{label}"):
+            flight_dump(event.topic, label)
+
     try:
+        for topic in FLIGHT_TRIGGERS:
+            trigger_subs.append(runtime.events.subscribe(topic, on_trigger))
         runtime.events.publish(
             "scenario.start",
             {
@@ -233,6 +296,7 @@ def run_scenario(
                 runtime.events.publish(
                     "scenario.workload.tick", summary, source="scenario"
                 )
+            runtime.sample_flight_metrics()
         apply_due(manifest.duration_s)  # script entries timed at/after the last tick
 
         stats = driver.stats if driver is not None else WorkloadStats()
@@ -240,6 +304,8 @@ def run_scenario(
             CheckContext(manifest=manifest, runtime=runtime, stats=stats, log=runtime.log)
         )
         passed = all(c.passed for c in checks)
+        if not passed and runtime.flight.should_dump("checks"):
+            flight_dump("scenario.check.failed", "checks")
         runtime.events.publish(
             "scenario.end",
             {
@@ -275,6 +341,8 @@ def run_scenario(
             )
         return result
     finally:
+        for sub in trigger_subs:
+            sub.cancel()
         if driver is not None:
             driver.close()
         runtime.close()

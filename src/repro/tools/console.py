@@ -201,6 +201,39 @@ class HarnessConsole(cmd.Cmd):
             snapshot = {"metrics": obs_metrics.registry.snapshot(prefix)}
         self._say(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
 
+    def do_top(self, arg: str) -> None:
+        """top [json|prom] — the cluster-merged metrics view.
+
+        Deploys a MetricsService on every member (idempotent), pulls each
+        node's snapshot over RPC with failure-detector awareness, and
+        renders the merged table; ``top json`` prints the full cluster
+        snapshot, ``top prom`` the Prometheus text exposition.
+        """
+        harness = self._need_dvm()
+        if harness is None:
+            return
+        from repro.obs import trace as obs_trace
+        from repro.obs.cluster import ClusterCollector, deploy_metrics_services, render_top
+
+        nodes = harness.dvm.nodes()
+        if not nodes:
+            self._say("(no nodes)")
+            return
+        obs_trace.flush()
+        deploy_metrics_services(harness)
+        collector = ClusterCollector.for_dvm(
+            harness, nodes[0], detector=getattr(harness, "detector", None)
+        )
+        mode = arg.strip()
+        if mode == "json":
+            self._say(json.dumps(
+                collector.cluster_snapshot(), indent=2, sort_keys=True, default=str
+            ))
+        elif mode == "prom":
+            self._say(collector.as_prometheus().rstrip("\n"))
+        else:
+            self._say(render_top(collector.collect()))
+
     def do_trace(self, arg: str) -> None:
         """trace on|off|status|last [N] — control tracing / show recent spans."""
         from repro.obs import trace as obs_trace

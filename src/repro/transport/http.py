@@ -54,8 +54,8 @@ class _SoapHttpHandler(BaseHTTPRequestHandler):
             if header:
                 try:
                     token = _trace.activate(_trace.from_header(header))
-                except _trace.TraceWireError:
-                    token = None  # a mangled header must not fail the request
+                except Exception:  # noqa: BLE001 — any mangled/truncated
+                    token = None  # header must never fail the request
         try:
             response = server.app_handler(message)
             status = 200
@@ -72,6 +72,28 @@ class _SoapHttpHandler(BaseHTTPRequestHandler):
         self.wfile.write(response.payload)
         self.wfile.flush()
 
+    def do_GET(self) -> None:  # noqa: N802  (stdlib naming)
+        """Side-channel GET routes (e.g. the ``/metrics`` Prometheus
+        endpoint) registered on the listener; the SOAP POST path is
+        untouched."""
+        server: "_Server" = self.server  # type: ignore[assignment]
+        route = server.get_routes.get(self.path.partition("?")[0])
+        if route is None:
+            status, content_type, body = 404, "text/plain", b"not found"
+        else:
+            try:
+                content_type, body = route()
+                status = 200
+            except Exception as exc:  # route errors answer 500, never crash
+                status, content_type = 500, "text/plain"
+                body = str(exc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.wfile.flush()
+
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
@@ -80,10 +102,16 @@ class _Server(ThreadingHTTPServer):
     def __init__(self, address, app_handler: RequestHandler):
         super().__init__(address, _SoapHttpHandler)
         self.app_handler = app_handler
+        self.get_routes: dict[str, object] = {}
 
 
 class HttpListener:
-    """An HTTP POST endpoint; URL scheme ``http://host:port/``."""
+    """An HTTP POST endpoint; URL scheme ``http://host:port/``.
+
+    GET side-channels — pages that report rather than invoke — register
+    via :meth:`add_get_route`; a route is a no-argument callable returning
+    ``(content_type, body_bytes)``.
+    """
 
     def __init__(self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0):
         self._server = _Server((host, port), handler)
@@ -103,6 +131,12 @@ class HttpListener:
     @property
     def port(self) -> int:
         return self._port
+
+    def add_get_route(self, path: str, route) -> None:
+        """Serve GET *path* from *route* ``() -> (content_type, bytes)``."""
+        if not path.startswith("/"):
+            raise TransportError(f"GET route path must start with '/': {path!r}")
+        self._server.get_routes[path] = route
 
     def close(self) -> None:
         self._server.shutdown()

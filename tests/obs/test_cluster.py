@@ -1,0 +1,326 @@
+"""Cluster observability plane: collector statuses, merge exactness,
+Prometheus exposition, the console table, and churn behavior over a
+live DVM (DESIGN.md §12)."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.builder import HarnessDvm
+from repro.netsim.topology import lan
+from repro.obs import metrics
+from repro.obs.cluster import (
+    ClusterCollector,
+    NodeStatus,
+    deploy_metrics_services,
+    merge_metrics,
+    prometheus_text,
+    render_top,
+)
+from repro.util.clock import VirtualClock
+from repro.util.errors import HarnessError
+
+
+def _registry_like(counters=(), histogram_fills=()):
+    """A per-node metrics mapping built from throwaway instruments."""
+    out = {}
+    for name, value in counters:
+        counter = metrics.Counter(name)
+        counter.inc(value)
+        out[name] = counter.export()
+    for name, values in histogram_fills:
+        hist = metrics.Histogram(name)
+        for v in values:
+            hist.observe(v)
+        out[name] = hist.export()
+    return out
+
+
+class TestClusterCollector:
+    def test_fresh_pull_and_merge(self):
+        clock = VirtualClock()
+        data = {
+            "a": _registry_like(counters=[("server.requests", 3)]),
+            "b": _registry_like(counters=[("server.requests", 4)]),
+        }
+        collector = ClusterCollector(
+            lambda: ["a", "b"], lambda node: data[node], clock=clock
+        )
+        snaps = collector.collect()
+        assert {s.status for s in snaps.values()} == {NodeStatus.FRESH}
+        merged = collector.cluster_snapshot()["merged"]
+        assert merged["server.requests"]["value"] == 7
+        assert merged["server.requests"]["nodes"] == {"a": 3, "b": 4}
+
+    def test_unreachable_node_keeps_last_good_snapshot(self):
+        clock = VirtualClock()
+        down = set()
+
+        def pull(node):
+            if node in down:
+                raise HarnessError(f"{node} gone")
+            return _registry_like(counters=[("server.requests", 5)])
+
+        collector = ClusterCollector(lambda: ["a"], pull, clock=clock)
+        assert collector.collect()["a"].status is NodeStatus.FRESH
+        down.add("a")
+        clock.advance(30.0)
+        snap = collector.collect()["a"]
+        assert snap.status is NodeStatus.UNREACHABLE
+        assert "HarnessError" in snap.error
+        assert snap.age_s == pytest.approx(30.0)
+        # the retained snapshot still counts in the merge
+        merged = collector.cluster_snapshot()["merged"]
+        assert merged["server.requests"]["value"] == 5
+
+    def test_liveness_veto_marks_stale_without_pulling(self):
+        pulled = []
+
+        def pull(node):
+            pulled.append(node)
+            return {}
+
+        collector = ClusterCollector(
+            lambda: ["a", "b"], pull, liveness=lambda node: node != "b"
+        )
+        snaps = collector.collect()
+        assert snaps["b"].status is NodeStatus.STALE
+        assert "failure detector" in snaps["b"].error
+        assert pulled == ["a"]  # the dead node was never contacted
+
+    def test_evicted_member_stays_in_view_with_marker(self):
+        members = ["a", "b"]
+        collector = ClusterCollector(
+            lambda: list(members),
+            lambda node: _registry_like(counters=[("server.requests", 2)]),
+        )
+        collector.collect()
+        members.remove("b")
+        snaps = collector.collect()
+        assert snaps["b"].status is NodeStatus.EVICTED
+        assert snaps["a"].status is NodeStatus.FRESH
+        # eviction keeps the last-known numbers under the marker
+        assert collector.cluster_snapshot()["merged"]["server.requests"]["value"] == 4
+
+    def test_snapshot_is_json_shaped(self):
+        collector = ClusterCollector(
+            lambda: ["a"], lambda node: _registry_like(counters=[("c", 1)])
+        )
+        doc = collector.cluster_snapshot()
+        node = doc["nodes"]["a"]
+        assert node["status"] == "fresh"
+        assert node["metrics"]["c"]["value"] == 1
+
+
+class TestMergeMetrics:
+    def test_histogram_merge_is_exact(self):
+        """The acceptance property: merged p50/p99/buckets equal a
+        reference histogram holding the union of observations."""
+        rng = random.Random(99)
+        for _ in range(10):
+            reference = metrics.Histogram("ref")
+            per_node = {}
+            for n in range(4):
+                hist = metrics.Histogram("h")
+                for _ in range(rng.randrange(10, 200)):
+                    value = float(int(10 ** rng.uniform(0, 6.5)))
+                    hist.observe(value)
+                    reference.observe(value)
+                per_node[f"node{n}"] = {"h": hist.export()}
+            merged = merge_metrics(per_node)["h"]
+            expected = reference.export()
+            for key in ("buckets", "count", "sum", "min", "max", "p50", "p99"):
+                assert merged[key] == expected[key], key
+
+    def test_kind_mismatch_rejected(self):
+        a = _registry_like(counters=[("x", 1)])
+        b = _registry_like(histogram_fills=[("x", [1.0])])
+        with pytest.raises(ValueError):
+            merge_metrics({"a": a, "b": b})
+
+    def test_exemplar_merge_keeps_max_per_bucket(self):
+        metrics_trace_pairs = {}
+        for node, value in (("a", 30.0), ("b", 40.0)):
+            hist = metrics.Histogram("h")
+            hist.observe(value)
+            hist.exemplars[3] = (f"trace-{node}", value)  # bucket le=50
+            metrics_trace_pairs[node] = {"h": hist.export()}
+        merged = merge_metrics(metrics_trace_pairs)["h"]
+        winner = merged["exemplars"]["50"]
+        assert winner["node"] == "b"
+        assert winner["value"] == 40.0
+
+
+class TestPrometheusText:
+    def test_renders_counters_histograms_and_node_up(self):
+        per_node = {
+            "n1": _registry_like(
+                counters=[("server.requests", 3)],
+                histogram_fills=[("server.handle_us", [7.0, 120.0])],
+            )
+        }
+        text = prometheus_text(per_node, statuses={"n1": NodeStatus.FRESH})
+        assert '# TYPE repro_server_requests_total counter' in text
+        assert 'repro_server_requests_total{node="n1"} 3' in text
+        assert 'repro_server_handle_us_bucket{node="n1",le="10"} 1' in text
+        assert 'repro_server_handle_us_bucket{node="n1",le="+Inf"} 2' in text
+        assert 'repro_server_handle_us_count{node="n1"} 2' in text
+        assert 'repro_node_up{node="n1",status="fresh"} 1' in text
+
+    def test_buckets_are_cumulative(self):
+        per_node = {"n": _registry_like(histogram_fills=[("h", [7.0, 8.0, 120.0])])}
+        text = prometheus_text(per_node)
+        assert 'repro_h_bucket{node="n",le="10"} 2' in text
+        assert 'repro_h_bucket{node="n",le="250"} 3' in text
+
+    def test_empty_node_label_omitted(self):
+        text = prometheus_text({"": _registry_like(counters=[("c", 1)])})
+        assert "repro_c_total 1" in text
+        assert 'node=""' not in text
+
+
+class TestRenderTop:
+    def test_table_has_per_node_and_merged_rows(self):
+        collector = ClusterCollector(
+            lambda: ["a", "b"],
+            lambda node: _registry_like(
+                counters=[("server.requests", 2), ("server.faults", 1)],
+                histogram_fills=[("server.handle_us", [100.0])],
+            ),
+        )
+        table = render_top(collector.collect())
+        lines = table.splitlines()
+        assert any(line.startswith("a") for line in lines)
+        assert any(line.startswith("b") for line in lines)
+        assert any("MERGED" in line for line in lines)
+        merged_line = next(line for line in lines if "MERGED" in line)
+        assert "4" in merged_line  # summed requests
+
+
+class TestOverLiveDvm:
+    def _build(self):
+        network = lan(3)
+        harness = HarnessDvm("obs-test", network)
+        for host in ("node0", "node1", "node2"):
+            harness.add_node(host)
+        return harness
+
+    def test_for_dvm_pulls_every_member(self):
+        harness = self._build()
+        try:
+            deploy_metrics_services(harness)
+            deploy_metrics_services(harness)  # idempotent: no duplicate deploys
+            collector = ClusterCollector.for_dvm(harness, "node0")
+            snaps = collector.collect()
+            assert sorted(snaps) == ["node0", "node1", "node2"]
+            assert all(s.status is NodeStatus.FRESH for s in snaps.values())
+        finally:
+            harness.close()
+
+    def test_snapshot_while_evicting(self):
+        """Collection mid-eviction: the evicted node flips to a typed
+        marker instead of raising out of the collection round."""
+        harness = self._build()
+        try:
+            deploy_metrics_services(harness)
+            collector = ClusterCollector.for_dvm(harness, "node0")
+            collector.collect()
+            harness.dvm.evict_node("node2", by="node0")
+            snaps = collector.collect()
+            assert snaps["node2"].status is NodeStatus.EVICTED
+            assert snaps["node0"].status is NodeStatus.FRESH
+        finally:
+            harness.close()
+
+    def test_partitioned_node_reports_typed_staleness_without_hanging(self):
+        harness = self._build()
+        try:
+            harness.enable_self_healing(
+                observer="node0", suspect_after=1, evict_after=100,
+                start_threads=False,
+            )
+            deploy_metrics_services(harness)
+            collector = ClusterCollector.for_dvm(
+                harness, "node0", detector=harness.detector
+            )
+            assert all(
+                s.status is NodeStatus.FRESH for s in collector.collect().values()
+            )
+            harness.network.partition(["node0", "node1"], ["node2"])
+            for _ in range(3):
+                harness.detector.tick()
+            # SUSPECTED members are still contacted; the cut makes the pull
+            # fail *typed* instead of hanging the collection round
+            from repro.dvm.failure import NodeHealth
+
+            assert harness.detector.health("node2") is NodeHealth.SUSPECTED
+            snaps = collector.collect()
+            assert snaps["node2"].status is NodeStatus.UNREACHABLE
+            assert snaps["node2"].error  # typed marker names the failure
+            assert snaps["node0"].status is NodeStatus.FRESH
+        finally:
+            harness.close()
+
+    def test_dead_member_is_vetoed_not_pulled(self):
+        """A detector-DEAD member is never contacted: the collector marks
+        it STALE off the liveness verdict alone."""
+        from repro.dvm.failure import NodeHealth
+
+        harness = self._build()
+        try:
+            harness.enable_self_healing(
+                observer="node0", suspect_after=1, evict_after=2,
+                start_threads=False,
+            )
+            deploy_metrics_services(harness)
+            collector = ClusterCollector.for_dvm(
+                harness, "node0", detector=harness.detector
+            )
+            collector.collect()
+            detector = harness.detector
+            detector._health["node2"] = NodeHealth.DEAD  # as mid-tick, pre-evict
+            assert not detector.contactable("node2")
+            snaps = collector.collect()
+            assert snaps["node2"].status is NodeStatus.STALE
+            assert "failure detector" in snaps["node2"].error
+        finally:
+            harness.close()
+
+
+class TestRegistryUnderConcurrency:
+    def test_threaded_writes_merge_to_exact_totals(self):
+        """8 writer threads hammer striped counters and a histogram while
+        snapshots run; the final merged totals are exact."""
+        counter = metrics.registry.counter("churn.hits")
+        hist = metrics.registry.histogram("churn.lat_us")
+        per_thread, n_threads = 500, 8
+        start = threading.Barrier(n_threads + 1)
+
+        def writer(tid):
+            start.wait()
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe(float((i % 100) + 1))
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        mid_snapshots = [metrics.registry.snapshot("churn.") for _ in range(20)]
+        for t in threads:
+            t.join()
+        final = metrics.registry.snapshot("churn.")
+        assert final["churn.hits"]["value"] == per_thread * n_threads
+        assert final["churn.lat_us"]["count"] == per_thread * n_threads
+        assert sum(final["churn.lat_us"]["buckets"].values()) == per_thread * n_threads
+        # snapshots taken mid-churn are internally sane (monotone counts)
+        last = 0
+        for snap in mid_snapshots:
+            value = snap["churn.hits"]["value"]
+            assert 0 <= last <= value <= per_thread * n_threads
+            last = value

@@ -155,3 +155,105 @@ class TestRegistry:
         c.inc()
         # the registry still sees the same (zeroed then bumped) instrument
         assert r.snapshot()["kept"]["value"] == 1
+
+
+class TestExemplars:
+    """Trace exemplars: bucket-crossing outliers tagged with the current
+    trace id, captured only while tracing is enabled (DESIGN.md §12)."""
+
+    def test_no_capture_while_tracing_disabled(self):
+        from repro.obs import trace
+
+        hist = Histogram("h")
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        try:
+            hist.observe(10_000.0)
+        finally:
+            trace.deactivate(token)
+        assert hist.exemplars == {}
+
+    def test_rising_ladder_captures_bucket_crossings(self):
+        from repro.obs import trace
+
+        trace.enable(True)
+        hist = Histogram("h")
+        a, b = trace.new_trace(), trace.new_trace()
+        token = trace.activate(a)
+        try:
+            hist.observe(30.0)       # first sight of bucket le=50
+            hist.observe(7.0)        # lower bucket: NOT an outlier anymore
+        finally:
+            trace.deactivate(token)
+        token = trace.activate(b)
+        try:
+            hist.observe(40.0)       # same high-water: no recapture
+            hist.observe(9_000.0)    # new high-water: captured under b
+        finally:
+            trace.deactivate(token)
+        assert set(hist.exemplars) == {3, 10}  # le=50 and le=10000
+        assert hist.exemplars[3] == (a.trace_id, 30.0)
+        assert hist.exemplars[10] == (b.trace_id, 9_000.0)
+
+    def test_no_context_skips_without_burning_the_ladder(self):
+        from repro.obs import trace
+
+        trace.enable(True)
+        hist = Histogram("h")
+        hist.observe(30.0)  # no active context: nothing captured...
+        assert hist.exemplars == {}
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        try:
+            hist.observe(30.0)  # ...and the same bucket can still capture
+        finally:
+            trace.deactivate(token)
+        assert hist.exemplars[3] == (ctx.trace_id, 30.0)
+
+    def test_export_includes_exemplars_only_when_present(self):
+        from repro.obs import trace
+
+        hist = Histogram("h")
+        hist.observe(5.0)
+        assert "exemplars" not in hist.export()
+        trace.enable(True)
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        try:
+            hist.observe(60.0)
+        finally:
+            trace.deactivate(token)
+        doc = hist.export()
+        assert doc["exemplars"]["100"] == {"trace_id": ctx.trace_id, "value": 60.0}
+
+    def test_reset_clears_exemplars_and_ladder(self):
+        from repro.obs import trace
+
+        trace.enable(True)
+        hist = Histogram("h")
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        try:
+            hist.observe(30.0)
+            hist.reset()
+            assert hist.exemplars == {}
+            hist.observe(30.0)  # ladder restarted: same bucket recaptures
+        finally:
+            trace.deactivate(token)
+        assert 3 in hist.exemplars
+
+    def test_group_members_capture_independently(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace
+
+        trace.enable(True)
+        group = obs_metrics.registry.histogram_group(("g.a_us", "g.b_us"))
+        ctx = trace.new_trace()
+        token = trace.activate(ctx)
+        try:
+            group.observe(30.0, 9_000.0)
+        finally:
+            trace.deactivate(token)
+        snap = obs_metrics.registry.snapshot("g.")
+        assert snap["g.a_us"]["exemplars"]["50"]["trace_id"] == ctx.trace_id
+        assert snap["g.b_us"]["exemplars"]["10000"]["trace_id"] == ctx.trace_id

@@ -1,0 +1,99 @@
+"""Flight recorder: ring bounds, feeds, debounce, and dump artifacts
+(DESIGN.md §12)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder, dump_label
+from repro.obs.trace import Span, SpanRecorder
+from repro.util.clock import VirtualClock
+from repro.util.events import EventBus
+
+
+class TestDumpLabel:
+    def test_strips_instance_tags(self):
+        assert dump_label("counter#c-3") == "counter"
+
+    def test_sanitizes_filename_hostiles(self):
+        assert dump_label("a/b c:d") == "a-b-c-d"
+
+    def test_empty_falls_back(self):
+        assert dump_label("") == "unknown"
+        assert dump_label("###") == "unknown"
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        recorder = FlightRecorder(capacity=4, clock=VirtualClock())
+        for i in range(10):
+            recorder.note("note", {"i": i})
+        entries = recorder.snapshot()
+        assert len(entries) == 4
+        assert [e["data"]["i"] for e in entries] == [6, 7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_entry_shape(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        recorder = FlightRecorder(clock=clock)
+        recorder.record_metrics({"server.requests": 3})
+        (entry,) = recorder.snapshot()
+        assert entry == {"t": 1.5, "kind": "metrics", "data": {"server.requests": 3}}
+
+
+class TestFeeds:
+    def test_bus_attach_records_events_until_close(self):
+        bus = EventBus()
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.attach(bus)
+        bus.publish("dvm.member.dead", {"node": "n1"}, source="dvm")
+        recorder.close()
+        bus.publish("dvm.member.dead", {"node": "n2"}, source="dvm")
+        entries = recorder.snapshot()
+        assert len(entries) == 1
+        assert entries[0]["data"]["topic"] == "dvm.member.dead"
+        assert entries[0]["data"]["payload"] == {"node": "n1"}
+
+    def test_span_tee(self):
+        spans = SpanRecorder()
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.tap_spans(spans)
+        spans.record(Span("server:echo", "t" * 32, "s" * 16, None, "ok", {"handle": 12.0}))
+        (entry,) = recorder.snapshot()
+        assert entry["kind"] == "span"
+        assert entry["data"]["name"] == "server:echo"
+        assert entry["data"]["timings_us"] == {"handle": 12.0}
+        # the tee never replaces the primary recording
+        assert len(spans) == 1
+
+
+class TestDump:
+    def test_should_dump_debounces_per_key(self):
+        recorder = FlightRecorder()
+        assert recorder.should_dump("invoke.breaker.open:counter")
+        assert not recorder.should_dump("invoke.breaker.open:counter")
+        assert recorder.should_dump("dvm.member.dead:n1")
+
+    def test_dump_writes_jsonl(self, tmp_path):
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.note("event", {"topic": "x"})
+        recorder.record_metrics({"c": 1})
+        path = tmp_path / "deep" / "flight-n1.jsonl"
+        count = recorder.dump(path)
+        assert count == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["event", "metrics"]
+
+    def test_dump_applies_transform(self, tmp_path):
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.note("note", {"secret": 1})
+        path = tmp_path / "flight.jsonl"
+        recorder.dump(path, transform=lambda e: {**e, "data": "redacted"})
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["data"] == "redacted"

@@ -1,0 +1,149 @@
+"""SLO burn-rate engine: spec validation, extraction, window math, and
+the multi-window AND semantics (DESIGN.md §12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.slo import BurnSeries, SloEngine, SloSpec
+
+
+def _availability_spec(**overrides):
+    params = dict(
+        name="avail",
+        objective=0.99,
+        total_metric="server.requests",
+        bad_metric="server.faults",
+    )
+    params.update(overrides)
+    return SloSpec(**params)
+
+
+def _counter_snapshot(total, bad):
+    return {
+        "server.requests": {"type": "counter", "value": total},
+        "server.faults": {"type": "counter", "value": bad},
+    }
+
+
+class TestSloSpec:
+    def test_objective_bounds_enforced(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                _availability_spec(objective=bad)
+
+    def test_availability_needs_counter_pair(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", objective=0.9, total_metric="t")
+
+    def test_latency_needs_histogram_and_threshold(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", objective=0.9, kind="latency", histogram="h")
+        SloSpec(name="x", objective=0.9, kind="latency", histogram="h",
+                threshold_us=500.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", objective=0.9, kind="throughput")
+
+    def test_availability_extract(self):
+        spec = _availability_spec()
+        assert spec.extract(_counter_snapshot(100, 3)) == (3, 100)
+        assert spec.extract({}) == (0, 0)  # pre-traffic: nothing to burn
+        # bad can never exceed total even if the metrics disagree
+        assert spec.extract(_counter_snapshot(2, 5)) == (2, 2)
+
+    def test_latency_extract_is_conservative_at_the_threshold(self):
+        hist = metrics.Histogram("handle_us")
+        for value in (40.0, 60.0, 7_000.0):
+            hist.observe(value)
+        spec = SloSpec(
+            name="lat", objective=0.9, kind="latency",
+            histogram="handle_us", threshold_us=50.0,
+        )
+        # 40 us is good (bucket le=50 <= threshold); 60 us lands in the
+        # 100-bucket whose upper bound exceeds 50 -> bad; 7 ms is bad
+        assert spec.extract({"handle_us": hist.export()}) == (2, 3)
+
+
+class TestBurnSeries:
+    def test_burn_normalizes_by_budget(self):
+        series = BurnSeries(0.99)
+        series.observe(0.0, 0, 0)
+        series.observe(10.0, 3, 100)
+        # 3% bad over a window covering everything, against a 1% budget
+        assert series.burn_rate(60.0) == pytest.approx(3.0)
+
+    def test_windowed_difference(self):
+        series = BurnSeries(0.9)
+        series.observe(0.0, 0, 100)
+        series.observe(10.0, 0, 200)
+        series.observe(20.0, 10, 300)
+        # the last 10s saw 10 bad of 100 calls: 10% / 10% budget = 1x
+        assert series.burn_rate(10.0) == pytest.approx(1.0)
+        # the full horizon saw 10 of 300
+        assert series.burn_rate(100.0) == pytest.approx((10 / 300) / 0.1)
+
+    def test_no_traffic_burns_nothing(self):
+        series = BurnSeries(0.99)
+        assert series.burn_rate(10.0) == 0.0
+        series.observe(0.0, 5, 50)
+        series.observe(10.0, 5, 50)  # no new calls in the window
+        assert series.burn_rate(5.0) == 0.0
+
+    def test_source_reset_restarts_series(self):
+        series = BurnSeries(0.9)
+        series.observe(0.0, 0, 100)
+        series.observe(10.0, 50, 500)
+        series.observe(20.0, 0, 10)  # counters went backwards: restart
+        series.observe(30.0, 1, 20)
+        assert len(series) == 2
+        assert series.burn_rate(100.0) == pytest.approx((1 / 20) / 0.1)
+
+    def test_max_burn_scans_every_sample(self):
+        series = BurnSeries(0.9)
+        series.observe(0.0, 0, 100)
+        series.observe(5.0, 20, 200)   # spike: 20 bad of 100 in this step
+        series.observe(10.0, 20, 300)  # quiet again
+        assert series.burn_rate(5.0) == pytest.approx(0.0)  # now: no new bad
+        assert series.max_burn(5.0) == pytest.approx((20 / 100) / 0.1)
+
+
+class TestSloEngine:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloEngine([_availability_spec(), _availability_spec()])
+
+    def test_multi_window_and_semantics(self):
+        """A short-window spike alone does not violate: every window must
+        exceed the limit for the verdict to flip."""
+        spec = _availability_spec(objective=0.9, windows_s=(5.0, 60.0))
+        engine = SloEngine([spec])
+        engine.observe(0.0, _counter_snapshot(1000, 0))     # clean baseline
+        engine.observe(30.0, _counter_snapshot(1100, 30))   # burst: 30% bad
+        engine.observe(60.0, _counter_snapshot(3000, 30))   # then clean
+        (verdict,) = engine.evaluate(max_burn=2.0)
+        assert verdict.windows[5.0] > 2.0       # short window blew up
+        assert verdict.windows[60.0] < 2.0      # long window absorbed it
+        assert verdict.ok                       # AND: no violation
+        assert verdict.burn == pytest.approx(min(verdict.windows.values()))
+
+    def test_sustained_burn_violates_every_window(self):
+        spec = _availability_spec(objective=0.9, windows_s=(5.0, 60.0))
+        engine = SloEngine([spec])
+        for i in range(13):
+            t = i * 5.0
+            engine.observe(t, _counter_snapshot(100 * (i + 1), 50 * (i + 1)))
+        (verdict,) = engine.evaluate(max_burn=2.0)
+        assert not verdict.ok
+        assert all(burn > 2.0 for burn in verdict.windows.values())
+
+    def test_verdict_as_dict_is_json_shaped(self):
+        engine = SloEngine([_availability_spec()])
+        engine.observe(0.0, _counter_snapshot(10, 0))
+        (verdict,) = engine.evaluate()
+        doc = verdict.as_dict()
+        assert doc["name"] == "avail"
+        assert doc["ok"] is True
+        assert set(doc["windows"]) == {"5.0", "60.0"}

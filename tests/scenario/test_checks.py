@@ -163,3 +163,54 @@ class TestRobustness:
         (result,) = evaluate([{"check": "min_success_rate"}])
         assert not result.passed
         assert "checker crashed" in result.detail
+
+
+class TestSloBurnUnder:
+    def _records(self, n_ok, n_bad, spread_s=1.0):
+        records = []
+        for i in range(n_ok):
+            records.append(call(t=i * spread_s / max(n_ok, 1)))
+        for i in range(n_bad):
+            records.append(
+                call(ok=False, error="HarnessTimeoutError",
+                     t=i * spread_s / max(n_bad, 1))
+            )
+        return stats_of(*records)
+
+    def test_clean_run_passes(self):
+        (verdict,) = evaluate(
+            [{"check": "slo_burn_under", "objective": 0.9, "max_burn": 1.0}],
+            stats=self._records(20, 0),
+        )
+        assert verdict.passed
+        assert "bound" in verdict.detail
+
+    def test_sustained_errors_fail_every_window(self):
+        (verdict,) = evaluate(
+            [{"check": "slo_burn_under", "objective": 0.99, "max_burn": 2.0}],
+            stats=self._records(10, 10),
+        )
+        assert not verdict.passed
+
+    def test_latency_threshold_counts_slow_calls_as_bad(self):
+        slow = stats_of(*[call(latency=0.2, t=i * 0.1) for i in range(10)])
+        (verdict,) = evaluate(
+            [{
+                "check": "slo_burn_under", "objective": 0.9, "max_burn": 1.0,
+                "latency_threshold_s": 0.05,
+            }],
+            stats=slow,
+        )
+        assert not verdict.passed
+        fast = stats_of(*[call(latency=0.01, t=i * 0.1) for i in range(10)])
+        (verdict,) = evaluate(
+            [{
+                "check": "slo_burn_under", "objective": 0.9, "max_burn": 1.0,
+                "latency_threshold_s": 0.05,
+            }],
+            stats=fast,
+        )
+        assert verdict.passed
+
+    def test_in_vocabulary(self):
+        assert "slo_burn_under" in known_checks()
