@@ -132,7 +132,8 @@ class BindingServer:
     # -- exposure --------------------------------------------------------------
 
     def expose_soap_http(
-        self, host: str = "127.0.0.1", port: int = 0, metrics_path: str = "/metrics"
+        self, host: str = "127.0.0.1", port: int = 0, metrics_path: str = "/metrics",
+        **listener_knobs,
     ) -> HttpListener:
         """Serve SOAP 1.1 over HTTP; returns the live listener.
 
@@ -140,16 +141,27 @@ class BindingServer:
         registry in Prometheus text exposition (``metrics_path=""``
         disables it); hook a cluster collector's view in with
         ``listener.add_get_route``.
+
+        *listener_knobs* pass through to :class:`HttpListener` — the
+        reactor capacity knobs (``workers``, ``queue_max``,
+        ``per_conn_max``, ``read_deadline_s``, ``reactor``).
         """
-        listener = HttpListener(self._handle, host, port)
+        listener = HttpListener(self._handle, host, port, **listener_knobs)
         if metrics_path:
             listener.add_get_route(metrics_path, _prometheus_page)
         self._listeners.append(listener)
         return listener
 
-    def expose_xdr_tcp(self, host: str = "127.0.0.1", port: int = 0) -> TcpListener:
-        """Serve XDR-framed RPC over TCP; returns the live listener."""
-        listener = TcpListener(self._handle, host, port)
+    def expose_xdr_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, **listener_knobs
+    ) -> TcpListener:
+        """Serve XDR-framed RPC over TCP; returns the live listener.
+
+        *listener_knobs* pass through to :class:`TcpListener` — the
+        reactor capacity knobs (``workers``, ``queue_max``,
+        ``per_conn_max``, ``read_deadline_s``, ``reactor``).
+        """
+        listener = TcpListener(self._handle, host, port, **listener_knobs)
         self._listeners.append(listener)
         return listener
 

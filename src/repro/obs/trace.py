@@ -711,6 +711,11 @@ class SpanRecorder:
         return self._snapshot()[::-1][: max(0, n)]
 
     def clear(self) -> None:
+        # Land queued bookkeeping first: "start fresh" must not see spans
+        # from *before* the clear trickling in on the finisher's next tick
+        # (the reactor server made request turnaround faster than one tick,
+        # which turned that trickle from theoretical into reproducible).
+        finisher.flush(timeout=1.0)
         self._spans.clear()
 
     def __len__(self) -> int:

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.util.errors import HarnessError
 
-__all__ = ["WSTime", "MatMul", "LinearAlgebraService", "CounterService", "MetricsService"]
+__all__ = [
+    "WSTime",
+    "MatMul",
+    "LinearAlgebraService",
+    "CounterService",
+    "SaturationProbeService",
+    "MetricsService",
+]
 
 
 class WSTime:
@@ -120,6 +127,38 @@ class CounterService:
     def value(self) -> int:
         """The running total."""
         return self._count
+
+
+class SaturationProbeService:
+    """A load-generator target for saturation scenarios and benches.
+
+    ``work`` holds a worker thread for a real wall-clock interval — the
+    knob that lets a scenario drive a reactor listener past its admission
+    capacity with a handful of workers — while ``ping`` stays instant, so
+    a mixed workload measures both the queued and the unqueued path.
+    Wall-clock sleeps make this service *non-deterministic*: use it only
+    in ``wall: true`` scenarios and benchmarks, never under a
+    :class:`~repro.util.clock.VirtualClock` timeline.
+    """
+
+    def __init__(self) -> None:
+        self._served = 0
+
+    def work(self, delay_ms: float = 20.0) -> int:
+        """Occupy a worker for *delay_ms*; returns the served count."""
+        import time as _time
+
+        _time.sleep(max(0.0, float(delay_ms)) / 1000.0)
+        self._served += 1
+        return self._served
+
+    def ping(self) -> str:
+        """Instant liveness probe."""
+        return "pong"
+
+    def served(self) -> int:
+        """How many ``work`` calls completed."""
+        return self._served
 
 
 class MetricsService:

@@ -25,6 +25,11 @@ Vocabulary:
     Silently drop all traffic to and from a node while it stays "up" —
     unlike ``kill`` there is no crisp connection-refused signal, which is
     what exercises timeout paths and registry-blackhole lookups.
+``reactor_capacity``
+    Reconfigure the live reactor listener's admission controller
+    (``queue_max`` / ``per_conn_max``) mid-run — only meaningful with
+    ``workload.mode == "reactor"``, where real sockets hit a real
+    event-loop server and shed requests surface as ``ServerBusyError``.
 """
 
 from __future__ import annotations
@@ -155,3 +160,23 @@ def _set_blackhole(runtime, node: str, drop_rate: float) -> None:
             runtime.network.set_link_faults(
                 host.name, node, drop_rate=drop_rate, symmetric=True
             )
+
+
+@fault_handler("reactor_capacity")
+def _reactor_capacity(runtime, params: Mapping) -> None:
+    admission = getattr(runtime, "reactor_admission", None)
+    if admission is None:
+        raise ScenarioError(
+            "reactor_capacity fault requires workload mode 'reactor' "
+            "(no live reactor listener in this scenario)"
+        )
+    knobs = {}
+    if "queue_max" in params:
+        knobs["queue_max"] = int(params["queue_max"])
+    if "per_conn_max" in params:
+        knobs["per_conn_max"] = int(params["per_conn_max"])
+    if not knobs:
+        raise ScenarioError(
+            "reactor_capacity fault needs 'queue_max' and/or 'per_conn_max'"
+        )
+    admission.configure(**knobs)

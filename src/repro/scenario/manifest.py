@@ -59,7 +59,13 @@ _FAULT_ACTIONS = frozenset(
         "slow_node",
         "blackhole",
         "unblackhole",
+        "reactor_capacity",
     }
+)
+
+#: reactor-listener knobs a ``mode="reactor"`` workload may configure
+_SERVER_KEYS = frozenset(
+    {"workers", "queue_max", "per_conn_max", "read_deadline_s"}
 )
 
 #: invocation-policy keys a manifest may set (mirrors ``InvocationPolicy``)
@@ -227,6 +233,12 @@ class WorkloadSpec:
 
     ``mode="rpc"`` invokes operations on a stub; ``mode="lookup"`` performs
     DVM namespace lookups (``ops`` are ignored) — the thundering-herd shape.
+    ``mode="reactor"`` bypasses the simulated fabric entirely and drives a
+    *real* reactor listener (:mod:`repro.transport.reactor`) with
+    ``concurrency`` blocking caller threads per tick; ``server`` holds the
+    listener's capacity knobs (``workers``/``queue_max``/``per_conn_max``/
+    ``read_deadline_s``) and the manifest must set ``wall: true`` since
+    real sockets do not run on a virtual clock.
     ``policy`` holds raw :class:`~repro.bindings.policy.InvocationPolicy`
     kwargs; ``jitter`` defaults to 0.0 here (not the library default) so the
     retry schedule never consults an unseeded RNG.
@@ -239,6 +251,9 @@ class WorkloadSpec:
     ops: tuple[OpSpec, ...] = ()
     resilient: bool = False
     policy: Mapping[str, Any] | None = None
+    concurrency: int = 16
+    server: Mapping[str, Any] | None = None
+    call_timeout_s: float = 5.0
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "WorkloadSpec":
@@ -246,19 +261,34 @@ class WorkloadSpec:
             data,
             "workload",
             ("service", "from_nodes"),
-            ("calls_per_tick", "mode", "ops", "resilient", "policy"),
+            (
+                "calls_per_tick",
+                "mode",
+                "ops",
+                "resilient",
+                "policy",
+                "concurrency",
+                "server",
+                "call_timeout_s",
+            ),
         )
         mode = data.get("mode", "rpc")
-        if mode not in ("rpc", "lookup"):
+        if mode not in ("rpc", "lookup", "reactor"):
             raise ScenarioError(f"workload: unknown mode {mode!r}")
         ops = tuple(OpSpec.from_dict(op) for op in data.get("ops", ()))
-        if mode == "rpc" and not ops:
-            raise ScenarioError("workload: rpc mode needs at least one op")
+        if mode in ("rpc", "reactor") and not ops:
+            raise ScenarioError(f"workload: {mode} mode needs at least one op")
         policy = data.get("policy")
         if policy is not None:
             _strict(policy, "workload policy", (), tuple(_POLICY_KEYS))
             policy = dict(policy)
             policy.setdefault("jitter", 0.0)  # keep retry schedules seeded-deterministic
+        server = data.get("server")
+        if server is not None:
+            if mode != "reactor":
+                raise ScenarioError("workload: 'server' knobs need mode='reactor'")
+            _strict(server, "workload server", (), tuple(_SERVER_KEYS))
+            server = dict(server)
         spec = cls(
             service=str(data["service"]),
             from_nodes=tuple(str(n) for n in data["from_nodes"]),
@@ -267,11 +297,18 @@ class WorkloadSpec:
             ops=ops,
             resilient=bool(data.get("resilient", False)),
             policy=policy,
+            concurrency=int(data.get("concurrency", 16)),
+            server=server,
+            call_timeout_s=float(data.get("call_timeout_s", 5.0)),
         )
         if not spec.from_nodes:
             raise ScenarioError("workload: from_nodes must not be empty")
         if spec.calls_per_tick < 1:
             raise ScenarioError("workload: calls_per_tick must be >= 1")
+        if spec.concurrency < 1:
+            raise ScenarioError("workload: concurrency must be >= 1")
+        if spec.call_timeout_s <= 0:
+            raise ScenarioError("workload: call_timeout_s must be positive")
         return spec
 
 
@@ -324,6 +361,10 @@ class ScenarioManifest:
     description: str = ""
     claim: str = ""
     seed: int = 0
+    #: run on the real clock with real sockets — such scenarios are
+    #: *not* byte-identical across runs, so the soak harness skips the
+    #: determinism re-run for them (see library.run_all)
+    wall: bool = False
     duration_s: float = 10.0
     tick_s: float = 0.5
     settle_ticks: int = 0
@@ -357,6 +398,7 @@ def parse_manifest(data: Mapping) -> ScenarioManifest:
             "description",
             "claim",
             "seed",
+            "wall",
             "duration_s",
             "tick_s",
             "settle_ticks",
@@ -374,6 +416,7 @@ def parse_manifest(data: Mapping) -> ScenarioManifest:
         description=str(data.get("description", "")),
         claim=str(data.get("claim", "")),
         seed=int(data.get("seed", 0)),
+        wall=bool(data.get("wall", False)),
         duration_s=float(data.get("duration_s", 10.0)),
         tick_s=float(data.get("tick_s", 0.5)),
         settle_ticks=int(data.get("settle_ticks", 0)),
@@ -394,6 +437,14 @@ def parse_manifest(data: Mapping) -> ScenarioManifest:
     )
     if manifest.duration_s <= 0 or manifest.tick_s <= 0:
         raise ScenarioError("duration_s and tick_s must be positive")
+    if (
+        manifest.workload is not None
+        and manifest.workload.mode == "reactor"
+        and not manifest.wall
+    ):
+        raise ScenarioError(
+            "workload mode 'reactor' drives real sockets; set \"wall\": true"
+        )
     if manifest.settle_ticks < 0:
         raise ScenarioError("settle_ticks must be >= 0")
     for fault in manifest.faults:

@@ -37,7 +37,7 @@ from repro.scenario.checks import CheckContext, run_checks
 from repro.scenario.events import EventLog, scrub
 from repro.scenario.faults import apply_fault
 from repro.scenario.manifest import ScenarioManifest, load_manifest
-from repro.scenario.workload import WorkloadDriver, WorkloadStats
+from repro.scenario.workload import ReactorWorkloadDriver, WorkloadDriver, WorkloadStats
 from repro.util.clock import VirtualClock, WallClock
 from repro.util.errors import ScenarioError
 from repro.util.events import EventBus
@@ -91,6 +91,9 @@ class ScenarioRuntime:
         self.manifest = manifest
         self.virtual = not wall
         self.clock = VirtualClock() if self.virtual else WallClock()
+        # set by ReactorWorkloadDriver when workload.mode == "reactor"; the
+        # reactor_capacity fault action reconfigures it mid-run
+        self.reactor_admission = None
         self.network = _build_network(manifest)
         self.events = EventBus()
         self.log = EventLog(self.clock)
@@ -214,6 +217,9 @@ def run_scenario(
         manifest = load_manifest(manifest)
     if seed is not None:
         manifest = manifest.with_seed(seed)
+    # a manifest can demand the real clock (reactor workloads drive real
+    # sockets; their latencies are wall time whatever the caller asked for)
+    wall = wall or manifest.wall
     started = time.monotonic()
     runtime = ScenarioRuntime(manifest, wall=wall)
     tick = manifest.tick_s
@@ -259,7 +265,12 @@ def run_scenario(
             source="scenario",
         )
         if manifest.workload is not None:
-            driver = WorkloadDriver(
+            driver_cls = (
+                ReactorWorkloadDriver
+                if manifest.workload.mode == "reactor"
+                else WorkloadDriver
+            )
+            driver = driver_cls(
                 runtime, manifest.workload, random.Random(f"{manifest.seed}:workload")
             )
 

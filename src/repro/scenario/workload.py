@@ -23,6 +23,7 @@ is expressed as a bound on per-call simulated latency (``max_call_s``).
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 
 from repro.bindings.policy import InvocationPolicy
@@ -30,7 +31,7 @@ from repro.bindings.resilient import ResilientStub
 from repro.scenario.manifest import OpSpec, WorkloadSpec
 from repro.util.errors import HarnessError
 
-__all__ = ["CallRecord", "WorkloadStats", "WorkloadDriver"]
+__all__ = ["CallRecord", "WorkloadStats", "WorkloadDriver", "ReactorWorkloadDriver"]
 
 #: special op name: perform a DVM namespace lookup instead of an invocation
 LOOKUP_OP = "__lookup__"
@@ -236,3 +237,124 @@ class WorkloadDriver:
     def close(self) -> None:
         for node in list(self._stubs):
             self._drop_stub(node)
+
+
+class ReactorWorkloadDriver:
+    """``mode="reactor"``: real sockets against a real reactor listener.
+
+    Unlike :class:`WorkloadDriver` this bypasses the simulated fabric: the
+    manifest's services are instantiated into a fresh dispatcher behind a
+    :class:`~repro.transport.tcp.TcpListener` running the event-loop core
+    with the manifest's ``server`` capacity knobs, and every tick fires
+    ``calls_per_tick`` blocking calls from up to ``concurrency`` caller
+    threads over one multiplexed transport.  Shed requests surface as
+    :class:`~repro.util.errors.ServerBusyError` — a *typed* failure, so
+    the stock checkers (``typed_faults_only``, ``slo_burn_under``,
+    ``p99_under``) evaluate real admission-control behaviour.
+
+    The listener's admission controller is published as
+    ``runtime.reactor_admission`` so the ``reactor_capacity`` fault action
+    can squeeze or widen capacity mid-run.  Wall clock only: latencies are
+    real, so records — and the events they feed — are not byte-identical
+    across runs (the manifest must say ``wall: true``).
+    """
+
+    def __init__(self, runtime, spec: WorkloadSpec, rng: random.Random):
+        from repro.bindings.dispatcher import ObjectDispatcher
+        from repro.bindings.server import BindingServer
+        from repro.bindings.stubs import TransportStub, load_type
+        from repro.encoding.registry import default_registry
+        from repro.transport.tcp import TcpTransport
+
+        self._runtime = runtime
+        self._spec = spec
+        self._rng = rng
+        dispatcher = ObjectDispatcher()
+        for service in runtime.manifest.services:
+            dispatcher.register(service.name, load_type(service.type)())
+        self._server = BindingServer(dispatcher)
+        self._listener = self._server.expose_xdr_tcp(**dict(spec.server or {}))
+        runtime.reactor_admission = self._listener.admission
+        operations = tuple(dict.fromkeys(op.op for op in spec.ops))
+        self._stub = TransportStub(
+            operations,
+            spec.service,
+            default_registry.get("application/x-xdr"),
+            TcpTransport(self._listener.url, pool_size=1),
+            "xdr",
+            timeout=spec.call_timeout_s,
+        )
+        self._cumulative: list[tuple[float, OpSpec]] = []
+        total = 0.0
+        for op in spec.ops:
+            total += op.weight
+            self._cumulative.append((total, op))
+        self._total_weight = total
+        self.stats = WorkloadStats()
+
+    def _choose_op(self) -> OpSpec:
+        point = self._rng.random() * self._total_weight
+        for bound, op in self._cumulative:
+            if point < bound:
+                return op
+        return self._cumulative[-1][1]
+
+    def step(self) -> dict:
+        """Fire this tick's burst concurrently; returns the tick summary."""
+        clock = self._runtime.clock
+        # ops are drawn up front from the seeded RNG (the *sequence* stays
+        # deterministic; only outcomes and latencies are wall-dependent)
+        ops = [self._choose_op() for _ in range(self._spec.calls_per_tick)]
+        records: list[CallRecord | None] = [None] * len(ops)
+        gate = threading.Semaphore(self._spec.concurrency)
+
+        def call(index: int, op: OpSpec) -> None:
+            start = clock.now()
+            error: str | None = None
+            typed = True
+            ok = False
+            try:
+                self._stub.invoke(op.op, *op.args)
+                ok = True
+            except HarnessError as exc:
+                error = type(exc).__name__
+            except Exception as exc:  # untyped escape: a defect checkers flag
+                error = type(exc).__name__
+                typed = False
+            finally:
+                gate.release()
+            records[index] = CallRecord(
+                op=op.op,
+                t=round(start, 9),
+                ok=ok,
+                error=error,
+                typed=typed,
+                latency_s=round(clock.now() - start, 9),
+            )
+
+        threads = []
+        for index, op in enumerate(ops):
+            gate.acquire()
+            thread = threading.Thread(target=call, args=(index, op), daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        issued = ok = 0
+        errors: dict[str, int] = {}
+        for record in records:
+            assert record is not None  # every thread joined
+            self.stats.add(record)
+            issued += 1
+            if record.ok:
+                ok += 1
+            elif record.error:
+                errors[record.error] = errors.get(record.error, 0) + 1
+        return {"issued": issued, "ok": ok, "errors": dict(sorted(errors.items()))}
+
+    def close(self) -> None:
+        try:
+            self._stub.close()
+        except Exception:
+            pass
+        self._server.close()

@@ -1,0 +1,631 @@
+"""Event-loop transport core: a selectors reactor with admission control.
+
+The thread-per-connection servers (``socketserver.ThreadingTCPServer`` for
+XDR/TCP, ``ThreadingHTTPServer`` for SOAP/HTTP) tie the number of open
+sockets to the number of live threads, which caps a kernel at a few dozen
+concurrent clients before thread churn and GIL convoy dominate.  HARNESS
+II's DVM is meant to serve *many* clients per kernel — the TCP v2
+correlation-id protocol was designed so one socket can carry thousands of
+in-flight calls — so the server side here decouples the two:
+
+* one **reactor thread** per listener multiplexes every socket through a
+  ``selectors`` loop: non-blocking accept, incremental message
+  reassembly (each protocol supplies a parser that exposes the *next
+  buffer to fill*, keeping the zero-copy ``recv_into`` path), and
+  non-blocking response writes drained from a per-connection outbox;
+* a fixed **worker pool** runs decode → dispatch → encode, so slow or
+  blocking service operations never stall socket handling, and socket
+  count no longer adds threads;
+* an **admission controller** in between decides, *before* a request is
+  queued, whether the server has capacity: a global in-flight cap
+  (``workers + queue_max``) and a per-principal cap (per-connection until
+  the auth layer lands).  Requests over either limit are answered with an
+  immediate, typed *server busy* reply built by the protocol — load is
+  shed at the door instead of queueing unboundedly.
+
+A connection slot is held until the response has been fully flushed to
+the kernel, so a client that stops reading its replies exerts
+backpressure on itself rather than growing the outbox without bound.
+
+Half-written messages carry a **read deadline** (``read_deadline_s``,
+env ``REPRO_SERVER_READ_DEADLINE_S``): a peer that sends half a header
+and stalls — the slow-loris shape — is disconnected when the deadline
+passes, mirroring the client side's ``pending_max_s`` sweep.
+
+Everything here is protocol-agnostic; :mod:`repro.transport.tcp` and
+:mod:`repro.transport.http` supply parser/job classes (see
+:class:`MessageParser` and :class:`Job`) and keep their wire formats.
+DESIGN.md §13 has the policy table and the shed fault contract.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionToken",
+    "Job",
+    "MessageParser",
+    "ReactorServer",
+    "DEFAULT_QUEUE_MAX",
+    "DEFAULT_PER_CONN_MAX",
+    "DEFAULT_READ_DEADLINE_S",
+    "DEFAULT_MAX_MESSAGE",
+]
+
+
+def _env_int(name: str, default: int, floor: int = 0) -> int:
+    try:
+        return max(floor, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float, floor: float = 0.0) -> float:
+    try:
+        return max(floor, float(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+#: Requests that may wait for a worker beyond the pool's own width.  The
+#: global in-flight cap is ``workers + queue_max``.
+DEFAULT_QUEUE_MAX = _env_int("REPRO_SERVER_QUEUE_MAX", 1024)
+
+#: In-flight requests one connection (= one principal, pre-auth) may hold.
+DEFAULT_PER_CONN_MAX = _env_int("REPRO_SERVER_PER_CONN_MAX", 256, floor=1)
+
+#: Budget for completing a started message before the peer is dropped.
+DEFAULT_READ_DEADLINE_S = _env_float("REPRO_SERVER_READ_DEADLINE_S", 30.0)
+
+#: Largest single message a connection may announce (64 MiB).
+DEFAULT_MAX_MESSAGE = 64 * 1024 * 1024
+
+#: Bytes read from one connection per loop pass before yielding to others.
+_READ_QUANTUM = 256 * 1024
+
+# Admission/reactor accounting (process-wide; DESIGN.md §13 names them).
+_CONNS = _metrics.registry.gauge("server.reactor.conns")
+_ACCEPTS = _metrics.registry.counter("server.reactor.accepts")
+_INFLIGHT = _metrics.registry.gauge("server.reactor.inflight")
+_QUEUE_DEPTH = _metrics.registry.gauge("server.reactor.queue_depth")
+_ADMITTED = _metrics.registry.counter("server.reactor.admitted")
+_SHED = _metrics.registry.counter("server.reactor.shed")
+_SHED_CONN = _metrics.registry.counter("server.reactor.shed_per_conn")
+_DEADLINE_CLOSES = _metrics.registry.counter("server.reactor.deadline_closes")
+_LOOP_ERRORS = _metrics.registry.counter("server.reactor.loop_errors")
+
+
+class AdmissionToken:
+    """One admitted request's claim on server capacity.
+
+    Released exactly once — when its response is fully flushed, when its
+    connection dies first, or when the server shuts down — whichever
+    happens first (``release`` is idempotent).
+    """
+
+    __slots__ = ("_controller", "_key", "_released")
+
+    def __init__(self, controller: "AdmissionController", key: int):
+        self._controller = controller
+        self._key = key
+        self._released = False
+
+    def release(self) -> None:
+        self._controller._release(self)
+
+
+class AdmissionController:
+    """Capacity gatekeeper: global in-flight cap + per-principal caps.
+
+    ``workers + queue_max`` bounds everything admitted but not yet fully
+    answered (executing, waiting for a worker, or flushing), which in turn
+    bounds the worker pool's internal queue — the unbounded
+    ``ThreadPoolExecutor`` queue is never reachable past this gate.
+    ``per_conn_max`` keeps one principal from occupying the whole server.
+    Caps are adjustable at runtime (:meth:`configure`) so operators — and
+    chaos scenarios — can squeeze or widen capacity live.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        queue_max: int | None = None,
+        per_conn_max: int | None = None,
+    ):
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        # env knobs are re-read per construction so deployments (and tests)
+        # can retune without reimporting; the module constants are defaults
+        self.workers = max(1, workers)
+        self.queue_max = (
+            _env_int("REPRO_SERVER_QUEUE_MAX", DEFAULT_QUEUE_MAX)
+            if queue_max is None else max(0, queue_max)
+        )
+        self.per_conn_max = (
+            _env_int("REPRO_SERVER_PER_CONN_MAX", DEFAULT_PER_CONN_MAX, floor=1)
+            if per_conn_max is None else max(1, per_conn_max)
+        )
+        self._inflight = 0
+        self._per_key: dict[int, int] = {}
+        self._closing = False
+
+    @property
+    def max_inflight(self) -> int:
+        return self.workers + self.queue_max
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def configure(
+        self, queue_max: int | None = None, per_conn_max: int | None = None
+    ) -> None:
+        """Adjust caps live; in-flight work is never revoked, only new
+        admissions see the tightened (or widened) limits."""
+        with self._lock:
+            if queue_max is not None:
+                self.queue_max = max(0, int(queue_max))
+            if per_conn_max is not None:
+                self.per_conn_max = max(1, int(per_conn_max))
+
+    def try_admit(self, key: int) -> AdmissionToken | None:
+        """Claim capacity for principal *key*; ``None`` means shed."""
+        with self._lock:
+            if self._closing or self._inflight >= self.max_inflight:
+                _SHED.inc()
+                return None
+            held = self._per_key.get(key, 0)
+            if held >= self.per_conn_max:
+                _SHED.inc()
+                _SHED_CONN.inc()
+                return None
+            self._inflight += 1
+            self._per_key[key] = held + 1
+            _ADMITTED.inc()
+            _INFLIGHT.set(self._inflight)
+            _QUEUE_DEPTH.set(max(0, self._inflight - self.workers))
+            return AdmissionToken(self, key)
+
+    def _release(self, token: AdmissionToken) -> None:
+        with self._lock:
+            if token._released:
+                return
+            token._released = True
+            self._inflight -= 1
+            held = self._per_key.get(token._key, 0) - 1
+            if held <= 0:
+                self._per_key.pop(token._key, None)
+            else:
+                self._per_key[token._key] = held
+            _INFLIGHT.set(self._inflight)
+            _QUEUE_DEPTH.set(max(0, self._inflight - self.workers))
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def start_closing(self) -> None:
+        """Refuse all further admissions (drain mode)."""
+        with self._lock:
+            self._closing = True
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until nothing is in flight (or *timeout*); True when idle."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+
+class Job:
+    """One fully reassembled request, ready for the worker pool.
+
+    Protocol modules subclass this; the reactor only relies on:
+
+    ``run(app_handler) -> buffers``
+        Decode, dispatch, encode — executed on a worker thread; returns
+        the response as a sequence of bytes-like buffers to write.
+    ``busy_reply() -> buffers``
+        The immediate typed *server busy* answer — built on the reactor
+        thread when admission says shed, so it must be allocation-cheap.
+    ``close_after``
+        True when the connection must close once the reply is flushed
+        (e.g. HTTP ``Connection: close``).
+    """
+
+    __slots__ = ()
+
+    close_after = False
+
+    def run(self, app_handler):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def busy_reply(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MessageParser:
+    """Incremental reassembly driven by the reactor's recv loop.
+
+    The reactor asks ``next_buffer()`` for the memoryview to ``recv_into``
+    next, reports how many bytes landed via ``advance(n)``, and collects
+    the :class:`Job` objects that completed.  ``mid_message`` is True
+    while a partially received message is buffered — the hook for the
+    read-deadline sweep.
+    """
+
+    __slots__ = ()
+
+    mid_message = False
+
+    def next_buffer(self) -> memoryview:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def advance(self, n: int) -> list[Job]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _Connection:
+    """Reactor-side state for one accepted socket (reactor thread only)."""
+
+    __slots__ = (
+        "sock", "fd", "key", "parser", "outbox", "deadline", "interest", "closed",
+        "close_when_flushed",
+    )
+
+    def __init__(self, sock: socket.socket, parser: MessageParser, key: int):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.key = key  # admission principal id; never reused, unlike fds
+        self.parser = parser
+        # entries: [buffers(list of memoryview), index, token|None, close_after]
+        self.outbox: deque = deque()
+        self.deadline: float | None = None
+        self.interest = selectors.EVENT_READ
+        self.closed = False
+        self.close_when_flushed = False
+
+
+class ReactorServer:
+    """One listening socket + one reactor thread + one worker pool.
+
+    *parser_factory* is called per accepted connection and returns the
+    protocol's :class:`MessageParser`.  *app_handler* is the binding
+    server's request pipeline, invoked on worker threads only.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app_handler,
+        parser_factory,
+        workers: int = 32,
+        queue_max: int | None = None,
+        per_conn_max: int | None = None,
+        read_deadline_s: float | None = None,
+        name: str = "reactor",
+    ):
+        self.app_handler = app_handler
+        self._parser_factory = parser_factory
+        self.admission = AdmissionController(workers, queue_max, per_conn_max)
+        self.read_deadline_s = (
+            _env_float("REPRO_SERVER_READ_DEADLINE_S", DEFAULT_READ_DEADLINE_S)
+            if read_deadline_s is None else max(0.0, read_deadline_s)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"{name}-worker"
+        )
+        self._selector = selectors.DefaultSelector()
+        self._listen = socket.create_server(address, backlog=1024, reuse_port=False)
+        self._listen.setblocking(False)
+        self.address = self._listen.getsockname()[:2]
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._conns: dict[int, _Connection] = {}
+        self._next_key = 0
+        self._completions: deque = deque()  # (conn, buffers|None, token|None, close_after)
+        self._running = True
+        self._accepting = True
+        self._lock = threading.Lock()  # guards _running/_accepting transitions
+        self._selector.register(self._listen, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._thread = threading.Thread(
+            target=self._loop, name=f"{name}-loop", daemon=True
+        )
+        self._thread.start()
+
+    # -- cross-thread entry points ---------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # a wakeup is already pending (or we are shutting down)
+
+    def _complete(self, conn: _Connection, buffers, token, close_after: bool) -> None:
+        """Hand a finished response to the reactor thread for writing."""
+        self._completions.append((conn, buffers, token, close_after))
+        self._wake()
+
+    def close(self, drain_s: float = 1.0) -> None:
+        """Stop accepting, drain in-flight requests, then tear down.
+
+        ``drain_s=0`` aborts: in-flight requests lose their connections.
+        Either way every socket is closed and both threads stop.
+        """
+        with self._lock:
+            if not self._running:
+                return
+            self._accepting = False
+        self.admission.start_closing()
+        self._wake()  # reactor deregisters the listen socket
+        if drain_s > 0:
+            self.admission.wait_idle(drain_s)
+        with self._lock:
+            self._running = False
+        self._wake()
+        self._thread.join(timeout=5.0)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- the loop --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        next_sweep = time.monotonic() + 0.1
+        try:
+            while True:
+                with self._lock:
+                    if not self._running:
+                        break
+                    accepting = self._accepting
+                if not accepting and self._listen.fileno() >= 0:
+                    try:
+                        self._selector.unregister(self._listen)
+                    except KeyError:
+                        pass
+                    self._listen.close()
+                try:
+                    events = self._selector.select(timeout=0.1)
+                except OSError:
+                    events = []
+                for key, mask in events:
+                    what = key.data
+                    try:
+                        if what == "accept":
+                            self._accept()
+                        elif what == "wake":
+                            self._drain_wake()
+                        else:
+                            if mask & selectors.EVENT_WRITE:
+                                self._writable(what)
+                            if mask & selectors.EVENT_READ and not what.closed:
+                                self._readable(what)
+                    except Exception:
+                        _LOOP_ERRORS.inc()
+                        if isinstance(what, _Connection):
+                            self._close_conn(what)
+                self._drain_completions()
+                now = time.monotonic()
+                if now >= next_sweep:
+                    next_sweep = now + 0.1
+                    self._sweep_deadlines(now)
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        self._drain_completions()  # releases tokens of late finishers
+        self._selector.close()
+        for sock in (self._listen, self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # not a TCP socket (tests use socketpairs)
+            self._next_key += 1
+            conn = _Connection(sock, self._parser_factory(), self._next_key)
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            _ACCEPTS.inc()
+            _CONNS.set(len(self._conns))
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _readable(self, conn: _Connection) -> None:
+        budget = _READ_QUANTUM
+        while budget > 0 and not conn.closed:
+            try:
+                view = conn.parser.next_buffer()
+            except Exception:
+                _LOOP_ERRORS.inc()
+                self._close_conn(conn)
+                return
+            try:
+                n = conn.sock.recv_into(view, len(view))
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if n == 0:
+                self._close_conn(conn)
+                return
+            budget -= n
+            was_mid = conn.parser.mid_message
+            try:
+                jobs = conn.parser.advance(n)
+            except Exception:
+                # framing violation (oversize, corrupt): the stream can no
+                # longer be trusted, so the connection dies
+                _LOOP_ERRORS.inc()
+                self._close_conn(conn)
+                return
+            for job in jobs:
+                self._dispatch(conn, job)
+            # read-deadline bookkeeping: a message in progress gets one
+            # fixed completion budget from its first byte — progress does
+            # not extend it, which is what defeats drip-feeding
+            if conn.parser.mid_message:
+                if not was_mid or conn.deadline is None:
+                    if self.read_deadline_s > 0:
+                        conn.deadline = time.monotonic() + self.read_deadline_s
+            else:
+                conn.deadline = None
+
+    def _dispatch(self, conn: _Connection, job: Job) -> None:
+        token = self.admission.try_admit(conn.key)
+        if token is None:
+            self._enqueue(conn, job.busy_reply(), None, job.close_after)
+            return
+
+        def work() -> None:
+            try:
+                buffers = job.run(self.app_handler)
+            except Exception:
+                buffers = None  # protocol.run already fault-maps; belt+braces
+            self._complete(conn, buffers, token, job.close_after)
+
+        try:
+            self._executor.submit(work)
+        except RuntimeError:  # pool shut down mid-flight
+            token.release()
+            self._enqueue(conn, job.busy_reply(), None, True)
+
+    # -- writes ----------------------------------------------------------------
+
+    def _enqueue(self, conn: _Connection, buffers, token, close_after: bool) -> None:
+        """Queue a response on *conn* and flush as much as possible now."""
+        if conn.closed:
+            if token is not None:
+                token.release()
+            return
+        views = []
+        for buf in buffers:
+            if len(buf):
+                view = memoryview(buf)
+                if not view.c_contiguous:  # e.g. a reversed slice
+                    view = memoryview(bytes(view))
+                views.append(view)
+        conn.outbox.append([views, 0, token, close_after])
+        self._flush(conn)
+
+    def _drain_completions(self) -> None:
+        while True:
+            try:
+                conn, buffers, token, close_after = self._completions.popleft()
+            except IndexError:
+                return
+            if conn.closed or buffers is None:
+                if token is not None:
+                    token.release()
+                continue
+            self._enqueue(conn, buffers, token, close_after)
+
+    def _writable(self, conn: _Connection) -> None:
+        self._flush(conn)
+
+    def _flush(self, conn: _Connection) -> None:
+        while conn.outbox:
+            entry = conn.outbox[0]
+            views, index, token, close_after = entry
+            progressed = False
+            while index < len(views):
+                view = views[index]
+                try:
+                    sent = conn.sock.send(view)
+                except (BlockingIOError, InterruptedError):
+                    entry[1] = index
+                    self._want_write(conn, True)
+                    return
+                except OSError:
+                    self._close_conn(conn)
+                    return
+                progressed = True
+                if sent < len(view):
+                    views[index] = view[sent:]
+                    entry[1] = index
+                    self._want_write(conn, True)
+                    return
+                index += 1
+            # entry fully on the wire: the request's capacity claim ends here
+            conn.outbox.popleft()
+            if token is not None:
+                token.release()
+            if close_after:
+                self._close_conn(conn)
+                return
+            if not progressed:  # empty response (defensive)
+                continue
+        self._want_write(conn, False)
+        if conn.close_when_flushed:
+            self._close_conn(conn)
+
+    def _want_write(self, conn: _Connection, want: bool) -> None:
+        interest = selectors.EVENT_READ | (selectors.EVENT_WRITE if want else 0)
+        if interest != conn.interest and not conn.closed:
+            conn.interest = interest
+            try:
+                self._selector.modify(conn.sock, interest, conn)
+            except (KeyError, ValueError, OSError):
+                pass
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _sweep_deadlines(self, now: float) -> None:
+        expired = [
+            conn for conn in self._conns.values()
+            if conn.deadline is not None and conn.deadline <= now
+        ]
+        for conn in expired:
+            _DEADLINE_CLOSES.inc()
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.pop(conn.fd, None)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        # responses that never made the wire still free their capacity
+        while conn.outbox:
+            _views, _index, token, _close = conn.outbox.popleft()
+            if token is not None:
+                token.release()
+        _CONNS.set(len(self._conns))

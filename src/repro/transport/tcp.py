@@ -52,8 +52,14 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.transport import reactor as _reactor
 from repro.transport.base import RequestHandler, TransportMessage, parse_url
-from repro.util.errors import HarnessTimeoutError, TransportClosedError, TransportError
+from repro.util.errors import (
+    HarnessTimeoutError,
+    ServerBusyError,
+    TransportClosedError,
+    TransportError,
+)
 
 __all__ = [
     "TcpListener",
@@ -61,6 +67,9 @@ __all__ = [
     "DEFAULT_POOL_SIZE",
     "DEFAULT_PENDING_MAX_S",
     "PROTOCOL_VERSION",
+    "STATUS_OK",
+    "STATUS_FAULT",
+    "STATUS_BUSY",
 ]
 
 PROTOCOL_VERSION = 2
@@ -71,6 +80,11 @@ _MIN_BODY = _META.size + 1      # meta + status byte, empty content type
 
 STATUS_OK = 0
 STATUS_FAULT = 1
+#: The request was shed at admission (DESIGN.md §13): the server answered
+#: immediately instead of queueing.  Clients surface this as
+#: :class:`~repro.util.errors.ServerBusyError`; pre-reactor peers never
+#: send it, so plain v2 decoders are unaffected.
+STATUS_BUSY = 2
 
 #: Status-byte flag marking a frame that carries a trace block between the
 #: status byte and the payload (uint16 BE block length, then the block —
@@ -214,18 +228,25 @@ def _read_frame(sock: socket.socket) -> tuple[int, TransportMessage, int, bytes 
 
 # -- server side --------------------------------------------------------------
 
+#: Payload of a STATUS_BUSY frame; clients raise it as ServerBusyError.
+_BUSY_PAYLOAD = b"server at capacity: request shed at admission"
 
-def _respond(server: "_Server", sock: socket.socket, wlock: threading.Lock,
-             corr_id: int, message: TransportMessage, trace: bytes | None = None) -> None:
+
+def _handle_to_frame(
+    app_handler, corr_id: int, message: TransportMessage, trace: bytes | None
+):
+    """Run the request pipeline and encode the response frame buffers.
+
+    Shared by both server cores (reactor workers and thread-per-connection
+    handlers).  The trace block is stashed un-parsed: it is decoded only if
+    the service reads its context (or when the server span finalizes on the
+    finisher thread), and a mangled block materializes as "no context".
+    """
     token = None
     if _trace.ENABLED and trace is not None:
-        # stash the block un-parsed: it is decoded only if the service
-        # reads its context (or when the server span finalizes on the
-        # finisher thread), and a mangled block materializes as "no
-        # context" then
         token = _trace.activate_wire(trace, _trace.from_bytes)
     try:
-        response = server.app_handler(message)
+        response = app_handler(message)
         status = STATUS_OK
     except Exception as exc:  # deliver faults instead of dropping the socket
         response = TransportMessage("text/plain", str(exc).encode("utf-8"))
@@ -233,25 +254,108 @@ def _respond(server: "_Server", sock: socket.socket, wlock: threading.Lock,
     finally:
         if token is not None:
             _trace.deactivate(token)
-    try:
-        with wlock:
-            _write_frame(sock, corr_id, response, status)
-    except (ConnectionError, OSError):
-        pass
+    payload = response.payload
+    prefix = _frame_prefix(corr_id, response.content_type, status, len(payload))
+    return (prefix, payload)
 
 
-class _Handler(socketserver.BaseRequestHandler):
+class _FrameJob(_reactor.Job):
+    """One reassembled v2 frame awaiting decode/dispatch on the pool."""
+
+    __slots__ = ("corr_id", "message", "trace")
+
+    def __init__(self, corr_id: int, message: TransportMessage, trace: bytes | None):
+        self.corr_id = corr_id
+        self.message = message
+        self.trace = trace
+
+    def run(self, app_handler):
+        return _handle_to_frame(app_handler, self.corr_id, self.message, self.trace)
+
+    def busy_reply(self):
+        return (
+            _frame_prefix(self.corr_id, "text/plain", STATUS_BUSY, len(_BUSY_PAYLOAD)),
+            _BUSY_PAYLOAD,
+        )
+
+
+class _FrameParser(_reactor.MessageParser):
+    """Incremental v2 frame reassembly for the reactor's recv loop.
+
+    Keeps the zero-copy discipline of the threaded path: the 4-byte header
+    lands in a reused buffer, each body gets one preallocated ``bytearray``
+    that ``recv_into`` fills across however many passes the kernel needs,
+    and the payload reaches codecs as a ``memoryview`` of that buffer.
+    """
+
+    __slots__ = ("_hdr", "_got", "_body", "_need", "_max")
+
+    def __init__(self, max_message: int = _reactor.DEFAULT_MAX_MESSAGE):
+        self._hdr = bytearray(_HEADER.size)
+        self._got = 0
+        self._body: bytearray | None = None
+        self._need = 0
+        self._max = max_message
+
+    @property
+    def mid_message(self) -> bool:
+        return self._got > 0 or self._body is not None
+
+    def next_buffer(self) -> memoryview:
+        if self._body is None:
+            return memoryview(self._hdr)[self._got:]
+        return memoryview(self._body)[self._got:]
+
+    def advance(self, n: int) -> list:
+        self._got += n
+        jobs: list[_FrameJob] = []
+        while True:
+            if self._body is None:
+                if self._got < _HEADER.size:
+                    return jobs
+                (length,) = _HEADER.unpack(self._hdr)
+                if length < _MIN_BODY:
+                    raise TransportError(f"short frame: {length} bytes")
+                if length > self._max:
+                    raise TransportError(
+                        f"frame of {length} bytes exceeds the {self._max} byte cap"
+                    )
+                self._body = bytearray(length)
+                self._need = length
+                self._got = 0
+                return jobs  # next recv fills the body buffer
+            if self._got < self._need:
+                return jobs
+            corr_id, message, _status, trace = _parse_body(memoryview(self._body))
+            jobs.append(_FrameJob(corr_id, message, trace))
+            self._body = None
+            self._got = 0
+            return jobs
+
+
+class _BoundedHandler(socketserver.BaseRequestHandler):
+    """Thread-per-connection handler (the pre-reactor A/B baseline)."""
+
     def handle(self) -> None:  # one connection, many (possibly pipelined) frames
-        server: "_Server" = self.server  # type: ignore[assignment]
+        server: "_ThreadedServer" = self.server  # type: ignore[assignment]
         sock: socket.socket = self.request
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         wlock = threading.Lock()  # response frames must not interleave
         busy = [0]  # requests currently executing on the worker pool
+        conn_key = id(self)
 
-        def offloaded(corr_id: int, message: TransportMessage, trace: bytes | None) -> None:
+        def write(buffers) -> None:
             try:
-                _respond(server, sock, wlock, corr_id, message, trace)
+                with wlock:
+                    _send_buffers(sock, buffers)
+            except (ConnectionError, OSError):
+                pass
+
+        def offloaded(corr_id, message, trace, token) -> None:
+            try:
+                write(_handle_to_frame(server.app_handler, corr_id, message, trace))
             finally:
+                token.release()
                 with wlock:
                     busy[0] -= 1
 
@@ -268,26 +372,51 @@ class _Handler(socketserver.BaseRequestHandler):
                 return
             with wlock:
                 inline = not more and not busy[0]
-                if not inline:
-                    busy[0] += 1
             if inline:
                 _SERVED_INLINE.inc()
-                _respond(server, sock, wlock, corr_id, message, trace)
-            else:
-                _SERVED_OFFLOADED.inc()
-                try:
-                    server.executor.submit(offloaded, corr_id, message, trace)
-                except RuntimeError:  # server shutting down
-                    return
+                write(_handle_to_frame(server.app_handler, corr_id, message, trace))
+                continue
+            # the offload queue is admission-gated: a flood answers typed
+            # busy frames instead of growing the executor queue unboundedly
+            token = server.admission.try_admit(conn_key)
+            if token is None:
+                write(
+                    (
+                        _frame_prefix(
+                            corr_id, "text/plain", STATUS_BUSY, len(_BUSY_PAYLOAD)
+                        ),
+                        _BUSY_PAYLOAD,
+                    )
+                )
+                continue
+            with wlock:
+                busy[0] += 1
+            _SERVED_OFFLOADED.inc()
+            try:
+                server.executor.submit(offloaded, corr_id, message, trace, token)
+            except RuntimeError:  # server shutting down
+                token.release()
+                return
 
 
-class _Server(socketserver.ThreadingTCPServer):
+class _ThreadedServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
+    # stock backlog is 5; hundreds of near-simultaneous dials (the C9 scale
+    # bench) would overflow it into SYN retries that skew every timing
+    request_queue_size = 128
 
-    def __init__(self, address, app_handler: RequestHandler, workers: int = 32):
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address,
+        app_handler: RequestHandler,
+        workers: int = 32,
+        queue_max: int | None = None,
+        per_conn_max: int | None = None,
+    ):
+        super().__init__(address, _BoundedHandler)
         self.app_handler = app_handler
+        self.admission = _reactor.AdmissionController(workers, queue_max, per_conn_max)
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="tcp-worker"
         )
@@ -297,24 +426,66 @@ class _Server(socketserver.ThreadingTCPServer):
         self.executor.shutdown(wait=False, cancel_futures=True)
 
 
+def _reactor_default() -> bool:
+    return os.environ.get("REPRO_SERVER_REACTOR", "1") not in ("0", "false", "no")
+
+
 class TcpListener:
     """A framed-TCP server endpoint; URL scheme ``tcp://host:port``.
 
-    ``workers`` bounds the shared pool that runs pipelined requests
-    concurrently (a lone request on a connection is served inline).
+    By default the listener runs on the event-loop core
+    (:mod:`repro.transport.reactor`): one reactor thread multiplexes every
+    socket, ``workers`` bounds the pool that runs decode/dispatch, and
+    admission control (``queue_max``, ``per_conn_max`` — env
+    ``REPRO_SERVER_QUEUE_MAX`` / ``REPRO_SERVER_PER_CONN_MAX``) sheds
+    over-capacity requests with typed busy frames.  ``read_deadline_s``
+    bounds how long a peer may take to finish a started frame (slow-loris
+    protection).  ``reactor=False`` (env ``REPRO_SERVER_REACTOR=0``)
+    restores the thread-per-connection server — kept as the A/B baseline
+    for ``benchmarks/bench_c9_concurrency.py`` — whose offload queue is
+    admission-gated by the same controller.
     """
 
-    def __init__(self, handler: RequestHandler, host: str = "127.0.0.1", port: int = 0,
-                 workers: int = 32):
-        self._server = _Server((host, port), handler, workers=workers)
-        self._host, self._port = self._server.server_address[:2]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            name=f"tcp-listener-{self._port}",
-            daemon=True,
-        )
-        self._thread.start()
+    def __init__(
+        self,
+        handler: RequestHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 32,
+        reactor: bool | None = None,
+        queue_max: int | None = None,
+        per_conn_max: int | None = None,
+        read_deadline_s: float | None = None,
+        drain_s: float = 1.0,
+    ):
+        self._drain_s = drain_s
+        self._reactor = _reactor_default() if reactor is None else reactor
+        if self._reactor:
+            self._server = _reactor.ReactorServer(
+                (host, port),
+                handler,
+                _FrameParser,
+                workers=workers,
+                queue_max=queue_max,
+                per_conn_max=per_conn_max,
+                read_deadline_s=read_deadline_s,
+                name="tcp-reactor",
+            )
+            self._host, self._port = self._server.address
+            self._thread = None
+        else:
+            self._server = _ThreadedServer(
+                (host, port), handler, workers=workers,
+                queue_max=queue_max, per_conn_max=per_conn_max,
+            )
+            self._host, self._port = self._server.server_address[:2]
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name=f"tcp-listener-{self._port}",
+                daemon=True,
+            )
+            self._thread.start()
 
     @property
     def url(self) -> str:
@@ -324,9 +495,17 @@ class TcpListener:
     def port(self) -> int:
         return self._port
 
+    @property
+    def admission(self) -> "_reactor.AdmissionController":
+        """The live admission controller (shared vocabulary across cores)."""
+        return self._server.admission
+
     def close(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
+        if self._reactor:
+            self._server.close(self._drain_s)
+        else:
+            self._server.shutdown()
+            self._server.server_close()
 
 
 # -- client side --------------------------------------------------------------
@@ -703,6 +882,11 @@ class TcpTransport:
                 response, status = self._pick().request(message, timeout)
         else:
             response, status = self._pick().request(message, timeout)
+        if status == STATUS_BUSY:
+            raise ServerBusyError(
+                f"{self._url} shed the request: "
+                f"{bytes(response.payload).decode('utf-8', 'replace')}"
+            )
         if status == STATUS_FAULT:
             raise TransportError(
                 f"remote fault from {self._url}: "

@@ -20,6 +20,7 @@ __all__ = [
     "SoapFaultError",
     "TransportError",
     "TransportClosedError",
+    "ServerBusyError",
     "BindingError",
     "NoBindingAvailableError",
     "CircuitOpenError",
@@ -77,6 +78,16 @@ class TransportError(HarnessError):
 
 class TransportClosedError(TransportError):
     """The transport endpoint was closed while a message was in flight."""
+
+
+class ServerBusyError(TransportError):
+    """The server shed this request at admission instead of queueing it.
+
+    The typed face of load shedding (DESIGN.md §13): a server past its
+    in-flight or per-principal capacity answers immediately with a *busy*
+    reply (a dedicated TCP v2 status byte, HTTP 503) rather than letting
+    the dispatch queue grow without bound.  Retrying after backoff is
+    safe — the request was never dispatched."""
 
 
 class BindingError(HarnessError):

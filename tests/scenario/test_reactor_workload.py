@@ -1,0 +1,135 @@
+"""Reactor-mode scenarios: real sockets, live admission control, typed shed.
+
+These run actual :class:`~repro.transport.reactor.ReactorServer` listeners
+under wall time, so assertions are about *shape* (typed faults, bounded
+counts, fault-script effect) rather than exact latency values.
+"""
+
+import pytest
+
+from repro.scenario import library
+from repro.scenario.faults import apply_fault
+from repro.scenario.manifest import parse_manifest
+from repro.scenario.runner import run_scenario
+from repro.util.errors import ScenarioError
+
+
+def reactor_manifest(**overrides) -> dict:
+    data = {
+        "name": "reactor-t",
+        "seed": 5,
+        "wall": True,
+        "duration_s": 1.0,
+        "tick_s": 0.5,
+        "topology": {"kind": "lan", "hosts": 1},
+        "services": [
+            {
+                "name": "probe",
+                "type": "repro.plugins.services:SaturationProbeService",
+                "node": "node0",
+            }
+        ],
+        "self_healing": {"enabled": False},
+        "workload": {
+            "service": "probe",
+            "from_nodes": ["node0"],
+            "mode": "reactor",
+            "calls_per_tick": 8,
+            "concurrency": 4,
+            "server": {"workers": 2, "queue_max": 4},
+            "ops": [{"op": "ping"}],
+        },
+        "checks": [{"check": "no_lost_calls"}, {"check": "typed_faults_only"}],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestManifestValidation:
+    def test_reactor_mode_requires_wall_clock(self):
+        data = reactor_manifest()
+        data.pop("wall")
+        with pytest.raises(ScenarioError, match='set "wall": true'):
+            parse_manifest(data)
+
+    def test_server_knobs_require_reactor_mode(self):
+        data = reactor_manifest()
+        data["workload"]["mode"] = "rpc"
+        with pytest.raises(ScenarioError, match="need mode='reactor'"):
+            parse_manifest(data)
+
+    def test_unknown_server_knob_rejected(self):
+        data = reactor_manifest()
+        data["workload"]["server"]["threads"] = 99
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            parse_manifest(data)
+
+    def test_reactor_mode_needs_ops(self):
+        data = reactor_manifest()
+        data["workload"]["ops"] = []
+        with pytest.raises(ScenarioError, match="at least one op"):
+            parse_manifest(data)
+
+
+class TestReactorCapacityFault:
+    def test_rejected_without_live_listener(self):
+        class NoReactor:
+            reactor_admission = None
+
+        with pytest.raises(ScenarioError, match="requires workload mode 'reactor'"):
+            apply_fault(NoReactor(), "reactor_capacity", {"queue_max": 0})
+
+    def test_needs_at_least_one_knob(self):
+        class WithAdmission:
+            reactor_admission = object()
+
+        with pytest.raises(ScenarioError, match="needs 'queue_max'"):
+            apply_fault(WithAdmission(), "reactor_capacity", {})
+
+    def test_reconfigures_live_controller(self):
+        calls = {}
+
+        class FakeAdmission:
+            def configure(self, **knobs):
+                calls.update(knobs)
+
+        class Runtime:
+            reactor_admission = FakeAdmission()
+
+        apply_fault(Runtime(), "reactor_capacity", {"queue_max": 3, "per_conn_max": 2})
+        assert calls == {"queue_max": 3, "per_conn_max": 2}
+
+
+class TestReactorScenarioRuns:
+    def test_uncontended_run_is_clean(self):
+        result = run_scenario(parse_manifest(reactor_manifest()))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        assert result.workload["issued"] == 16
+        assert result.workload["untyped_failures"] == 0
+
+    def test_saturation_manifest_sheds_typed_busy(self):
+        result = run_scenario(library.load_scenario("saturation-degradation"))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        # demand (32/tick) exceeds admission capacity (2 workers + 8 queue),
+        # so the run must actually exercise the shed path, not sail through
+        assert result.workload["errors"].get("ServerBusyError", 0) > 0
+        assert set(result.workload["errors"]) == {"ServerBusyError"}
+
+    def test_overload_manifest_squeezes_and_recovers(self):
+        result = run_scenario(library.load_scenario("reactor-overload"))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        assert result.workload["errors"].get("ServerBusyError", 0) > 0
+
+
+class TestWallManifestsInSoak:
+    def test_run_all_skips_determinism_rerun_for_wall(self):
+        results = library.run_all(["reactor-overload"], verify_determinism=True)
+        assert results[0].passed, [
+            c.detail for c in results[0].checks if not c.passed
+        ]
+        # no synthetic reproducible_events verdict: wall runs aren't re-run
+        assert all(c.check != "reproducible_events" for c in results[0].checks)
+
+    def test_verify_reproducible_refuses_wall_manifest(self):
+        with pytest.raises(ScenarioError, match="wall clock"):
+            library.verify_reproducible("saturation-degradation")

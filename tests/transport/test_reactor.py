@@ -1,0 +1,417 @@
+"""Reactor server core: admission control, load shedding, lifecycle.
+
+Covers the event-loop transport's contract beyond plain round-trips
+(those run in ``test_transports.py``, which exercises the reactor by
+default): typed ``ServerBusyError`` shedding under flood, per-connection
+caps, the slow-loris read deadline, drain-vs-abort shutdown, reconnect
+after restart, and fd hygiene under accept/close churn.
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.transport.base import TransportMessage
+from repro.transport.http import HttpListener, HttpTransport
+from repro.transport.tcp import TcpListener, TcpTransport
+from repro.util.errors import (
+    HarnessError,
+    HarnessTimeoutError,
+    ServerBusyError,
+    TransportClosedError,
+)
+
+
+def echo(message: TransportMessage) -> TransportMessage:
+    return TransportMessage(message.content_type, bytes(message.payload))
+
+
+def slow_echo(delay: float):
+    def handler(message: TransportMessage) -> TransportMessage:
+        time.sleep(delay)
+        return TransportMessage(message.content_type, bytes(message.payload))
+
+    return handler
+
+
+def counter_value(name: str) -> float:
+    snap = metrics.registry.snapshot(name)
+    return snap[name]["value"] if name in snap else 0.0
+
+
+@pytest.fixture
+def no_reactor_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVER_REACTOR", raising=False)
+
+
+class TestAdmissionShedding:
+    def test_flood_fails_fast_with_typed_fault(self):
+        """A flood beyond ``workers + queue_max`` answers ServerBusyError
+        immediately instead of queueing unboundedly (satellite 1)."""
+        listener = TcpListener(slow_echo(0.3), workers=1, queue_max=1)
+        shed_before = counter_value("server.reactor.shed")
+        transport = TcpTransport(listener.url, pool_size=1)
+        results: list[object] = []
+        lock = threading.Lock()
+
+        def caller(n: int) -> None:
+            t0 = time.monotonic()
+            try:
+                transport.request(
+                    TransportMessage("text/plain", b"x" * n), timeout=5.0
+                )
+                outcome: object = "ok"
+            except ServerBusyError:
+                outcome = ("busy", time.monotonic() - t0)
+            with lock:
+                results.append(outcome)
+
+        try:
+            threads = [
+                threading.Thread(target=caller, args=(n,)) for n in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            transport.close()
+            listener.close()
+        served = [r for r in results if r == "ok"]
+        shed = [r for r in results if isinstance(r, tuple)]
+        assert len(served) + len(shed) == 12
+        assert served, "admission must let capacity-worth of requests through"
+        assert shed, "over-capacity requests must be shed"
+        # shed answers are immediate: far faster than waiting out the 0.3s
+        # handler even once, let alone a 10-deep queue of it
+        assert max(t for _, t in shed) < 0.25
+        assert counter_value("server.reactor.shed") >= shed_before + len(shed)
+
+    def test_per_connection_cap_protects_other_principals(self):
+        """One connection may not occupy the whole server: its requests
+        past ``per_conn_max`` shed while a second connection is served."""
+        listener = TcpListener(
+            slow_echo(0.25), workers=4, queue_max=64, per_conn_max=2
+        )
+        hog = TcpTransport(listener.url, pool_size=1)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def hog_caller() -> None:
+            try:
+                hog.request(TransportMessage("text/plain", b"hog"), timeout=5.0)
+                result = "ok"
+            except ServerBusyError:
+                result = "busy"
+            with lock:
+                outcomes.append(result)
+
+        try:
+            threads = [threading.Thread(target=hog_caller) for _ in range(8)]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)  # hog's pipelined burst reaches the server first
+            bystander = TcpTransport(listener.url, pool_size=1)
+            try:
+                reply = bystander.request(
+                    TransportMessage("text/plain", b"bystander"), timeout=5.0
+                )
+                assert bytes(reply.payload) == b"bystander"
+            finally:
+                bystander.close()
+            for t in threads:
+                t.join()
+        finally:
+            hog.close()
+            listener.close()
+        assert "busy" in outcomes, "the hog must hit its per-connection cap"
+        assert "ok" in outcomes
+
+    def test_env_knobs_configure_admission(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER_QUEUE_MAX", "7")
+        monkeypatch.setenv("REPRO_SERVER_PER_CONN_MAX", "3")
+        listener = TcpListener(echo, workers=2)
+        try:
+            assert listener.admission.queue_max == 7
+            assert listener.admission.per_conn_max == 3
+            assert listener.admission.max_inflight == 9
+        finally:
+            listener.close()
+
+    def test_caps_reconfigure_live(self):
+        listener = TcpListener(slow_echo(0.2), workers=1, queue_max=64)
+        transport = TcpTransport(listener.url, pool_size=1)
+        try:
+            listener.admission.configure(queue_max=0)
+            assert listener.admission.max_inflight == 1
+            errors: list[Exception] = []
+
+            def caller() -> None:
+                try:
+                    transport.request(
+                        TransportMessage("text/plain", b"a"), timeout=5.0
+                    )
+                except ServerBusyError as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=caller) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors, "queue_max=0 leaves only worker-width capacity"
+        finally:
+            transport.close()
+            listener.close()
+
+    def test_http_flood_answers_503_as_server_busy(self):
+        listener = HttpListener(slow_echo(0.3), workers=1, queue_max=0)
+        transports = [HttpTransport(listener.url) for _ in range(6)]
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def caller(transport: HttpTransport) -> None:
+            try:
+                transport.request(
+                    TransportMessage("text/plain", b"x"), timeout=5.0
+                )
+                result = "ok"
+            except ServerBusyError:
+                result = "busy"
+            with lock:
+                outcomes.append(result)
+
+        try:
+            threads = [
+                threading.Thread(target=caller, args=(t,)) for t in transports
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            for transport in transports:
+                transport.close()
+            listener.close()
+        assert "busy" in outcomes and "ok" in outcomes
+        # ServerBusyError derives from the framework root, so policy layers
+        # treating "typed faults only" as healthy degradation see it as such
+        assert issubclass(ServerBusyError, HarnessError)
+
+
+class TestReadDeadline:
+    def test_half_header_slow_loris_is_disconnected(self):
+        """A peer sending half a v2 header and stalling is dropped at the
+        read deadline — progress does not extend the budget (satellite 2)."""
+        listener = TcpListener(echo, read_deadline_s=0.3)
+        closes_before = counter_value("server.reactor.deadline_closes")
+        sock = socket.create_connection(("127.0.0.1", listener.port))
+        try:
+            sock.sendall(b"\x00\x00")  # half of the 4-byte length header
+            sock.settimeout(3.0)
+            t0 = time.monotonic()
+            assert sock.recv(1) == b"", "server should close the connection"
+            elapsed = time.monotonic() - t0
+            assert 0.1 < elapsed < 2.0
+        finally:
+            sock.close()
+            listener.close()
+        assert counter_value("server.reactor.deadline_closes") >= closes_before + 1
+
+    def test_idle_connection_is_not_deadlined(self):
+        """The deadline arms per *started* message: a connection that is
+        merely idle between requests stays open."""
+        listener = TcpListener(echo, read_deadline_s=0.3)
+        transport = TcpTransport(listener.url, pool_size=1)
+        try:
+            transport.request(TransportMessage("text/plain", b"a"), timeout=5.0)
+            time.sleep(0.6)  # idle well past the mid-message deadline
+            reply = transport.request(
+                TransportMessage("text/plain", b"b"), timeout=5.0
+            )
+            assert bytes(reply.payload) == b"b"
+        finally:
+            transport.close()
+            listener.close()
+
+
+class TestLifecycle:
+    def test_drain_shutdown_answers_in_flight_requests(self):
+        listener = TcpListener(slow_echo(0.4), workers=2, drain_s=5.0)
+        transport = TcpTransport(listener.url, pool_size=1)
+        reply: list[bytes] = []
+        errors: list[Exception] = []
+
+        def caller() -> None:
+            try:
+                response = transport.request(
+                    TransportMessage("text/plain", b"drain-me"), timeout=5.0
+                )
+                reply.append(bytes(response.payload))
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        time.sleep(0.1)  # let the request reach the worker
+        listener.close()  # drains: the in-flight request must finish
+        thread.join(timeout=5.0)
+        transport.close()
+        assert not errors, errors
+        assert reply == [b"drain-me"]
+
+    def test_abort_shutdown_drops_in_flight_requests(self):
+        listener = TcpListener(slow_echo(1.0), workers=2, drain_s=0.0)
+        transport = TcpTransport(listener.url, pool_size=1, pending_max_s=2.0)
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def caller() -> None:
+            try:
+                transport.request(
+                    TransportMessage("text/plain", b"doomed"), timeout=3.0
+                )
+            except (TransportClosedError, HarnessTimeoutError) as exc:
+                errors.append(exc)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        time.sleep(0.1)
+        t0 = time.monotonic()
+        listener.close()  # aborts: no drain window
+        assert time.monotonic() - t0 < 0.9, "abort must not wait out the handler"
+        assert done.wait(5.0)
+        thread.join(timeout=5.0)
+        transport.close()
+        assert errors, "the aborted request must fail with a typed error"
+
+    def test_client_reconnects_after_server_restart(self):
+        listener = TcpListener(echo)
+        port = listener.port
+        transport = TcpTransport(listener.url, pool_size=1)
+        try:
+            assert bytes(
+                transport.request(
+                    TransportMessage("text/plain", b"one"), timeout=5.0
+                ).payload
+            ) == b"one"
+            listener.close()
+            listener = TcpListener(echo, port=port)
+            # the pooled channel died with the old server; the transport
+            # prunes it and dials afresh (the request that *discovers* the
+            # death may fail — one retry is the documented contract)
+            for attempt in range(2):
+                try:
+                    reply = transport.request(
+                        TransportMessage("text/plain", b"two"), timeout=5.0
+                    )
+                    break
+                except TransportClosedError:
+                    if attempt:
+                        raise
+            assert bytes(reply.payload) == b"two"
+        finally:
+            transport.close()
+            listener.close()
+
+
+class TestFdHygiene:
+    CHURN = 256
+
+    @staticmethod
+    def _fd_count() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    @staticmethod
+    def _wait_conns(value: float, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if counter_value("server.reactor.conns") == value:
+                return
+            time.sleep(0.01)
+
+    def test_socket_churn_leaks_no_fds(self):
+        """256 accept/close cycles leave the process fd table where it
+        started: socket count decouples from both threads *and* fds."""
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc")
+        listener = TcpListener(echo)
+        transport = TcpTransport(listener.url, pool_size=1)
+        try:
+            # settle: one served request warms every lazy structure
+            transport.request(TransportMessage("text/plain", b"warm"), timeout=5.0)
+            baseline_conns = counter_value("server.reactor.conns")
+            before = self._fd_count()
+            for _ in range(4):
+                socks = [
+                    socket.create_connection(("127.0.0.1", listener.port))
+                    for _ in range(self.CHURN // 4)
+                ]
+                for sock in socks:
+                    sock.close()
+                self._wait_conns(baseline_conns)
+            self._wait_conns(baseline_conns)
+            after = self._fd_count()
+            assert after <= before + 4, f"fd leak: {before} -> {after}"
+            # the server is still healthy after the churn
+            reply = transport.request(
+                TransportMessage("text/plain", b"after"), timeout=5.0
+            )
+            assert bytes(reply.payload) == b"after"
+        finally:
+            transport.close()
+            listener.close()
+
+
+class TestBoundedThreadedBaseline:
+    def test_threaded_fallback_sheds_with_typed_fault(self):
+        """satellite 1 on the A/B baseline: the thread-per-connection
+        server's offload queue is admission-gated too."""
+        listener = TcpListener(
+            slow_echo(0.3), workers=1, queue_max=0, reactor=False
+        )
+        transport = TcpTransport(listener.url, pool_size=1)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def caller() -> None:
+            try:
+                transport.request(TransportMessage("text/plain", b"x"), timeout=5.0)
+                result = "ok"
+            except ServerBusyError:
+                result = "busy"
+            with lock:
+                outcomes.append(result)
+
+        try:
+            threads = [threading.Thread(target=caller) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            transport.close()
+            listener.close()
+        assert "busy" in outcomes and "ok" in outcomes
+
+    def test_reactor_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER_REACTOR", "0")
+        listener = TcpListener(echo)
+        try:
+            assert listener._reactor is False
+            transport = TcpTransport(listener.url)
+            try:
+                reply = transport.request(
+                    TransportMessage("text/plain", b"legacy"), timeout=5.0
+                )
+                assert bytes(reply.payload) == b"legacy"
+            finally:
+                transport.close()
+        finally:
+            listener.close()
