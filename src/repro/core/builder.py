@@ -14,6 +14,7 @@ from typing import Callable
 from repro.container.component import ComponentHandle
 from repro.core.kernel import HarnessKernel
 from repro.core.plugin import Plugin
+from repro.dvm.gossip import GossipState, NeighborhoodGossipState
 from repro.dvm.machine import DistributedVirtualMachine
 from repro.dvm.state import (
     DecentralizedState,
@@ -32,6 +33,8 @@ COHERENCY_SCHEMES: dict[str, Callable[[VirtualNetwork], DvmStateProtocol]] = {
     "full-synchrony": lambda network: FullSynchronyState(network),
     "decentralized": lambda network: DecentralizedState(network),
     "neighborhood": lambda network: NeighborhoodState(network),
+    "gossip": lambda network: GossipState(network),
+    "neighborhood-gossip": lambda network: NeighborhoodGossipState(network),
 }
 
 
@@ -48,6 +51,9 @@ class HarnessDvm:
         network: VirtualNetwork,
         coherency: str = "full-synchrony",
         neighborhood_radius: int = 2,
+        gossip_fanout: int = 2,
+        gossip_interval_s: float = 0.25,
+        gossip_seed: int = 0,
         events: EventBus | None = None,
         clock=None,
         lookup_cache_ttl_s: float = 2.0,
@@ -60,6 +66,21 @@ class HarnessDvm:
         if coherency == "neighborhood":
             factory: Callable[[VirtualNetwork], DvmStateProtocol] = (
                 lambda net: NeighborhoodState(net, radius=neighborhood_radius)
+            )
+        elif coherency == "gossip":
+            factory = lambda net: GossipState(
+                net,
+                fanout=gossip_fanout,
+                interval_s=gossip_interval_s,
+                seed=gossip_seed,
+            )
+        elif coherency == "neighborhood-gossip":
+            factory = lambda net: NeighborhoodGossipState(
+                net,
+                radius=neighborhood_radius,
+                fanout=gossip_fanout,
+                interval_s=gossip_interval_s,
+                seed=gossip_seed,
             )
         else:
             factory = COHERENCY_SCHEMES[coherency]
@@ -79,6 +100,15 @@ class HarnessDvm:
         self.failover = None
         # an evicted node's kernel must not linger in the kernel table
         self._death_sub = self.events.subscribe("dvm.member.dead", self._on_member_dead)
+        self._gossip_sub = None
+        protocol = self.dvm.protocol
+        if isinstance(protocol, GossipState):
+            # epidemic schemes keep reads local; control-plane publications
+            # (deploy/publish/move) are rare enough to pay an anti-entropy
+            # sweep so a fresh record is visible from any node immediately
+            self._gossip_sub = self.events.subscribe(
+                "dvm.component.deployed", lambda event: protocol.quiesce()
+            )
 
     # -- construction -----------------------------------------------------------
 
@@ -152,6 +182,9 @@ class HarnessDvm:
         heartbeat_interval_s: float = 0.5,
         checkpoint_interval_s: float = 0.5,
         checkpoint_home: str | None = None,
+        indirect_probes: int = 0,
+        sample: int | None = None,
+        coalesce_after: int = 8,
         start_threads: bool = False,
     ):
         """Attach a failure detector and failover manager to this deployment.
@@ -173,6 +206,9 @@ class HarnessDvm:
                 suspect_after=suspect_after,
                 evict_after=evict_after,
                 interval_s=heartbeat_interval_s,
+                indirect_probes=indirect_probes,
+                sample=sample,
+                coalesce_after=coalesce_after,
             )
         if self.failover is None:
             self.failover = FailoverManager(
@@ -185,12 +221,18 @@ class HarnessDvm:
 
     def _on_member_dead(self, event) -> None:
         payload = event.payload or {}
-        kernel = self.kernels.pop(payload.get("node", ""), None)
-        if kernel is not None:
-            try:
-                kernel.shutdown()  # idempotent; evict_node closed the container already
-            except Exception:
-                pass
+        nodes = payload.get("nodes")  # coalesced cohort eviction
+        if nodes is None:
+            nodes = [payload.get("node", "")]
+        for name in nodes:
+            if isinstance(name, dict):
+                name = name.get("node", "")
+            kernel = self.kernels.pop(name, None)
+            if kernel is not None:
+                try:
+                    kernel.shutdown()  # idempotent; eviction closed the container already
+                except Exception:
+                    pass
 
     # -- teardown ----------------------------------------------------------------------
 
@@ -203,6 +245,8 @@ class HarnessDvm:
             kernel.shutdown()
         self.kernels.clear()
         self._death_sub.cancel()
+        if self._gossip_sub is not None:
+            self._gossip_sub.cancel()
         # kernel.shutdown() already closed each container; the DVM only
         # drops its node table here.
         self.dvm._nodes.clear()

@@ -25,7 +25,12 @@ from repro.bindings.resilient import ResilientStub
 from repro.bindings.stubs import ServiceStub
 from repro.container.component import ComponentHandle
 from repro.container.container import ComponentContainer, LightweightContainer
-from repro.dvm.failure import PING_ENDPOINT, bind_ping_endpoint
+from repro.dvm.failure import (
+    PING_ENDPOINT,
+    PROBE_ENDPOINT,
+    bind_ping_endpoint,
+    bind_probe_endpoint,
+)
 from repro.dvm.state import DvmStateProtocol
 from repro.netsim.fabric import VirtualNetwork
 from repro.obs import metrics as _metrics
@@ -99,6 +104,9 @@ class DistributedVirtualMachine:
             self._lookup_cache = TtlCache(lookup_cache_ttl_s)
         self.events.subscribe("dvm.member", self._on_topology_event)
         self.events.subscribe("dvm.component", self._on_topology_event)
+        # gossip-family protocols announce convergence transitions on the bus
+        if hasattr(self.protocol, "bind_bus"):
+            self.protocol.bind_bus(self.events, source=name)
 
     # -- membership -------------------------------------------------------------
 
@@ -116,6 +124,7 @@ class DistributedVirtualMachine:
             node = DvmNode(host_name, container)
             self._nodes[host_name] = node
         bind_ping_endpoint(self.network, host_name)  # heartbeat target
+        bind_probe_endpoint(self.network, host_name)  # SWIM ping-req proxy
         self.protocol.add_member(host_name)
         self.protocol.update(host_name, f"{_MEMBER_PREFIX}{host_name}", "joined")
         self.events.publish("dvm.member.joined", host_name, source=self.name)
@@ -154,6 +163,55 @@ class DistributedVirtualMachine:
         if by == host_name or by not in self.nodes():
             raise MembershipError(f"eviction witness {by!r} must be a surviving member")
         self.protocol.remove_member(host_name)
+        lost = self._reap_node(host_name, node, by)
+        self.events.publish(
+            "dvm.member.dead",
+            {"node": host_name, "by": by, "components": lost},
+            source=self.name,
+        )
+        return lost
+
+    def evict_nodes(self, host_names: list[str], by: str) -> list[dict]:
+        """Evict a whole cohort of dead nodes as one membership change.
+
+        Semantically ``evict_node`` for each name, but the bus sees a single
+        coalesced ``dvm.member.dead`` event — payload ``{"nodes": [...],
+        "by": ..., "components": [...], "count": N}`` with every lost
+        component record carrying its own ``node`` — so a 1k-member outage
+        is one publication, not 1k.  The failure detector switches to this
+        path above its ``coalesce_after`` threshold.
+        """
+        names = list(dict.fromkeys(host_names))
+        if not names:
+            return []
+        popped: list[tuple[str, DvmNode]] = []
+        with self._lock:
+            missing = [n for n in names if n not in self._nodes]
+            if missing:
+                raise MembershipError(
+                    f"node(s) {missing!r} not in DVM {self.name!r}"
+                )
+            for name in names:
+                popped.append((name, self._nodes.pop(name)))
+        if by in names or by not in self.nodes():
+            raise MembershipError(f"eviction witness {by!r} must be a surviving member")
+        # leave the coherency protocol first, all of them, so synchronous
+        # schemes stop pushing to any member of the dead cohort
+        for name, _node in popped:
+            self.protocol.remove_member(name)
+        lost: list[dict] = []
+        for name, node in popped:
+            lost.extend(self._reap_node(name, node, by))
+        self.events.publish(
+            "dvm.member.dead",
+            {"nodes": names, "by": by, "components": lost, "count": len(names)},
+            source=self.name,
+        )
+        return lost
+
+    def _reap_node(self, host_name: str, node: DvmNode, by: str) -> list[dict]:
+        """Deregister a popped node's components and mark it dead; the
+        caller has already removed it from the coherency protocol."""
         lost: list[dict] = []
         for handle in node.container.components():
             record = self.protocol.get(by, f"{_COMPONENT_PREFIX}{handle.name}")
@@ -169,6 +227,7 @@ class DistributedVirtualMachine:
                 }
             )
             lost[-1].setdefault("name", handle.name)
+            lost[-1].setdefault("node", host_name)
             self.protocol.update(by, f"{_COMPONENT_PREFIX}{handle.name}", None)
             self.events.publish(
                 "dvm.component.lost",
@@ -176,16 +235,12 @@ class DistributedVirtualMachine:
                 source=self.name,
             )
         self.protocol.update(by, f"{_MEMBER_PREFIX}{host_name}", "dead")
-        try:
-            self.network.host(host_name).unbind(PING_ENDPOINT)
-        except Exception:
-            pass
+        for endpoint in (PING_ENDPOINT, PROBE_ENDPOINT):
+            try:
+                self.network.host(host_name).unbind(endpoint)
+            except Exception:
+                pass
         node.close()
-        self.events.publish(
-            "dvm.member.dead",
-            {"node": host_name, "by": by, "components": lost},
-            source=self.name,
-        )
         return lost
 
     def node(self, host_name: str) -> DvmNode:

@@ -137,6 +137,9 @@ class DvmStateProtocol:
     #: human-readable protocol tag used by benchmarks and status queries
     scheme = "abstract"
 
+    #: per-member node type; schemes with richer endpoints (gossip) override
+    node_class = _StateNode
+
     def __init__(
         self,
         network: VirtualNetwork,
@@ -147,7 +150,7 @@ class DvmStateProtocol:
         self.network = network
         self.members = list(members)
         self.nodes: dict[str, _StateNode] = {
-            name: _StateNode(self, name) for name in self.members
+            name: self.node_class(self, name) for name in self.members
         }
         self._clock = AtomicCounter()
         # Bounded resends over lossy links.  State operations are idempotent
@@ -178,7 +181,7 @@ class DvmStateProtocol:
             raise DvmError(f"node {name!r} is already a member")
         existing = list(self.members)
         self.members.append(name)
-        self.nodes[name] = _StateNode(self, name)
+        self.nodes[name] = self.node_class(self, name)
         self._on_member_added(name, existing)
 
     def _on_member_added(self, name: str, existing: list[str]) -> None:

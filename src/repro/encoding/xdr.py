@@ -21,6 +21,7 @@ Wire format notes
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Any
 
@@ -71,6 +72,9 @@ _DTYPE_CODES: dict[str, int] = {
     "complex128": 12,
 }
 _CODE_DTYPES = {code: np.dtype(name) for name, code in _DTYPE_CODES.items()}
+# dtype objects hash by identity-ish semantics; caching by dtype skips the
+# (surprisingly costly) ``dtype.name`` property on the per-array hot path
+_DTYPE_CODE_CACHE: dict[np.dtype, int] = {}
 
 
 class XdrEncoder:
@@ -153,10 +157,13 @@ class XdrEncoder:
         4-byte alignment except [u]int8/16, which we pad like opaque).
         """
         array = np.asarray(array)
-        name = array.dtype.name
-        if name not in _DTYPE_CODES:
-            raise EncodingError(f"unsupported array dtype: {array.dtype}")
-        self.pack_uint(_DTYPE_CODES[name])
+        code = _DTYPE_CODE_CACHE.get(array.dtype)
+        if code is None:
+            name = array.dtype.name
+            if name not in _DTYPE_CODES:
+                raise EncodingError(f"unsupported array dtype: {array.dtype}")
+            code = _DTYPE_CODE_CACHE[array.dtype] = _DTYPE_CODES[name]
+        self.pack_uint(code)
         self.pack_uint(array.ndim)
         for dim in array.shape:
             self.pack_uint(dim)
@@ -250,7 +257,7 @@ class XdrDecoder:
         if pad:
             self._take(pad)
         array = np.frombuffer(raw, dtype=dtype.newbyteorder(">"))
-        expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        expected = math.prod(shape) if shape else 1
         if ndim == 0:
             if array.size != 1:
                 raise EncodingError("scalar array payload has wrong size")

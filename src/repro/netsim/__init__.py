@@ -13,6 +13,7 @@ from repro.netsim.topology import (
     WAN_LINK,
     lan,
     mesh_neighborhoods,
+    random_regular,
     two_clusters,
     wan,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "WAN_LINK",
     "lan",
     "mesh_neighborhoods",
+    "random_regular",
     "two_clusters",
     "wan",
 ]

@@ -16,6 +16,17 @@ failure.  Links can also be *flaky* rather than binary up/down: a
 :class:`LinkModel` carries probabilistic message drop and duplication rates
 (plus latency jitter), all drawn from the network's seeded RNG so lossy
 runs stay reproducible.
+
+Scale: the fabric is sized for 10k-host gossip sweeps (C10).  Link models
+resolve exact pair → host-group pair → default, so a clustered topology
+needs O(groups²) rules instead of O(hosts²) entries; partition membership
+is an O(1) dict probe, not a scan over groups; each message leg takes one
+lock round-trip; and per-pair :class:`LinkStats` can be switched off
+(``detail_stats=False``) when only the totals matter.  An opt-in per-host
+service-time model (:meth:`VirtualNetwork.set_service_time` +
+:meth:`VirtualNetwork.begin_burst`) charges queueing delay when many
+requests land on one host in a burst — how a centralized registry's
+bottleneck becomes visible in simulated latency percentiles.
 """
 
 from __future__ import annotations
@@ -133,13 +144,26 @@ class VirtualHost:
 class VirtualNetwork:
     """The fabric: hosts, links, partitions, and global traffic accounting."""
 
-    def __init__(self, default_link: LinkModel | None = None, seed: int = 0):
+    def __init__(
+        self,
+        default_link: LinkModel | None = None,
+        seed: int = 0,
+        detail_stats: bool = True,
+    ):
         self._hosts: dict[str, VirtualHost] = {}
         self._links: dict[tuple[str, str], LinkModel] = {}
+        self._groups: dict[str, str] = {}
+        self._group_links: dict[tuple[str, str], LinkModel] = {}
         self._default_link = default_link or LinkModel()
         self._partitions: list[set[str]] = []
+        self._partition_of: dict[str, int] = {}
+        self._service: dict[str, float] = {}
+        self._queue_depth: dict[str, int] = {}
         self._rng = random.Random(seed)
         self._lock = threading.RLock()
+        #: per-(src, dst) LinkStats; skipped entirely when False so 10k-host
+        #: sweeps don't grow an O(pairs) dict (totals are still maintained)
+        self.detail_stats = detail_stats
         self.stats: dict[tuple[str, str], LinkStats] = {}
         self.simulated_time = 0.0
         self.total_messages = 0
@@ -171,10 +195,54 @@ class VirtualNetwork:
             if symmetric:
                 self._links[(dst, src)] = model
 
+    def set_links(
+        self,
+        pairs: "list[tuple[str, str]]",
+        model: LinkModel,
+        symmetric: bool = True,
+    ) -> None:
+        """Override many host pairs under one lock round-trip (bulk builders)."""
+        with self._lock:
+            links = self._links
+            for src, dst in pairs:
+                links[(src, dst)] = model
+                if symmetric:
+                    links[(dst, src)] = model
+
+    def assign_group(self, host: str, group: str) -> None:
+        """Tag *host* with a link group (see :meth:`set_group_link`)."""
+        with self._lock:
+            self._groups[host] = group
+
+    def set_group_link(
+        self, src_group: str, dst_group: str, model: LinkModel, symmetric: bool = True
+    ) -> None:
+        """Cost model between two host groups — one rule instead of O(n²) pairs.
+
+        Resolution order is exact pair → group pair → network default, so a
+        clustered topology declares cluster-internal links with a single rule
+        and per-pair overrides (e.g. fault injection) still win.
+        """
+        with self._lock:
+            self._group_links[(src_group, dst_group)] = model
+            if symmetric:
+                self._group_links[(dst_group, src_group)] = model
+
     def link_model(self, src: str, dst: str) -> LinkModel:
         if src == dst:
             return LOOPBACK
-        return self._links.get((src, dst), self._default_link)
+        model = self._links.get((src, dst))
+        if model is not None:
+            return model
+        if self._group_links:
+            src_group = self._groups.get(src)
+            if src_group is not None:
+                dst_group = self._groups.get(dst)
+                if dst_group is not None:
+                    model = self._group_links.get((src_group, dst_group))
+                    if model is not None:
+                        return model
+        return self._default_link
 
     def set_link_faults(
         self,
@@ -213,20 +281,28 @@ class VirtualNetwork:
         """Split the network: hosts can only reach others in their group."""
         with self._lock:
             self._partitions = [set(g) for g in groups]
+            # host → index of the first group containing it: reachability
+            # becomes two dict probes instead of a scan over the groups
+            partition_of: dict[str, int] = {}
+            for index, group in enumerate(self._partitions):
+                for host in group:
+                    partition_of.setdefault(host, index)
+            self._partition_of = partition_of
 
     def heal(self) -> None:
         """Remove all partitions."""
         with self._lock:
             self._partitions = []
+            self._partition_of = {}
 
     def _reachable(self, src: str, dst: str) -> bool:
-        if not self._partitions:
+        if not self._partition_of:
             return True
-        for group in self._partitions:
-            if src in group:
-                return dst in group
-        # src not in any group: unrestricted
-        return True
+        src_part = self._partition_of.get(src)
+        if src_part is None:
+            # src not in any group: unrestricted
+            return True
+        return self._partition_of.get(dst) == src_part
 
     # -- messaging ---------------------------------------------------------------
 
@@ -247,17 +323,37 @@ class VirtualNetwork:
         raised *after* dispatch: the destination did the work, the caller
         just gave up waiting, exactly the ambiguity real timeouts carry.
         """
-        elapsed = self._charge(src, dst, len(message.payload))
-        target = self._deliverable(src, dst)
-        if self._lost(src, dst):
-            raise MessageDroppedError(src, dst, "request")
-        if self._duplicated(src, dst):
-            elapsed += self._charge(src, dst, len(message.payload))
+        n_request = len(message.payload)
+        duplicated = False
+        # One lock round-trip covers the whole forward leg: charge, liveness
+        # and partition checks, drop/duplicate draws.  RNG draw order matches
+        # the historical per-helper path (jitter → drop → duplicate) so
+        # seeded fault patterns are stable across the refactor.
+        with self._lock:
+            forward = self.link_model(src, dst)
+            elapsed = self._account(src, dst, n_request, forward)
+            target = self._hosts.get(dst)
+            if target is None:
+                raise TransportError(f"unknown host {dst!r}")
+            if not target.up:
+                raise HostDownError(f"host {dst} is down")
+            if not self._reachable(src, dst):
+                raise HostDownError(f"{src} and {dst} are partitioned")
+            if forward.drop_rate and self._rng.random() < forward.drop_rate:
+                raise MessageDroppedError(src, dst, "request")
+            if forward.duplicate_rate and self._rng.random() < forward.duplicate_rate:
+                elapsed += self._account(src, dst, n_request, forward)
+                duplicated = True
+        if duplicated:
             target._dispatch(endpoint, message)  # duplicate delivery; reply discarded
         response = target._dispatch(endpoint, message)
-        elapsed += self._charge(dst, src, len(response.payload))
-        if self._lost(dst, src):
-            raise MessageDroppedError(dst, src, "response")
+        if self._service:
+            elapsed += self._serve_cost(dst)
+        with self._lock:
+            backward = self.link_model(dst, src)
+            elapsed += self._account(dst, src, len(response.payload), backward)
+            if backward.drop_rate and self._rng.random() < backward.drop_rate:
+                raise MessageDroppedError(dst, src, "response")
         if timeout is not None and elapsed > timeout:
             raise HarnessTimeoutError(
                 f"request {src} -> {dst}/{endpoint} took {elapsed:.6f}s simulated "
@@ -267,28 +363,26 @@ class VirtualNetwork:
 
     def post(self, src: str, dst: str, endpoint: str, message: TransportMessage) -> None:
         """One-way message (events); charged once."""
-        self._charge(src, dst, len(message.payload))
-        target = self._deliverable(src, dst)
-        if self._lost(src, dst):
-            raise MessageDroppedError(src, dst, "request")
-        if self._duplicated(src, dst):
-            self._charge(src, dst, len(message.payload))
+        n_request = len(message.payload)
+        duplicated = False
+        with self._lock:
+            forward = self.link_model(src, dst)
+            self._account(src, dst, n_request, forward)
+            target = self._hosts.get(dst)
+            if target is None:
+                raise TransportError(f"unknown host {dst!r}")
+            if not target.up:
+                raise HostDownError(f"host {dst} is down")
+            if not self._reachable(src, dst):
+                raise HostDownError(f"{src} and {dst} are partitioned")
+            if forward.drop_rate and self._rng.random() < forward.drop_rate:
+                raise MessageDroppedError(src, dst, "request")
+            if forward.duplicate_rate and self._rng.random() < forward.duplicate_rate:
+                self._account(src, dst, n_request, forward)
+                duplicated = True
+        if duplicated:
             target._dispatch(endpoint, message)
         target._dispatch(endpoint, message)
-
-    def _lost(self, src: str, dst: str) -> bool:
-        model = self.link_model(src, dst)
-        if not model.drop_rate:
-            return False
-        with self._lock:
-            return self._rng.random() < model.drop_rate
-
-    def _duplicated(self, src: str, dst: str) -> bool:
-        model = self.link_model(src, dst)
-        if not model.duplicate_rate:
-            return False
-        with self._lock:
-            return self._rng.random() < model.duplicate_rate
 
     def _deliverable(self, src: str, dst: str) -> VirtualHost:
         target = self.host(dst)
@@ -299,22 +393,62 @@ class VirtualNetwork:
                 raise HostDownError(f"{src} and {dst} are partitioned")
         return target
 
+    # -- service-time model -------------------------------------------------------
+
+    def set_service_time(self, host: str, seconds: float) -> None:
+        """Charge *seconds* of server time per request handled by *host*.
+
+        Opt-in (zero cost when unused).  Combined with :meth:`begin_burst`
+        this models queueing: the k-th request of a burst landing on one host
+        waits behind the k−1 before it, so a centralized bottleneck shows up
+        in simulated latency while sharded load stays flat.
+        """
+        with self._lock:
+            if seconds <= 0:
+                self._service.pop(host, None)
+            else:
+                self._service[host] = float(seconds)
+
+    def begin_burst(self) -> None:
+        """Reset queue depths: subsequent requests form one concurrent burst."""
+        with self._lock:
+            self._queue_depth.clear()
+
+    def _serve_cost(self, dst: str) -> float:
+        with self._lock:
+            service_s = self._service.get(dst)
+            if service_s is None:
+                return 0.0
+            depth = self._queue_depth.get(dst, 0)
+            self._queue_depth[dst] = depth + 1
+            cost = service_s * (depth + 1)
+            self.simulated_time += cost
+            return cost
+
+    # -- accounting ---------------------------------------------------------------
+
     def charge(self, src: str, dst: str, nbytes: int) -> None:
         """Account a raw transfer without endpoint dispatch (bulk moves)."""
         self._charge(src, dst, nbytes)
 
     def _charge(self, src: str, dst: str, nbytes: int) -> float:
-        model = self.link_model(src, dst)
         with self._lock:
-            cost = model.cost(nbytes, self._rng)
+            return self._account(src, dst, nbytes, self.link_model(src, dst))
+
+    def _account(
+        self, src: str, dst: str, nbytes: int, model: LinkModel
+    ) -> float:
+        """Charge one message to the books; caller holds the lock."""
+        cost = model.cost(nbytes, self._rng)
+        if self.detail_stats:
             stats = self.stats.setdefault((src, dst), LinkStats())
             stats.messages += 1
             stats.bytes += nbytes
             stats.simulated_s += cost
-            self.simulated_time += cost
-            self.total_messages += 1
-            self.total_bytes += nbytes
-            return cost
+        self.simulated_time += cost
+        self.total_messages += 1
+        self.total_bytes += nbytes
+        return cost
 
     def reset_stats(self) -> None:
         """Zero the accounting (between benchmark phases)."""

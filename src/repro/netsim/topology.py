@@ -5,13 +5,29 @@ metacomputers (LAN), wide-area grids spanning administrative domains (WAN),
 and mesh-structured applications with fast neighbourhoods.  These helpers
 build seeded :class:`VirtualNetwork` instances for each so the C4/C5/C6
 benchmarks sweep realistic regimes with one call.
+
+Every builder constructs in O(n·k) (k = per-host link degree, 0 for the
+flat shapes): clustered shapes use group-level link rules instead of
+enumerating O(n²) host pairs, and sparse shapes install their edge lists in
+one bulk :meth:`VirtualNetwork.set_links` call — the C10 gossip sweep
+builds 10k-host fabrics in milliseconds.
 """
 
 from __future__ import annotations
 
+import random
+
 from repro.netsim.fabric import LinkModel, VirtualNetwork
 
-__all__ = ["lan", "wan", "two_clusters", "mesh_neighborhoods", "LAN_LINK", "WAN_LINK"]
+__all__ = [
+    "lan",
+    "wan",
+    "two_clusters",
+    "mesh_neighborhoods",
+    "random_regular",
+    "LAN_LINK",
+    "WAN_LINK",
+]
 
 #: Departmental LAN: 0.1 ms latency, ~100 MB/s.
 LAN_LINK = LinkModel(latency_s=1e-4, bandwidth_Bps=100e6)
@@ -19,52 +35,131 @@ LAN_LINK = LinkModel(latency_s=1e-4, bandwidth_Bps=100e6)
 WAN_LINK = LinkModel(latency_s=4e-2, bandwidth_Bps=2e6)
 
 
-def lan(n_hosts: int, seed: int = 0) -> VirtualNetwork:
+def lan(n_hosts: int, seed: int = 0, detail_stats: bool = True) -> VirtualNetwork:
     """A flat LAN of ``n_hosts`` hosts named ``node0..node{n-1}``."""
-    network = VirtualNetwork(default_link=LAN_LINK, seed=seed)
+    network = VirtualNetwork(default_link=LAN_LINK, seed=seed, detail_stats=detail_stats)
     for i in range(n_hosts):
         network.add_host(f"node{i}")
     return network
 
 
-def wan(n_hosts: int, seed: int = 0) -> VirtualNetwork:
-    """A wide-area collection of hosts, all pairs on WAN links."""
-    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
+def wan(n_hosts: int, seed: int = 0, detail_stats: bool = True) -> VirtualNetwork:
+    """A wide-area collection of hosts, all pairs on WAN links.
+
+    O(n): the WAN model is the network default, no per-pair entries exist.
+    """
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed, detail_stats=detail_stats)
     for i in range(n_hosts):
         network.add_host(f"node{i}")
     return network
 
 
-def two_clusters(n_per_cluster: int, seed: int = 0) -> VirtualNetwork:
+def two_clusters(
+    n_per_cluster: int, seed: int = 0, detail_stats: bool = True
+) -> VirtualNetwork:
     """Two LAN clusters (``a*``, ``b*``) joined by a WAN link.
 
     The C6 migration scenario uses this: the LAPACK service lives in
-    cluster *b*; the user's home node is in cluster *a*.
+    cluster *b*; the user's home node is in cluster *a*.  Cluster-internal
+    links are two group rules (O(n) construction), not O(n²) pair entries.
     """
-    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
-    a_names = [f"a{i}" for i in range(n_per_cluster)]
-    b_names = [f"b{i}" for i in range(n_per_cluster)]
-    for name in a_names + b_names:
-        network.add_host(name)
-    for group in (a_names, b_names):
-        for i, src in enumerate(group):
-            for dst in group[i + 1 :]:
-                network.set_link(src, dst, LAN_LINK)
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed, detail_stats=detail_stats)
+    for prefix in ("a", "b"):
+        for i in range(n_per_cluster):
+            name = f"{prefix}{i}"
+            network.add_host(name)
+            network.assign_group(name, prefix)
+        network.set_group_link(prefix, prefix, LAN_LINK)
     return network
 
 
-def mesh_neighborhoods(n_hosts: int, neighborhood: int, seed: int = 0) -> VirtualNetwork:
+def mesh_neighborhoods(
+    n_hosts: int, neighborhood: int, seed: int = 0, detail_stats: bool = True
+) -> VirtualNetwork:
     """A ring-mesh where hosts within ``neighborhood`` hops share LAN links.
 
     Models the paper's "mesh-structured applications [that] may benefit from
     a scheme that provides full synchrony across small neighborhoods".
+    O(n·neighborhood): the edge list is installed in one bulk call.
     """
-    network = VirtualNetwork(default_link=WAN_LINK, seed=seed)
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed, detail_stats=detail_stats)
     names = [f"node{i}" for i in range(n_hosts)]
     for name in names:
         network.add_host(name)
-    for i in range(n_hosts):
-        for step in range(1, neighborhood + 1):
-            j = (i + step) % n_hosts
-            network.set_link(names[i], names[j], LAN_LINK)
+    pairs = [
+        (names[i], names[(i + step) % n_hosts])
+        for i in range(n_hosts)
+        for step in range(1, neighborhood + 1)
+    ]
+    network.set_links(pairs, LAN_LINK)
     return network
+
+
+def random_regular(
+    n_hosts: int, degree: int = 4, seed: int = 0, detail_stats: bool = True
+) -> VirtualNetwork:
+    """A random ``degree``-regular graph: LAN edges over a WAN default.
+
+    The classic gossip substrate — every host has exactly ``degree`` cheap
+    links to uniformly random peers, giving O(log n) diameter with O(n·k)
+    edges.  Built with the pairing (configuration) model plus local repair,
+    so construction is O(n·degree) expected and fully deterministic for a
+    given ``(n_hosts, degree, seed)``.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if degree >= n_hosts:
+        raise ValueError(f"degree {degree} needs more than {n_hosts} hosts")
+    if (n_hosts * degree) % 2:
+        raise ValueError(f"n_hosts*degree must be even, got {n_hosts}*{degree}")
+    network = VirtualNetwork(default_link=WAN_LINK, seed=seed, detail_stats=detail_stats)
+    names = [f"node{i}" for i in range(n_hosts)]
+    for name in names:
+        network.add_host(name)
+    rng = random.Random(seed)
+    edges = _pairing_model_edges(n_hosts, degree, rng)
+    network.set_links([(names[a], names[b]) for a, b in edges], LAN_LINK)
+    return network
+
+
+def _pairing_model_edges(
+    n_hosts: int, degree: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Edge list of a random regular graph (no self-loops or multi-edges).
+
+    Each host contributes ``degree`` stubs; a shuffled stub list is paired
+    off front to back.  An invalid pair (self-loop / duplicate edge) swaps
+    its second stub with a random stub from the unpaired tail — the standard
+    repair keeps the draw uniform enough for a network substrate and almost
+    always succeeds in one pass; a full reshuffle restart is the rare
+    fallback when repairs run out of tail.
+    """
+    stubs = [host for host in range(n_hosts) for _ in range(degree)]
+    n_stubs = len(stubs)
+    for _attempt in range(100):
+        rng.shuffle(stubs)
+        edges: set[tuple[int, int]] = set()
+        failed = False
+        for i in range(0, n_stubs, 2):
+            a = stubs[i]
+            repairs = 0
+            while True:
+                b = stubs[i + 1]
+                edge = (a, b) if a < b else (b, a)
+                if a != b and edge not in edges:
+                    edges.add(edge)
+                    break
+                if i + 2 >= n_stubs or repairs >= 64:
+                    failed = True
+                    break
+                j = rng.randrange(i + 2, n_stubs)
+                stubs[i + 1], stubs[j] = stubs[j], stubs[i + 1]
+                repairs += 1
+            if failed:
+                break
+        if not failed:
+            return sorted(edges)
+    raise ValueError(
+        f"could not build a {degree}-regular graph on {n_hosts} hosts "
+        "(degenerate parameters)"
+    )

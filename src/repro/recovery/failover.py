@@ -147,9 +147,12 @@ class FailoverManager:
 
     def _on_member_dead(self, event: Event) -> None:
         payload = event.payload or {}
+        # coalesced cohort events carry "nodes" and no top-level "node";
+        # either way each lost record names its own dead host
+        dead = payload.get("node", "")
         for record in payload.get("components", ()):
             if record and record.get("restartable"):
-                self._failover(record, dead_node=payload.get("node", ""))
+                self._failover(record, dead_node=record.get("node", dead))
 
     def _failover(self, record: dict, dead_node: str) -> None:
         service = record.get("name", "")

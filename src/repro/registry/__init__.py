@@ -7,6 +7,7 @@ from repro.registry.distributed import (
     NeighborhoodLookup,
 )
 from repro.registry.local import PRIVATE, PUBLIC, RegisteredService, ServiceRegistry
+from repro.registry.sharded import HashRing, ShardedRegistry
 from repro.registry.uddi import (
     BindingTemplate,
     BusinessEntity,
@@ -25,6 +26,8 @@ __all__ = [
     "PUBLIC",
     "RegisteredService",
     "ServiceRegistry",
+    "HashRing",
+    "ShardedRegistry",
     "BindingTemplate",
     "BusinessEntity",
     "BusinessService",

@@ -65,11 +65,13 @@ class DistributedLookup:
 
     #: endpoint name bound on every host
     endpoint = "lookup"
+    #: per-host node type; schemes with richer endpoints (sharded) override
+    node_class = _LookupNode
 
     def __init__(self, network: VirtualNetwork):
         self.network = network
         self.nodes: dict[str, _LookupNode] = {
-            host.name: _LookupNode(self, host.name) for host in network.hosts()
+            host.name: self.node_class(self, host.name) for host in network.hosts()
         }
 
     def register(self, host_name: str, document: WsdlDocument) -> None:

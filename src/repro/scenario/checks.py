@@ -38,6 +38,11 @@ Vocabulary:
     DVM membership at the end equals ``expect`` exactly.
 ``detector_converged``
     No member is still SUSPECTED once the script has played out.
+``converged_within``
+    Gossip-family coherency only: the DVM re-announced
+    ``dvm.gossip.converged`` within ``deadline_s`` of the script's last
+    ``heal`` (or of t=0 when the script never heals), and the protocol
+    still reports convergence at the end of the run.
 ``final_call``
     One last invocation must succeed, optionally matching ``expect`` or
     ``expect_min`` — proves end-to-end liveness (and, for a failed-over
@@ -245,8 +250,12 @@ def _failover_within(ctx: CheckContext, params: Mapping) -> CheckResult:
     deadline = float(params["deadline_s"])
     suspects: dict[str, list[float]] = {}
     for rec in ctx.log.records("dvm.member.suspected"):
-        node = (rec.get("payload") or {}).get("node", "")
-        suspects.setdefault(node, []).append(rec["t"])
+        payload = rec.get("payload") or {}
+        # a coalesced suspicion event carries the cohort under "nodes"
+        entries = payload.get("nodes", [payload]) if isinstance(payload, dict) else []
+        for entry in entries:
+            node = entry.get("node", "") if isinstance(entry, dict) else str(entry)
+            suspects.setdefault(node, []).append(rec["t"])
     failovers = ctx.log.records("recovery.failover")
     failovers = [r for r in failovers if r["topic"] == "recovery.failover"]
     if not failovers:
@@ -321,6 +330,51 @@ def _detector_converged(ctx: CheckContext, params: Mapping) -> CheckResult:
         "detector_converged",
         not unsettled,
         f"unsettled={unsettled}" if unsettled else f"all {len(members)} members alive",
+        dict(params),
+    )
+
+
+@_check("converged_within")
+def _converged_within(ctx: CheckContext, params: Mapping) -> CheckResult:
+    deadline = float(params["deadline_s"])
+    protocol = ctx.runtime.harness.dvm.protocol
+    if not hasattr(protocol, "converged"):
+        return CheckResult(
+            "converged_within",
+            False,
+            f"{type(protocol).__name__} has no convergence signal "
+            "(use a gossip-family coherency scheme)",
+            dict(params),
+        )
+    heals = [
+        rec["t"]
+        for rec in ctx.log.records("scenario.fault")
+        if (rec.get("payload") or {}).get("action") == "heal"
+    ]
+    t0 = max(heals) if heals else 0.0
+    anchor = "last heal" if heals else "start"
+    if not protocol.converged():
+        return CheckResult(
+            "converged_within",
+            False,
+            f"protocol diverged at end of run (anchor: {anchor} at {t0:.3f}s)",
+            dict(params),
+        )
+    announced = [
+        rec["t"] for rec in ctx.log.records("dvm.gossip.converged") if rec["t"] >= t0
+    ]
+    if not announced:
+        return CheckResult(
+            "converged_within",
+            False,
+            f"no dvm.gossip.converged event after {anchor} at {t0:.3f}s",
+            dict(params),
+        )
+    delay = min(announced) - t0
+    return CheckResult(
+        "converged_within",
+        delay <= deadline,
+        f"converged {delay:.3f}s after {anchor} (deadline {deadline}s)",
         dict(params),
     )
 

@@ -44,7 +44,7 @@ __all__ = [
     "TOPOLOGY_KINDS",
 ]
 
-TOPOLOGY_KINDS = ("lan", "wan", "two_clusters", "mesh")
+TOPOLOGY_KINDS = ("lan", "wan", "two_clusters", "mesh", "random_regular")
 
 #: actions the fault interpreter understands (see :mod:`repro.scenario.faults`)
 _FAULT_ACTIONS = frozenset(
@@ -104,15 +104,22 @@ class TopologySpec:
     hosts: int = 3
     neighborhood: int = 2  # mesh only
     per_cluster: int = 2  # two_clusters only
+    degree: int = 4  # random_regular only
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TopologySpec":
-        _strict(data, "topology", (), ("kind", "hosts", "neighborhood", "per_cluster"))
+        _strict(
+            data,
+            "topology",
+            (),
+            ("kind", "hosts", "neighborhood", "per_cluster", "degree"),
+        )
         spec = cls(
             kind=data.get("kind", "lan"),
             hosts=int(data.get("hosts", 3)),
             neighborhood=int(data.get("neighborhood", 2)),
             per_cluster=int(data.get("per_cluster", 2)),
+            degree=int(data.get("degree", 4)),
         )
         if spec.kind not in TOPOLOGY_KINDS:
             raise ScenarioError(
@@ -123,6 +130,11 @@ class TopologySpec:
                 raise ScenarioError("topology: per_cluster must be >= 1")
         elif spec.hosts < 1:
             raise ScenarioError("topology: hosts must be >= 1")
+        if spec.kind == "random_regular":
+            if spec.degree < 1 or spec.degree >= spec.hosts:
+                raise ScenarioError("topology: need 1 <= degree < hosts")
+            if (spec.hosts * spec.degree) % 2:
+                raise ScenarioError("topology: hosts*degree must be even")
         return spec
 
 
@@ -132,18 +144,33 @@ class DvmSpec:
 
     coherency: str = "full-synchrony"
     neighborhood_radius: int = 2
+    gossip_fanout: int = 2
     lookup_cache_ttl_s: float = 2.0
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "DvmSpec":
-        _strict(data, "dvm", (), ("coherency", "neighborhood_radius", "lookup_cache_ttl_s"))
+        _strict(
+            data,
+            "dvm",
+            (),
+            ("coherency", "neighborhood_radius", "gossip_fanout", "lookup_cache_ttl_s"),
+        )
         spec = cls(
             coherency=data.get("coherency", "full-synchrony"),
             neighborhood_radius=int(data.get("neighborhood_radius", 2)),
+            gossip_fanout=int(data.get("gossip_fanout", 2)),
             lookup_cache_ttl_s=float(data.get("lookup_cache_ttl_s", 2.0)),
         )
-        if spec.coherency not in ("full-synchrony", "decentralized", "neighborhood"):
+        if spec.coherency not in (
+            "full-synchrony",
+            "decentralized",
+            "neighborhood",
+            "gossip",
+            "neighborhood-gossip",
+        ):
             raise ScenarioError(f"dvm: unknown coherency scheme {spec.coherency!r}")
+        if spec.gossip_fanout < 1:
+            raise ScenarioError("dvm: gossip_fanout must be >= 1")
         return spec
 
 
@@ -181,6 +208,9 @@ class SelfHealingSpec:
     evict_after: int = 3
     heartbeat_every_ticks: int = 1
     checkpoint_every_ticks: int = 1
+    indirect_probes: int = 0
+    sample: int | None = None
+    coalesce_after: int = 8
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SelfHealingSpec":
@@ -195,8 +225,12 @@ class SelfHealingSpec:
                 "evict_after",
                 "heartbeat_every_ticks",
                 "checkpoint_every_ticks",
+                "indirect_probes",
+                "sample",
+                "coalesce_after",
             ),
         )
+        sample = data.get("sample")
         spec = cls(
             enabled=bool(data.get("enabled", True)),
             observer=data.get("observer"),
@@ -204,9 +238,18 @@ class SelfHealingSpec:
             evict_after=int(data.get("evict_after", 3)),
             heartbeat_every_ticks=int(data.get("heartbeat_every_ticks", 1)),
             checkpoint_every_ticks=int(data.get("checkpoint_every_ticks", 1)),
+            indirect_probes=int(data.get("indirect_probes", 0)),
+            sample=None if sample is None else int(sample),
+            coalesce_after=int(data.get("coalesce_after", 8)),
         )
         if spec.heartbeat_every_ticks < 1 or spec.checkpoint_every_ticks < 1:
             raise ScenarioError("self_healing: cadences must be >= 1 tick")
+        if spec.indirect_probes < 0:
+            raise ScenarioError("self_healing: indirect_probes must be >= 0")
+        if spec.sample is not None and spec.sample < 1:
+            raise ScenarioError("self_healing: sample must be >= 1 (or omitted)")
+        if spec.coalesce_after < 1:
+            raise ScenarioError("self_healing: coalesce_after must be >= 1")
         return spec
 
 
@@ -233,6 +276,10 @@ class WorkloadSpec:
 
     ``mode="rpc"`` invokes operations on a stub; ``mode="lookup"`` performs
     DVM namespace lookups (``ops`` are ignored) — the thundering-herd shape.
+    ``mode="shard_lookup"`` drives by-name queries against a
+    :class:`~repro.registry.sharded.ShardedRegistry` built over the same
+    fabric (``replication`` owners per name); killing a shard owner mid-run
+    exercises the replica-fallback path.
     ``mode="reactor"`` bypasses the simulated fabric entirely and drives a
     *real* reactor listener (:mod:`repro.transport.reactor`) with
     ``concurrency`` blocking caller threads per tick; ``server`` holds the
@@ -254,6 +301,7 @@ class WorkloadSpec:
     concurrency: int = 16
     server: Mapping[str, Any] | None = None
     call_timeout_s: float = 5.0
+    replication: int = 2  # shard_lookup only
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "WorkloadSpec":
@@ -270,11 +318,14 @@ class WorkloadSpec:
                 "concurrency",
                 "server",
                 "call_timeout_s",
+                "replication",
             ),
         )
         mode = data.get("mode", "rpc")
-        if mode not in ("rpc", "lookup", "reactor"):
+        if mode not in ("rpc", "lookup", "reactor", "shard_lookup"):
             raise ScenarioError(f"workload: unknown mode {mode!r}")
+        if "replication" in data and mode != "shard_lookup":
+            raise ScenarioError("workload: 'replication' needs mode='shard_lookup'")
         ops = tuple(OpSpec.from_dict(op) for op in data.get("ops", ()))
         if mode in ("rpc", "reactor") and not ops:
             raise ScenarioError(f"workload: {mode} mode needs at least one op")
@@ -300,6 +351,7 @@ class WorkloadSpec:
             concurrency=int(data.get("concurrency", 16)),
             server=server,
             call_timeout_s=float(data.get("call_timeout_s", 5.0)),
+            replication=int(data.get("replication", 2)),
         )
         if not spec.from_nodes:
             raise ScenarioError("workload: from_nodes must not be empty")
@@ -309,6 +361,8 @@ class WorkloadSpec:
             raise ScenarioError("workload: concurrency must be >= 1")
         if spec.call_timeout_s <= 0:
             raise ScenarioError("workload: call_timeout_s must be positive")
+        if spec.replication < 1:
+            raise ScenarioError("workload: replication must be >= 1")
         return spec
 
 

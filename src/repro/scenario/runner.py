@@ -71,6 +71,8 @@ def _build_network(manifest: ScenarioManifest):
         return _topology.mesh_neighborhoods(
             topo.hosts, topo.neighborhood, seed=manifest.seed
         )
+    if topo.kind == "random_regular":
+        return _topology.random_regular(topo.hosts, topo.degree, seed=manifest.seed)
     raise ScenarioError(f"unknown topology kind {topo.kind!r}")  # pragma: no cover
 
 
@@ -110,6 +112,8 @@ class ScenarioRuntime:
             self.network,
             coherency=manifest.dvm.coherency,
             neighborhood_radius=manifest.dvm.neighborhood_radius,
+            gossip_fanout=manifest.dvm.gossip_fanout,
+            gossip_seed=manifest.seed,
             events=self.events,
             clock=self.clock,
             lookup_cache_ttl_s=manifest.dvm.lookup_cache_ttl_s,
@@ -132,6 +136,9 @@ class ScenarioRuntime:
                 evict_after=healing.evict_after,
                 heartbeat_interval_s=healing.heartbeat_every_ticks * manifest.tick_s,
                 checkpoint_interval_s=healing.checkpoint_every_ticks * manifest.tick_s,
+                indirect_probes=healing.indirect_probes,
+                sample=healing.sample,
+                coalesce_after=healing.coalesce_after,
                 start_threads=False,
             )
 
@@ -275,6 +282,11 @@ def run_scenario(
             )
 
         def maintenance(global_tick: int) -> None:
+            # gossip-family coherency converges by anti-entropy rounds, one
+            # per tick — independent of whether self-healing is enabled
+            protocol = runtime.harness.dvm.protocol
+            if hasattr(protocol, "gossip_round"):
+                protocol.gossip_round()
             healing = manifest.self_healing
             if not healing.enabled:
                 return

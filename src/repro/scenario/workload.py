@@ -31,10 +31,20 @@ from repro.bindings.resilient import ResilientStub
 from repro.scenario.manifest import OpSpec, WorkloadSpec
 from repro.util.errors import HarnessError
 
-__all__ = ["CallRecord", "WorkloadStats", "WorkloadDriver", "ReactorWorkloadDriver"]
+__all__ = [
+    "CallRecord",
+    "WorkloadStats",
+    "WorkloadDriver",
+    "ReactorWorkloadDriver",
+    "LOOKUP_OP",
+    "SHARD_LOOKUP_OP",
+]
 
 #: special op name: perform a DVM namespace lookup instead of an invocation
 LOOKUP_OP = "__lookup__"
+
+#: special op name: by-name query against the sharded registry
+SHARD_LOOKUP_OP = "__shard_lookup__"
 
 
 @dataclass(frozen=True)
@@ -141,6 +151,22 @@ class WorkloadDriver:
         self._total_weight = total
         self.stats = WorkloadStats()
         self._call_index = 0
+        self._shards = None
+        if spec.mode == "shard_lookup":
+            # place every manifest service on its consistent-hash shard; the
+            # workload then point-queries by name while faults take owners down
+            from repro.bindings.stubs import load_type
+            from repro.registry.sharded import ShardedRegistry
+            from repro.tools.wsdlgen import generate_wsdl
+
+            self._shards = ShardedRegistry(
+                runtime.network, replication=spec.replication
+            )
+            for service in runtime.manifest.services:
+                self._shards.register(
+                    service.node,
+                    generate_wsdl(load_type(service.type), service_name=service.name),
+                )
 
     # -- stub management ----------------------------------------------------
 
@@ -203,13 +229,17 @@ class WorkloadDriver:
         runtime = self._runtime
         start = runtime.clock.now()
         sim_before = runtime.network.simulated_time
-        op_name = LOOKUP_OP if self._spec.mode == "lookup" else None
+        op_name = {"lookup": LOOKUP_OP, "shard_lookup": SHARD_LOOKUP_OP}.get(
+            self._spec.mode
+        )
         error: str | None = None
         typed = True
         ok = False
         try:
             if self._spec.mode == "lookup":
                 runtime.harness.lookup(node, self._spec.service)
+            elif self._spec.mode == "shard_lookup":
+                self._shards.lookup_name(node, self._spec.service)
             else:
                 op = self._choose_op()
                 op_name = op.op

@@ -182,3 +182,119 @@ class TestHeartbeatJitter:
         detector = FailureDetector(dvm, interval_s=0.25, jitter=0.0)
         assert [detector.next_interval() for _ in range(10)] == [0.25] * 10
         dvm.close()
+
+
+class TestIndirectProbing:
+    """SWIM ping-req: a broken observer path alone must not evict anybody."""
+
+    def test_asymmetric_path_is_refuted_by_proxies(self):
+        net, dvm = make_dvm(5)
+        detector = FailureDetector(
+            dvm, observer="node0", suspect_after=2, evict_after=3, indirect_probes=2, seed=4
+        )
+        # the observer cannot reach node1 at all, but every proxy can
+        net.set_link_faults("node0", "node1", drop_rate=1.0, symmetric=True)
+        for _ in range(10):
+            assert detector.tick() == []
+        assert detector.health("node1") is NodeHealth.ALIVE
+        assert dvm.nodes() == [f"node{i}" for i in range(5)]
+        dvm.close()
+
+    def test_truly_dead_member_still_evicted_through_nacks(self):
+        net, dvm = make_dvm(5)
+        detector = FailureDetector(
+            dvm, observer="node0", suspect_after=2, evict_after=3, indirect_probes=2, seed=4
+        )
+        net.host("node1").crash()
+        dead = []
+        for _ in range(3):
+            dead += detector.tick()
+        assert dead == ["node1"]
+        assert detector.health("node1") is NodeHealth.DEAD
+        dvm.close()
+
+    def test_probe_knobs_validated(self):
+        _net, dvm = make_dvm(2)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, indirect_probes=-1)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, sample=0)
+        with pytest.raises(DvmError):
+            FailureDetector(dvm, coalesce_after=0)
+        dvm.close()
+
+
+class TestCoalescing:
+    def test_small_cohort_keeps_per_member_events(self):
+        net, dvm = make_dvm(3)
+        suspected = []
+        dvm.events.subscribe("dvm.member.suspected", lambda e: suspected.append(e.payload))
+        detector = FailureDetector(
+            dvm, observer="node0", suspect_after=1, evict_after=3, coalesce_after=8
+        )
+        net.host("node2").crash()
+        detector.tick()
+        assert suspected == [{"node": "node2", "misses": 1}]
+        dvm.close()
+
+    def test_fleet_suspicions_and_evictions_coalesce(self):
+        from repro.dvm.state import DecentralizedState
+        from repro.netsim import lan as _lan
+
+        n = 1000
+        net = _lan(n, seed=6, detail_stats=False)
+        dvm = DistributedVirtualMachine(
+            "fleet", net, lambda network: DecentralizedState(network)
+        )
+        for i in range(n):
+            dvm.add_node(f"node{i}")
+        suspected, dead_events = [], []
+        dvm.events.subscribe("dvm.member.suspected", lambda e: suspected.append(e.payload))
+        dvm.events.subscribe("dvm.member.dead", lambda e: dead_events.append(e.payload))
+        detector = FailureDetector(
+            dvm, observer="node0", suspect_after=1, evict_after=2, coalesce_after=8
+        )
+        for i in range(1, n):
+            net.host(f"node{i}").crash()
+        assert detector.tick() == []
+        # 999 simultaneous suspicions: exactly one batched publication
+        assert len(suspected) == 1
+        assert suspected[0]["coalesced"] is True
+        assert suspected[0]["count"] == n - 1
+        dead = detector.tick()
+        assert len(dead) == n - 1
+        assert len(dead_events) == 1
+        assert dvm.nodes() == ["node0"]
+        dvm.close()
+
+
+class TestSampling:
+    def test_sample_covers_every_member_across_the_cycle(self):
+        _net, dvm = make_dvm(10)
+        detector = FailureDetector(dvm, observer="node0", sample=3, seed=11)
+        seen = set()
+        for _ in range(3):
+            picked = detector._probe_targets("node0")
+            assert len(picked) == 3
+            assert len(set(picked)) == 3
+            seen.update(picked)
+        assert seen == {f"node{i}" for i in range(1, 10)}
+        dvm.close()
+
+    def test_no_sample_probes_everyone(self):
+        _net, dvm = make_dvm(6)
+        detector = FailureDetector(dvm, observer="node0")
+        assert set(detector._probe_targets("node0")) == {f"node{i}" for i in range(1, 6)}
+        dvm.close()
+
+    def test_sampled_detector_still_evicts(self):
+        net, dvm = make_dvm(6)
+        detector = FailureDetector(
+            dvm, observer="node0", suspect_after=1, evict_after=2, sample=2, seed=3
+        )
+        net.host("node4").crash()
+        dead = []
+        for _ in range(12):  # sample=2 needs a few cycles to accrue misses
+            dead += detector.tick()
+        assert dead == ["node4"]
+        dvm.close()

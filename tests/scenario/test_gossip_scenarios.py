@@ -1,0 +1,160 @@
+"""Scenario-layer coverage for the gossip control plane additions."""
+
+import pytest
+
+from repro.scenario.checks import known_checks
+from repro.scenario.library import load_scenario, run_scenario
+from repro.scenario.manifest import parse_manifest
+from repro.util.errors import ScenarioError
+
+
+def minimal(**overrides) -> dict:
+    data = {
+        "name": "t",
+        "seed": 3,
+        "duration_s": 2.0,
+        "tick_s": 0.5,
+        "topology": {"kind": "lan", "hosts": 4},
+        "services": [
+            {
+                "name": "counter",
+                "type": "repro.plugins.services:CounterService",
+                "node": "node0",
+            }
+        ],
+        "workload": {
+            "service": "counter",
+            "from_nodes": ["node1"],
+            "ops": [{"op": "increment", "args": [1]}],
+        },
+        "checks": [{"check": "no_lost_calls"}],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestManifestExtensions:
+    def test_random_regular_topology_parses(self):
+        manifest = parse_manifest(
+            minimal(topology={"kind": "random_regular", "hosts": 6, "degree": 4})
+        )
+        assert manifest.topology.kind == "random_regular"
+        assert manifest.topology.degree == 4
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(ScenarioError):
+            parse_manifest(
+                minimal(topology={"kind": "random_regular", "hosts": 6, "degree": 0})
+            )
+        with pytest.raises(ScenarioError):
+            parse_manifest(
+                minimal(topology={"kind": "random_regular", "hosts": 4, "degree": 4})
+            )
+
+    def test_random_regular_odd_product_rejected(self):
+        with pytest.raises(ScenarioError, match="even"):
+            parse_manifest(
+                minimal(topology={"kind": "random_regular", "hosts": 5, "degree": 3})
+            )
+
+    def test_gossip_coherency_and_fanout(self):
+        manifest = parse_manifest(
+            minimal(dvm={"coherency": "gossip", "gossip_fanout": 3})
+        )
+        assert manifest.dvm.coherency == "gossip"
+        assert manifest.dvm.gossip_fanout == 3
+
+    def test_gossip_fanout_validated(self):
+        with pytest.raises(ScenarioError):
+            parse_manifest(minimal(dvm={"coherency": "gossip", "gossip_fanout": 0}))
+
+    def test_shard_lookup_workload_parses(self):
+        manifest = parse_manifest(
+            minimal(
+                workload={
+                    "service": "counter",
+                    "from_nodes": ["node1"],
+                    "mode": "shard_lookup",
+                    "replication": 3,
+                }
+            )
+        )
+        assert manifest.workload.mode == "shard_lookup"
+        assert manifest.workload.replication == 3
+
+    def test_replication_requires_shard_lookup_mode(self):
+        with pytest.raises(ScenarioError, match="replication"):
+            parse_manifest(
+                minimal(
+                    workload={
+                        "service": "counter",
+                        "from_nodes": ["node1"],
+                        "ops": [{"op": "increment", "args": [1]}],
+                        "replication": 2,
+                    }
+                )
+            )
+
+    def test_replication_validated(self):
+        with pytest.raises(ScenarioError):
+            parse_manifest(
+                minimal(
+                    workload={
+                        "service": "counter",
+                        "from_nodes": ["node1"],
+                        "mode": "shard_lookup",
+                        "replication": 0,
+                    }
+                )
+            )
+
+    def test_self_healing_swim_knobs(self):
+        manifest = parse_manifest(
+            minimal(
+                self_healing={
+                    "observer": "node0",
+                    "indirect_probes": 2,
+                    "sample": 5,
+                    "coalesce_after": 16,
+                }
+            )
+        )
+        healing = manifest.self_healing
+        assert healing.indirect_probes == 2
+        assert healing.sample == 5
+        assert healing.coalesce_after == 16
+
+    def test_self_healing_swim_knobs_validated(self):
+        for bad in (
+            {"observer": "node0", "indirect_probes": -1},
+            {"observer": "node0", "sample": 0},
+            {"observer": "node0", "coalesce_after": 0},
+        ):
+            with pytest.raises(ScenarioError):
+                parse_manifest(minimal(self_healing=bad))
+
+
+class TestConvergedWithinChecker:
+    def test_registered(self):
+        assert "converged_within" in known_checks()
+
+    def test_fails_on_non_gossip_scheme(self):
+        manifest = parse_manifest(
+            minimal(checks=[{"check": "converged_within", "deadline_s": 1.0}])
+        )
+        report = run_scenario(manifest)
+        verdict = next(c for c in report.checks if c.check == "converged_within")
+        assert not verdict.passed
+        assert "FullSynchronyState" in verdict.detail
+
+
+class TestBundledScenarios:
+    def test_gossip_partition_convergence_passes(self):
+        report = run_scenario(load_scenario("gossip-partition-convergence"))
+        assert report.passed, [c.detail for c in report.checks if not c.passed]
+        # the partition diverges the halves and the heal re-converges them
+        assert any(c.check == "converged_within" and c.passed for c in report.checks)
+
+    def test_registry_shard_loss_passes(self):
+        report = run_scenario(load_scenario("registry-shard-loss"))
+        assert report.passed, [c.detail for c in report.checks if not c.passed]
