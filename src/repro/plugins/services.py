@@ -24,6 +24,7 @@ __all__ = [
     "CounterService",
     "SaturationProbeService",
     "MetricsService",
+    "MailboxService",
 ]
 
 
@@ -189,3 +190,70 @@ class MetricsService:
     def names(self, prefix: str = "") -> list:
         """Just the instrument names (cheap remote discovery)."""
         return sorted(self.snapshot(prefix).get("metrics", {}))
+
+
+class MailboxService:
+    """A mailbox hub deployable as a *restartable* DVM component.
+
+    Wraps a :class:`~repro.messaging.broker.MessageBroker` behind flat
+    RPC-friendly verbs (ids and dicts, no handle objects) so any binding
+    can drive it, and pickles as the broker's snapshot — which is what
+    wires durable redelivery through the PR 1 failover path: checkpoints
+    carry every mailbox's backlog *and unacked in-flight messages*, and on
+    revival the restored broker closes the orphaned subscriptions and
+    requeues their unacked messages (flagged ``redelivered``) for whoever
+    subscribes next.  Deploy with ``restartable=True`` and the
+    :class:`~repro.recovery.failover.FailoverManager` does the rest.
+    """
+
+    def __init__(self) -> None:
+        from repro.messaging.broker import MessageBroker
+
+        self.broker = MessageBroker()
+
+    # -- RPC verbs ------------------------------------------------------------
+
+    def open(self, name: str, mode: str = "first-reader", capacity: int = 64,
+             overflow: str = "reject") -> bool:
+        self.broker.open(name, mode=mode, capacity=capacity, overflow=overflow)
+        return True
+
+    def publish(self, name: str, payload, publisher: str = "") -> int:
+        return self.broker.publish(name, payload, publisher=publisher)
+
+    def subscribe(self, name: str, subscriber: str = "") -> int:
+        return self.broker.subscribe(name, subscriber=subscriber).sub_id
+
+    def receive(self, name: str, sub_id: int) -> dict | None:
+        from repro.messaging.broker import Subscription
+
+        delivery = Subscription(self.broker, name, sub_id, "").try_receive()
+        if delivery is None:
+            return None
+        return {"delivery_id": delivery.delivery_id, "seq": delivery.seq,
+                "payload": delivery.payload, "redelivered": delivery.redelivered,
+                "attempt": delivery.attempt}
+
+    def ack(self, name: str, sub_id: int, delivery_id: int) -> bool:
+        from repro.messaging.broker import Subscription
+
+        Subscription(self.broker, name, sub_id, "").ack(delivery_id)
+        return True
+
+    def unsubscribe(self, name: str, sub_id: int, requeue: bool = True) -> bool:
+        self.broker._close_sub(name, sub_id, requeue=requeue)
+        return True
+
+    def stats(self, name: str) -> dict:
+        return self.broker.stats(name).as_dict()
+
+    # -- durability -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"snapshot": self.broker.snapshot()}
+
+    def __setstate__(self, state: dict) -> None:
+        from repro.messaging.broker import MessageBroker
+
+        self.broker = MessageBroker()
+        self.broker.restore(state["snapshot"])

@@ -47,6 +47,14 @@ Vocabulary:
     One last invocation must succeed, optionally matching ``expect`` or
     ``expect_min`` — proves end-to-end liveness (and, for a failed-over
     counter, restored state).
+``no_lost_messages``
+    Mailbox workloads only: every accepted publish is accounted for —
+    acked by some consumer or recorded as an ``mbox.dropped`` event; a seq
+    that simply vanished fails the check.  Requires
+    ``workload.mode == "mailbox"`` (the driver publishes the audit).
+``queue_depth_under``
+    Mailbox workloads only: the mailbox's high-water backlog never
+    exceeded ``bound`` — the overflow policy really bounded the queue.
 """
 
 from __future__ import annotations
@@ -238,6 +246,53 @@ def _max_call_s(ctx: CheckContext, params: Mapping) -> CheckResult:
         "max_call_s",
         worst <= bound,
         f"max_call={worst:.6f}s bound={bound}s over {ctx.stats.issued} calls",
+        dict(params),
+    )
+
+
+# -- messaging invariants -------------------------------------------------------
+
+
+def _mailbox_audit(ctx: CheckContext):
+    audit = getattr(ctx.runtime, "mailbox_audit", None)
+    if audit is None:
+        raise ScenarioError(
+            "no mailbox audit on the runtime (needs workload mode 'mailbox')"
+        )
+    return audit
+
+
+@_check("no_lost_messages")
+def _no_lost_messages(ctx: CheckContext, params: Mapping) -> CheckResult:
+    audit = _mailbox_audit(ctx)
+    published = set(audit["published"])
+    acked = set(audit["acked"])
+    dropped = set()
+    for rec in ctx.log.records("mbox.dropped"):
+        payload = rec.get("payload") or {}
+        if payload.get("mailbox") == audit["mailbox"] and "seq" in payload:
+            dropped.add(int(payload["seq"]))
+    lost = published - acked - dropped
+    detail = (
+        f"published={len(published)} acked={len(acked)} "
+        f"dropped={len(dropped & published)} lost={len(lost)}"
+    )
+    if lost:
+        detail += f" (e.g. seqs {sorted(lost)[:5]})"
+    return CheckResult("no_lost_messages", not lost, detail, dict(params))
+
+
+@_check("queue_depth_under")
+def _queue_depth_under(ctx: CheckContext, params: Mapping) -> CheckResult:
+    bound = int(params["bound"])
+    stats = _mailbox_audit(ctx)["stats"]()
+    high = int(stats.get("high_water", 0))
+    return CheckResult(
+        "queue_depth_under",
+        high <= bound,
+        f"high_water={high} bound={bound} "
+        f"(final depth={stats.get('depth', 0)}, "
+        f"rejected={stats.get('rejected', 0)}, dropped={stats.get('dropped', 0)})",
         dict(params),
     )
 

@@ -68,6 +68,22 @@ _SERVER_KEYS = frozenset(
     {"workers", "queue_max", "per_conn_max", "read_deadline_s"}
 )
 
+#: mailbox declaration a ``mode="mailbox"`` workload may configure
+_MAILBOX_KEYS = frozenset({"mode", "capacity", "overflow"})
+
+_MAILBOX_MODES = ("first-reader", "all-readers", "tap")
+_MAILBOX_OVERFLOWS = ("drop-oldest", "reject", "block-with-deadline")
+
+#: workload keys that only make sense for ``mode="mailbox"``
+_MAILBOX_ONLY_KEYS = (
+    "broker_node",
+    "consumers",
+    "consume_per_tick",
+    "ack_delay_ticks",
+    "lease_s",
+    "mailbox",
+)
+
 #: invocation-policy keys a manifest may set (mirrors ``InvocationPolicy``)
 _POLICY_KEYS = frozenset(
     {
@@ -286,6 +302,15 @@ class WorkloadSpec:
     listener's capacity knobs (``workers``/``queue_max``/``per_conn_max``/
     ``read_deadline_s``) and the manifest must set ``wall: true`` since
     real sockets do not run on a virtual clock.
+    ``mode="mailbox"`` runs a messaging broker
+    (:class:`~repro.messaging.bindings.SimMailboxHost` on ``broker_node``)
+    over the fabric: ``from_nodes`` publish ``calls_per_tick`` messages per
+    tick into the mailbox named by ``service`` and each node in
+    ``consumers`` drains up to ``consume_per_tick`` per tick, acking
+    ``ack_delay_ticks`` ticks later (>0 keeps deliveries in-flight so a
+    consumer crash leaves unacked messages to redeliver).  ``mailbox``
+    declares the queue (``mode``/``capacity``/``overflow``) and ``lease_s``
+    is the consumer-liveness lease in scenario seconds.
     ``policy`` holds raw :class:`~repro.bindings.policy.InvocationPolicy`
     kwargs; ``jitter`` defaults to 0.0 here (not the library default) so the
     retry schedule never consults an unseeded RNG.
@@ -302,6 +327,13 @@ class WorkloadSpec:
     server: Mapping[str, Any] | None = None
     call_timeout_s: float = 5.0
     replication: int = 2  # shard_lookup only
+    # mailbox mode only
+    broker_node: str = ""
+    consumers: tuple[str, ...] = ()
+    consume_per_tick: int = 1
+    ack_delay_ticks: int = 0
+    lease_s: float | None = 2.0
+    mailbox: Mapping[str, Any] | None = None
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "WorkloadSpec":
@@ -319,13 +351,32 @@ class WorkloadSpec:
                 "server",
                 "call_timeout_s",
                 "replication",
-            ),
+            )
+            + _MAILBOX_ONLY_KEYS,
         )
         mode = data.get("mode", "rpc")
-        if mode not in ("rpc", "lookup", "reactor", "shard_lookup"):
+        if mode not in ("rpc", "lookup", "reactor", "shard_lookup", "mailbox"):
             raise ScenarioError(f"workload: unknown mode {mode!r}")
         if "replication" in data and mode != "shard_lookup":
             raise ScenarioError("workload: 'replication' needs mode='shard_lookup'")
+        if mode != "mailbox":
+            for key in _MAILBOX_ONLY_KEYS:
+                if key in data:
+                    raise ScenarioError(f"workload: {key!r} needs mode='mailbox'")
+        mailbox = data.get("mailbox")
+        if mailbox is not None:
+            _strict(mailbox, "workload mailbox", (), tuple(_MAILBOX_KEYS))
+            mailbox = dict(mailbox)
+            if mailbox.get("mode", "first-reader") not in _MAILBOX_MODES:
+                raise ScenarioError(
+                    f"workload mailbox: unknown mode {mailbox['mode']!r} "
+                    f"(choose from {_MAILBOX_MODES})"
+                )
+            if mailbox.get("overflow", "reject") not in _MAILBOX_OVERFLOWS:
+                raise ScenarioError(
+                    f"workload mailbox: unknown overflow {mailbox['overflow']!r} "
+                    f"(choose from {_MAILBOX_OVERFLOWS})"
+                )
         ops = tuple(OpSpec.from_dict(op) for op in data.get("ops", ()))
         if mode in ("rpc", "reactor") and not ops:
             raise ScenarioError(f"workload: {mode} mode needs at least one op")
@@ -352,6 +403,13 @@ class WorkloadSpec:
             server=server,
             call_timeout_s=float(data.get("call_timeout_s", 5.0)),
             replication=int(data.get("replication", 2)),
+            broker_node=str(data.get("broker_node", "")),
+            consumers=tuple(str(n) for n in data.get("consumers", ())),
+            consume_per_tick=int(data.get("consume_per_tick", 1)),
+            ack_delay_ticks=int(data.get("ack_delay_ticks", 0)),
+            lease_s=(None if data.get("lease_s", 2.0) is None
+                     else float(data.get("lease_s", 2.0))),
+            mailbox=mailbox,
         )
         if not spec.from_nodes:
             raise ScenarioError("workload: from_nodes must not be empty")
@@ -363,6 +421,17 @@ class WorkloadSpec:
             raise ScenarioError("workload: call_timeout_s must be positive")
         if spec.replication < 1:
             raise ScenarioError("workload: replication must be >= 1")
+        if mode == "mailbox":
+            if not spec.broker_node:
+                raise ScenarioError("workload: mailbox mode needs 'broker_node'")
+            if not spec.consumers:
+                raise ScenarioError("workload: mailbox mode needs 'consumers'")
+            if spec.consume_per_tick < 1:
+                raise ScenarioError("workload: consume_per_tick must be >= 1")
+            if spec.ack_delay_ticks < 0:
+                raise ScenarioError("workload: ack_delay_ticks must be >= 0")
+            if spec.lease_s is not None and spec.lease_s <= 0:
+                raise ScenarioError("workload: lease_s must be positive (or null)")
         return spec
 
 

@@ -37,7 +37,12 @@ from repro.scenario.checks import CheckContext, run_checks
 from repro.scenario.events import EventLog, scrub
 from repro.scenario.faults import apply_fault
 from repro.scenario.manifest import ScenarioManifest, load_manifest
-from repro.scenario.workload import ReactorWorkloadDriver, WorkloadDriver, WorkloadStats
+from repro.scenario.workload import (
+    MailboxWorkloadDriver,
+    ReactorWorkloadDriver,
+    WorkloadDriver,
+    WorkloadStats,
+)
 from repro.util.clock import VirtualClock, WallClock
 from repro.util.errors import ScenarioError
 from repro.util.events import EventBus
@@ -272,11 +277,10 @@ def run_scenario(
             source="scenario",
         )
         if manifest.workload is not None:
-            driver_cls = (
-                ReactorWorkloadDriver
-                if manifest.workload.mode == "reactor"
-                else WorkloadDriver
-            )
+            driver_cls = {
+                "reactor": ReactorWorkloadDriver,
+                "mailbox": MailboxWorkloadDriver,
+            }.get(manifest.workload.mode, WorkloadDriver)
             driver = driver_cls(
                 runtime, manifest.workload, random.Random(f"{manifest.seed}:workload")
             )
@@ -322,6 +326,10 @@ def run_scenario(
             runtime.sample_flight_metrics()
         apply_due(manifest.duration_s)  # script entries timed at/after the last tick
 
+        # let the driver settle in-flight state (e.g. the mailbox driver's
+        # pending acks and final backlog drain) before invariants evaluate
+        if driver is not None and hasattr(driver, "finish"):
+            driver.finish()
         stats = driver.stats if driver is not None else WorkloadStats()
         checks = run_checks(
             CheckContext(manifest=manifest, runtime=runtime, stats=stats, log=runtime.log)

@@ -36,6 +36,7 @@ __all__ = [
     "WorkloadStats",
     "WorkloadDriver",
     "ReactorWorkloadDriver",
+    "MailboxWorkloadDriver",
     "LOOKUP_OP",
     "SHARD_LOOKUP_OP",
 ]
@@ -388,3 +389,253 @@ class ReactorWorkloadDriver:
         except Exception:
             pass
         self._server.close()
+
+
+class MailboxWorkloadDriver:
+    """``mode="mailbox"``: drive a messaging broker over the simulated fabric.
+
+    A :class:`~repro.messaging.bindings.SimMailboxHost` serves the mailbox
+    named by ``workload.service`` on ``broker_node``; ``from_nodes`` publish
+    ``calls_per_tick`` messages per tick and each ``consumers`` node drains
+    up to ``consume_per_tick``, acking ``ack_delay_ticks`` ticks later —
+    the in-flight window a ``kill`` fault exploits to leave unacked
+    deliveries behind.  Consumer liveness is lease-based on the *scenario*
+    clock (the broker is built on ``runtime.clock``, not network transfer
+    time): a killed consumer stops renewing, the sweep requeues its unacked
+    messages, and a survivor sees them flagged ``redelivered``.
+
+    Both publishes and successful consumes become :class:`CallRecord`\\ s
+    (ops ``publish``/``consume``); a full ``reject`` mailbox surfaces as a
+    typed ``MailboxFullError`` publish failure — real back-pressure, not a
+    latency proxy.  The driver keeps a message **audit** on the runtime
+    (``runtime.mailbox_audit``): every accepted publish's seq, every acked
+    seq, and a live broker-stats closure — what the ``no_lost_messages``
+    and ``queue_depth_under`` checkers reconcile against the event log's
+    ``mbox.dropped`` records.  :meth:`finish` runs after the last tick and
+    before the checks: it settles pending acks and drains the remaining
+    backlog so "still queued" never masquerades as "lost".
+    """
+
+    def __init__(self, runtime, spec: WorkloadSpec, rng: random.Random):
+        from repro.messaging.bindings import SimMailboxClient, SimMailboxHost
+        from repro.messaging.broker import MessageBroker
+
+        self._runtime = runtime
+        self._spec = spec
+        self._rng = rng
+        self.stats = WorkloadStats()
+        self._mailbox = spec.service
+        # lease deadlines must live on the scenario timeline (ticks), not on
+        # accumulated network-transfer seconds — hence an explicit broker on
+        # the scenario clock rather than SimMailboxHost's default _NetClock
+        broker = MessageBroker(
+            clock=runtime.clock, events=runtime.events, node=spec.broker_node
+        )
+        self._broker = broker
+        self._host = SimMailboxHost(runtime.network, spec.broker_node, broker=broker)
+        self._clients: dict[str, SimMailboxClient] = {}
+        cfg = dict(spec.mailbox or {})
+        self._client(spec.from_nodes[0]).open(
+            self._mailbox,
+            mode=cfg.get("mode", "first-reader"),
+            capacity=int(cfg.get("capacity", 64)),
+            overflow=cfg.get("overflow", "reject"),
+        )
+        self._subs = {}
+        for node in spec.consumers:
+            self._subs[node] = self._client(node).subscribe(
+                self._mailbox, subscriber=node, lease_s=spec.lease_s
+            )
+        # node -> [(ack-due tick, delivery), ...]
+        self._pending_acks: dict[str, list] = {node: [] for node in spec.consumers}
+        self._tick = 0
+        self._call_index = 0
+        self._n_published = 0
+        self.audit = {
+            "mailbox": self._mailbox,
+            "published": set(),
+            "acked": set(),
+            "stats": lambda: broker.stats(self._mailbox).as_dict(),
+        }
+        runtime.mailbox_audit = self.audit
+
+    def _client(self, node: str):
+        from repro.messaging.bindings import SimMailboxClient
+
+        client = self._clients.get(node)
+        if client is None:
+            client = SimMailboxClient(
+                self._runtime.network, node, self._spec.broker_node,
+                clock=self._runtime.clock,
+            )
+            self._clients[node] = client
+        return client
+
+    def _alive(self, node: str) -> bool:
+        return self._runtime.network.host(node).up
+
+    def step(self) -> dict:
+        self._tick += 1
+        issued = ok = 0
+        errors: dict[str, int] = {}
+
+        def record(rec: CallRecord) -> None:
+            nonlocal issued, ok
+            self.stats.add(rec)
+            issued += 1
+            if rec.ok:
+                ok += 1
+            elif rec.error:
+                errors[rec.error] = errors.get(rec.error, 0) + 1
+
+        for _ in range(self._spec.calls_per_tick):
+            node = self._spec.from_nodes[
+                self._call_index % len(self._spec.from_nodes)
+            ]
+            self._call_index += 1
+            record(self._publish_one(node))
+        self._flush_due_acks()
+        for node, sub in self._subs.items():
+            if not self._alive(node):
+                # a dead consumer never acks: its held deliveries stay
+                # unacked broker-side until the lease sweep requeues them
+                self._pending_acks[node].clear()
+                continue
+            for _ in range(self._spec.consume_per_tick):
+                rec = self._consume_one(node, sub)
+                if rec is None:
+                    break
+                record(rec)
+        return {"issued": issued, "ok": ok, "errors": dict(sorted(errors.items()))}
+
+    def _publish_one(self, node: str) -> CallRecord:
+        runtime = self._runtime
+        start = runtime.clock.now()
+        sim_before = runtime.network.simulated_time
+        error: str | None = None
+        typed = True
+        ok = False
+        try:
+            seq = self._client(node).publish(
+                self._mailbox, {"n": self._n_published}, publisher=node
+            )
+            self.audit["published"].add(seq)
+            self._n_published += 1
+            ok = True
+        except HarnessError as exc:
+            error = type(exc).__name__
+        except Exception as exc:  # untyped escape: a defect the checkers flag
+            error = type(exc).__name__
+            typed = False
+        runtime.credit(runtime.network.simulated_time - sim_before)
+        return CallRecord(
+            op="publish", t=round(start, 9), ok=ok, error=error, typed=typed,
+            latency_s=round(runtime.clock.now() - start, 9),
+        )
+
+    def _consume_one(self, node: str, sub) -> CallRecord | None:
+        runtime = self._runtime
+        start = runtime.clock.now()
+        sim_before = runtime.network.simulated_time
+        error: str | None = None
+        typed = True
+        ok = False
+        empty = False
+        try:
+            delivery = sub.try_receive()
+            if delivery is None:
+                empty = True
+            else:
+                if self._spec.ack_delay_ticks <= 0:
+                    sub.ack(delivery)
+                    self.audit["acked"].add(delivery.seq)
+                else:
+                    self._pending_acks[node].append(
+                        (self._tick + self._spec.ack_delay_ticks, delivery)
+                    )
+                ok = True
+        except HarnessError as exc:
+            error = type(exc).__name__
+        except Exception as exc:
+            error = type(exc).__name__
+            typed = False
+        runtime.credit(runtime.network.simulated_time - sim_before)
+        if empty:
+            return None
+        return CallRecord(
+            op="consume", t=round(start, 9), ok=ok, error=error, typed=typed,
+            latency_s=round(runtime.clock.now() - start, 9),
+        )
+
+    def _flush_due_acks(self, everything: bool = False) -> None:
+        for node, pending in self._pending_acks.items():
+            if not self._alive(node):
+                pending.clear()
+                continue
+            keep = []
+            for due, delivery in pending:
+                if not everything and due > self._tick:
+                    keep.append((due, delivery))
+                    continue
+                sim_before = self._runtime.network.simulated_time
+                try:
+                    self._subs[node].ack(delivery)
+                    self.audit["acked"].add(delivery.seq)
+                except HarnessError:
+                    # the lease sweep beat us to it — the delivery was
+                    # already requeued, so it stays accounted as in flight
+                    pass
+                self._runtime.credit(
+                    self._runtime.network.simulated_time - sim_before
+                )
+            pending[:] = keep
+
+    def finish(self) -> None:
+        """Settle the run before the checks: acks out, backlog drained."""
+        self._flush_due_acks(everything=True)
+        self._drain({n: s for n, s in self._subs.items() if self._alive(n)})
+        # a consumer killed near the end may still hold a live lease; age
+        # every lease out and sweep so its unacked messages requeue.  The
+        # advance lapses the survivors' leases too, so the requeued backlog
+        # is drained through a fresh subscription from a live node.
+        dead = [node for node in self._subs if not self._alive(node)]
+        if dead and self._spec.lease_s is not None:
+            if self._runtime.virtual:
+                self._runtime.clock.sleep(self._spec.lease_s)
+            survivor = next(
+                (n for n in (*self._spec.consumers, *self._spec.from_nodes)
+                 if self._alive(n)),
+                None,
+            )
+            if survivor is not None:
+                self._client(survivor).stats(self._mailbox)  # triggers the sweep
+                drain_sub = self._client(survivor).subscribe(
+                    self._mailbox, subscriber=f"{survivor}:drain", lease_s=None
+                )
+                self._drain({survivor: drain_sub})
+                drain_sub.close(requeue=False)
+
+    def _drain(self, subs: dict) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for node, sub in subs.items():
+                if not self._alive(node):
+                    continue
+                try:
+                    delivery = sub.try_receive()
+                except HarnessError:
+                    continue  # subscription lapsed mid-drain; others carry on
+                if delivery is not None:
+                    sub.ack(delivery)
+                    self.audit["acked"].add(delivery.seq)
+                    progressed = True
+
+    def close(self) -> None:
+        for node, sub in self._subs.items():
+            if self._alive(node):
+                try:
+                    sub.close(requeue=False)
+                except HarnessError:
+                    pass
+        self._host.close()

@@ -244,11 +244,16 @@ class Job:
     ``close_after``
         True when the connection must close once the reply is flushed
         (e.g. HTTP ``Connection: close``).
+    ``wants_conn``
+        True when the job needs a handle on its originating connection
+        (set as ``job.conn`` before dispatch) — how subscription-style
+        protocols learn where to :meth:`ReactorServer.push` frames later.
     """
 
     __slots__ = ()
 
     close_after = False
+    wants_conn = False
 
     def run(self, app_handler):  # pragma: no cover - interface
         raise NotImplementedError
@@ -337,6 +342,10 @@ class ReactorServer:
         self._wake_w.setblocking(False)
         self._conns: dict[int, _Connection] = {}
         self._next_key = 0
+        #: optional callback fired (on the reactor thread) when a connection
+        #: dies — subscription protocols hook consumer-death detection here.
+        #: Must not block: it runs inside the event loop.
+        self.on_conn_close = None
         self._completions: deque = deque()  # (conn, buffers|None, token|None, close_after)
         self._running = True
         self._accepting = True
@@ -360,6 +369,20 @@ class ReactorServer:
         """Hand a finished response to the reactor thread for writing."""
         self._completions.append((conn, buffers, token, close_after))
         self._wake()
+
+    def push(self, conn: _Connection, buffers) -> bool:
+        """Queue unsolicited *buffers* on *conn*'s outbox (server push).
+
+        Callable from any thread; the write happens on the reactor thread
+        through the same per-connection outbox as replies, so pushes and
+        replies never interleave mid-frame.  Returns ``False`` when the
+        connection is already closed (the frame is dropped — the caller's
+        redelivery machinery owns the message, not the wire).
+        """
+        if conn.closed:
+            return False
+        self._complete(conn, buffers, None, False)
+        return True
 
     def close(self, drain_s: float = 1.0) -> None:
         """Stop accepting, drain in-flight requests, then tear down.
@@ -503,6 +526,8 @@ class ReactorServer:
                 conn.deadline = None
 
     def _dispatch(self, conn: _Connection, job: Job) -> None:
+        if getattr(job, "wants_conn", False):
+            job.conn = conn
         token = self.admission.try_admit(conn.key)
         if token is None:
             self._enqueue(conn, job.busy_reply(), None, job.close_after)
@@ -629,3 +654,9 @@ class ReactorServer:
             if token is not None:
                 token.release()
         _CONNS.set(len(self._conns))
+        callback = self.on_conn_close
+        if callback is not None:
+            try:
+                callback(conn)
+            except Exception:
+                _LOOP_ERRORS.inc()

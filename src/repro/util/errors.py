@@ -35,6 +35,8 @@ __all__ = [
     "CoherencyError",
     "PluginError",
     "PluginLoadError",
+    "MessagingError",
+    "MailboxFullError",
     "HarnessTimeoutError",
     "MigrationError",
     "RecoveryError",
@@ -149,6 +151,28 @@ class PluginError(HarnessError):
 
 class PluginLoadError(PluginError):
     """A plugin could not be located, loaded, or instantiated."""
+
+
+class MessagingError(HarnessError):
+    """A mailbox/pub-sub messaging operation failed or was misused."""
+
+
+class MailboxFullError(MessagingError):
+    """A bounded mailbox rejected a publish because it was at capacity.
+
+    Raised only under the ``reject`` overflow policy (DESIGN.md §15): the
+    message was *not* enqueued, so the publisher may retry after draining
+    back-pressure clears.  Under ``drop-oldest`` the queue instead evicts
+    its head (observable as an ``mbox.dropped`` bus event), and under
+    ``block-with-deadline`` the publisher waits and gets a
+    :class:`HarnessTimeoutError` on expiry — there is no silent loss in
+    any mode."""
+
+    def __init__(self, mailbox: str, capacity: int, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"mailbox {mailbox!r} is full (capacity {capacity}){suffix}")
+        self.mailbox = mailbox
+        self.capacity = capacity
 
 
 class HarnessTimeoutError(HarnessError, TimeoutError):

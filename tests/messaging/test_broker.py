@@ -1,0 +1,429 @@
+"""Broker-level conformance: the normative semantics of DESIGN.md §15.
+
+Everything here exercises :class:`~repro.messaging.broker.MessageBroker`
+directly — the reference semantics every binding must preserve.  The
+cross-binding battery (``test_bindings.py``) re-checks the same contracts
+through the inproc, sim and TCP surfaces.
+"""
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.messaging.broker import (
+    DELIVERY_MODES,
+    OVERFLOW_POLICIES,
+    Delivery,
+    MessageBroker,
+)
+from repro.util.clock import VirtualClock
+from repro.util.errors import HarnessTimeoutError, MailboxFullError, MessagingError
+from repro.util.events import EventBus
+
+
+def make_broker(**kwargs):
+    kwargs.setdefault("clock", VirtualClock())
+    return MessageBroker(**kwargs)
+
+
+def drain(sub, limit=1000):
+    """Pop-and-ack everything queued; returns the deliveries in order."""
+    out = []
+    while len(out) < limit:
+        delivery = sub.try_receive()
+        if delivery is None:
+            break
+        sub.ack(delivery)
+        out.append(delivery)
+    return out
+
+
+class TestDeclaration:
+    def test_modes_and_policies_are_the_documented_trios(self):
+        assert DELIVERY_MODES == ("first-reader", "all-readers", "tap")
+        assert OVERFLOW_POLICIES == ("drop-oldest", "reject", "block-with-deadline")
+
+    def test_open_is_idempotent(self):
+        broker = make_broker()
+        broker.open("box", mode="first-reader", capacity=8, overflow="reject")
+        broker.open("box", mode="first-reader", capacity=8, overflow="reject")
+        assert broker.mailbox_names() == ["box"]
+
+    def test_conflicting_redeclaration_is_typed(self):
+        broker = make_broker()
+        broker.open("box", capacity=8)
+        with pytest.raises(MessagingError, match="already open"):
+            broker.open("box", capacity=9)
+
+    def test_unknown_mode_and_policy_rejected(self):
+        broker = make_broker()
+        with pytest.raises(MessagingError, match="delivery mode"):
+            broker.open("a", mode="broadcast")
+        with pytest.raises(MessagingError, match="overflow policy"):
+            broker.open("b", overflow="explode")
+        with pytest.raises(MessagingError, match="capacity"):
+            broker.open("c", capacity=0)
+
+    def test_tap_coerces_overflow_to_drop_oldest(self):
+        broker = make_broker()
+        broker.open("t", mode="tap", overflow="reject")
+        assert broker.describe("t")["overflow"] == "drop-oldest"
+
+    def test_operations_on_unopened_mailbox_are_typed(self):
+        broker = make_broker()
+        with pytest.raises(MessagingError, match="not open"):
+            broker.publish("ghost", 1)
+        with pytest.raises(MessagingError, match="not open"):
+            broker.subscribe("ghost")
+
+
+class TestFirstReader:
+    def test_each_message_consumed_exactly_once(self):
+        broker = make_broker()
+        broker.open("jobs", capacity=32)
+        a = broker.subscribe("jobs", "a")
+        b = broker.subscribe("jobs", "b")
+        for i in range(10):
+            broker.publish("jobs", i)
+        seen = []
+        while True:
+            progressed = False
+            for sub in (a, b):
+                delivery = sub.try_receive()
+                if delivery is not None:
+                    sub.ack(delivery)
+                    seen.append(delivery.seq)
+                    progressed = True
+            if not progressed:
+                break
+        assert sorted(seen) == list(range(1, 11))
+        assert len(seen) == len(set(seen))
+        stats = broker.stats("jobs")
+        assert stats.published == stats.delivered == stats.acked == 10
+        assert stats.depth == 0
+
+    def test_unacked_requeue_at_front_on_close(self):
+        broker = make_broker()
+        broker.open("jobs", capacity=32)
+        a = broker.subscribe("jobs", "a")
+        for i in range(3):
+            broker.publish("jobs", i)
+        taken = [a.receive(timeout=0) for _ in range(2)]  # held, never acked
+        assert [d.seq for d in taken] == [1, 2]
+        a.close(requeue=True)
+        b = broker.subscribe("jobs", "b")
+        redelivered = drain(b)
+        assert [d.seq for d in redelivered] == [1, 2, 3]
+        assert [d.redelivered for d in redelivered] == [True, True, False]
+        assert [d.attempt for d in redelivered] == [2, 2, 1]
+
+    def test_nack_requeues_for_immediate_redelivery(self):
+        broker = make_broker()
+        broker.open("jobs", capacity=8)
+        sub = broker.subscribe("jobs")
+        broker.publish("jobs", "x")
+        first = sub.receive(timeout=0)
+        sub.nack(first)
+        second = sub.receive(timeout=0)
+        assert second.seq == first.seq
+        assert second.redelivered is True and second.attempt == 2
+        sub.ack(second)
+        assert broker.stats("jobs").acked == 1
+
+    def test_ack_of_unknown_delivery_is_typed(self):
+        broker = make_broker()
+        broker.open("jobs")
+        sub = broker.subscribe("jobs")
+        with pytest.raises(MessagingError, match="unknown delivery"):
+            sub.ack(9999)
+
+    def test_lease_expiry_requeues_like_consumer_death(self):
+        clock = VirtualClock()
+        broker = MessageBroker(clock=clock)
+        broker.open("jobs", capacity=8)
+        doomed = broker.subscribe("jobs", "doomed", lease_s=1.0)
+        broker.publish("jobs", "work")
+        held = doomed.receive(timeout=0)
+        assert held.seq == 1
+        clock.advance(2.0)
+        victims = broker.sweep_leases()
+        assert victims == [("jobs", doomed.sub_id)]
+        survivor = broker.subscribe("jobs", "survivor")
+        redelivery = survivor.receive(timeout=0)
+        assert redelivery.seq == 1 and redelivery.redelivered is True
+
+
+class TestAllReaders:
+    def test_every_subscriber_gets_its_own_copy_in_order(self):
+        broker = make_broker()
+        broker.open("news", mode="all-readers", capacity=16)
+        a = broker.subscribe("news", "a")
+        b = broker.subscribe("news", "b")
+        for i in range(4):
+            broker.publish("news", i)
+        for sub in (a, b):
+            got = drain(sub)
+            assert [d.seq for d in got] == [1, 2, 3, 4]
+            assert [d.payload for d in got] == [0, 1, 2, 3]
+        assert broker.stats("news").delivered == 8
+
+    def test_late_subscriber_sees_only_later_messages(self):
+        broker = make_broker()
+        broker.open("news", mode="all-readers", capacity=16)
+        early = broker.subscribe("news", "early")
+        broker.publish("news", "before")
+        late = broker.subscribe("news", "late")
+        broker.publish("news", "after")
+        assert [d.payload for d in drain(early)] == ["before", "after"]
+        assert [d.payload for d in drain(late)] == ["after"]
+
+    def test_publish_with_no_subscribers_is_a_counted_drop(self):
+        bus = EventBus()
+        dropped = []
+        bus.subscribe("mbox.dropped", lambda e: dropped.append(e.payload))
+        broker = make_broker(events=bus)
+        broker.open("news", mode="all-readers", capacity=16)
+        seq = broker.publish("news", "into the void")
+        assert broker.stats("news").dropped == 1
+        assert dropped and dropped[0]["seq"] == seq
+        assert dropped[0]["reason"] == "no_subscribers"
+
+
+class TestTap:
+    def test_tap_auto_acks_and_never_holds_messages(self):
+        broker = make_broker()
+        broker.open("trace", mode="tap", capacity=8)
+        sub = broker.subscribe("trace")
+        broker.publish("trace", "observed")
+        delivery = sub.receive(timeout=0)
+        assert broker.stats("trace").acked == 1  # acked on delivery
+        sub.ack(delivery)  # explicit ack is a harmless no-op
+        assert broker.stats("trace").acked == 1
+
+    def test_full_tap_evicts_oldest_instead_of_back_pressuring(self):
+        bus = EventBus()
+        drops = []
+        bus.subscribe("mbox.dropped", lambda e: drops.append(e.payload["seq"]))
+        broker = make_broker(events=bus)
+        broker.open("trace", mode="tap", capacity=2)
+        sub = broker.subscribe("trace")
+        for i in range(5):
+            broker.publish("trace", i)  # must never raise
+        got = []
+        while True:
+            delivery = sub.try_receive()
+            if delivery is None:
+                break
+            got.append(delivery.seq)
+        assert got == [4, 5]  # the newest `capacity` messages survive
+        assert drops == [1, 2, 3]
+        assert broker.stats("trace").dropped == 3
+
+
+class TestOverflowBoundaries:
+    """The queue at *exactly* capacity: the message either lands, is
+    rejected typed, is dropped-with-event, or the publisher blocks —
+    never silent loss."""
+
+    def test_exactly_full_admits_without_loss(self):
+        for overflow in OVERFLOW_POLICIES:
+            broker = make_broker()
+            broker.open("box", capacity=3, overflow=overflow)
+            for i in range(3):  # fills to exactly capacity
+                broker.publish("box", i)
+            stats = broker.stats("box")
+            assert stats.depth == 3 and stats.dropped == 0 and stats.rejected == 0
+
+    def test_reject_raises_typed_and_enqueues_nowhere(self):
+        broker = make_broker()
+        broker.open("box", capacity=2, overflow="reject")
+        broker.publish("box", 0)
+        broker.publish("box", 1)
+        with pytest.raises(MailboxFullError) as err:
+            broker.publish("box", 2)
+        assert err.value.mailbox == "box"
+        assert err.value.capacity == 2
+        stats = broker.stats("box")
+        assert stats.depth == 2 and stats.rejected == 1 and stats.published == 2
+        sub = broker.subscribe("box")
+        assert [d.payload for d in drain(sub)] == [0, 1]
+
+    def test_drop_oldest_evicts_head_with_event(self):
+        bus = EventBus()
+        drops = []
+        bus.subscribe("mbox.dropped", lambda e: drops.append(e.payload))
+        broker = make_broker(events=bus)
+        broker.open("box", capacity=2, overflow="drop-oldest")
+        for i in range(3):
+            broker.publish("box", i)
+        assert len(drops) == 1
+        assert drops[0]["seq"] == 1 and drops[0]["reason"] == "overflow"
+        sub = broker.subscribe("box")
+        assert [d.seq for d in drain(sub)] == [2, 3]
+        assert broker.stats("box").high_water == 2  # bound never exceeded
+
+    def test_block_with_deadline_expires_deterministically(self):
+        clock = VirtualClock()
+        broker = MessageBroker(clock=clock)
+        broker.open("box", capacity=1, overflow="block-with-deadline")
+        broker.publish("box", 0)
+        start = clock.now()
+        with pytest.raises(HarnessTimeoutError):
+            broker.publish("box", 1, timeout_s=0.25)
+        # the virtual clock advanced to exactly the deadline — reproducible
+        assert clock.now() == pytest.approx(start + 0.25)
+        assert broker.stats("box").depth == 1
+
+    def test_block_with_deadline_unblocks_when_consumer_frees_space(self):
+        broker = MessageBroker()  # wall clock: real condvar park
+        broker.open("box", capacity=1, overflow="block-with-deadline")
+        broker.publish("box", 0)
+        sub = broker.subscribe("box")
+        result = {}
+
+        def blocked_publish():
+            result["seq"] = broker.publish("box", 1, timeout_s=5.0)
+
+        publisher = threading.Thread(target=blocked_publish)
+        publisher.start()
+        time.sleep(0.05)  # let the publisher park
+        first = sub.receive(timeout=1.0)  # pop frees the slot
+        publisher.join(timeout=5.0)
+        assert not publisher.is_alive()
+        assert result["seq"] == 2 and first.seq == 1
+
+    def test_all_readers_reject_checks_every_subscriber(self):
+        broker = make_broker()
+        broker.open("news", mode="all-readers", capacity=2, overflow="reject")
+        fast = broker.subscribe("news", "fast")
+        slow = broker.subscribe("news", "slow")
+        broker.publish("news", 0)
+        broker.publish("news", 1)
+        drain(fast)  # fast is empty again; slow still holds 2
+        with pytest.raises(MailboxFullError, match="slow"):
+            broker.publish("news", 2)
+        # the rejected message reached nobody — not even the fast reader
+        assert fast.try_receive() is None
+
+
+class TestPollSemantics:
+    def test_timeout_zero_returns_queued_message(self):
+        broker = make_broker()
+        broker.open("box")
+        sub = broker.subscribe("box")
+        broker.publish("box", "ready")
+        assert sub.receive(timeout=0).payload == "ready"
+
+    def test_timeout_zero_on_empty_raises_without_blocking(self):
+        broker = MessageBroker()  # wall clock: prove no real waiting
+        broker.open("box")
+        sub = broker.subscribe("box")
+        started = time.monotonic()
+        with pytest.raises(HarnessTimeoutError):
+            sub.receive(timeout=0)
+        assert time.monotonic() - started < 0.1
+
+    def test_try_receive_returns_none_on_empty(self):
+        broker = make_broker()
+        broker.open("box")
+        sub = broker.subscribe("box")
+        assert sub.try_receive() is None
+
+    def test_blocking_receive_woken_by_publish(self):
+        broker = MessageBroker()
+        broker.open("box")
+        sub = broker.subscribe("box")
+        got = {}
+
+        def receiver():
+            got["delivery"] = sub.receive(timeout=5.0)
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        time.sleep(0.05)
+        broker.publish("box", "wake up")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got["delivery"].payload == "wake up"
+
+    def test_closed_subscription_is_typed_not_silent(self):
+        broker = make_broker()
+        broker.open("box")
+        sub = broker.subscribe("box")
+        sub.close()
+        assert sub.closed
+        with pytest.raises(MessagingError):
+            sub.try_receive()
+
+
+class TestDurability:
+    def test_snapshot_restore_requeues_in_flight(self):
+        broker = make_broker()
+        broker.open("orders", capacity=16)
+        sub = broker.subscribe("orders", "worker")
+        for i in range(3):
+            broker.publish("orders", {"n": i})
+        held = sub.receive(timeout=0)  # in flight, never acked
+        assert held.seq == 1
+
+        blob = pickle.dumps(broker.snapshot())  # the failover checkpoint path
+        revived = make_broker()
+        revived.restore(pickle.loads(blob))
+
+        assert revived.describe("orders")["capacity"] == 16
+        fresh = revived.subscribe("orders", "successor")
+        out = drain(fresh)
+        assert [d.seq for d in out] == [1, 2, 3]
+        assert out[0].redelivered is True and out[0].attempt == 2
+        assert out[1].redelivered is False
+
+    def test_restored_seq_numbers_continue(self):
+        broker = make_broker()
+        broker.open("orders")
+        broker.publish("orders", "a")
+        revived = make_broker()
+        revived.restore(pickle.loads(pickle.dumps(broker.snapshot())))
+        assert revived.publish("orders", "b") == 2
+
+
+class TestEventsAndStats:
+    def test_redelivered_event_carries_seqs_and_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("mbox.redelivered", lambda e: seen.append(e.payload))
+        broker = make_broker(events=bus, node="n0")
+        broker.open("jobs", capacity=8)
+        sub = broker.subscribe("jobs", "worker-a")
+        broker.publish("jobs", 0)
+        broker.publish("jobs", 1)
+        sub.receive(timeout=0)
+        sub.receive(timeout=0)
+        sub.close(requeue=True)
+        assert seen == [{"mailbox": "jobs", "seqs": [1, 2], "subscriber": "worker-a"}]
+
+    def test_dropped_event_names_mailbox_seq_and_reason(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("mbox.dropped", lambda e: seen.append(e.payload))
+        broker = make_broker(events=bus)
+        broker.open("jobs", capacity=8)
+        sub = broker.subscribe("jobs")
+        broker.publish("jobs", "x", publisher="origin")
+        sub.receive(timeout=0)
+        sub.close(requeue=False)  # explicit discard: dropped, with event
+        assert seen == [{"mailbox": "jobs", "seq": 1,
+                         "reason": "discarded_on_close", "subscriber": "1",
+                         "publisher": "origin"}]
+
+    def test_high_water_tracks_peak_backlog(self):
+        broker = make_broker()
+        broker.open("jobs", capacity=10)
+        for i in range(7):
+            broker.publish("jobs", i)
+        sub = broker.subscribe("jobs")
+        drain(sub)
+        stats = broker.stats("jobs")
+        assert stats.high_water == 7 and stats.depth == 0
+        assert stats.as_dict()["high_water"] == 7

@@ -1,0 +1,179 @@
+"""TCP-binding specifics: push multiplexing, credit flow, connection death.
+
+The cross-binding battery already proves the TCP surface preserves broker
+semantics; this file covers what only exists on the wire — server push
+over one multiplexed socket, prefetch credits as flow control, and the
+``on_conn_close`` hook that turns a dead connection into redelivery.
+"""
+
+import time
+
+import pytest
+
+from repro.messaging.broker import MessageBroker
+from repro.messaging.tcpbind import (
+    DEFAULT_PREFETCH,
+    MailboxTcpClient,
+    MailboxTcpServer,
+)
+from repro.util.errors import MessagingError
+from repro.util.events import EventBus
+
+
+@pytest.fixture
+def server():
+    bus = EventBus()
+    broker = MessageBroker(events=bus, node="hub")
+    srv = MailboxTcpServer(broker)
+    srv.bus = bus
+    yield srv
+    srv.close(drain_s=0.5)
+
+
+def connect(server, **kwargs):
+    return MailboxTcpClient(*server.address, timeout_s=10.0, **kwargs)
+
+
+def wait_for(predicate, budget_s=5.0):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestConnectionDeath:
+    def test_dead_connection_redelivers_unacked_to_survivor(self, server):
+        victim = connect(server)
+        survivor = connect(server)
+        try:
+            victim.open("jobs", capacity=16)
+            victim_sub = victim.subscribe("jobs", subscriber="victim")
+            for i in range(3):
+                survivor.publish("jobs", i)
+            # the victim consumes one and acks nothing
+            held = victim_sub.receive(timeout=2.0)
+            assert held.seq in (1, 2, 3)
+
+            victim.close()  # connection death, not a polite unsubscribe
+
+            sub = survivor.subscribe("jobs", subscriber="survivor")
+            got = []
+            while len(got) < 3:
+                got.append(sub.receive(timeout=5.0))
+                sub.ack(got[-1])
+            assert sorted(d.seq for d in got) == [1, 2, 3]
+            # everything the victim's connection held was flagged on redelivery
+            assert all(d.redelivered for d in got if d.seq == held.seq)
+            assert server.broker.stats("jobs").acked == 3
+        finally:
+            survivor.close()
+
+    def test_conn_close_fires_redelivered_event(self, server):
+        seen = []
+        server.bus.subscribe("mbox.redelivered", lambda e: seen.append(e.payload))
+        client = connect(server)
+        other = connect(server)
+        try:
+            client.open("jobs", capacity=8)
+            client.subscribe("jobs", subscriber="doomed")
+            client.publish("jobs", "payload")
+            assert wait_for(lambda: server.broker.stats("jobs").delivered == 1)
+            client.close()
+            assert wait_for(lambda: seen)
+            assert seen[0]["mailbox"] == "jobs"
+            assert seen[0]["subscriber"] == "doomed"
+        finally:
+            other.close()
+
+
+class TestCreditFlow:
+    def test_prefetch_bounds_unacked_pushes(self, server):
+        client = connect(server)
+        try:
+            client.open("paced", capacity=64)
+            sub = client.subscribe("paced", subscriber="slow", prefetch=2)
+            for i in range(5):
+                client.publish("paced", i)
+            # only `prefetch` deliveries leave the broker while nothing is acked
+            assert wait_for(lambda: server.broker.stats("paced").delivered == 2)
+            time.sleep(0.1)
+            assert server.broker.stats("paced").delivered == 2
+            assert server.broker.stats("paced").depth == 3  # rest stays shared
+
+            # acking replenishes credits: the backlog then drains completely
+            got = [sub.receive(timeout=2.0) for _ in range(2)]
+            for delivery in got:
+                sub.ack(delivery)
+            while len(got) < 5:
+                delivery = sub.receive(timeout=5.0)
+                sub.ack(delivery)
+                got.append(delivery)
+            assert sorted(d.seq for d in got) == [1, 2, 3, 4, 5]
+            assert server.broker.stats("paced").acked == 5
+        finally:
+            client.close()
+
+    def test_default_prefetch_is_documented_value(self):
+        assert DEFAULT_PREFETCH == 32
+
+
+class TestMultiplexing:
+    def test_many_subscriptions_share_one_socket(self, server):
+        client = connect(server)
+        try:
+            client.open("alpha", capacity=8)
+            client.open("beta", capacity=8)
+            sub_a = client.subscribe("alpha", subscriber="a")
+            sub_b = client.subscribe("beta", subscriber="b")
+            client.publish("alpha", "for-a")
+            client.publish("beta", "for-b")
+            assert sub_a.receive(timeout=2.0).payload == "for-a"
+            assert sub_b.receive(timeout=2.0).payload == "for-b"
+            # routing is exact: neither queue holds the other's message
+            assert sub_a.try_receive() is None
+            assert sub_b.try_receive() is None
+        finally:
+            client.close()
+
+    def test_push_order_matches_publish_order_per_subscription(self, server):
+        client = connect(server)
+        try:
+            client.open("ordered", mode="all-readers", capacity=32)
+            sub = client.subscribe("ordered", subscriber="reader")
+            for i in range(8):
+                client.publish("ordered", i)
+            got = [sub.receive(timeout=2.0) for _ in range(8)]
+            assert [d.payload for d in got] == list(range(8))
+            for delivery in got:
+                sub.ack(delivery)
+        finally:
+            client.close()
+
+
+class TestWireFaults:
+    def test_unknown_op_is_a_typed_messaging_error(self, server):
+        client = connect(server)
+        try:
+            with pytest.raises(MessagingError, match="unknown mailbox op"):
+                client._request({"op": "bogus"})
+        finally:
+            client.close()
+
+    def test_unsubscribe_without_requeue_discards_with_events(self, server):
+        drops = []
+        server.bus.subscribe("mbox.dropped", lambda e: drops.append(e.payload))
+        client = connect(server)
+        try:
+            client.open("jobs", capacity=8)
+            sub = client.subscribe("jobs", subscriber="careless")
+            client.publish("jobs", "a")
+            client.publish("jobs", "b")
+            assert wait_for(lambda: server.broker.stats("jobs").delivered == 2)
+            sub.close(requeue=False)
+            assert wait_for(lambda: len(drops) == 2)
+            assert {d["reason"] for d in drops} == {"discarded_on_close"}
+            assert server.broker.stats("jobs").dropped == 2
+        finally:
+            client.close()

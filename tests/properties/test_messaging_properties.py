@@ -1,0 +1,131 @@
+"""Property-based conformance for the mailbox delivery contracts.
+
+Three normative claims from DESIGN.md §15, each checked across all three
+bindings under randomized interleavings:
+
+- ``first-reader``: every published message is acked exactly once, no
+  matter how subscribers churn (subscribe / consume / close mid-stream);
+- ``all-readers``: each subscriber observes every publisher's messages in
+  that publisher's publish order;
+- ``tap``: publishing never raises and never blocks, whatever the
+  capacity, and what a tap observes is in order.
+
+Bindings are built inside the test body (not as function-scoped fixtures,
+which Hypothesis rejects for good reason), so every example starts from a
+fresh broker.
+"""
+
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.util.errors import HarnessTimeoutError
+from tests.messaging.test_bindings import BINDINGS, open_binding
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def drain_acking(sub, acked, expect_total, wall_budget_s=8.0):
+    """Receive-and-ack until `expect_total` seqs are acked (or budget ends)."""
+    deadline = time.monotonic() + wall_budget_s
+    while len(acked) < expect_total and time.monotonic() < deadline:
+        try:
+            delivery = sub.receive(timeout=0.2)
+        except HarnessTimeoutError:
+            continue
+        sub.ack(delivery)
+        acked.append(delivery.seq)
+
+
+@pytest.mark.parametrize("kind", BINDINGS)
+@SETTINGS
+@given(data=st.data())
+def test_first_reader_acks_each_message_exactly_once_under_churn(kind, data):
+    ops = data.draw(st.lists(
+        st.sampled_from(["publish", "subscribe", "consume", "close"]),
+        min_size=5, max_size=25))
+    with open_binding(kind) as client:
+        client.open("jobs", capacity=64, overflow="reject")
+        subs = [client.subscribe("jobs", subscriber="s0")]
+        published = 0
+        acked = []
+        for op in ops:
+            if op == "publish" and published < 40:
+                client.publish("jobs", {"n": published})
+                published += 1
+            elif op == "subscribe" and len(subs) < 4:
+                subs.append(client.subscribe(
+                    "jobs", subscriber=f"s{len(subs)}"))
+            elif op == "consume" and subs:
+                idx = data.draw(st.integers(0, len(subs) - 1))
+                delivery = subs[idx].try_receive()
+                if delivery is not None:
+                    subs[idx].ack(delivery)
+                    acked.append(delivery.seq)
+            elif op == "close" and len(subs) > 1:
+                idx = data.draw(st.integers(1, len(subs) - 1))
+                subs.pop(idx).close(requeue=True)  # unacked must requeue
+        # churn over: everyone but the survivor leaves, survivor drains
+        for sub in subs[1:]:
+            sub.close(requeue=True)
+        drain_acking(subs[0], acked, published)
+        assert sorted(acked) == list(range(1, published + 1)), (
+            f"exactly-once violated: published {published}, "
+            f"acked {sorted(acked)}")
+
+
+@pytest.mark.parametrize("kind", BINDINGS)
+@SETTINGS
+@given(data=st.data())
+def test_all_readers_preserves_per_publisher_order(kind, data):
+    authors = data.draw(st.lists(
+        st.sampled_from(["alpha", "beta"]), min_size=5, max_size=20))
+    with open_binding(kind) as client:
+        client.open("news", mode="all-readers", capacity=64, overflow="reject")
+        readers = [client.subscribe("news", subscriber="r0"),
+                   client.subscribe("news", subscriber="r1")]
+        expected = {"alpha": [], "beta": []}
+        for n, author in enumerate(authors):
+            seq = client.publish("news", {"n": n}, publisher=author)
+            expected[author].append(seq)
+        for reader in readers:
+            got_seqs = []
+            drain_acking(reader, got_seqs, len(authors))
+            for author in ("alpha", "beta"):
+                observed = [s for s in got_seqs if s in set(expected[author])]
+                assert observed == expected[author], (
+                    f"reader saw {author}'s messages out of publish order: "
+                    f"{observed} != {expected[author]}")
+            assert sorted(got_seqs) == sorted(
+                expected["alpha"] + expected["beta"])
+
+
+@pytest.mark.parametrize("kind", BINDINGS)
+@SETTINGS
+@given(data=st.data())
+def test_tap_never_blocks_and_observes_in_order(kind, data):
+    capacity = data.draw(st.integers(1, 4))
+    count = data.draw(st.integers(5, 15))
+    with open_binding(kind) as client:
+        client.open("trace", mode="tap", capacity=capacity, overflow="reject")
+        sub = client.subscribe("trace", subscriber="observer")
+        started = time.monotonic()
+        seqs = [client.publish("trace", i) for i in range(count)]  # never raises
+        assert time.monotonic() - started < 5.0  # and never parks the publisher
+        assert seqs == sorted(seqs)
+        observed = []
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            delivery = sub.try_receive()
+            if delivery is None:
+                break
+            observed.append(delivery.seq)
+        assert observed == sorted(observed)  # in order
+        assert set(observed) <= set(seqs)  # lossy, never invented
+        assert client.stats("trace")["published"] == count

@@ -1,0 +1,127 @@
+"""Mailbox chaos scenarios: the bundled manifests and their vocabulary.
+
+Runs the two shipped mailbox manifests end to end (slow consumer under
+back-pressure; consumer crash with lease-based redelivery) and pins the
+manifest-validation rules for workload mode ``mailbox`` and the
+``no_lost_messages`` / ``queue_depth_under`` checkers.
+"""
+
+import pytest
+
+from repro.scenario.library import load_scenario, scenario_names, verify_reproducible
+from repro.scenario.manifest import parse_manifest
+from repro.scenario.runner import run_scenario
+from repro.util.errors import ScenarioError
+
+
+def mailbox_manifest(**overrides) -> dict:
+    data = {
+        "name": "mbox-test",
+        "seed": 7,
+        "duration_s": 2.0,
+        "tick_s": 0.5,
+        "topology": {"kind": "lan", "hosts": 3},
+        "self_healing": {"enabled": False},
+        "workload": {
+            "service": "orders",
+            "mode": "mailbox",
+            "from_nodes": ["node0"],
+            "calls_per_tick": 2,
+            "broker_node": "node1",
+            "consumers": ["node2"],
+            "consume_per_tick": 2,
+            "mailbox": {"mode": "first-reader", "capacity": 16,
+                        "overflow": "reject"},
+        },
+        "checks": [{"check": "no_lost_messages"}],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestBundledScenarios:
+    def test_mailbox_manifests_are_bundled(self):
+        names = scenario_names()
+        assert "mailbox-slow-consumer" in names
+        assert "mailbox-consumer-crash" in names
+
+    def test_slow_consumer_back_pressure_passes(self):
+        result = run_scenario(load_scenario("mailbox-slow-consumer"))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        by_name = {c.check: c for c in result.checks}
+        # the run actually exercised back-pressure: publishes were rejected
+        assert "MailboxFullError" in by_name["typed_faults_only"].detail
+        assert by_name["queue_depth_under"].passed
+        assert by_name["no_lost_messages"].passed
+
+    def test_consumer_crash_redelivers_to_survivor(self):
+        result = run_scenario(load_scenario("mailbox-consumer-crash"))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+        by_name = {c.check: c for c in result.checks}
+        assert by_name["no_lost_messages"].passed
+        assert by_name["event_count"].passed  # mbox.redelivered fired
+        assert "node2" not in result.final_members  # the corpse was evicted
+
+    @pytest.mark.parametrize("name", ["mailbox-slow-consumer",
+                                      "mailbox-consumer-crash"])
+    def test_same_seed_is_byte_identical(self, name):
+        identical, sha1, sha2 = verify_reproducible(name)
+        assert identical, f"{name}: {sha1} != {sha2}"
+
+
+class TestScenarioChecks:
+    def test_no_lost_messages_catches_a_real_run(self):
+        result = run_scenario(parse_manifest(mailbox_manifest()))
+        assert result.passed, [c.detail for c in result.checks if not c.passed]
+
+    def test_mailbox_checks_require_mailbox_workload(self):
+        data = mailbox_manifest()
+        data["services"] = [{"name": "counter",
+                             "type": "repro.plugins.services:CounterService",
+                             "node": "node1"}]
+        data["workload"] = {"service": "counter", "from_nodes": ["node0"],
+                            "calls_per_tick": 1,
+                            "ops": [{"op": "increment", "args": [1],
+                                     "weight": 1}]}
+        result = run_scenario(parse_manifest(data))
+        assert not result.passed
+        failed = [c for c in result.checks if not c.passed]
+        assert failed and "mailbox" in failed[0].detail
+
+
+class TestManifestValidation:
+    def test_mailbox_mode_requires_broker_and_consumers(self):
+        data = mailbox_manifest()
+        del data["workload"]["broker_node"]
+        with pytest.raises(ScenarioError, match="broker_node"):
+            parse_manifest(data)
+        data = mailbox_manifest()
+        data["workload"]["consumers"] = []
+        with pytest.raises(ScenarioError, match="consumers"):
+            parse_manifest(data)
+
+    def test_mailbox_keys_rejected_outside_mailbox_mode(self):
+        data = mailbox_manifest()
+        data["workload"]["mode"] = "rpc"
+        with pytest.raises(ScenarioError):
+            parse_manifest(data)
+
+    def test_unknown_mailbox_mode_and_overflow_rejected(self):
+        data = mailbox_manifest()
+        data["workload"]["mailbox"]["mode"] = "broadcast"
+        with pytest.raises(ScenarioError, match="broadcast"):
+            parse_manifest(data)
+        data = mailbox_manifest()
+        data["workload"]["mailbox"]["overflow"] = "explode"
+        with pytest.raises(ScenarioError, match="explode"):
+            parse_manifest(data)
+
+    def test_nonpositive_tuning_rejected(self):
+        data = mailbox_manifest()
+        data["workload"]["consume_per_tick"] = 0
+        with pytest.raises(ScenarioError, match="consume_per_tick"):
+            parse_manifest(data)
+        data = mailbox_manifest()
+        data["workload"]["lease_s"] = -1.0
+        with pytest.raises(ScenarioError, match="lease_s"):
+            parse_manifest(data)
